@@ -1,0 +1,101 @@
+// Ablation A1 — what the lazy importance machinery buys end to end.
+//
+// DESIGN.md calls out the deferral of unimportant attributes as the
+// core design choice of section 2.2. This ablation measures total rule
+// executions and disk reads for a mixed update/read workload under three
+// consumption disciplines over the same graph:
+//
+//   lazy       — nothing subscribed; reads use Peek (pay only when asked)
+//   subscribed — every sink queried once up front (the paper's
+//                "user asked for these" importance; eager maintenance)
+//   recompute  — strawman: invalidate + re-read everything per update
+//
+// The crossover is the point of the paper's design: eager maintenance is
+// right for values read after every update; laziness wins as reads
+// become sparse.
+
+#include "bench_util.h"
+
+namespace cactis::bench {
+namespace {
+
+struct Cost {
+  uint64_t rule_evals;
+  uint64_t disk_reads;
+};
+
+enum class Mode { kLazy, kSubscribed, kRecomputeAll };
+
+Cost Run(Mode mode, int updates_per_read, int rounds) {
+  core::DatabaseOptions opts;
+  opts.buffer_capacity = 8;
+  opts.block_size = 1024;
+  core::Database db(opts);
+  Die(db.LoadSchema(kCellSchema), "schema");
+
+  constexpr int kWidth = 40;
+  InstanceId root = MustV(db.Create("cell"), "create");
+  Die(db.Set(root, "base", Value::Int(0)), "set");
+  std::vector<InstanceId> sinks;
+  for (int i = 0; i < kWidth; ++i) {
+    InstanceId mid = MustV(db.Create("cell"), "create");
+    InstanceId sink = MustV(db.Create("cell"), "create");
+    Die(db.Set(mid, "base", Value::Int(1)), "set");
+    Die(db.Set(sink, "base", Value::Int(1)), "set");
+    Die(db.Connect(mid, "prev", root, "next").status(), "connect");
+    Die(db.Connect(sink, "prev", mid, "next").status(), "connect");
+    sinks.push_back(sink);
+  }
+  if (mode == Mode::kSubscribed) {
+    for (InstanceId s : sinks) Die(db.Get(s, "acc").status(), "subscribe");
+  } else {
+    for (InstanceId s : sinks) Die(db.Peek(s, "acc").status(), "warm");
+  }
+
+  db.ResetStats();
+  int v = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int u = 0; u < updates_per_read; ++u) {
+      Die(db.Set(root, "base", Value::Int(++v)), "update");
+      if (mode == Mode::kRecomputeAll) {
+        for (InstanceId s : sinks) {
+          Die(db.InvalidateAttribute(s, "acc"), "invalidate");
+          Die(db.Peek(s, "acc").status(), "recompute");
+        }
+      }
+    }
+    // The read phase: one sink is actually inspected.
+    Die(db.Peek(sinks[r % kWidth], "acc").status(), "read");
+  }
+  return Cost{db.eval_stats().rule_evaluations, db.disk_stats().reads};
+}
+
+}  // namespace
+}  // namespace cactis::bench
+
+int main() {
+  using namespace cactis::bench;
+  constexpr int kRounds = 40;
+  std::printf(
+      "A1 (ablation): total rule executions for %d read rounds over a\n"
+      "40-pipeline graph, by consumption discipline\n\n",
+      kRounds);
+  Table table({"updates per read", "lazy evals", "subscribed evals",
+               "recompute-all evals"});
+  for (int upr : {1, 2, 5, 10}) {
+    Cost lazy = Run(Mode::kLazy, upr, kRounds);
+    Cost sub = Run(Mode::kSubscribed, upr, kRounds);
+    Cost all = Run(Mode::kRecomputeAll, upr, kRounds);
+    table.AddRow({Num(static_cast<uint64_t>(upr)), Num(lazy.rule_evals),
+                  Num(sub.rule_evals), Num(all.rule_evals)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: lazy work is constant in the update rate (~3 evals\n"
+      "per value actually read); eager maintenance — whether by blanket\n"
+      "subscription or explicit recompute-everything, which coincide when\n"
+      "every sink is watched — grows linearly with updates. The widening\n"
+      "gap is the paper's motivation for deferring unimportant "
+      "attributes.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment E9 — multi-user operation under timestamp ordering.
+//
+// Paper context (section 1.1): Cactis is "a multi-user DBMS ... [that]
+// uses a timestamping concurrency control technique". We reproduce the
+// standard behaviour of timestamp ordering on interleaved transaction
+// streams: throughput of committed transactions and the abort rate as a
+// function of data contention (hot-set size).
+//
+// Workload: U interleaved users; each transaction reads one instance and
+// writes another, both drawn from a hot set of H instances out of 200.
+// Older transactions conflicting with younger ones abort and are retried
+// as fresh transactions (counted).
+
+#include "bench_util.h"
+
+namespace cactis::bench {
+namespace {
+
+struct Row {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t cc_rejections = 0;
+};
+
+Row Run(int hot_set, int users, int rounds) {
+  core::DatabaseOptions opts;
+  opts.buffer_capacity = 1u << 16;
+  core::Database db(opts);
+  Die(db.LoadSchema(kCellSchema), "schema");
+  constexpr int kN = 200;
+  std::vector<InstanceId> ids;
+  for (int i = 0; i < kN; ++i) {
+    ids.push_back(MustV(db.Create("cell"), "create"));
+  }
+
+  Rng rng(1234 + hot_set);
+  Row row;
+
+  // Interleaved execution: each round, every user begins a transaction,
+  // then the operations of all users run in a shuffled global order.
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::unique_ptr<core::Transaction>> txns;
+    std::vector<std::pair<InstanceId, InstanceId>> plan;
+    for (int u = 0; u < users; ++u) {
+      txns.push_back(db.Begin());
+      InstanceId r = ids[rng.Uniform(hot_set)];
+      InstanceId w = ids[rng.Uniform(hot_set)];
+      plan.emplace_back(r, w);
+    }
+    // Phase 1: everyone reads (in reverse begin order so older
+    // transactions act after younger ones — maximising TO conflicts).
+    for (int u = users - 1; u >= 0; --u) {
+      if (!txns[u]->open()) continue;
+      (void)txns[u]->Get(plan[u].first, "base");
+    }
+    // Phase 2: everyone writes.
+    for (int u = users - 1; u >= 0; --u) {
+      if (!txns[u]->open()) continue;
+      (void)txns[u]->Set(plan[u].second, "base",
+                         Value::Int(static_cast<int64_t>(round)));
+    }
+    for (int u = 0; u < users; ++u) {
+      if (txns[u]->aborted()) {
+        ++row.aborted;
+      } else if (txns[u]->open() && txns[u]->Commit().ok()) {
+        ++row.committed;
+      } else {
+        ++row.aborted;
+      }
+    }
+  }
+  row.cc_rejections =
+      db.cc_stats().read_rejections + db.cc_stats().write_rejections;
+  return row;
+}
+
+}  // namespace
+}  // namespace cactis::bench
+
+int main() {
+  using namespace cactis::bench;
+  constexpr int kUsers = 8;
+  constexpr int kRounds = 250;
+  std::printf(
+      "E9: timestamp-ordering concurrency control, %d interleaved users,\n"
+      "%d rounds (each txn: 1 read + 1 write in a hot set of H instances)\n\n",
+      kUsers, kRounds);
+  Table table({"hot set H", "committed", "aborted", "abort rate %",
+               "TO rejections"});
+  for (int hot : {200, 64, 16, 4, 2}) {
+    Row r = Run(hot, kUsers, kRounds);
+    double rate = 100.0 * static_cast<double>(r.aborted) /
+                  static_cast<double>(r.committed + r.aborted);
+    table.AddRow({Num(static_cast<uint64_t>(hot)), Num(r.committed),
+                  Num(r.aborted), Num(rate), Num(r.cc_rejections)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: with low contention almost everything commits; as\n"
+      "the hot set shrinks, timestamp-ordering rejections and aborts\n"
+      "climb — the standard TO trade-off.\n");
+  return 0;
+}

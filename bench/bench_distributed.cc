@@ -1,0 +1,73 @@
+// Experiment E10 (extension) — cross-site traffic in the distributed
+// prototype (paper section 5).
+//
+// The distributed design carries the paper's incremental philosophy over
+// the network: small invalidations move eagerly; derived values move only
+// when demanded. The alternative — shipping every recomputed value
+// immediately (what a subscribed consumer gets) — pays one value fetch
+// per upstream update. We sweep the update:read ratio and compare message
+// counts for the two consumption styles.
+
+#include "bench_util.h"
+#include "dist/cluster.h"
+
+namespace cactis::bench {
+namespace {
+
+struct Traffic {
+  uint64_t messages;
+  uint64_t bytes;
+};
+
+Traffic Run(bool subscribed, int updates_per_read, int rounds) {
+  dist::DistributedCactis cluster(2);
+  Die(cluster.LoadSchema(kCellSchema), "schema");
+  auto producer = MustV(cluster.Create(0, "cell"), "create");
+  auto consumer = MustV(cluster.Create(1, "cell"), "create");
+  Die(cluster.Connect(consumer, "prev", producer, "next").status(),
+      "connect");
+  if (subscribed) {
+    Die(cluster.Get(consumer, "acc").status(), "subscribe");
+  } else {
+    Die(cluster.Peek(consumer, "acc").status(), "warm");
+  }
+
+  cluster.network()->ResetStats();
+  int v = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int u = 0; u < updates_per_read; ++u) {
+      Die(cluster.Set(producer, "base", Value::Int(++v)), "set");
+    }
+    Die(cluster.Peek(consumer, "acc").status(), "read");
+  }
+  return Traffic{cluster.network()->stats().messages,
+                 cluster.network()->stats().bytes};
+}
+
+}  // namespace
+}  // namespace cactis::bench
+
+int main() {
+  using namespace cactis::bench;
+  constexpr int kRounds = 50;
+  std::printf(
+      "E10 (extension): cross-site messages, lazy invalidate-and-pull vs\n"
+      "eager per-update value shipping (%d read rounds; one remote "
+      "dependency)\n\n",
+      kRounds);
+  Table table({"updates per read", "lazy msgs", "eager msgs", "lazy bytes",
+               "eager bytes"});
+  for (int upr : {1, 2, 5, 10, 20}) {
+    Traffic lazy = Run(false, upr, kRounds);
+    Traffic eager = Run(true, upr, kRounds);
+    table.AddRow({Num(static_cast<uint64_t>(upr)), Num(lazy.messages),
+                  Num(eager.messages), Num(lazy.bytes), Num(eager.bytes)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: at 1 update per read the two styles cost about the\n"
+      "same; as updates outnumber reads, the lazy protocol's traffic\n"
+      "stays bounded by reads (plus cheap intrinsic pushes) while eager\n"
+      "shipping grows with every update.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment E4 — traversal order as a scheduling decision.
+//
+// Paper claim (section 2.3): choosing the runnable sub-traversal with the
+// least expected disk I/O — in-memory chunks first, then lowest
+// decaying-average estimate — reduces disk access compared with fixed
+// depth-first / breadth-first orders.
+//
+// Workload: a wide bushy dependency graph spanning many disk blocks,
+// clustered (so locality exists to exploit), run under a small buffer
+// pool. After a root update, a sink read evaluates a large fan-in; we
+// count simulated-disk block reads per policy for identical graphs.
+
+#include "bench_util.h"
+
+namespace cactis::bench {
+namespace {
+
+uint64_t RunPolicy(sched::SchedulingPolicy policy, size_t buffer_blocks,
+                   int depth, int width, int fanin) {
+  core::DatabaseOptions opts;
+  opts.policy = policy;
+  opts.buffer_capacity = buffer_blocks;
+  opts.block_size = 1024;
+  core::Database db(opts);
+  Die(db.LoadSchema(kCellSchema), "schema");
+  Rng rng(7);
+  LayeredDag dag = BuildLayeredDag(&db, depth, width, fanin, &rng);
+
+  // Cluster the database so block locality matches usage, and compute
+  // worst-case statistics (the paper gathers them at cluster time).
+  for (InstanceId id : dag.layers.back()) {
+    Die(db.Peek(id, "acc").status(), "warm");
+  }
+  Die(db.Reorganize(), "reorganize");
+
+  // Invalidate everything via root updates, then measure one big read.
+  for (InstanceId root : dag.layers.front()) {
+    Die(db.Set(root, "base", Value::Int(3)), "set");
+  }
+  db.ResetStats();
+  for (InstanceId id : dag.layers.back()) {
+    Die(db.Peek(id, "acc").status(), "read");
+  }
+  return db.disk_stats().reads;
+}
+
+}  // namespace
+}  // namespace cactis::bench
+
+int main() {
+  using namespace cactis::bench;
+  std::printf(
+      "E4: disk reads per full re-evaluation under each scheduling policy\n"
+      "(layered graph 12x24 fanin 3, clustered, varying buffer sizes)\n\n");
+  Table table({"buffer blocks", "greedy-adaptive", "greedy-static",
+               "depth-first", "breadth-first"});
+  for (size_t buffer : {4u, 8u, 16u, 32u}) {
+    uint64_t greedy =
+        RunPolicy(cactis::sched::SchedulingPolicy::kGreedyAdaptive, buffer,
+                  12, 24, 3);
+    uint64_t greedy_static =
+        RunPolicy(cactis::sched::SchedulingPolicy::kGreedyStatic, buffer, 12,
+                  24, 3);
+    uint64_t dfs = RunPolicy(cactis::sched::SchedulingPolicy::kDepthFirst,
+                             buffer, 12, 24, 3);
+    uint64_t bfs = RunPolicy(cactis::sched::SchedulingPolicy::kBreadthFirst,
+                             buffer, 12, 24, 3);
+    table.AddRow({Num(static_cast<uint64_t>(buffer)), Num(greedy),
+                  Num(greedy_static), Num(dfs), Num(bfs)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): the greedy in-memory-first policies need\n"
+      "fewer block reads than the fixed traversal orders, most visibly\n"
+      "when the buffer pool is small relative to the database.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Shared helpers for the experiment harness: table printing and workload
+// graph builders. Every bench binary prints paper-style rows; the
+// measured quantities are deterministic counters (rule evaluations, mark
+// visits, block reads), so runs are exactly reproducible.
+
+#ifndef CACTIS_BENCH_BENCH_UTIL_H_
+#define CACTIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+
+namespace cactis::bench {
+
+/// The one-class workload schema used across experiments: an integer
+/// aggregation flowing across `prev` edges (the same shape as milestone
+/// expected-completion propagation).
+inline const char* kCellSchema = R"(
+  object class cell is
+    relationships
+      prev : chain multi socket;
+      next : chain multi plug;
+    attributes
+      base : int;
+      acc  : int;
+    rules
+      acc = begin
+        t : int;
+        t = base;
+        for each p related to prev do
+          t = t + p.acc;
+        end;
+        return t;
+      end;
+  end object;
+)";
+
+inline void Die(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T MustV(Result<T> r, const char* what) {
+  Die(r.status(), what);
+  return std::move(r).value();
+}
+
+/// A layered DAG: `depth` layers of `width` cells; each non-root cell
+/// consumes `fanin` distinct cells of the previous layer (or all of them
+/// when fanin >= width). Returns layers[depth][width].
+struct LayeredDag {
+  std::vector<std::vector<InstanceId>> layers;
+  int edge_count = 0;
+};
+
+inline LayeredDag BuildLayeredDag(core::Database* db, int depth, int width,
+                                  int fanin, Rng* rng) {
+  LayeredDag dag;
+  dag.layers.resize(depth);
+  for (int d = 0; d < depth; ++d) {
+    for (int w = 0; w < width; ++w) {
+      InstanceId id = MustV(db->Create("cell"), "create");
+      Die(db->Set(id, "base", Value::Int(1)), "set");
+      dag.layers[d].push_back(id);
+    }
+  }
+  for (int d = 1; d < depth; ++d) {
+    for (int w = 0; w < width; ++w) {
+      // Choose `fanin` distinct producers from the previous layer.
+      std::vector<int> pick;
+      if (fanin >= width) {
+        for (int i = 0; i < width; ++i) pick.push_back(i);
+      } else {
+        while (static_cast<int>(pick.size()) < fanin) {
+          int c = static_cast<int>(rng->Uniform(width));
+          bool dup = false;
+          for (int p : pick) dup |= (p == c);
+          if (!dup) pick.push_back(c);
+        }
+      }
+      for (int p : pick) {
+        Die(db->Connect(dag.layers[d][w], "prev", dag.layers[d - 1][p],
+                        "next")
+                .status(),
+            "connect");
+        ++dag.edge_count;
+      }
+    }
+  }
+  return dag;
+}
+
+/// Builds a linear chain of cells, returning ids front (root) to back.
+inline std::vector<InstanceId> BuildChain(core::Database* db, int n) {
+  std::vector<InstanceId> ids;
+  for (int i = 0; i < n; ++i) {
+    InstanceId id = MustV(db->Create("cell"), "create");
+    Die(db->Set(id, "base", Value::Int(1)), "set");
+    ids.push_back(id);
+    if (i > 0) {
+      Die(db->Connect(ids[i], "prev", ids[i - 1], "next").status(),
+          "connect");
+    }
+  }
+  return ids;
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        if (row[i].size() > width[i]) width[i] = row[i].size();
+      }
+    }
+    auto line = [&] {
+      std::printf("+");
+      for (size_t w : width) {
+        for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    line();
+    std::printf("|");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf(" %-*s |", static_cast<int>(width[i]), headers_[i].c_str());
+    }
+    std::printf("\n");
+    line();
+    for (const auto& row : rows_) {
+      std::printf("|");
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf(" %*s |", static_cast<int>(width[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    }
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Num(uint64_t v) { return std::to_string(v); }
+inline std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace cactis::bench
+
+#endif  // CACTIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,268 @@
+// cactis_shell: a small interactive console over the Cactis public API —
+// define schema in the data language, create objects, wire relationships,
+// query derived values, undo, and time-travel.
+//
+//   $ ./cactis_shell            # runs a scripted demo session
+//   $ ./cactis_shell -i         # interactive (reads commands from stdin)
+//
+// Commands:
+//   schema            ... end schema     load data-language declarations
+//   new <name> <class>                   create an instance
+//   set <name>.<attr> <literal>          write an intrinsic attribute
+//   get <name>.<attr>                    read (evaluating) an attribute
+//   connect <a>.<port> <b>.<port>        establish a relationship
+//   undo                                 roll back the last transaction
+//   version <name> | checkout <name>     name / restore a state
+//   instances <class> | members <sub>    queries
+//   stats                                engine counters
+//   help | quit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+
+namespace {
+
+using cactis::InstanceId;
+using cactis::Value;
+using cactis::core::Database;
+
+class Shell {
+ public:
+  Shell() = default;
+
+  /// Executes one command line; returns false on `quit`.
+  bool Execute(const std::string& line, std::istream& in) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "schema") {
+      std::string source, next;
+      while (std::getline(in, next) && next != "end schema") {
+        source += next;
+        source += '\n';
+      }
+      Report(db_.LoadSchema(source));
+    } else if (cmd == "new") {
+      std::string name, cls;
+      ss >> name >> cls;
+      auto id = db_.Create(cls);
+      if (id.ok()) names_[name] = *id;
+      Report(id.status(), name + " = " + cls + "#" +
+                              (id.ok() ? std::to_string(id->value) : "?"));
+    } else if (cmd == "set") {
+      std::string target;
+      ss >> target;
+      std::string rest;
+      std::getline(ss, rest);
+      auto [inst, attr] = Split(target);
+      if (!inst.valid()) return Error("unknown object in '" + target + "'");
+      auto value = ParseLiteral(rest);
+      if (!value.ok()) return Error(value.status().ToString());
+      Report(db_.Set(inst, attr, *value));
+    } else if (cmd == "get") {
+      std::string target;
+      ss >> target;
+      auto [inst, attr] = Split(target);
+      if (!inst.valid()) return Error("unknown object in '" + target + "'");
+      auto v = db_.Get(inst, attr);
+      if (v.ok()) {
+        std::printf("  %s = %s\n", target.c_str(), v->ToString().c_str());
+      } else {
+        Report(v.status());
+      }
+    } else if (cmd == "connect") {
+      std::string a, b;
+      ss >> a >> b;
+      auto [ai, ap] = Split(a);
+      auto [bi, bp] = Split(b);
+      if (!ai.valid() || !bi.valid()) return Error("unknown object");
+      Report(db_.Connect(ai, ap, bi, bp).status());
+    } else if (cmd == "undo") {
+      Report(db_.UndoLast());
+    } else if (cmd == "version") {
+      std::string name;
+      ss >> name;
+      Report(db_.CreateVersion(name).status());
+    } else if (cmd == "checkout") {
+      std::string name;
+      ss >> name;
+      Report(db_.CheckoutVersion(name));
+    } else if (cmd == "instances") {
+      std::string cls;
+      ss >> cls;
+      auto ids = db_.InstancesOf(cls);
+      if (!ids.ok()) return Error(ids.status().ToString());
+      std::printf("  %zu instance(s) of %s\n", ids->size(), cls.c_str());
+    } else if (cmd == "members") {
+      std::string sub;
+      ss >> sub;
+      auto ids = db_.MembersOfSubtype(sub);
+      if (!ids.ok()) return Error(ids.status().ToString());
+      std::printf("  %zu member(s) of %s:", ids->size(), sub.c_str());
+      for (auto id : *ids) std::printf(" #%llu", (unsigned long long)id.value);
+      std::printf("\n");
+    } else if (cmd == "stats") {
+      const auto& e = db_.eval_stats();
+      std::printf(
+          "  rule evals=%llu marked=%llu mark visits=%llu constraint "
+          "checks=%llu disk reads=%llu\n",
+          (unsigned long long)e.rule_evaluations,
+          (unsigned long long)e.attrs_marked,
+          (unsigned long long)e.mark_visits,
+          (unsigned long long)e.constraint_checks,
+          (unsigned long long)db_.disk_stats().reads);
+    } else {
+      return Error("unknown command '" + cmd + "' (try 'help')");
+    }
+    return true;
+  }
+
+ private:
+  static void Help() {
+    std::printf(
+        "  schema ... end schema | new <n> <class> | set <n>.<a> <lit>\n"
+        "  get <n>.<a> | connect <a>.<p> <b>.<p> | undo | version <v>\n"
+        "  checkout <v> | instances <c> | members <s> | stats | quit\n");
+  }
+
+  bool Error(const std::string& msg) {
+    std::printf("  error: %s\n", msg.c_str());
+    return true;
+  }
+
+  void Report(const cactis::Status& s, const std::string& ok_msg = "ok") {
+    std::printf("  %s\n", s.ok() ? ok_msg.c_str() : s.ToString().c_str());
+  }
+
+  std::pair<InstanceId, std::string> Split(const std::string& target) {
+    size_t dot = target.find('.');
+    if (dot == std::string::npos) return {InstanceId(), ""};
+    auto it = names_.find(target.substr(0, dot));
+    if (it == names_.end()) return {InstanceId(), ""};
+    return {it->second, target.substr(dot + 1)};
+  }
+
+  /// Literals: ints, reals, strings, true/false, time(n).
+  cactis::Result<Value> ParseLiteral(const std::string& text) {
+    auto expr = cactis::lang::Parser::ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    // Evaluate against an empty context (builtins only).
+    class NullCtx : public cactis::lang::EvalContext {
+     public:
+      NullCtx() : reg_(cactis::lang::BuiltinRegistry::WithDefaults()) {}
+      cactis::Result<Value> GetLocalAttr(const std::string& n) override {
+        return cactis::Status::NotFound("no attribute " + n);
+      }
+      bool HasLocalAttr(const std::string&) const override { return false; }
+      bool HasPort(const std::string&) const override { return false; }
+      cactis::Result<std::vector<Neighbor>> GetNeighbors(
+          const std::string& p) override {
+        return cactis::Status::NotFound("no port " + p);
+      }
+      cactis::Result<Value> GetRemoteValue(const Neighbor&,
+                                           const std::string& n) override {
+        return cactis::Status::NotFound("no value " + n);
+      }
+      cactis::Status SetLocalAttr(const std::string&, Value) override {
+        return cactis::Status::InvalidArgument("no assignment");
+      }
+      const cactis::lang::BuiltinRegistry& builtins() const override {
+        return reg_;
+      }
+
+     private:
+      cactis::lang::BuiltinRegistry reg_;
+    } ctx;
+    return cactis::lang::Interpreter::EvalExpr(**expr, &ctx);
+  }
+
+  Database db_;
+  std::map<std::string, InstanceId> names_;
+};
+
+const char* kDemoScript = R"(# scripted demo session
+schema
+object class task is
+  relationships
+    blockers : blocks multi socket;
+    blocking : blocks multi plug;
+  attributes
+    title : string;
+    effort : int;
+    total : int;
+  rules
+    total = begin
+      t : int;
+      t = effort;
+      for each b related to blockers do
+        t = t + b.total;
+      end;
+      return t;
+    end;
+  constraints
+    sane_effort : effort >= 0 and effort <= 100;
+end object;
+subtype epic of task where total > 10;
+end schema
+new dig task
+new pour task
+new frame task
+set dig.title "dig foundation"
+set dig.effort 4
+set pour.effort 3
+set frame.effort 6
+connect pour.blockers dig.blocking
+connect frame.blockers pour.blocking
+get frame.total
+version groundwork
+set dig.effort 20
+  # constraint allows it (<= 100); ripple:
+get frame.total
+members epic
+undo
+get frame.total
+set dig.effort 999
+get dig.effort
+instances task
+stats
+quit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  bool interactive = argc > 1 && std::strcmp(argv[1], "-i") == 0;
+
+  if (interactive) {
+    std::string line;
+    std::printf("cactis> ");
+    while (std::getline(std::cin, line)) {
+      if (!shell.Execute(line, std::cin)) break;
+      std::printf("cactis> ");
+    }
+    return 0;
+  }
+
+  std::istringstream script(kDemoScript);
+  std::string line;
+  while (std::getline(script, line)) {
+    if (!line.empty() && line[0] != '#') std::printf("cactis> %s\n", line.c_str());
+    if (!shell.Execute(line, script)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The paper's Figure-1 milestone manager as a runnable scenario:
+// a project plan whose expected completion dates and late flags ripple
+// automatically when estimates change.
+//
+//   $ ./milestone_manager
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "env/milestone.h"
+
+using cactis::TimePoint;
+using cactis::core::Database;
+using cactis::env::MilestoneManager;
+
+namespace {
+
+void Report(MilestoneManager* mgr) {
+  std::printf("%-14s %12s %10s %6s\n", "milestone", "expected", "scheduled",
+              "late?");
+  for (const std::string& name : mgr->Names()) {
+    auto exp = mgr->ExpectedCompletion(name);
+    auto late = mgr->IsLate(name);
+    auto id = mgr->IdOf(name);
+    auto sched = mgr->db()->Get(*id, "sched_compl");
+    if (!exp.ok() || !late.ok() || !sched.ok()) {
+      std::fprintf(stderr, "query failed for %s\n", name.c_str());
+      std::exit(1);
+    }
+    std::printf("%-14s %12lld %10lld %6s\n", name.c_str(),
+                (long long)exp->ticks, (long long)sched->AsTime()->ticks,
+                *late ? "LATE" : "ok");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  auto attach = MilestoneManager::Attach(&db);
+  if (!attach.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n",
+                 attach.status().ToString().c_str());
+    return 1;
+  }
+  auto mgr = std::move(attach).value();
+
+  // A small release plan (times in project days).
+  struct Spec {
+    const char* name;
+    int sched;
+    int work;
+  };
+  for (const Spec& m : {Spec{"requirements", 10, 8}, Spec{"design", 25, 10},
+                        Spec{"backend", 45, 15}, Spec{"frontend", 50, 20},
+                        Spec{"integration", 65, 8}, Spec{"docs", 60, 6},
+                        Spec{"release", 70, 2}}) {
+    (void)mgr->AddMilestone(m.name, TimePoint{m.sched}, m.work);
+  }
+  for (auto [a, b] : std::initializer_list<std::pair<const char*, const char*>>{
+           {"design", "requirements"},
+           {"backend", "design"},
+           {"frontend", "design"},
+           {"integration", "backend"},
+           {"integration", "frontend"},
+           {"docs", "design"},
+           {"release", "integration"},
+           {"release", "docs"}}) {
+    (void)mgr->AddDependency(a, b);
+  }
+
+  std::printf("=== initial plan ===\n");
+  Report(mgr.get());
+
+  std::printf("=== frontend estimate balloons to 35 days ===\n");
+  (void)mgr->SetLocalWork("frontend", 35);
+  Report(mgr.get());
+
+  std::printf(
+      "=== management adds a 'very_late' tool without touching existing "
+      "code (dynamic type extension) ===\n");
+  (void)db.ExtendClassWithDerived("milestone", "very_late",
+                                  cactis::ValueType::kBool,
+                                  "later_than(exp_compl, sched_compl + 5)");
+  for (const std::string& name : mgr->Names()) {
+    auto id = mgr->IdOf(name);
+    auto vl = db.Get(*id, "very_late");
+    std::printf("  %-14s very_late=%s\n", name.c_str(),
+                vl.ok() && *vl->AsBool() ? "YES" : "no");
+  }
+
+  std::printf("\n=== undo the estimate change ===\n");
+  // The last committed transaction is the frontend estimate change...
+  // except extension queries committed read-only transactions after it;
+  // simply set it back and show the ripple again.
+  (void)mgr->SetLocalWork("frontend", 20);
+  Report(mgr.get());
+  return 0;
+}

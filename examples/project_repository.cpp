@@ -1,0 +1,205 @@
+// A fuller software-environment repository (paper section 3): programs,
+// configurations, documentation, bug reports and milestones in one
+// unified attributed graph — "the entire range of data within a system"
+// — with derived consistency, constraints, subtypes and extensibility.
+//
+//   $ ./project_repository
+
+#include <cstdio>
+
+#include "core/database.h"
+
+using cactis::Value;
+using cactis::core::Database;
+
+namespace {
+
+const char* kRepositorySchema = R"(
+  relationship part_of;      -- source module -> configuration
+  relationship documents;    -- document -> configuration
+  relationship reported_on;  -- bug report -> source module
+
+  object class source_module is
+    relationships
+      config : part_of multi plug;
+      bugs   : reported_on multi socket;
+    attributes
+      name : string;
+      loc : int;
+      open_bugs : int;
+      buggy_density : real;     -- open bugs per kloc
+    rules
+      open_bugs = begin
+        n : int = 0;
+        for each b related to bugs do
+          if b.open then n = n + 1; end;
+        end;
+        return n;
+      end;
+      buggy_density = begin
+        if loc = 0 then return 0.0; end;
+        return to_real(open_bugs) * 1000.0 / to_real(loc);
+      end;
+      config.module_loc = loc;
+      config.module_open_bugs = open_bugs;
+  end object;
+
+  object class bug_report is
+    relationships
+      module : reported_on multi plug;
+    attributes
+      title : string;
+      open : boolean;
+      severity : int;        -- 1..5
+    constraints
+      valid_severity : severity >= 0 and severity <= 5;
+  end object;
+
+  object class document is
+    relationships
+      covers : documents multi plug;
+    attributes
+      title : string;
+      pages : int;
+  end object;
+
+  object class configuration is
+    relationships
+      modules : part_of multi socket;
+      docs    : documents multi socket;
+    attributes
+      name : string;
+      total_loc : int;
+      total_open_bugs : int;
+      documented : boolean;
+      shippable : boolean;
+    rules
+      total_loc = begin
+        t : int = 0;
+        for each m related to modules do
+          t = t + m.module_loc;
+        end;
+        return t;
+      end;
+      total_open_bugs = begin
+        t : int = 0;
+        for each m related to modules do
+          t = t + m.module_open_bugs;
+        end;
+        return t;
+      end;
+      documented = count(docs) > 0;
+      shippable = total_open_bugs = 0 and documented;
+  end object;
+
+  subtype hotspot of source_module where buggy_density > 2.0;
+)";
+
+void Banner(const char* s) { std::printf("\n=== %s ===\n", s); }
+
+}  // namespace
+
+int main() {
+  Database db;
+  auto s = db.LoadSchema(kRepositorySchema);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto config = *db.Create("configuration");
+  (void)db.Set(config, "name", Value::String("editor-2.0"));
+
+  struct Mod {
+    const char* name;
+    int loc;
+    cactis::InstanceId id;
+  };
+  Mod mods[] = {{"buffer", 4200, {}}, {"render", 2800, {}},
+                {"input", 900, {}}};
+  for (Mod& m : mods) {
+    m.id = *db.Create("source_module");
+    (void)db.Set(m.id, "name", Value::String(m.name));
+    (void)db.Set(m.id, "loc", Value::Int(m.loc));
+    (void)db.Connect(m.id, "config", config, "modules").status();
+  }
+
+  auto file_bug = [&](cactis::InstanceId mod, const char* title, int sev) {
+    auto bug = *db.Create("bug_report");
+    (void)db.Set(bug, "title", Value::String(title));
+    (void)db.Set(bug, "open", Value::Bool(true));
+    (void)db.Set(bug, "severity", Value::Int(sev));
+    (void)db.Connect(bug, "module", mod, "bugs");
+    return bug;
+  };
+
+  auto status = [&] {
+    auto loc = db.Get(config, "total_loc");
+    auto bugs = db.Get(config, "total_open_bugs");
+    auto ship = db.Get(config, "shippable");
+    std::printf("editor-2.0: %lld loc, %lld open bugs, shippable=%s\n",
+                (long long)*loc->AsInt(), (long long)*bugs->AsInt(),
+                *ship->AsBool() ? "YES" : "no");
+    auto hot = db.MembersOfSubtype("hotspot");
+    for (auto id : *hot) {
+      auto name = db.Get(id, "name");
+      auto density = db.Get(id, "buggy_density");
+      std::printf("  hotspot: %-8s (%.2f bugs/kloc)\n",
+                  name->AsString()->c_str(), *density->AsReal());
+    }
+  };
+
+  Banner("fresh repository");
+  status();
+
+  Banner("QA files bug reports");
+  auto b1 = file_bug(mods[2].id, "arrow keys repeat forever", 4);
+  auto b2 = file_bug(mods[2].id, "mouse wheel inverted", 3);
+  auto b3 = file_bug(mods[0].id, "undo loses marks", 5);
+  (void)b2;
+  status();
+
+  Banner("a malformed report is rejected by the constraint");
+  auto bad = db.Create("bug_report");
+  auto sev = db.Set(*bad, "severity", Value::Int(99));
+  std::printf("  %s\n", sev.ToString().c_str());
+
+  Banner("docs land; bugs get fixed");
+  auto doc = *db.Create("document");
+  (void)db.Set(doc, "title", Value::String("User manual"));
+  (void)db.Set(doc, "pages", Value::Int(120));
+  (void)db.Connect(doc, "covers", config, "docs");
+  (void)db.Set(b1, "open", Value::Bool(false));
+  (void)db.Set(b3, "open", Value::Bool(false));
+  status();
+
+  Banner("last bug fixed: configuration becomes shippable");
+  (void)db.Set(b2, "open", Value::Bool(false));
+  status();
+
+  Banner("a release manager adds a new derived metric, live");
+  (void)db.ExtendClassWithDerived("configuration", "docs_per_kloc",
+                                  cactis::ValueType::kReal,
+                                  R"(begin
+                                       p : int = 0;
+                                       for each d related to docs do
+                                         p = p + d.pages;
+                                       end;
+                                       if total_loc = 0 then return 0.0; end;
+                                       return to_real(p) * 1000.0 /
+                                              to_real(total_loc);
+                                     end)");
+  auto metric = db.Get(config, "docs_per_kloc");
+  std::printf("docs_per_kloc = %.2f pages\n", *metric->AsReal());
+
+  Banner("time travel across the whole repository");
+  (void)db.CreateVersion("ship-ready");
+  (void)db.Set(mods[0].id, "loc", Value::Int(9000));
+  (void)file_bug(mods[1].id, "regression!", 5);
+  status();
+  (void)db.CheckoutVersion("ship-ready");
+  std::printf("after checkout of 'ship-ready':\n");
+  status();
+
+  return 0;
+}

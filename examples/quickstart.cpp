@@ -1,0 +1,126 @@
+// Quickstart: define a schema in the Cactis data language, build an
+// attributed graph, watch derived data stay consistent, and undo.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/database.h"
+
+using cactis::Value;
+using cactis::core::Database;
+
+namespace {
+
+void Check(const cactis::Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Must(cactis::Result<T> r, const char* what) {
+  Check(r.status(), what);
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+
+  // A tiny bill-of-materials: parts contain sub-parts; cost and weight
+  // roll up automatically through derived attributes.
+  Check(db.LoadSchema(R"(
+    relationship contains;
+
+    object class part is
+      relationships
+        children : contains multi socket;
+        parent   : contains multi plug;
+      attributes
+        name       : string;
+        unit_cost  : int;     -- cents
+        unit_grams : int;
+        cost       : int;     -- derived roll-up
+        grams      : int;
+      rules
+        cost = begin
+          t : int;
+          t = unit_cost;
+          for each c related to children do
+            t = t + c.cost;
+          end;
+          return t;
+        end;
+        grams = begin
+          t : int;
+          t = unit_grams;
+          for each c related to children do
+            t = t + c.grams;
+          end;
+          return t;
+        end;
+      constraints
+        affordable : cost <= 100000;
+    end object;
+
+    subtype heavy_part of part where grams > 1000;
+  )"),
+        "LoadSchema");
+
+  auto part = [&](const char* name, int cost, int grams) {
+    auto id = Must(db.Create("part"), "Create");
+    Check(db.Set(id, "name", Value::String(name)), "Set name");
+    Check(db.Set(id, "unit_cost", Value::Int(cost)), "Set unit_cost");
+    Check(db.Set(id, "unit_grams", Value::Int(grams)), "Set unit_grams");
+    return id;
+  };
+
+  auto bike = part("bike", 5000, 2000);
+  auto frame = part("frame", 30000, 5000);
+  auto wheel_a = part("front wheel", 8000, 900);
+  auto wheel_b = part("rear wheel", 8000, 950);
+
+  Check(db.Connect(bike, "children", frame, "parent").status(), "Connect");
+  Check(db.Connect(bike, "children", wheel_a, "parent").status(), "Connect");
+  Check(db.Connect(bike, "children", wheel_b, "parent").status(), "Connect");
+
+  auto report = [&] {
+    auto cost = Must(db.Get(bike, "cost"), "Get cost");
+    auto grams = Must(db.Get(bike, "grams"), "Get grams");
+    std::printf("bike: cost=%lld cents, weight=%lldg\n",
+                (long long)*cost.AsInt(), (long long)*grams.AsInt());
+  };
+
+  std::printf("-- initial bill of materials --\n");
+  report();  // cost=51000, weight=8850
+
+  std::printf("-- carbon frame swap (cheaper? no: pricier, lighter) --\n");
+  Check(db.Set(frame, "unit_cost", Value::Int(45000)), "Set");
+  Check(db.Set(frame, "unit_grams", Value::Int(1500)), "Set");
+  report();  // derived values updated incrementally
+
+  std::printf("-- which parts are heavy (subtype query)? --\n");
+  for (auto id : Must(db.MembersOfSubtype("heavy_part"), "subtype")) {
+    auto name = Must(db.Get(id, "name"), "Get");
+    std::printf("  heavy: %s\n", name.AsString()->c_str());
+  }
+
+  std::printf("-- constraints guard every transaction --\n");
+  auto s = db.Set(frame, "unit_cost", Value::Int(2000000));
+  std::printf("  setting an absurd price: %s\n", s.ToString().c_str());
+  report();  // unchanged: the transaction rolled back
+
+  std::printf("-- versions and undo --\n");
+  Check(db.CreateVersion("v1").status(), "CreateVersion");
+  Check(db.Set(frame, "unit_cost", Value::Int(10000)), "Set");
+  report();
+  Check(db.CheckoutVersion("v1"), "Checkout");
+  std::printf("  back at v1:\n");
+  report();
+
+  std::printf("done.\n");
+  return 0;
+}

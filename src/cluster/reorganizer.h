@@ -1,0 +1,59 @@
+// Usage-based clustering (paper section 2.3).
+//
+// "We keep a count of the total number of times each instance in the
+// database is accessed, as well as the number of times we cross a
+// relationship between instances ... We will then periodically reorganize
+// the database on the basis of this information."
+//
+// GreedyPack implements the paper's packing loop verbatim:
+//
+//   Repeat
+//     Choose the most referenced instance ... not yet assigned a block;
+//     Place this instance in a new block;
+//     Repeat
+//       Choose the relationship belonging to some instance assigned to the
+//       block such that (1) it connects to an unassigned instance outside
+//       the block and (2) its total usage count is the highest;
+//       Assign the instance attached to this relationship to the block;
+//     Until the block is full;
+//   Until all instances are assigned blocks.
+//
+// The result is a cluster index per instance; storage::RecordStore
+// ApplyPlacement packs same-cluster instances into the same block chain.
+
+#ifndef CACTIS_CLUSTER_REORGANIZER_H_
+#define CACTIS_CLUSTER_REORGANIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cactis::cluster {
+
+/// The graph view the packer works over. `record_sizes` are encoded record
+/// sizes; `block_capacity` is the usable bytes per block (the packer
+/// accounts the same per-record overhead the record store does).
+struct ClusterInput {
+  struct Neighbor {
+    InstanceId peer;
+    uint64_t usage = 0;  // relationship crossing count (both directions)
+  };
+
+  std::unordered_map<InstanceId, uint64_t> access_counts;
+  std::unordered_map<InstanceId, std::vector<Neighbor>> adjacency;
+  std::unordered_map<InstanceId, size_t> record_sizes;
+  size_t block_capacity = 4096;
+  size_t per_record_overhead = 12;
+  size_t block_header = 4;
+};
+
+/// Runs the greedy packing; returns (instance, cluster index) for every
+/// instance in `input.record_sizes`. Deterministic: ties break on lower
+/// instance id.
+std::vector<std::pair<InstanceId, int>> GreedyPack(const ClusterInput& input);
+
+}  // namespace cactis::cluster
+
+#endif  // CACTIS_CLUSTER_REORGANIZER_H_

@@ -1,0 +1,92 @@
+// Strongly-typed identifiers used across the Cactis subsystems.
+//
+// Each id is a thin wrapper over an integer so the compiler rejects mixing
+// e.g. a ClassId where an InstanceId is expected. Invalid ids are value 0;
+// id 0 is never allocated.
+
+#ifndef CACTIS_COMMON_IDS_H_
+#define CACTIS_COMMON_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace cactis {
+
+namespace internal {
+
+/// CRTP-free tagged id. Tag is a distinct empty struct per id kind.
+template <typename Tag>
+struct TaggedId {
+  uint64_t value = 0;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(uint64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != 0; }
+  auto operator<=>(const TaggedId&) const = default;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TaggedId<Tag> id) {
+  return os << id.value;
+}
+
+}  // namespace internal
+
+/// An abstract-object instance (a node of the attributed graph).
+using InstanceId = internal::TaggedId<struct InstanceIdTag>;
+/// An object class in the catalog.
+using ClassId = internal::TaggedId<struct ClassIdTag>;
+/// An attribute definition within a class (dense per-class index is
+/// separate; this id is catalog-global).
+using AttributeId = internal::TaggedId<struct AttributeIdTag>;
+/// A relationship-port definition within a class.
+using RelationshipId = internal::TaggedId<struct RelationshipIdTag>;
+/// A relationship edge between two instance ports.
+using EdgeId = internal::TaggedId<struct EdgeIdTag>;
+/// A disk block.
+using BlockId = internal::TaggedId<struct BlockIdTag>;
+/// A transaction.
+using TxnId = internal::TaggedId<struct TxnIdTag>;
+/// A saved database version.
+using VersionId = internal::TaggedId<struct VersionIdTag>;
+/// A predicate-defined subtype.
+using SubtypeId = internal::TaggedId<struct SubtypeIdTag>;
+
+/// A (instance, attribute) pair: one attribute *instance*, i.e. one node of
+/// the runtime attribute dependency graph.
+struct AttrRef {
+  InstanceId instance;
+  AttributeId attribute;
+  auto operator<=>(const AttrRef&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const AttrRef& r) {
+  return os << r.instance.value << "." << r.attribute.value;
+}
+
+}  // namespace cactis
+
+namespace std {
+
+template <typename Tag>
+struct hash<cactis::internal::TaggedId<Tag>> {
+  size_t operator()(cactis::internal::TaggedId<Tag> id) const {
+    return std::hash<uint64_t>()(id.value);
+  }
+};
+
+template <>
+struct hash<cactis::AttrRef> {
+  size_t operator()(const cactis::AttrRef& r) const {
+    uint64_t h = r.instance.value * 1099511628211ull;
+    h ^= r.attribute.value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace std
+
+#endif  // CACTIS_COMMON_IDS_H_

@@ -1,0 +1,16 @@
+// Supplemental id kind (kept separate to avoid churning ids.h users):
+// relationship *types* connect a plug port to a socket port; ports reference
+// their relationship type by RelTypeId.
+
+#ifndef CACTIS_COMMON_IDS_RELTYPE_H_
+#define CACTIS_COMMON_IDS_RELTYPE_H_
+
+#include "common/ids.h"
+
+namespace cactis {
+
+using RelTypeId = internal::TaggedId<struct RelTypeIdTag>;
+
+}  // namespace cactis
+
+#endif  // CACTIS_COMMON_IDS_RELTYPE_H_

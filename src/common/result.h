@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status holder, the return type of every fallible
+// Cactis operation that produces a value.
+
+#ifndef CACTIS_COMMON_RESULT_H_
+#define CACTIS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cactis {
+
+/// Holds either a T or a non-OK Status. Construction from a T yields an OK
+/// result; construction from a Status requires a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Status::Internal("OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when not OK.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cactis
+
+/// Evaluates `rexpr` (a Result<T>), propagating a non-OK status; otherwise
+/// binds the contained value to `lhs`.
+#define CACTIS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  CACTIS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CACTIS_CONCAT_(_cactis_result, __LINE__), lhs, rexpr)
+
+#define CACTIS_CONCAT_INNER_(a, b) a##b
+#define CACTIS_CONCAT_(a, b) CACTIS_CONCAT_INNER_(a, b)
+
+#define CACTIS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // CACTIS_COMMON_RESULT_H_

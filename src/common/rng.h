@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. All benchmarks and tests seed explicitly so results are
+// reproducible run to run.
+
+#ifndef CACTIS_COMMON_RNG_H_
+#define CACTIS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cactis {
+
+/// xorshift128+ generator; small, fast, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, so nearby seeds give unrelated streams.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// Zipfian-ish skewed pick in [0, n): rank r chosen with probability
+  /// proportional to 1/(r+1)^theta. Approximate (rejection-free) but
+  /// adequate for locality experiments.
+  uint64_t Skewed(uint64_t n, double theta = 0.99) {
+    // Inverse-CDF approximation for the Zipf distribution.
+    double u = UniformReal();
+    double z = 1.0 - theta;
+    double x = (z == 0.0) ? u : (1.0 - u);
+    // Map u through a power law; clamp to the valid range.
+    double r = static_cast<double>(n) * (1.0 - FastPow(x, 1.0 / (theta + 1.0)));
+    auto idx = static_cast<uint64_t>(r);
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static double FastPow(double base, double exp) {
+    // Good enough for skew generation; avoids <cmath> in a hot header.
+    if (base <= 0.0) return 0.0;
+    return __builtin_pow(base, exp);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace cactis
+
+#endif  // CACTIS_COMMON_RNG_H_

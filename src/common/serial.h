@@ -1,0 +1,125 @@
+// Binary serialisation primitives used by the record store, the delta log,
+// and the version store. Little-endian, length-prefixed, no alignment
+// requirements.
+
+#ifndef CACTIS_COMMON_SERIAL_H_
+#define CACTIS_COMMON_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace cactis {
+
+/// Appends fixed-width and length-prefixed fields to a byte buffer.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// 32-bit length prefix followed by the bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.append(c, n);
+  }
+
+  std::string buf_;
+};
+
+/// Reads fields written by BinaryWriter; every getter checks bounds and
+/// returns IoError on truncation, so corrupt blocks fail loudly.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    uint8_t v;
+    CACTIS_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> GetU32() {
+    uint32_t v;
+    CACTIS_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> GetU64() {
+    uint64_t v;
+    CACTIS_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<int64_t> GetI64() {
+    int64_t v;
+    CACTIS_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<double> GetDouble() {
+    double v;
+    CACTIS_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<bool> GetBool() {
+    uint8_t v;
+    CACTIS_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v != 0;
+  }
+  Result<std::string> GetString() {
+    CACTIS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+    if (pos_ + len > data_.size()) {
+      return Status::IoError("truncated string in serialized data");
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status GetRaw(void* p, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::IoError("truncated field in serialized data");
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serialises Values (all eight runtime types, recursively).
+class ValueCodec {
+ public:
+  static void Encode(const Value& v, BinaryWriter* w);
+  static Result<Value> Decode(BinaryReader* r);
+};
+
+}  // namespace cactis
+
+#endif  // CACTIS_COMMON_SERIAL_H_

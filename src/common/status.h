@@ -1,0 +1,154 @@
+// Status: the error model used throughout the Cactis library.
+//
+// Cactis follows the Status/Result idiom common to storage engines: no
+// exceptions cross a public API boundary. Every fallible operation returns
+// either a Status or a Result<T> (see result.h). Statuses are cheap to copy
+// in the OK case (no allocation) and carry a code plus a human-readable
+// message otherwise.
+
+#ifndef CACTIS_COMMON_STATUS_H_
+#define CACTIS_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cactis {
+
+/// Error categories surfaced by the Cactis public API.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller supplied an argument that violates the API contract.
+  kInvalidArgument,
+  /// A named entity (class, attribute, relationship, instance, version,
+  /// file, ...) does not exist.
+  kNotFound,
+  /// An entity with the given name/id already exists.
+  kAlreadyExists,
+  /// A value had the wrong runtime type for the requested operation.
+  kTypeMismatch,
+  /// A constraint predicate evaluated to false and could not be recovered;
+  /// the enclosing transaction must roll back (paper section 2.1).
+  kConstraintViolation,
+  /// The instance-level attribute dependency graph contains a cycle; the
+  /// paper: "Cactis does not support data cycles".
+  kCycleDetected,
+  /// The transaction was aborted (explicit Undo, constraint violation, or
+  /// timestamp-ordering conflict) and has been rolled back.
+  kTransactionAborted,
+  /// Timestamp-ordering conflict: the operation arrived too late.
+  kConflict,
+  /// The simulated disk / record store failed (out of space, bad block id).
+  kIoError,
+  /// The data-language processor rejected its input.
+  kParseError,
+  /// A limit (block size, value size, queue capacity) was exceeded.
+  kOutOfRange,
+  /// Invariant failure inside the library; always a bug.
+  kInternal,
+};
+
+/// Returns the canonical spelling of a StatusCode, e.g. "ConstraintViolation".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic status object. The OK status is represented by a null
+/// internal pointer, so returning Status::OK() never allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status CycleDetected(std::string msg) {
+    return Status(StatusCode::kCycleDetected, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+  bool IsCycleDetected() const { return code() == StatusCode::kCycleDetected; }
+  bool IsTransactionAborted() const {
+    return code() == StatusCode::kTransactionAborted;
+  }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace cactis
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define CACTIS_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::cactis::Status _cactis_status = (expr);         \
+    if (!_cactis_status.ok()) return _cactis_status;  \
+  } while (false)
+
+#endif  // CACTIS_COMMON_STATUS_H_

@@ -1,0 +1,315 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cactis {
+
+namespace {
+
+// FNV-1a, used for Value::Hash.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashU64(uint64_t x, uint64_t seed) {
+  return HashBytes(&x, sizeof(x), seed);
+}
+
+}  // namespace
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "boolean";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kTime:
+      return "time";
+    case ValueType::kArray:
+      return "array";
+    case ValueType::kRecord:
+      return "record";
+  }
+  return "unknown";
+}
+
+Result<ValueType> ValueTypeFromString(std::string_view name) {
+  if (name == "null") return ValueType::kNull;
+  if (name == "boolean" || name == "bool") return ValueType::kBool;
+  if (name == "int" || name == "integer") return ValueType::kInt;
+  if (name == "real" || name == "float" || name == "double") {
+    return ValueType::kReal;
+  }
+  if (name == "string") return ValueType::kString;
+  // "timef" and "time_val" appear in the paper's figures.
+  if (name == "time" || name == "time_val" || name == "timef") {
+    return ValueType::kTime;
+  }
+  if (name == "array") return ValueType::kArray;
+  if (name == "record") return ValueType::kRecord;
+  return Status::ParseError("unknown value type name: " + std::string(name));
+}
+
+bool Field::operator==(const Field& other) const {
+  return name == other.name && *value == *other.value;
+}
+
+Value Value::Record(std::vector<std::pair<std::string, Value>> fields) {
+  RecordRep rep;
+  rep.reserve(fields.size());
+  for (auto& [name, value] : fields) {
+    rep.push_back(Field{std::move(name),
+                        std::make_shared<Value>(std::move(value))});
+  }
+  return Value(Rep(std::move(rep)));
+}
+
+Result<bool> Value::AsBool() const {
+  if (const bool* b = std::get_if<bool>(&rep_)) return *b;
+  return Status::TypeMismatch("expected boolean, got " +
+                              std::string(ValueTypeToString(type())));
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (const int64_t* i = std::get_if<int64_t>(&rep_)) return *i;
+  return Status::TypeMismatch("expected int, got " +
+                              std::string(ValueTypeToString(type())));
+}
+
+Result<double> Value::AsReal() const {
+  if (const double* d = std::get_if<double>(&rep_)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(&rep_)) {
+    return static_cast<double>(*i);
+  }
+  return Status::TypeMismatch("expected real, got " +
+                              std::string(ValueTypeToString(type())));
+}
+
+Result<std::string> Value::AsString() const {
+  if (const std::string* s = std::get_if<std::string>(&rep_)) return *s;
+  return Status::TypeMismatch("expected string, got " +
+                              std::string(ValueTypeToString(type())));
+}
+
+Result<TimePoint> Value::AsTime() const {
+  if (const TimePoint* t = std::get_if<TimePoint>(&rep_)) return *t;
+  return Status::TypeMismatch("expected time, got " +
+                              std::string(ValueTypeToString(type())));
+}
+
+Result<std::vector<Value>> Value::AsArray() const {
+  if (const ArrayRep* a = std::get_if<ArrayRep>(&rep_)) return *a;
+  return Status::TypeMismatch("expected array, got " +
+                              std::string(ValueTypeToString(type())));
+}
+
+Result<Value> Value::GetField(std::string_view name) const {
+  const RecordRep* r = std::get_if<RecordRep>(&rep_);
+  if (r == nullptr) {
+    return Status::TypeMismatch("expected record, got " +
+                                std::string(ValueTypeToString(type())));
+  }
+  for (const Field& f : *r) {
+    if (f.name == name) return *f.value;
+  }
+  return Status::NotFound("record has no field named " + std::string(name));
+}
+
+Result<std::vector<std::pair<std::string, Value>>> Value::Fields() const {
+  const RecordRep* r = std::get_if<RecordRep>(&rep_);
+  if (r == nullptr) {
+    return Status::TypeMismatch("expected record, got " +
+                                std::string(ValueTypeToString(type())));
+  }
+  std::vector<std::pair<std::string, Value>> out;
+  out.reserve(r->size());
+  for (const Field& f : *r) out.emplace_back(f.name, *f.value);
+  return out;
+}
+
+Result<double> Value::ToNumber() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return std::get<bool>(rep_) ? 1.0 : 0.0;
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(rep_));
+    case ValueType::kReal:
+      return std::get<double>(rep_);
+    case ValueType::kTime:
+      return static_cast<double>(std::get<TimePoint>(rep_).ticks);
+    default:
+      return Status::TypeMismatch("value is not numeric: " + ToString());
+  }
+}
+
+bool Value::operator==(const Value& other) const { return rep_ == other.rep_; }
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) return type() < other.type();
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return std::get<bool>(rep_) < std::get<bool>(other.rep_);
+    case ValueType::kInt:
+      return std::get<int64_t>(rep_) < std::get<int64_t>(other.rep_);
+    case ValueType::kReal:
+      return std::get<double>(rep_) < std::get<double>(other.rep_);
+    case ValueType::kString:
+      return std::get<std::string>(rep_) < std::get<std::string>(other.rep_);
+    case ValueType::kTime:
+      return std::get<TimePoint>(rep_) < std::get<TimePoint>(other.rep_);
+    case ValueType::kArray: {
+      const auto& a = std::get<ArrayRep>(rep_);
+      const auto& b = std::get<ArrayRep>(other.rep_);
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    }
+    case ValueType::kRecord: {
+      const auto& a = std::get<RecordRep>(rep_);
+      const auto& b = std::get<RecordRep>(other.rep_);
+      return std::lexicographical_compare(
+          a.begin(), a.end(), b.begin(), b.end(),
+          [](const Field& x, const Field& y) {
+            if (x.name != y.name) return x.name < y.name;
+            return *x.value < *y.value;
+          });
+    }
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  uint64_t h = HashU64(static_cast<uint64_t>(type()), 0);
+  switch (type()) {
+    case ValueType::kNull:
+      return h;
+    case ValueType::kBool:
+      return HashU64(std::get<bool>(rep_) ? 1 : 0, h);
+    case ValueType::kInt:
+      return HashU64(static_cast<uint64_t>(std::get<int64_t>(rep_)), h);
+    case ValueType::kReal: {
+      double d = std::get<double>(rep_);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashU64(bits, h);
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(rep_);
+      return HashBytes(s.data(), s.size(), h);
+    }
+    case ValueType::kTime:
+      return HashU64(static_cast<uint64_t>(std::get<TimePoint>(rep_).ticks),
+                     h);
+    case ValueType::kArray: {
+      for (const Value& v : std::get<ArrayRep>(rep_)) h = HashU64(v.Hash(), h);
+      return h;
+    }
+    case ValueType::kRecord: {
+      for (const Field& f : std::get<RecordRep>(rep_)) {
+        h = HashBytes(f.name.data(), f.name.size(), h);
+        h = HashU64(f.value->Hash(), h);
+      }
+      return h;
+    }
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::kNull:
+      os << "null";
+      break;
+    case ValueType::kBool:
+      os << (std::get<bool>(rep_) ? "true" : "false");
+      break;
+    case ValueType::kInt:
+      os << std::get<int64_t>(rep_);
+      break;
+    case ValueType::kReal:
+      os << std::get<double>(rep_);
+      break;
+    case ValueType::kString:
+      os << '"' << std::get<std::string>(rep_) << '"';
+      break;
+    case ValueType::kTime: {
+      TimePoint t = std::get<TimePoint>(rep_);
+      if (t == kTimeInfinity) {
+        os << "time(inf)";
+      } else {
+        os << "time(" << t.ticks << ")";
+      }
+      break;
+    }
+    case ValueType::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Value& v : std::get<ArrayRep>(rep_)) {
+        if (!first) os << ", ";
+        first = false;
+        os << v.ToString();
+      }
+      os << ']';
+      break;
+    }
+    case ValueType::kRecord: {
+      os << '{';
+      bool first = true;
+      for (const Field& f : std::get<RecordRep>(rep_)) {
+        if (!first) os << ", ";
+        first = false;
+        os << f.name << ": " << f.value->ToString();
+      }
+      os << '}';
+      break;
+    }
+  }
+  return os.str();
+}
+
+size_t Value::SerializedSize() const {
+  size_t n = 1;  // type tag
+  switch (type()) {
+    case ValueType::kNull:
+      return n;
+    case ValueType::kBool:
+      return n + 1;
+    case ValueType::kInt:
+    case ValueType::kReal:
+    case ValueType::kTime:
+      return n + 8;
+    case ValueType::kString:
+      return n + 4 + std::get<std::string>(rep_).size();
+    case ValueType::kArray: {
+      n += 4;
+      for (const Value& v : std::get<ArrayRep>(rep_)) n += v.SerializedSize();
+      return n;
+    }
+    case ValueType::kRecord: {
+      n += 4;
+      for (const Field& f : std::get<RecordRep>(rep_)) {
+        n += 4 + f.name.size() + f.value->SerializedSize();
+      }
+      return n;
+    }
+  }
+  return n;
+}
+
+}  // namespace cactis

@@ -1,0 +1,148 @@
+// Value: the atomic-object type of the Cactis data model.
+//
+// Paper, section 2.1: "atomic objects (such as strings, reals, integers,
+// booleans, arrays, and records)" and "attributes ... may be of any C data
+// type, except pointer". We model that as a tagged union over:
+//
+//   Null, Bool, Int (64-bit), Real (double), String, Time (a distinct
+//   64-bit instant, the `time`/`time_val` type of Figures 1-4), Array
+//   (heterogeneous vector of Values) and Record (ordered field list).
+//
+// Values are deep-copied, order-comparable within a type, hashable, and
+// binary-serialisable (see serial.h).
+
+#ifndef CACTIS_COMMON_VALUE_H_
+#define CACTIS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cactis {
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kReal,
+  kString,
+  kTime,
+  kArray,
+  kRecord,
+};
+
+/// Canonical name of a value type ("int", "time", ...). These are the
+/// spellings accepted by the data language.
+std::string_view ValueTypeToString(ValueType type);
+
+/// Parses a type name from the data language ("boolean", "time_val" and
+/// "timef" are accepted aliases, matching the paper's figures).
+Result<ValueType> ValueTypeFromString(std::string_view name);
+
+class Value;
+
+/// One named field of a record value.
+struct Field {
+  std::string name;
+  // Defined out-of-line because Value is incomplete here.
+  std::shared_ptr<Value> value;
+
+  bool operator==(const Field& other) const;
+};
+
+/// A point on the project time line. Cactis models times as opaque 64-bit
+/// instants; `kTimeZero` is the distant past (the paper's TIME0) and
+/// `kTimeInfinity` the distant future (used by file_mod_time for missing
+/// files).
+struct TimePoint {
+  int64_t ticks = 0;
+  auto operator<=>(const TimePoint&) const = default;
+};
+
+inline constexpr TimePoint kTimeZero{0};
+inline constexpr TimePoint kTimeInfinity{INT64_MAX};
+
+/// The atomic-object value class. Immutable in spirit: mutation happens by
+/// assigning a whole new Value.
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Real(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+  static Value Time(TimePoint t) { return Value(Rep(t)); }
+  static Value Time(int64_t ticks) { return Value(Rep(TimePoint{ticks})); }
+  static Value Array(std::vector<Value> elems) {
+    return Value(Rep(std::move(elems)));
+  }
+  static Value Record(std::vector<std::pair<std::string, Value>> fields);
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; return TypeMismatch when the tag differs.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt() const;
+  Result<double> AsReal() const;
+  Result<std::string> AsString() const;
+  Result<TimePoint> AsTime() const;
+  Result<std::vector<Value>> AsArray() const;
+  /// Record field lookup by name.
+  Result<Value> GetField(std::string_view name) const;
+  /// All record fields in declaration order.
+  Result<std::vector<std::pair<std::string, Value>>> Fields() const;
+
+  /// Numeric coercion: Int and Real (and Bool as 0/1) convert to double.
+  Result<double> ToNumber() const;
+
+  /// Structural equality (same type and same contents).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order within a type (Null < everything of other types is defined
+  /// by type tag first, then contents); used for min/max builtins and
+  /// deterministic sorting.
+  bool operator<(const Value& other) const;
+
+  /// Stable 64-bit hash of type and contents.
+  uint64_t Hash() const;
+
+  /// Human-readable rendering, e.g. `"abc"`, `true`, `time(42)`,
+  /// `[1, 2.5]`, `{x: 1}`.
+  std::string ToString() const;
+
+  /// Number of bytes this value occupies when serialised; used by the
+  /// record store to account block space.
+  size_t SerializedSize() const;
+
+ private:
+  using ArrayRep = std::vector<Value>;
+  using RecordRep = std::vector<Field>;
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string,
+                           TimePoint, ArrayRep, RecordRep>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+
+  friend class ValueCodec;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace cactis
+
+#endif  // CACTIS_COMMON_VALUE_H_

@@ -1,0 +1,1025 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "lang/parser.h"
+#include "schema/schema_loader.h"
+
+namespace cactis::core {
+
+// --- Transaction -----------------------------------------------------------
+
+Transaction::~Transaction() {
+  if (open_) {
+    (void)db_->RollbackTxn(this);
+    open_ = false;
+    aborted_ = true;
+  }
+}
+
+Result<InstanceId> Transaction::Create(const std::string& class_name) {
+  return db_->OpCreate(this, class_name);
+}
+Status Transaction::Delete(InstanceId id) { return db_->OpDelete(this, id); }
+Status Transaction::Set(InstanceId id, const std::string& attr, Value value) {
+  return db_->OpSet(this, id, attr, std::move(value));
+}
+Result<Value> Transaction::Get(InstanceId id, const std::string& attr) {
+  return db_->OpGet(this, id, attr);
+}
+Result<EdgeId> Transaction::Connect(InstanceId a, const std::string& a_port,
+                                    InstanceId b, const std::string& b_port) {
+  return db_->OpConnect(this, a, a_port, b, b_port);
+}
+Status Transaction::Disconnect(EdgeId edge) {
+  return db_->OpDisconnect(this, edge);
+}
+Status Transaction::Commit() { return db_->OpCommit(this); }
+Status Transaction::Undo() { return db_->OpUndo(this); }
+
+// --- Construction ----------------------------------------------------------
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      disk_(options.block_size),
+      pool_(&disk_, options.buffer_capacity),
+      store_(&disk_, &pool_),
+      cache_(&catalog_, &store_) {
+  builtins_ = lang::BuiltinRegistry::WithDefaults();
+  scheduler_ =
+      std::make_unique<sched::ChunkScheduler>(&store_, options_.policy);
+  engine_ = std::make_unique<EvalEngine>(this);
+  pool_.AddListener(&cache_);
+  pool_.AddListener(scheduler_.get());
+}
+
+Database::~Database() = default;
+
+// --- Schema ----------------------------------------------------------------
+
+Status Database::LoadSchema(std::string_view source) {
+  return schema::LoadSchema(&catalog_, source).status();
+}
+
+
+/// After a class is replaced (extension), migrate every live instance so
+/// its slot vector matches, and establish any newly-appended important
+/// attributes (constraints, subtype predicates) on each of them.
+Status Database::MigrateLiveInstances(const schema::ObjectClass& cls) {
+  const std::set<InstanceId>& instances = instances_by_class_[cls.id()];
+  for (InstanceId id : instances) {
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+    size_t old_count = inst->attrs().size();
+    inst->MigrateTo(cls);
+    CACTIS_RETURN_IF_ERROR(cache_.WriteThrough(*inst));
+    for (size_t i = old_count; i < cls.attributes().size(); ++i) {
+      if (cls.attributes()[i].intrinsically_important()) {
+        engine_->QueueImportant(AttrSite{id, static_cast<uint32_t>(i)});
+      }
+    }
+  }
+  return engine_->EvaluateImportant(nullptr);
+}
+
+Result<size_t> Database::ExtendClassWithDerived(const std::string& class_name,
+                                                const std::string& attr_name,
+                                                ValueType type,
+                                                const std::string& rule_source) {
+  CACTIS_ASSIGN_OR_RETURN(size_t index,
+                          catalog_.ExtendClassWithDerived(
+                              class_name, attr_name, type, rule_source));
+  CACTIS_RETURN_IF_ERROR(
+      MigrateLiveInstances(*catalog_.FindClass(class_name)));
+  return index;
+}
+
+Result<size_t> Database::ExtendClassWithConstraint(
+    const std::string& class_name, const std::string& constraint_name,
+    const std::string& predicate_source, const std::string& recovery_source) {
+  CACTIS_ASSIGN_OR_RETURN(
+      size_t index,
+      catalog_.ExtendClassWithConstraint(class_name, constraint_name,
+                                         predicate_source, recovery_source));
+  CACTIS_RETURN_IF_ERROR(
+      MigrateLiveInstances(*catalog_.FindClass(class_name)));
+  return index;
+}
+
+Result<SubtypeId> Database::DefineSubtype(const std::string& subtype_name,
+                                          const std::string& class_name,
+                                          const std::string& predicate_source) {
+  CACTIS_ASSIGN_OR_RETURN(SubtypeId id,
+                          catalog_.DefineSubtype(subtype_name, class_name,
+                                                 predicate_source));
+  CACTIS_RETURN_IF_ERROR(
+      MigrateLiveInstances(*catalog_.FindClass(class_name)));
+  return id;
+}
+
+// --- Transactions ----------------------------------------------------------
+
+std::unique_ptr<Transaction> Database::Begin() {
+  TxnId id(++next_txn_);
+  uint64_t ts = tsm_.BeginTransaction();
+  auto t = std::unique_ptr<Transaction>(new Transaction(this, id, ts));
+  t->delta_.txn = id;
+  return t;
+}
+
+Status Database::MaybeAbort(Transaction* t, Status s) {
+  if (s.ok()) return s;
+  if (s.IsConstraintViolation() || s.IsConflict()) {
+    (void)RollbackTxn(t);
+    t->open_ = false;
+    t->aborted_ = true;
+    return Status::TransactionAborted("transaction " +
+                                      std::to_string(t->id_.value) +
+                                      " aborted: " + s.ToString());
+  }
+  return s;
+}
+
+Status Database::AbortOnError(Transaction* t, Status s) {
+  // Importance propagation after a mutation must succeed: a rule that
+  // cannot evaluate (type error, missing value, cycle) means the update
+  // left the database inconsistent, so the whole transaction rolls back.
+  if (s.ok()) return s;
+  (void)RollbackTxn(t);
+  t->open_ = false;
+  t->aborted_ = true;
+  return Status::TransactionAborted("transaction " +
+                                    std::to_string(t->id_.value) +
+                                    " aborted: " + s.ToString());
+}
+
+Status Database::RollbackTxn(Transaction* t) {
+  return ApplyUndo(t->delta_);
+}
+
+static Status RequireOpen(const Transaction* t) {
+  if (!t->open()) {
+    return Status::TransactionAborted(
+        "transaction " + std::to_string(t->id().value) +
+        (t->aborted() ? " was aborted" : " is already committed"));
+  }
+  return Status::OK();
+}
+
+Result<InstanceId> Database::OpCreate(Transaction* t,
+                                      const std::string& class_name) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  const schema::ObjectClass* cls = catalog_.FindClass(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown object class '" + class_name + "'");
+  }
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id,
+                          DoCreate(&t->delta_, *cls, InstanceId()));
+  // Establish the new instance's constraints and subtype predicates.
+  for (size_t idx : cls->constraint_attrs()) {
+    engine_->QueueImportant(AttrSite{id, static_cast<uint32_t>(idx)});
+  }
+  Status s = AbortOnError(t, engine_->EvaluateImportant(t));
+  if (!s.ok()) return s;
+  return id;
+}
+
+Status Database::OpDelete(Transaction* t, InstanceId id) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  CACTIS_RETURN_IF_ERROR(CheckWrite(t, id));
+  CACTIS_RETURN_IF_ERROR(DoDelete(&t->delta_, t, id));
+  return AbortOnError(t, engine_->EvaluateImportant(t));
+}
+
+Status Database::OpSet(Transaction* t, InstanceId id, const std::string& attr,
+                       Value value) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  size_t idx = cls->AttrIndexOf(attr);
+  if (idx == SIZE_MAX) {
+    return Status::NotFound("class " + cls->name() + " has no attribute '" +
+                            attr + "'");
+  }
+  if (cls->attributes()[idx].is_derived()) {
+    return Status::InvalidArgument(
+        "attribute '" + attr + "' is derived; only intrinsic attributes "
+        "may be given new values directly");
+  }
+  Status cc = MaybeAbort(t, CheckWrite(t, id));
+  if (!cc.ok()) return cc;
+  CACTIS_RETURN_IF_ERROR(DoSet(&t->delta_, t, id, idx, std::move(value)));
+  return AbortOnError(t, engine_->EvaluateImportant(t));
+}
+
+Result<Value> Database::OpGet(Transaction* t, InstanceId id,
+                              const std::string& attr, bool subscribe) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  size_t idx = cls->AttrIndexOf(attr);
+  if (idx == SIZE_MAX) {
+    return Status::NotFound("class " + cls->name() + " has no attribute '" +
+                            attr + "'");
+  }
+  Status cc = MaybeAbort(t, CheckRead(t, id));
+  if (!cc.ok()) return cc;
+
+  const schema::AttributeDef& def = cls->attributes()[idx];
+  AttrSite site{id, static_cast<uint32_t>(idx)};
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id));
+  if (!def.is_derived()) return inst->attrs()[idx].value;
+
+  // "If the user explicitly requests the value of attributes (i.e. makes a
+  // query) they become important" — sticky subscription.
+  if (subscribe && !inst->attrs()[idx].subscribed) {
+    inst->attrs()[idx].subscribed = true;
+    CACTIS_RETURN_IF_ERROR(WriteInstance(*inst));
+  }
+  CACTIS_ASSIGN_OR_RETURN(inst, FetchInstance(id, /*count_access=*/false));
+  if (!inst->attrs()[idx].out_of_date) return inst->attrs()[idx].value;
+
+  Result<Value> v = engine_->DemandValue(site, t, /*user_request=*/true);
+  if (!v.ok()) {
+    Status s = MaybeAbort(t, v.status());
+    return s.ok() ? v : s;
+  }
+  return v;
+}
+
+Result<EdgeId> Database::OpConnect(Transaction* t, InstanceId a,
+                                   const std::string& a_port, InstanceId b,
+                                   const std::string& b_port) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* a_cls,
+                          ClassOfInstancePtr(a));
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* b_cls,
+                          ClassOfInstancePtr(b));
+  size_t ap = a_cls->PortIndexOf(a_port);
+  size_t bp = b_cls->PortIndexOf(b_port);
+  if (ap == SIZE_MAX) {
+    return Status::NotFound("class " + a_cls->name() +
+                            " has no relationship '" + a_port + "'");
+  }
+  if (bp == SIZE_MAX) {
+    return Status::NotFound("class " + b_cls->name() +
+                            " has no relationship '" + b_port + "'");
+  }
+  const schema::PortDef& apd = a_cls->ports()[ap];
+  const schema::PortDef& bpd = b_cls->ports()[bp];
+  if (apd.rel_type != bpd.rel_type) {
+    return Status::InvalidArgument(
+        "ports '" + a_port + "' and '" + b_port +
+        "' belong to different relationship types");
+  }
+  if (apd.side == bpd.side) {
+    return Status::InvalidArgument(
+        "a relationship must connect a plug to a socket ('" + a_port +
+        "' and '" + b_port + "' are both " +
+        (apd.side == schema::Side::kPlug ? "plugs" : "sockets") + ")");
+  }
+  auto check_single = [this](InstanceId id, const schema::PortDef& pd,
+                             size_t port) -> Status {
+    if (pd.cardinality != schema::Cardinality::kSingle) return Status::OK();
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id));
+    if (!inst->ports()[port].empty()) {
+      return Status::InvalidArgument("single relationship '" + pd.name +
+                                     "' of instance " +
+                                     std::to_string(id.value) +
+                                     " is already connected");
+    }
+    return Status::OK();
+  };
+  CACTIS_RETURN_IF_ERROR(check_single(a, apd, ap));
+  CACTIS_RETURN_IF_ERROR(check_single(b, bpd, bp));
+
+  Status cc = MaybeAbort(t, CheckWrite(t, a));
+  if (!cc.ok()) return cc;
+  cc = MaybeAbort(t, CheckWrite(t, b));
+  if (!cc.ok()) return cc;
+
+  CACTIS_ASSIGN_OR_RETURN(
+      EdgeId edge, DoConnect(&t->delta_, a, static_cast<uint32_t>(ap), b,
+                             static_cast<uint32_t>(bp), EdgeId()));
+  Status s = AbortOnError(t, engine_->EvaluateImportant(t));
+  if (!s.ok()) return s;
+  return edge;
+}
+
+Status Database::OpDisconnect(Transaction* t, EdgeId edge) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  auto it = edges_.find(edge);
+  if (it == edges_.end()) {
+    return Status::NotFound("unknown relationship edge " +
+                            std::to_string(edge.value));
+  }
+  Status cc = MaybeAbort(t, CheckWrite(t, it->second.from));
+  if (!cc.ok()) return cc;
+  cc = MaybeAbort(t, CheckWrite(t, it->second.to));
+  if (!cc.ok()) return cc;
+  CACTIS_RETURN_IF_ERROR(DoDisconnect(&t->delta_, edge));
+  return AbortOnError(t, engine_->EvaluateImportant(t));
+}
+
+Status Database::OpCommit(Transaction* t) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  t->open_ = false;
+  if (!t->delta_.empty()) {
+    versions_.Append(std::move(t->delta_));
+    t->delta_ = txn::TransactionDelta{};
+  }
+  return Status::OK();
+}
+
+Status Database::OpUndo(Transaction* t) {
+  CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  Status s = RollbackTxn(t);
+  t->open_ = false;
+  t->aborted_ = true;
+  return s;
+}
+
+// --- Auto-commit conveniences ------------------------------------------------
+
+Result<InstanceId> Database::CreateDetached(const std::string& class_name) {
+  const schema::ObjectClass* cls = catalog_.FindClass(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown object class '" + class_name + "'");
+  }
+  auto t = Begin();
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id,
+                          DoCreate(&t->delta_, *cls, InstanceId()));
+  CACTIS_RETURN_IF_ERROR(t->Commit());
+  return id;
+}
+
+Result<InstanceId> Database::Create(const std::string& class_name) {
+  auto t = Begin();
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, t->Create(class_name));
+  CACTIS_RETURN_IF_ERROR(t->Commit());
+  return id;
+}
+
+Status Database::Delete(InstanceId id) {
+  auto t = Begin();
+  CACTIS_RETURN_IF_ERROR(t->Delete(id));
+  return t->Commit();
+}
+
+Status Database::Set(InstanceId id, const std::string& attr, Value value) {
+  auto t = Begin();
+  CACTIS_RETURN_IF_ERROR(t->Set(id, attr, std::move(value)));
+  return t->Commit();
+}
+
+Result<Value> Database::Get(InstanceId id, const std::string& attr) {
+  auto t = Begin();
+  CACTIS_ASSIGN_OR_RETURN(Value v, t->Get(id, attr));
+  CACTIS_RETURN_IF_ERROR(t->Commit());
+  return v;
+}
+
+Result<Value> Database::Peek(InstanceId id, const std::string& attr) {
+  auto t = Begin();
+  CACTIS_ASSIGN_OR_RETURN(Value v,
+                          OpGet(t.get(), id, attr, /*subscribe=*/false));
+  CACTIS_RETURN_IF_ERROR(t->Commit());
+  return v;
+}
+
+Result<EdgeId> Database::Connect(InstanceId a, const std::string& a_port,
+                                 InstanceId b, const std::string& b_port) {
+  auto t = Begin();
+  CACTIS_ASSIGN_OR_RETURN(EdgeId e, t->Connect(a, a_port, b, b_port));
+  CACTIS_RETURN_IF_ERROR(t->Commit());
+  return e;
+}
+
+Status Database::Disconnect(EdgeId edge) {
+  auto t = Begin();
+  CACTIS_RETURN_IF_ERROR(t->Disconnect(edge));
+  return t->Commit();
+}
+
+// --- Core mutators -----------------------------------------------------------
+
+Result<InstanceId> Database::DoCreate(txn::TransactionDelta* log,
+                                      const schema::ObjectClass& cls,
+                                      InstanceId forced_id) {
+  InstanceId id = forced_id;
+  if (!id.valid()) {
+    id = InstanceId(++next_instance_);
+  } else if (id.value > next_instance_) {
+    next_instance_ = id.value;
+  }
+  Instance inst = Instance::Create(id, cls);
+  CACTIS_RETURN_IF_ERROR(cache_.Insert(std::move(inst)));
+  instances_by_class_[cls.id()].insert(id);
+
+  if (log != nullptr) {
+    txn::DeltaRecord rec;
+    rec.op = txn::DeltaOp::kCreate;
+    rec.instance = id;
+    rec.class_id = cls.id();
+    log->records.push_back(std::move(rec));
+  }
+  return id;
+}
+
+Status Database::DoDelete(txn::TransactionDelta* log, Transaction* t,
+                          InstanceId id) {
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+
+  // Break every relationship first (each break is its own logged
+  // primitive, so undo restores them).
+  while (true) {
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+    EdgeId victim;
+    for (const auto& port : inst->ports()) {
+      if (!port.empty()) {
+        victim = port.front().id;
+        break;
+      }
+    }
+    if (!victim.valid()) break;
+    CACTIS_RETURN_IF_ERROR(DoDisconnect(log, victim));
+  }
+
+  // Snapshot intrinsic values for undo.
+  txn::DeltaRecord rec;
+  rec.op = txn::DeltaOp::kDelete;
+  rec.instance = id;
+  rec.class_id = cls->id();
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+  for (size_t i = 0; i < cls->attributes().size(); ++i) {
+    if (!cls->attributes()[i].is_derived()) {
+      rec.intrinsic_snapshot.emplace_back(i, inst->attrs()[i].value);
+    }
+    if (cls->attributes()[i].subtype.valid()) {
+      UpdateSubtypeMembership(cls->attributes()[i].subtype, id, false);
+    }
+  }
+  if (log != nullptr) log->records.push_back(std::move(rec));
+
+  instances_by_class_[cls->id()].erase(id);
+  access_counts_.erase(id);
+  CACTIS_RETURN_IF_ERROR(cache_.Remove(id));
+  (void)t;
+  return Status::OK();
+}
+
+Status Database::DoSet(txn::TransactionDelta* log, Transaction* t,
+                       InstanceId id, size_t attr_index, Value value) {
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  const schema::AttributeDef& def = cls->attributes()[attr_index];
+  CACTIS_ASSIGN_OR_RETURN(Value coerced,
+                          CoerceToType(std::move(value), def.type));
+
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id));
+  if (log != nullptr) {
+    txn::DeltaRecord rec;
+    rec.op = txn::DeltaOp::kSetAttr;
+    rec.instance = id;
+    rec.attr_index = attr_index;
+    rec.old_value = inst->attrs()[attr_index].value;
+    rec.new_value = coerced;
+    log->records.push_back(std::move(rec));
+  }
+  inst->attrs()[attr_index].value = std::move(coerced);
+  CACTIS_RETURN_IF_ERROR(WriteInstance(*inst));
+  (void)t;
+  if (change_listener_) {
+    change_listener_(id, static_cast<uint32_t>(attr_index));
+  }
+  return engine_->MarkDependentsOf(
+      AttrSite{id, static_cast<uint32_t>(attr_index)});
+}
+
+Result<EdgeId> Database::DoConnect(txn::TransactionDelta* log, InstanceId from,
+                                   uint32_t from_port, InstanceId to,
+                                   uint32_t to_port, EdgeId forced_id) {
+  EdgeId edge = forced_id;
+  if (!edge.valid()) {
+    edge = EdgeId(++next_edge_);
+  } else if (edge.value > next_edge_) {
+    next_edge_ = edge.value;
+  }
+
+  {
+    CACTIS_ASSIGN_OR_RETURN(Instance * a, FetchInstance(from));
+    a->ports()[from_port].push_back(EdgeRecord{edge, to, to_port});
+    CACTIS_RETURN_IF_ERROR(WriteInstance(*a));
+  }
+  {
+    CACTIS_ASSIGN_OR_RETURN(Instance * b, FetchInstance(to));
+    b->ports()[to_port].push_back(EdgeRecord{edge, from, from_port});
+    CACTIS_RETURN_IF_ERROR(WriteInstance(*b));
+  }
+  edges_[edge] = EdgeInfo{from, from_port, to, to_port};
+
+  if (log != nullptr) {
+    txn::DeltaRecord rec;
+    rec.op = txn::DeltaOp::kConnect;
+    rec.edge = edge;
+    rec.instance = from;
+    rec.from = from;
+    rec.from_port = from_port;
+    rec.to = to;
+    rec.to_port = to_port;
+    log->records.push_back(std::move(rec));
+  }
+
+  CACTIS_RETURN_IF_ERROR(engine_->MarkPortChanged(from, from_port));
+  CACTIS_RETURN_IF_ERROR(engine_->MarkPortChanged(to, to_port));
+  return edge;
+}
+
+Status Database::DoDisconnect(txn::TransactionDelta* log, EdgeId edge) {
+  auto it = edges_.find(edge);
+  if (it == edges_.end()) {
+    return Status::NotFound("unknown relationship edge " +
+                            std::to_string(edge.value));
+  }
+  EdgeInfo info = it->second;
+
+  auto remove_from = [this, edge](InstanceId id, uint32_t port) -> Status {
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id));
+    auto& edges = inst->ports()[port];
+    edges.erase(std::remove_if(
+                    edges.begin(), edges.end(),
+                    [edge](const EdgeRecord& e) { return e.id == edge; }),
+                edges.end());
+    return WriteInstance(*inst);
+  };
+  CACTIS_RETURN_IF_ERROR(remove_from(info.from, info.from_port));
+  CACTIS_RETURN_IF_ERROR(remove_from(info.to, info.to_port));
+  edges_.erase(edge);
+  edge_stats_.erase(edge);
+
+  if (log != nullptr) {
+    txn::DeltaRecord rec;
+    rec.op = txn::DeltaOp::kDisconnect;
+    rec.edge = edge;
+    rec.instance = info.from;
+    rec.from = info.from;
+    rec.from_port = info.from_port;
+    rec.to = info.to;
+    rec.to_port = info.to_port;
+    log->records.push_back(std::move(rec));
+  }
+
+  CACTIS_RETURN_IF_ERROR(engine_->MarkPortChanged(info.from, info.from_port));
+  return engine_->MarkPortChanged(info.to, info.to_port);
+}
+
+// --- Undo / redo / versions --------------------------------------------------
+
+Status Database::ApplyUndo(const txn::TransactionDelta& delta) {
+  engine_->set_replay_mode(true);
+  Status status = Status::OK();
+  for (auto it = delta.records.rbegin();
+       it != delta.records.rend() && status.ok(); ++it) {
+    const txn::DeltaRecord& rec = *it;
+    switch (rec.op) {
+      case txn::DeltaOp::kSetAttr: {
+        auto inst = FetchInstance(rec.instance, false);
+        if (!inst.ok()) {
+          status = inst.status();
+          break;
+        }
+        (*inst)->attrs()[rec.attr_index].value = rec.old_value;
+        status = WriteInstance(**inst);
+        if (status.ok()) {
+          status = engine_->MarkDependentsOf(
+              AttrSite{rec.instance, static_cast<uint32_t>(rec.attr_index)});
+        }
+        break;
+      }
+      case txn::DeltaOp::kConnect:
+        status = DoDisconnect(nullptr, rec.edge);
+        break;
+      case txn::DeltaOp::kDisconnect:
+        status = DoConnect(nullptr, rec.from,
+                           static_cast<uint32_t>(rec.from_port), rec.to,
+                           static_cast<uint32_t>(rec.to_port), rec.edge)
+                     .status();
+        break;
+      case txn::DeltaOp::kCreate:
+        status = DoDelete(nullptr, nullptr, rec.instance);
+        break;
+      case txn::DeltaOp::kDelete: {
+        const schema::ObjectClass* cls = catalog_.GetClass(rec.class_id);
+        if (cls == nullptr) {
+          status = Status::Internal("undo of delete: unknown class");
+          break;
+        }
+        auto created = DoCreate(nullptr, *cls, rec.instance);
+        if (!created.ok()) {
+          status = created.status();
+          break;
+        }
+        auto inst = FetchInstance(rec.instance, false);
+        if (!inst.ok()) {
+          status = inst.status();
+          break;
+        }
+        for (const auto& [idx, value] : rec.intrinsic_snapshot) {
+          (*inst)->attrs()[idx].value = value;
+        }
+        status = WriteInstance(**inst);
+        break;
+      }
+    }
+  }
+  if (status.ok()) {
+    status = engine_->EvaluateImportant(nullptr);
+  }
+  engine_->set_replay_mode(false);
+  return status;
+}
+
+Status Database::ApplyRedo(const txn::TransactionDelta& delta) {
+  engine_->set_replay_mode(true);
+  Status status = Status::OK();
+  for (auto it = delta.records.begin();
+       it != delta.records.end() && status.ok(); ++it) {
+    const txn::DeltaRecord& rec = *it;
+    switch (rec.op) {
+      case txn::DeltaOp::kSetAttr: {
+        auto inst = FetchInstance(rec.instance, false);
+        if (!inst.ok()) {
+          status = inst.status();
+          break;
+        }
+        (*inst)->attrs()[rec.attr_index].value = rec.new_value;
+        status = WriteInstance(**inst);
+        if (status.ok()) {
+          status = engine_->MarkDependentsOf(
+              AttrSite{rec.instance, static_cast<uint32_t>(rec.attr_index)});
+        }
+        break;
+      }
+      case txn::DeltaOp::kConnect:
+        status = DoConnect(nullptr, rec.from,
+                           static_cast<uint32_t>(rec.from_port), rec.to,
+                           static_cast<uint32_t>(rec.to_port), rec.edge)
+                     .status();
+        break;
+      case txn::DeltaOp::kDisconnect:
+        status = DoDisconnect(nullptr, rec.edge);
+        break;
+      case txn::DeltaOp::kCreate: {
+        const schema::ObjectClass* cls = catalog_.GetClass(rec.class_id);
+        if (cls == nullptr) {
+          status = Status::Internal("redo of create: unknown class");
+          break;
+        }
+        status = DoCreate(nullptr, *cls, rec.instance).status();
+        break;
+      }
+      case txn::DeltaOp::kDelete:
+        status = DoDelete(nullptr, nullptr, rec.instance);
+        break;
+    }
+  }
+  if (status.ok()) {
+    status = engine_->EvaluateImportant(nullptr);
+  }
+  engine_->set_replay_mode(false);
+  return status;
+}
+
+Status Database::UndoLast() {
+  CACTIS_ASSIGN_OR_RETURN(txn::TransactionDelta delta, versions_.PopLast());
+  return ApplyUndo(delta);
+}
+
+Result<VersionId> Database::CreateVersion(const std::string& name) {
+  return versions_.CreateVersion(name);
+}
+
+Status Database::CheckoutVersion(const std::string& name) {
+  CACTIS_ASSIGN_OR_RETURN(uint64_t target, versions_.PositionOf(name));
+  if (target < versions_.position()) {
+    for (const txn::TransactionDelta* d : versions_.DeltasToUndo(target)) {
+      CACTIS_RETURN_IF_ERROR(ApplyUndo(*d));
+    }
+  } else if (target > versions_.position()) {
+    for (const txn::TransactionDelta* d : versions_.DeltasToRedo(target)) {
+      CACTIS_RETURN_IF_ERROR(ApplyRedo(*d));
+    }
+  }
+  versions_.SetPosition(target);
+  return Status::OK();
+}
+
+// --- Queries -----------------------------------------------------------------
+
+Result<std::vector<InstanceId>> Database::InstancesOf(
+    const std::string& class_name) {
+  CACTIS_ASSIGN_OR_RETURN(ClassId id, catalog_.ClassIdOf(class_name));
+  const std::set<InstanceId>& set = instances_by_class_[id];
+  return std::vector<InstanceId>(set.begin(), set.end());
+}
+
+Result<std::vector<InstanceId>> Database::MembersOfSubtype(
+    const std::string& name) {
+  const schema::SubtypeDef* sub = catalog_.FindSubtype(name);
+  if (sub == nullptr) {
+    return Status::NotFound("unknown subtype '" + name + "'");
+  }
+  const schema::ObjectClass* cls = catalog_.GetClass(sub->class_id);
+  // Bring every member's predicate up to date (dynamic membership).
+  for (InstanceId id : instances_by_class_[sub->class_id]) {
+    AttrSite site{id, static_cast<uint32_t>(sub->predicate_attr_index)};
+    (void)cls;
+    CACTIS_RETURN_IF_ERROR(
+        engine_->DemandValue(site, nullptr, false).status());
+  }
+  const std::set<InstanceId>& members = subtype_members_[sub->id];
+  return std::vector<InstanceId>(members.begin(), members.end());
+}
+
+Result<std::vector<InstanceId>> Database::SelectWhere(
+    const std::string& class_name, const std::string& predicate_source) {
+  const schema::ObjectClass* cls = catalog_.FindClass(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown object class '" + class_name + "'");
+  }
+  CACTIS_ASSIGN_OR_RETURN(lang::RuleBody body,
+                          lang::Parser::ParseRuleBody(predicate_source));
+  // Validate names against the class (same checks a rule would get).
+  lang::ClassContext ctx;
+  for (const schema::AttributeDef& a : cls->attributes()) {
+    if (a.kind != schema::AttrKind::kExport) ctx.attribute_names.insert(a.name);
+  }
+  for (const schema::PortDef& port : cls->ports()) {
+    ctx.port_names.insert(port.name);
+  }
+  CACTIS_RETURN_IF_ERROR(lang::AnalyzeDependencies(body, ctx).status());
+
+  std::vector<InstanceId> out;
+  for (InstanceId id : instances_by_class_[cls->id()]) {
+    CACTIS_ASSIGN_OR_RETURN(Value v,
+                            engine_->EvalAdHoc(id, cls, body, nullptr));
+    CACTIS_ASSIGN_OR_RETURN(bool keep, v.AsBool());
+    if (keep) out.push_back(id);
+  }
+  return out;
+}
+
+Result<ClassId> Database::ClassOf(InstanceId id) {
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+  return inst->class_id();
+}
+
+Result<std::vector<InstanceId>> Database::NeighborsOf(
+    InstanceId id, const std::string& port) {
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  size_t p = cls->PortIndexOf(port);
+  if (p == SIZE_MAX) {
+    return Status::NotFound("class " + cls->name() +
+                            " has no relationship '" + port + "'");
+  }
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id));
+  std::vector<InstanceId> out;
+  out.reserve(inst->ports()[p].size());
+  for (const EdgeRecord& e : inst->ports()[p]) out.push_back(e.peer);
+  return out;
+}
+
+Result<std::vector<EdgeId>> Database::EdgesOf(InstanceId id,
+                                              const std::string& port) {
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  size_t p = cls->PortIndexOf(port);
+  if (p == SIZE_MAX) {
+    return Status::NotFound("class " + cls->name() +
+                            " has no relationship '" + port + "'");
+  }
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id));
+  std::vector<EdgeId> out;
+  out.reserve(inst->ports()[p].size());
+  for (const EdgeRecord& e : inst->ports()[p]) out.push_back(e.id);
+  return out;
+}
+
+// --- Maintenance ---------------------------------------------------------------
+
+Status Database::Reorganize() {
+  cluster::ClusterInput input;
+  input.block_capacity = options_.block_size;
+  input.access_counts = access_counts_;
+
+  for (InstanceId id : store_.AllInstances()) {
+    CACTIS_ASSIGN_OR_RETURN(std::string payload, store_.Get(id));
+    input.record_sizes[id] = payload.size();
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+    std::vector<cluster::ClusterInput::Neighbor> adj;
+    for (const auto& port : inst->ports()) {
+      for (const EdgeRecord& e : port) {
+        adj.push_back({e.peer, EdgeStatsFor(e.id).usage});
+      }
+    }
+    input.adjacency[id] = std::move(adj);
+  }
+
+  std::vector<std::pair<InstanceId, int>> placement =
+      cluster::GreedyPack(input);
+  CACTIS_RETURN_IF_ERROR(store_.ApplyPlacement(placement));
+  return RecomputeWorstCaseStats();
+}
+
+Status Database::RecomputeWorstCaseStats() {
+  // Two directional block-visit estimates per dependency-carrying edge,
+  // gathered at cluster time (paper 2.3):
+  //  * marking direction (provider -> consumers): the worst-case statistic
+  //    used to prioritise mark-out-of-date chunks;
+  //  * evaluation direction (consumer -> providers): the initial estimate
+  //    seeding each relationship's decaying average of expected I/O.
+  // Both are memoised upper-bound traversals; revisits count zero, so
+  // shared substructure is not multiply counted along one path.
+
+  // --- marking direction ---
+  std::unordered_map<InstanceId, double> mark_memo;
+  std::unordered_set<InstanceId> mark_in_progress;
+  // mark_wc(I) = sum over edges I->J where J consumes across its port of
+  //              [block(J) != block(I)] + mark_wc(J)
+  std::function<Result<double>(InstanceId)> mark_wc =
+      [&](InstanceId id) -> Result<double> {
+    auto hit = mark_memo.find(id);
+    if (hit != mark_memo.end()) return hit->second;
+    if (mark_in_progress.contains(id)) return 0.0;  // cycle guard
+    mark_in_progress.insert(id);
+
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+    std::vector<EdgeRecord> edges;  // copy: recursion faults blocks
+    for (const auto& port : inst->ports()) {
+      edges.insert(edges.end(), port.begin(), port.end());
+    }
+    CACTIS_ASSIGN_OR_RETURN(BlockId my_block, store_.BlockOf(id));
+
+    double total = 0;
+    for (const EdgeRecord& e : edges) {
+      CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* peer_cls,
+                              ClassOfInstancePtr(e.peer));
+      if (!peer_cls->ConsumesAcrossPort(e.peer_port)) continue;
+      CACTIS_ASSIGN_OR_RETURN(BlockId peer_block, store_.BlockOf(e.peer));
+      CACTIS_ASSIGN_OR_RETURN(double below, mark_wc(e.peer));
+      double cost = (peer_block == my_block ? 0.0 : 1.0) + below;
+      EdgeStatsFor(e.id).worst_case = cost;
+      total += cost;
+    }
+    mark_in_progress.erase(id);
+    mark_memo[id] = total;
+    return total;
+  };
+
+  // --- evaluation direction ---
+  std::unordered_map<InstanceId, double> eval_memo;
+  std::unordered_set<InstanceId> eval_in_progress;
+  // eval_wc(I) = sum over ports p that I consumes across, over edges
+  //              I->K on p, of [block(K) != block(I)] + eval_wc(K)
+  std::function<Result<double>(InstanceId)> eval_wc =
+      [&](InstanceId id) -> Result<double> {
+    auto hit = eval_memo.find(id);
+    if (hit != eval_memo.end()) return hit->second;
+    if (eval_in_progress.contains(id)) return 0.0;  // cycle guard
+    eval_in_progress.insert(id);
+
+    CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                            ClassOfInstancePtr(id));
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+    std::vector<EdgeRecord> edges;
+    for (size_t p = 0; p < inst->ports().size(); ++p) {
+      if (!cls->ConsumesAcrossPort(p)) continue;
+      edges.insert(edges.end(), inst->ports()[p].begin(),
+                   inst->ports()[p].end());
+    }
+    CACTIS_ASSIGN_OR_RETURN(BlockId my_block, store_.BlockOf(id));
+
+    double total = 0;
+    for (const EdgeRecord& e : edges) {
+      CACTIS_ASSIGN_OR_RETURN(BlockId peer_block, store_.BlockOf(e.peer));
+      CACTIS_ASSIGN_OR_RETURN(double below, eval_wc(e.peer));
+      double cost = (peer_block == my_block ? 0.0 : 1.0) + below;
+      EdgeStatsFor(e.id).decay.Seed(cost);
+      total += cost;
+    }
+    eval_in_progress.erase(id);
+    eval_memo[id] = total;
+    return total;
+  };
+
+  for (InstanceId id : store_.AllInstances()) {
+    CACTIS_RETURN_IF_ERROR(mark_wc(id).status());
+    CACTIS_RETURN_IF_ERROR(eval_wc(id).status());
+  }
+  return Status::OK();
+}
+
+Status Database::Flush() { return pool_.FlushAll(); }
+
+void Database::ResetStats() {
+  disk_.ResetStats();
+  pool_.ResetStats();
+  engine_->ResetStats();
+  scheduler_->ResetStats();
+  tsm_.ResetStats();
+}
+
+Status Database::InvalidateAttribute(InstanceId id, const std::string& attr) {
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  size_t idx = cls->AttrIndexOf(attr);
+  if (idx == SIZE_MAX) {
+    return Status::NotFound("class " + cls->name() + " has no attribute '" +
+                            attr + "'");
+  }
+  CACTIS_RETURN_IF_ERROR(
+      engine_->MarkAttribute(AttrSite{id, static_cast<uint32_t>(idx)}));
+  return engine_->EvaluateImportant(nullptr);
+}
+
+// --- Shared helpers ------------------------------------------------------------
+
+Result<Instance*> Database::FetchInstance(InstanceId id, bool count_access) {
+  if (count_access) ++access_counts_[id];
+  return cache_.Fetch(id);
+}
+
+Result<Instance*> Database::FetchInstancePublic(InstanceId id) {
+  return FetchInstance(id, false);
+}
+
+Result<const schema::ObjectClass*> Database::ClassOfInstancePtr(
+    InstanceId id) {
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+  const schema::ObjectClass* cls = catalog_.GetClass(inst->class_id());
+  if (cls == nullptr) {
+    return Status::Internal("instance " + std::to_string(id.value) +
+                            " references unknown class");
+  }
+  return cls;
+}
+
+void Database::UpdateSubtypeMembership(SubtypeId subtype, InstanceId instance,
+                                       bool member) {
+  if (member) {
+    subtype_members_[subtype].insert(instance);
+  } else {
+    subtype_members_[subtype].erase(instance);
+  }
+}
+
+Status Database::CheckRead(Transaction* t, InstanceId id) {
+  if (t == nullptr || !options_.timestamp_cc) return Status::OK();
+  return tsm_.CheckRead(id, t->ts_);
+}
+
+Status Database::CheckWrite(Transaction* t, InstanceId id) {
+  if (t == nullptr || !options_.timestamp_cc) return Status::OK();
+  return tsm_.CheckWrite(id, t->ts_);
+}
+
+Database::EdgeStatEntry& Database::EdgeStatsFor(EdgeId id) {
+  auto it = edge_stats_.find(id);
+  if (it == edge_stats_.end()) {
+    it = edge_stats_.emplace(id, EdgeStatEntry(options_.decay_alpha)).first;
+  }
+  return it->second;
+}
+
+Result<Value> Database::CoerceToType(Value value, ValueType declared) {
+  if (declared == ValueType::kNull || value.type() == declared) {
+    return value;
+  }
+  switch (declared) {
+    case ValueType::kReal:
+      if (value.type() == ValueType::kInt) {
+        return Value::Real(static_cast<double>(*value.AsInt()));
+      }
+      break;
+    case ValueType::kInt:
+      if (value.type() == ValueType::kBool) {
+        return Value::Int(*value.AsBool() ? 1 : 0);
+      }
+      break;
+    case ValueType::kTime:
+      if (value.type() == ValueType::kInt) {
+        return Value::Time(*value.AsInt());
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::TypeMismatch(
+      "value " + value.ToString() + " does not match declared type " +
+      std::string(ValueTypeToString(declared)));
+}
+
+}  // namespace cactis::core

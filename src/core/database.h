@@ -1,0 +1,424 @@
+// Database: the public API of the Cactis object-oriented DBMS.
+//
+// A Database owns the full stack: simulated disk, buffer pool, record
+// store, object cache, catalog, chunk scheduler, evaluation engine,
+// timestamp concurrency control, and the delta/version store.
+//
+// The data-manipulation primitives are the paper's (section 2.2):
+// creating and deleting object instances, establishing and breaking
+// relationships, retrieving and replacing attribute values — plus the
+// meta-action Undo, version management, and maintenance (clustering
+// reorganisation). All mutation happens inside a Transaction; the
+// Database-level convenience methods run one-operation auto-commit
+// transactions.
+//
+// Usage:
+//
+//   cactis::core::Database db;
+//   db.LoadSchema("object class task is ... end object;");
+//   auto t = db.Begin();
+//   auto id = t->Create("task");
+//   t->Set(*id, "effort", cactis::Value::Int(3));
+//   t->Commit();
+//   auto v = db.Get(*id, "total_effort");   // derived, evaluated on demand
+
+#ifndef CACTIS_CORE_DATABASE_H_
+#define CACTIS_CORE_DATABASE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/reorganizer.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "core/eval_engine.h"
+#include "core/instance.h"
+#include "core/object_cache.h"
+#include "lang/builtins.h"
+#include "sched/decaying_average.h"
+#include "sched/scheduler.h"
+#include "schema/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/record_store.h"
+#include "storage/simulated_disk.h"
+#include "txn/delta.h"
+#include "txn/timestamp_cc.h"
+#include "txn/version_store.h"
+
+namespace cactis::core {
+
+struct DatabaseOptions {
+  /// Usable bytes per simulated disk block.
+  size_t block_size = 4096;
+  /// Buffer pool capacity in blocks.
+  size_t buffer_capacity = 64;
+  /// Traversal scheduling policy (paper 2.3; baselines for experiment E4).
+  sched::SchedulingPolicy policy = sched::SchedulingPolicy::kGreedyAdaptive;
+  /// Update decaying averages from observed I/O (off = cluster-time
+  /// estimates only; the ablation of experiment E6).
+  bool adaptive_stats = true;
+  /// Weight of new samples in the decaying averages.
+  double decay_alpha = 0.25;
+  /// Enforce timestamp-ordering concurrency control.
+  bool timestamp_cc = true;
+  /// Maximum constraint-recovery rounds per operation before giving up.
+  int max_recovery_rounds = 4;
+  /// Iteration cap for fixed-point evaluation of `circular` attributes.
+  int max_fixpoint_iterations = 100;
+};
+
+class Database;
+
+/// One transaction. Obtained from Database::Begin(); aborted on
+/// destruction if still open. Not thread-safe (Cactis concurrency is the
+/// paper's simulated multi-user interleaving).
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  uint64_t ts() const { return ts_; }
+  bool open() const { return open_; }
+  bool aborted() const { return aborted_; }
+
+  /// Creates an instance of the named class. Its constraints and subtype
+  /// predicates are established immediately.
+  Result<InstanceId> Create(const std::string& class_name);
+
+  /// Deletes an instance, first breaking all its relationships.
+  Status Delete(InstanceId id);
+
+  /// Replaces an intrinsic attribute value. Derived dependents are marked
+  /// out of date; important ones are re-evaluated and constraints checked.
+  Status Set(InstanceId id, const std::string& attr, Value value);
+
+  /// Retrieves an attribute value, evaluating it first when it is a
+  /// derived attribute that is out of date. Marks the attribute as
+  /// important ("the user has asked the database to retrieve it").
+  Result<Value> Get(InstanceId id, const std::string& attr);
+
+  /// Establishes a relationship between a plug port of one instance and a
+  /// socket port of another (same relationship type).
+  Result<EdgeId> Connect(InstanceId a, const std::string& a_port,
+                         InstanceId b, const std::string& b_port);
+
+  /// Breaks a relationship.
+  Status Disconnect(EdgeId edge);
+
+  /// Commits; the transaction's delta is appended to the version history.
+  Status Commit();
+
+  /// The Undo meta-action: rolls this transaction back. "This meta-action
+  /// allows the user to freely explore the database, knowing that no
+  /// actions need have permanent effect."
+  Status Undo();
+
+ private:
+  friend class Database;
+  friend class RuleContext;
+  Transaction(Database* db, TxnId id, uint64_t ts)
+      : db_(db), id_(id), ts_(ts) {}
+
+  Database* db_;
+  TxnId id_;
+  uint64_t ts_;
+  bool open_ = true;
+  bool aborted_ = false;
+  txn::TransactionDelta delta_;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Schema ---------------------------------------------------------
+
+  schema::Catalog* catalog() { return &catalog_; }
+  const schema::Catalog& catalog() const { return catalog_; }
+  lang::BuiltinRegistry* builtins() { return &builtins_; }
+
+  /// Loads data-language schema source (classes, subtypes).
+  Status LoadSchema(std::string_view source);
+
+  /// Dynamic type extension with live instances: appends a derived
+  /// attribute / constraint / subtype predicate to an existing class.
+  /// Cached instances migrate immediately, stored ones lazily on load.
+  Result<size_t> ExtendClassWithDerived(const std::string& class_name,
+                                        const std::string& attr_name,
+                                        ValueType type,
+                                        const std::string& rule_source);
+  Result<size_t> ExtendClassWithConstraint(
+      const std::string& class_name, const std::string& constraint_name,
+      const std::string& predicate_source,
+      const std::string& recovery_source = "");
+  Result<SubtypeId> DefineSubtype(const std::string& subtype_name,
+                                  const std::string& class_name,
+                                  const std::string& predicate_source);
+
+  // --- Transactions -----------------------------------------------------
+
+  std::unique_ptr<Transaction> Begin();
+
+  // Auto-commit conveniences.
+  Result<InstanceId> Create(const std::string& class_name);
+  Status Delete(InstanceId id);
+  Status Set(InstanceId id, const std::string& attr, Value value);
+  Result<Value> Get(InstanceId id, const std::string& attr);
+  Result<EdgeId> Connect(InstanceId a, const std::string& a_port,
+                         InstanceId b, const std::string& b_port);
+  Status Disconnect(EdgeId edge);
+
+  /// Like Get, but does not mark the attribute important: the value is
+  /// brought up to date for this read, yet future invalidations will not
+  /// eagerly re-evaluate it. For polling reads (e.g. the make facility)
+  /// where sticky importance would force evaluation against
+  /// partially-updated inputs.
+  Result<Value> Peek(InstanceId id, const std::string& attr);
+
+  // --- Undo / versions ---------------------------------------------------
+
+  /// Rolls back the most recently committed transaction.
+  Status UndoLast();
+
+  /// Names the current state.
+  Result<VersionId> CreateVersion(const std::string& name);
+
+  /// Moves the database to a named version (backwards via undo deltas,
+  /// forwards via redo deltas).
+  Status CheckoutVersion(const std::string& name);
+
+  /// Bytes retained by all committed deltas (experiment E7).
+  size_t delta_bytes() const { return versions_.TotalDeltaBytes(); }
+  std::vector<std::string> VersionNames() const {
+    return versions_.VersionNames();
+  }
+
+  // --- Queries -----------------------------------------------------------
+
+  Result<std::vector<InstanceId>> InstancesOf(const std::string& class_name);
+
+  /// Current members of a predicate subtype; predicates are (re)evaluated
+  /// on demand, so the answer reflects dynamic membership migration.
+  Result<std::vector<InstanceId>> MembersOfSubtype(const std::string& name);
+
+  Result<ClassId> ClassOf(InstanceId id);
+
+  /// Ad-hoc query: the instances of `class_name` for which the
+  /// data-language boolean expression holds (it may read any attribute,
+  /// relationship or builtin, like a subtype predicate, but is evaluated
+  /// once per call rather than maintained). Example:
+  ///   db.SelectWhere("milestone", "late and count(depends_on) > 2")
+  Result<std::vector<InstanceId>> SelectWhere(
+      const std::string& class_name, const std::string& predicate_source);
+
+  /// Instances related via the named port, in edge order.
+  Result<std::vector<InstanceId>> NeighborsOf(InstanceId id,
+                                              const std::string& port);
+
+  /// Edges incident to the named port.
+  Result<std::vector<EdgeId>> EdgesOf(InstanceId id, const std::string& port);
+
+  size_t instance_count() const { return store_.record_count(); }
+
+  // --- Maintenance / stats ------------------------------------------------
+
+  /// Usage-based clustering reorganisation (paper 2.3): greedy block
+  /// packing by reference counts, then recomputation of worst-case
+  /// marking statistics and reseeding of the decaying averages.
+  Status Reorganize();
+
+  /// Writes every dirty block back.
+  Status Flush();
+
+  const storage::DiskStats& disk_stats() const { return disk_.stats(); }
+  const storage::BufferPoolStats& buffer_stats() const {
+    return pool_.stats();
+  }
+  const EvalStats& eval_stats() const { return engine_->stats(); }
+  const sched::SchedulerStats& scheduler_stats() const {
+    return scheduler_->stats();
+  }
+  const txn::ConcurrencyStats& cc_stats() const { return tsm_.stats(); }
+  void ResetStats();
+
+  const DatabaseOptions& options() const { return options_; }
+  void set_policy(sched::SchedulingPolicy policy) {
+    options_.policy = policy;
+    scheduler_->set_policy(policy);
+  }
+  void set_adaptive_stats(bool on) { options_.adaptive_stats = on; }
+
+  /// Direct access for tests and benchmarks.
+  storage::SimulatedDisk* disk() { return &disk_; }
+  storage::BufferPool* buffer_pool() { return &pool_; }
+
+  /// Fetches the live decoded instance (no access-count side effect).
+  /// Exposed for the environment layer and white-box tests; the returned
+  /// pointer is valid only until the next database call.
+  Result<Instance*> FetchInstancePublic(InstanceId id);
+
+  /// The scheduler's current expected-I/O estimate for values requested
+  /// across `edge` (the per-relationship decaying average of section 2.3),
+  /// and the worst-case estimate gathered at the last reorganisation.
+  /// Exposed for experiment E6 and white-box tests.
+  double EdgeExpectedIo(EdgeId edge) { return EdgeStatsFor(edge).decay.value(); }
+  double EdgeWorstCaseIo(EdgeId edge) { return EdgeStatsFor(edge).worst_case; }
+  uint64_t EdgeUsageCount(EdgeId edge) { return EdgeStatsFor(edge).usage; }
+
+  /// External-change hook used by the environment layer: marks a derived
+  /// attribute (by name) of an instance out of date, as if an intrinsic it
+  /// depends on had changed outside the database's view.
+  Status InvalidateAttribute(InstanceId id, const std::string& attr);
+
+  // --- Distribution hooks (src/dist; paper section 5) ---------------------
+
+  /// Creates an instance without establishing its constraints or subtype
+  /// predicates: the path used for mirror instances of remote objects
+  /// (their derived values, constraints included, are fetched from the
+  /// owning site on demand) and for bulk loads that validate afterwards.
+  Result<InstanceId> CreateDetached(const std::string& class_name);
+
+  /// Value source consulted instead of the attribute's rule: attr index ->
+  /// value. Used for mirrors of instances owned by another site.
+  using MirrorResolver = std::function<Result<Value>(uint32_t attr_index)>;
+
+  /// Registers `id` as a mirror: whenever one of its derived attributes
+  /// must be (re)evaluated, `resolver` supplies the value.
+  void RegisterMirror(InstanceId id, MirrorResolver resolver) {
+    mirror_resolvers_[id] = std::move(resolver);
+  }
+  void UnregisterMirror(InstanceId id) { mirror_resolvers_.erase(id); }
+  bool IsMirror(InstanceId id) const {
+    return mirror_resolvers_.contains(id);
+  }
+
+  /// Change listener: invoked after an intrinsic attribute is written and
+  /// whenever a derived attribute transitions to out-of-date. The
+  /// distribution layer uses it to ship invalidations/pushes to remote
+  /// mirrors. The listener must not re-enter this database.
+  using ChangeListener = std::function<void(InstanceId, uint32_t attr_index)>;
+  void SetChangeListener(ChangeListener listener) {
+    change_listener_ = std::move(listener);
+  }
+
+ private:
+  friend class Transaction;
+  friend class EvalEngine;
+  friend class RuleContext;
+
+  struct EdgeInfo {
+    InstanceId from;
+    uint32_t from_port = 0;
+    InstanceId to;
+    uint32_t to_port = 0;
+  };
+
+  struct EdgeStatEntry {
+    sched::DecayingAverage decay;
+    uint64_t usage = 0;        // crossings (clustering statistic)
+    double worst_case = 1.0;   // cluster-time marking estimate
+    explicit EdgeStatEntry(double alpha) : decay(alpha, 1.0) {}
+  };
+
+  // Operation wrappers: validate txn state, run, abort-on-violation.
+  Result<InstanceId> OpCreate(Transaction* t, const std::string& class_name);
+  Status OpDelete(Transaction* t, InstanceId id);
+  Status OpSet(Transaction* t, InstanceId id, const std::string& attr,
+               Value value);
+  Result<Value> OpGet(Transaction* t, InstanceId id, const std::string& attr,
+                      bool subscribe = true);
+  Result<EdgeId> OpConnect(Transaction* t, InstanceId a,
+                           const std::string& a_port, InstanceId b,
+                           const std::string& b_port);
+  Status OpDisconnect(Transaction* t, EdgeId edge);
+  Status OpCommit(Transaction* t);
+  Status OpUndo(Transaction* t);
+
+  /// Core mutators (log + mutate + mark; no importance evaluation, no
+  /// abort handling). `log` is null during undo/redo replay.
+  Result<InstanceId> DoCreate(txn::TransactionDelta* log,
+                              const schema::ObjectClass& cls,
+                              InstanceId forced_id);
+  Status DoDelete(txn::TransactionDelta* log, Transaction* t, InstanceId id);
+  Status DoSet(txn::TransactionDelta* log, Transaction* t, InstanceId id,
+               size_t attr_index, Value value);
+  Result<EdgeId> DoConnect(txn::TransactionDelta* log, InstanceId from,
+                           uint32_t from_port, InstanceId to, uint32_t to_port,
+                           EdgeId forced_id);
+  Status DoDisconnect(txn::TransactionDelta* log, EdgeId edge);
+
+  /// Rolls back every record of `delta`, newest first (marking included),
+  /// then re-evaluates important attributes in replay mode.
+  Status ApplyUndo(const txn::TransactionDelta& delta);
+  /// Replays a delta forwards.
+  Status ApplyRedo(const txn::TransactionDelta& delta);
+
+  /// Turns a non-OK status from an operation into a transaction abort when
+  /// it reflects a consistency failure (constraint violation or
+  /// concurrency conflict).
+  Status MaybeAbort(Transaction* t, Status s);
+  /// Like MaybeAbort, but every failure aborts (used for post-mutation
+  /// importance propagation, whose failure means inconsistency).
+  Status AbortOnError(Transaction* t, Status s);
+  Status RollbackTxn(Transaction* t);
+
+  // Shared helpers (used by the engine and rule contexts too).
+  Result<Instance*> FetchInstance(InstanceId id, bool count_access = true);
+  Result<const schema::ObjectClass*> ClassOfInstancePtr(InstanceId id);
+  void UpdateSubtypeMembership(SubtypeId subtype, InstanceId instance,
+                               bool member);
+  Status WriteInstance(const Instance& inst) {
+    return cache_.WriteThrough(inst);
+  }
+  Status CheckRead(Transaction* t, InstanceId id);
+  Status CheckWrite(Transaction* t, InstanceId id);
+  EdgeStatEntry& EdgeStatsFor(EdgeId id);
+  void RecordCrossing(EdgeId id) { ++EdgeStatsFor(id).usage; }
+
+  Status RecomputeWorstCaseStats();
+
+  /// Migrates every live instance of an extended class (adds the new
+  /// slots) and establishes newly-appended constraints / predicates.
+  Status MigrateLiveInstances(const schema::ObjectClass& cls);
+
+  /// Coerces `value` to the declared type (int<->real<->time promotions).
+  static Result<Value> CoerceToType(Value value, ValueType declared);
+
+  DatabaseOptions options_;
+  storage::SimulatedDisk disk_;
+  storage::BufferPool pool_;
+  storage::RecordStore store_;
+  schema::Catalog catalog_;
+  lang::BuiltinRegistry builtins_;
+  ObjectCache cache_;
+  std::unique_ptr<sched::ChunkScheduler> scheduler_;
+  std::unique_ptr<EvalEngine> engine_;
+  txn::TimestampManager tsm_;
+  txn::VersionStore versions_;
+
+  uint64_t next_instance_ = 0;
+  uint64_t next_txn_ = 0;
+  uint64_t next_edge_ = 0;
+
+  std::unordered_map<EdgeId, EdgeInfo> edges_;
+  std::unordered_map<ClassId, std::set<InstanceId>> instances_by_class_;
+  std::unordered_map<SubtypeId, std::set<InstanceId>> subtype_members_;
+  std::unordered_map<EdgeId, EdgeStatEntry> edge_stats_;
+  std::unordered_map<InstanceId, uint64_t> access_counts_;
+  std::unordered_map<InstanceId, MirrorResolver> mirror_resolvers_;
+  ChangeListener change_listener_;
+};
+
+}  // namespace cactis::core
+
+#endif  // CACTIS_CORE_DATABASE_H_

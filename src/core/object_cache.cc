@@ -1,0 +1,79 @@
+#include "core/object_cache.h"
+
+namespace cactis::core {
+
+Result<Instance*> ObjectCache::Fetch(InstanceId id) {
+  // Touch first: this may evict another block (dropping its cached
+  // instances) but guarantees our block is resident afterwards.
+  CACTIS_RETURN_IF_ERROR(store_->Touch(id));
+  auto it = cache_.find(id);
+  if (it != cache_.end()) return it->second.get();
+
+  CACTIS_ASSIGN_OR_RETURN(std::string payload, store_->Get(id));
+  CACTIS_ASSIGN_OR_RETURN(Instance inst,
+                          Instance::Deserialize(payload, *catalog_));
+  auto owned = std::make_unique<Instance>(std::move(inst));
+  Instance* raw = owned.get();
+  cache_[id] = std::move(owned);
+  IndexUnderBlock(id);
+  return raw;
+}
+
+Status ObjectCache::WriteThrough(const Instance& inst) {
+  std::string payload = inst.Serialize();
+  InstanceId id = inst.id();
+  // NOTE: `inst` may be *the cached copy*; Put can evict blocks, and
+  // eviction of our own block would destroy it mid-call. Serialising
+  // first (above) makes that safe; we must not touch `inst` after Put.
+  CACTIS_RETURN_IF_ERROR(store_->Put(id, std::move(payload)));
+  IndexUnderBlock(id);  // the record may have moved to a new block
+  return Status::OK();
+}
+
+Status ObjectCache::Insert(Instance inst) {
+  InstanceId id = inst.id();
+  std::string payload = inst.Serialize();
+  auto owned = std::make_unique<Instance>(std::move(inst));
+  CACTIS_RETURN_IF_ERROR(store_->Put(id, std::move(payload)));
+  // Put may have evicted blocks but cannot have evicted this instance's
+  // (it was just fetched by Put). Cache the decoded copy.
+  cache_[id] = std::move(owned);
+  IndexUnderBlock(id);
+  return Status::OK();
+}
+
+Status ObjectCache::Remove(InstanceId id) {
+  auto blk = block_of_.find(id);
+  if (blk != block_of_.end()) {
+    auto set = by_block_.find(blk->second);
+    if (set != by_block_.end()) set->second.erase(id);
+    block_of_.erase(blk);
+  }
+  cache_.erase(id);
+  return store_->Delete(id);
+}
+
+void ObjectCache::OnBlockEvicted(BlockId id) {
+  auto it = by_block_.find(id);
+  if (it == by_block_.end()) return;
+  for (InstanceId inst : it->second) {
+    cache_.erase(inst);
+    block_of_.erase(inst);
+  }
+  by_block_.erase(it);
+}
+
+void ObjectCache::IndexUnderBlock(InstanceId id) {
+  auto block = store_->BlockOf(id);
+  if (!block.ok()) return;
+  auto prev = block_of_.find(id);
+  if (prev != block_of_.end()) {
+    if (prev->second == *block) return;
+    auto set = by_block_.find(prev->second);
+    if (set != by_block_.end()) set->second.erase(id);
+  }
+  block_of_[id] = *block;
+  by_block_[*block].insert(id);
+}
+
+}  // namespace cactis::core

@@ -1,0 +1,63 @@
+// ObjectCache: decoded instances layered over the record store.
+//
+// The cache mirrors buffer-pool residency: an instance may be cached only
+// while its block is resident; eviction of the block drops the decoded
+// copy. Writes are write-through — every mutation serialises the instance
+// back into the record store immediately — so a dropped copy is never
+// newer than its record.
+//
+// POINTER DISCIPLINE: a Fetch()ed Instance* is valid only until the next
+// operation that can fault a block in (another Fetch, a Write, any
+// record-store access). Callers copy what they need and re-fetch.
+
+#ifndef CACTIS_CORE_OBJECT_CACHE_H_
+#define CACTIS_CORE_OBJECT_CACHE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/instance.h"
+#include "schema/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/record_store.h"
+
+namespace cactis::core {
+
+class ObjectCache : public storage::ResidencyListener {
+ public:
+  ObjectCache(const schema::Catalog* catalog, storage::RecordStore* store)
+      : catalog_(catalog), store_(store) {}
+
+  /// Returns the decoded instance, faulting its block in if needed.
+  Result<Instance*> Fetch(InstanceId id);
+
+  /// Serialises `inst` and writes it through to the record store (the
+  /// record may move blocks if it grew). `inst` may be the cached copy.
+  Status WriteThrough(const Instance& inst);
+
+  /// Registers a brand-new instance: stores its record and caches it.
+  Status Insert(Instance inst);
+
+  /// Removes the instance from cache and store.
+  Status Remove(InstanceId id);
+
+  bool IsCached(InstanceId id) const { return cache_.contains(id); }
+
+  // storage::ResidencyListener:
+  void OnBlockLoaded(BlockId /*id*/) override {}
+  void OnBlockEvicted(BlockId id) override;
+
+ private:
+  void IndexUnderBlock(InstanceId id);
+
+  const schema::Catalog* catalog_;
+  storage::RecordStore* store_;
+  std::unordered_map<InstanceId, std::unique_ptr<Instance>> cache_;
+  std::unordered_map<BlockId, std::unordered_set<InstanceId>> by_block_;
+  std::unordered_map<InstanceId, BlockId> block_of_;
+};
+
+}  // namespace cactis::core
+
+#endif  // CACTIS_CORE_OBJECT_CACHE_H_

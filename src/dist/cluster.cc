@@ -1,0 +1,184 @@
+#include "dist/cluster.h"
+
+namespace cactis::dist {
+
+DistributedCactis::DistributedCactis(int num_sites,
+                                     core::DatabaseOptions options)
+    : options_(options) {
+  for (int s = 0; s < num_sites; ++s) {
+    sites_.push_back(std::make_unique<Site>(options_));
+    SiteId site = static_cast<SiteId>(s);
+    sites_.back()->db.SetChangeListener(
+        [this, site](InstanceId instance, uint32_t attr_index) {
+          OnHomeChange(site, instance, attr_index);
+        });
+  }
+}
+
+Status DistributedCactis::LoadSchema(std::string_view source) {
+  for (auto& site : sites_) {
+    CACTIS_RETURN_IF_ERROR(site->db.LoadSchema(source));
+  }
+  return Status::OK();
+}
+
+Status DistributedCactis::ValidateRef(const GlobalRef& ref) const {
+  if (ref.site >= sites_.size()) {
+    return Status::InvalidArgument("unknown site " + std::to_string(ref.site));
+  }
+  return Status::OK();
+}
+
+Result<GlobalRef> DistributedCactis::Create(SiteId site,
+                                            const std::string& class_name) {
+  if (site >= sites_.size()) {
+    return Status::InvalidArgument("unknown site " + std::to_string(site));
+  }
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, sites_[site]->db.Create(class_name));
+  return GlobalRef{site, id};
+}
+
+Status DistributedCactis::Set(const GlobalRef& ref, const std::string& attr,
+                              Value value) {
+  CACTIS_RETURN_IF_ERROR(ValidateRef(ref));
+  CACTIS_RETURN_IF_ERROR(
+      sites_[ref.site]->db.Set(ref.id, attr, std::move(value)));
+  return network_.DeliverAll();
+}
+
+Result<Value> DistributedCactis::Get(const GlobalRef& ref,
+                                     const std::string& attr) {
+  CACTIS_RETURN_IF_ERROR(ValidateRef(ref));
+  CACTIS_ASSIGN_OR_RETURN(Value v, sites_[ref.site]->db.Get(ref.id, attr));
+  CACTIS_RETURN_IF_ERROR(network_.DeliverAll());
+  return v;
+}
+
+Result<Value> DistributedCactis::Peek(const GlobalRef& ref,
+                                      const std::string& attr) {
+  CACTIS_RETURN_IF_ERROR(ValidateRef(ref));
+  CACTIS_ASSIGN_OR_RETURN(Value v, sites_[ref.site]->db.Peek(ref.id, attr));
+  CACTIS_RETURN_IF_ERROR(network_.DeliverAll());
+  return v;
+}
+
+Result<EdgeId> DistributedCactis::Connect(const GlobalRef& consumer,
+                                          const std::string& consumer_port,
+                                          const GlobalRef& provider,
+                                          const std::string& provider_port) {
+  CACTIS_RETURN_IF_ERROR(ValidateRef(consumer));
+  CACTIS_RETURN_IF_ERROR(ValidateRef(provider));
+
+  InstanceId local_provider = provider.id;
+  if (consumer.site != provider.site) {
+    CACTIS_ASSIGN_OR_RETURN(local_provider,
+                            EnsureMirror(provider, consumer.site));
+  }
+  CACTIS_ASSIGN_OR_RETURN(
+      EdgeId edge,
+      sites_[consumer.site]->db.Connect(consumer.id, consumer_port,
+                                        local_provider, provider_port));
+  CACTIS_RETURN_IF_ERROR(network_.DeliverAll());
+  return edge;
+}
+
+Result<InstanceId> DistributedCactis::MirrorOf(const GlobalRef& provider,
+                                               SiteId at_site) const {
+  auto it = mirrors_.find({provider, at_site});
+  if (it == mirrors_.end()) {
+    return Status::NotFound("no mirror of instance " +
+                            std::to_string(provider.id.value) + " at site " +
+                            std::to_string(at_site));
+  }
+  return it->second;
+}
+
+Result<InstanceId> DistributedCactis::EnsureMirror(const GlobalRef& provider,
+                                                   SiteId at_site) {
+  auto existing = mirrors_.find({provider, at_site});
+  if (existing != mirrors_.end()) return existing->second;
+
+  core::Database& home = sites_[provider.site]->db;
+  core::Database& local = sites_[at_site]->db;
+
+  CACTIS_ASSIGN_OR_RETURN(ClassId class_id, home.ClassOf(provider.id));
+  const schema::ObjectClass* cls = home.catalog()->GetClass(class_id);
+  if (cls == nullptr) {
+    return Status::Internal("provider class missing from catalog");
+  }
+
+  CACTIS_ASSIGN_OR_RETURN(InstanceId mirror,
+                          local.CreateDetached(cls->name()));
+
+  // Derived values are pulled from the home site on demand. The resolver
+  // is a synchronous RPC: count a request/reply pair per fetch.
+  core::Database* home_db = &home;
+  Network* net = &network_;
+  SiteId home_site = provider.site;
+  InstanceId provider_id = provider.id;
+  const schema::ObjectClass* cls_ptr = cls;
+  SiteId local_site = at_site;
+  local.RegisterMirror(
+      mirror, [home_db, net, home_site, local_site, provider_id,
+               cls_ptr](uint32_t attr_index) -> Result<Value> {
+        if (attr_index >= cls_ptr->attributes().size()) {
+          return Status::Internal("mirror fetch of unknown attribute");
+        }
+        const std::string& name = cls_ptr->attributes()[attr_index].name;
+        CACTIS_ASSIGN_OR_RETURN(Value v, home_db->Peek(provider_id, name));
+        net->CountRpc(local_site, home_site, 16 + name.size(),
+                      v.SerializedSize());
+        return v;
+      });
+
+  // Intrinsic values are pushed eagerly: sync them now...
+  for (const schema::AttributeDef& def : cls->attributes()) {
+    if (def.is_derived()) continue;
+    CACTIS_ASSIGN_OR_RETURN(Value v, home.Peek(provider.id, def.name));
+    network_.CountRpc(at_site, provider.site, 16 + def.name.size(),
+                      v.SerializedSize());
+    CACTIS_RETURN_IF_ERROR(local.Set(mirror, def.name, std::move(v)));
+  }
+  // ...and watch the provider for future changes.
+  mirrors_[{provider, at_site}] = mirror;
+  watches_[provider].push_back(Watch{at_site, mirror});
+  return mirror;
+}
+
+void DistributedCactis::OnHomeChange(SiteId home, InstanceId instance,
+                                     uint32_t attr_index) {
+  auto watch = watches_.find(GlobalRef{home, instance});
+  if (watch == watches_.end()) return;
+
+  core::Database& home_db = sites_[home]->db;
+  auto class_id = home_db.ClassOf(instance);
+  if (!class_id.ok()) return;
+  const schema::ObjectClass* cls = home_db.catalog()->GetClass(*class_id);
+  if (cls == nullptr || attr_index >= cls->attributes().size()) return;
+  const schema::AttributeDef& def = cls->attributes()[attr_index];
+
+  for (const Watch& w : watch->second) {
+    core::Database* target = &sites_[w.consumer_site]->db;
+    InstanceId mirror = w.mirror;
+    std::string attr_name = def.name;
+    if (def.is_derived()) {
+      // Lazy: invalidate the mirrored copy; the value moves on demand.
+      network_.Send(home, w.consumer_site, MessageKind::kInvalidate, 24,
+                    [target, mirror, attr_name] {
+                      return target->InvalidateAttribute(mirror, attr_name);
+                    });
+    } else {
+      // Eager: push the new intrinsic value.
+      core::Database* home_ptr = &home_db;
+      InstanceId provider = instance;
+      network_.Send(home, w.consumer_site, MessageKind::kPushIntrinsic, 32,
+                    [target, mirror, attr_name, home_ptr, provider] {
+                      CACTIS_ASSIGN_OR_RETURN(
+                          Value v, home_ptr->Peek(provider, attr_name));
+                      return target->Set(mirror, attr_name, std::move(v));
+                    });
+    }
+  }
+}
+
+}  // namespace cactis::dist

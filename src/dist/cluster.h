@@ -1,0 +1,121 @@
+// DistributedCactis: the section-5 prototype — several Cactis sites, each
+// a full single-site database over its own simulated disk, sharing a
+// schema and exchanging derived information through *mirror* instances.
+//
+// Model. Every instance has a home site. A cross-site relationship
+// (consumer at site A depends on a provider owned by site B) is realised
+// as a local relationship from the consumer to a *mirror* of the provider
+// at site A:
+//
+//   * the mirror is an instance of the provider's own class, created
+//     detached (no local constraint establishment) and registered with a
+//     resolver that fetches derived values from the home site on demand
+//     (pull; one fetch RPC per stale value actually needed);
+//   * intrinsic attribute changes at the home site are pushed eagerly to
+//     every mirror (they are small and directly assignable);
+//   * derived attributes are invalidated lazily: when the home site marks
+//     one out of date, an invalidation message marks the mirror's copy,
+//     which propagates through the mirror site's own incremental engine
+//     to local consumers. The value itself moves only when demanded.
+//
+// This is exactly the paper's incremental philosophy stretched across a
+// network: small invalidations flow eagerly, values flow lazily, and each
+// site's evaluation stays local. Messages are deferred until the
+// originating operation finishes (Network::DeliverAll), so no site's
+// engine is ever re-entered mid-operation.
+
+#ifndef CACTIS_DIST_CLUSTER_H_
+#define CACTIS_DIST_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "dist/network.h"
+
+namespace cactis::dist {
+
+/// A site-qualified instance reference.
+struct GlobalRef {
+  SiteId site = 0;
+  InstanceId id;
+  auto operator<=>(const GlobalRef&) const = default;
+};
+
+class DistributedCactis {
+ public:
+  /// Creates `num_sites` sites with identical options.
+  explicit DistributedCactis(int num_sites,
+                             core::DatabaseOptions options = {});
+
+  /// Loads the same schema everywhere (catalogs must agree: attribute and
+  /// port indexes are the cross-site wire format).
+  Status LoadSchema(std::string_view source);
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  core::Database* site(SiteId s) { return &sites_[s]->db; }
+  Network* network() { return &network_; }
+
+  /// Creates an instance homed at `site`.
+  Result<GlobalRef> Create(SiteId site, const std::string& class_name);
+
+  /// Writes an intrinsic attribute at the instance's home site, then
+  /// delivers the resulting cross-site traffic.
+  Status Set(const GlobalRef& ref, const std::string& attr, Value value);
+
+  /// Reads an attribute at the instance's home site (evaluating there).
+  Result<Value> Get(const GlobalRef& ref, const std::string& attr);
+
+  /// Non-subscribing read (see core::Database::Peek).
+  Result<Value> Peek(const GlobalRef& ref, const std::string& attr);
+
+  /// Establishes a dependency relationship. Same-site pairs connect
+  /// directly; cross-site pairs connect the consumer to a (shared,
+  /// per-site) mirror of the provider.
+  Result<EdgeId> Connect(const GlobalRef& consumer,
+                         const std::string& consumer_port,
+                         const GlobalRef& provider,
+                         const std::string& provider_port);
+
+  /// The mirror of `provider` at `at_site`, if one exists.
+  Result<InstanceId> MirrorOf(const GlobalRef& provider, SiteId at_site) const;
+
+  size_t mirror_count() const { return mirrors_.size(); }
+
+ private:
+  struct Site {
+    explicit Site(const core::DatabaseOptions& opts) : db(opts) {}
+    core::Database db;
+  };
+
+  struct Watch {
+    SiteId consumer_site;
+    InstanceId mirror;
+  };
+
+  Status ValidateRef(const GlobalRef& ref) const;
+
+  /// Creates (or reuses) the mirror of `provider` at `at_site`: detached
+  /// instance of the same class, resolver registered, intrinsics synced,
+  /// watch installed at the home site.
+  Result<InstanceId> EnsureMirror(const GlobalRef& provider, SiteId at_site);
+
+  /// The home site's change listener: ships pushes/invalidations for
+  /// watched instances.
+  void OnHomeChange(SiteId home, InstanceId instance, uint32_t attr_index);
+
+  core::DatabaseOptions options_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  Network network_;
+
+  // (provider global, consumer site) -> mirror instance at that site.
+  std::map<std::pair<GlobalRef, SiteId>, InstanceId> mirrors_;
+  // provider global -> watches.
+  std::map<GlobalRef, std::vector<Watch>> watches_;
+};
+
+}  // namespace cactis::dist
+
+#endif  // CACTIS_DIST_CLUSTER_H_

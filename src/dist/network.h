@@ -1,0 +1,93 @@
+// Simulated network for the distributed Cactis prototype (paper section
+// 5: "We are in the process of constructing a distributed version of
+// Cactis ... It will be necessary to allow different users at different
+// machines to configure their own environments privately and share
+// information").
+//
+// Substitution note (DESIGN.md): there is no real network here; messages
+// between sites are delivered in-process through a queue, and the
+// experiment-relevant quantity — how many messages / bytes cross site
+// boundaries for a given workload — is counted exactly.
+
+#ifndef CACTIS_DIST_NETWORK_H_
+#define CACTIS_DIST_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace cactis::dist {
+
+using SiteId = uint32_t;
+
+enum class MessageKind : uint8_t {
+  kPushIntrinsic,  // owner -> mirror: new intrinsic value
+  kInvalidate,     // owner -> mirror: derived attribute went stale
+  kFetchRequest,   // mirror -> owner: demand a value
+  kFetchReply,     // owner -> mirror: the value
+};
+
+std::string_view MessageKindToString(MessageKind kind);
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t push_intrinsic = 0;
+  uint64_t invalidate = 0;
+  uint64_t fetch_request = 0;
+  uint64_t fetch_reply = 0;
+
+  uint64_t CountOf(MessageKind kind) const {
+    switch (kind) {
+      case MessageKind::kPushIntrinsic:
+        return push_intrinsic;
+      case MessageKind::kInvalidate:
+        return invalidate;
+      case MessageKind::kFetchRequest:
+        return fetch_request;
+      case MessageKind::kFetchReply:
+        return fetch_reply;
+    }
+    return 0;
+  }
+};
+
+/// A deferred-delivery message bus. Senders enqueue closures tagged with
+/// kind/size (counted immediately); DeliverAll() runs them after the
+/// originating database operation has finished, so message handlers never
+/// re-enter a mid-operation evaluation engine.
+class Network {
+ public:
+  using Handler = std::function<Status()>;
+
+  /// Counts and enqueues a message. `approx_bytes` is the payload
+  /// estimate (ids + serialized values).
+  void Send(SiteId from, SiteId to, MessageKind kind, size_t approx_bytes,
+            Handler deliver);
+
+  /// Counts a synchronous request/reply pair (fetches are RPC-shaped and
+  /// happen while both sites are quiescent).
+  void CountRpc(SiteId from, SiteId to, size_t request_bytes,
+                size_t reply_bytes);
+
+  /// Delivers every queued message (handlers may enqueue more; runs to
+  /// quiescence, with a safety cap).
+  Status DeliverAll();
+
+  bool idle() const { return queue_.empty(); }
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  void Count(MessageKind kind, size_t bytes);
+
+  std::deque<Handler> queue_;
+  NetworkStats stats_;
+};
+
+}  // namespace cactis::dist
+
+#endif  // CACTIS_DIST_NETWORK_H_

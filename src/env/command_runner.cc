@@ -1,0 +1,13 @@
+#include "env/command_runner.h"
+
+namespace cactis::env {
+
+Status CommandRunner::Run(const std::string& command) {
+  executions_.push_back(command);
+  auto it = effects_.find(command);
+  if (it != effects_.end()) return it->second(command);
+  if (default_effect_) return default_effect_(command);
+  return Status::OK();
+}
+
+}  // namespace cactis::env

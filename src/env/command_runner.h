@@ -1,0 +1,48 @@
+// CommandRunner: the `system_command` substrate of Figure 4.
+//
+// Commands are strings (like shell lines). Running one appends it to the
+// execution log (tests assert on order and count) and invokes any
+// registered effect — the make facility registers effects that write the
+// command's output file into the virtual file system, which is what the
+// real `cc -o target deps...` would have done.
+
+#ifndef CACTIS_ENV_COMMAND_RUNNER_H_
+#define CACTIS_ENV_COMMAND_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cactis::env {
+
+class CommandRunner {
+ public:
+  using Effect = std::function<Status(const std::string& command)>;
+
+  /// Registers the effect invoked when exactly `command` runs.
+  void RegisterEffect(const std::string& command, Effect effect) {
+    effects_[command] = std::move(effect);
+  }
+
+  /// Sets a fallback effect for commands without a specific registration.
+  void SetDefaultEffect(Effect effect) { default_effect_ = std::move(effect); }
+
+  /// Executes a command: logs it and runs its effect.
+  Status Run(const std::string& command);
+
+  const std::vector<std::string>& executions() const { return executions_; }
+  size_t execution_count() const { return executions_.size(); }
+  void ClearLog() { executions_.clear(); }
+
+ private:
+  std::map<std::string, Effect> effects_;
+  Effect default_effect_;
+  std::vector<std::string> executions_;
+};
+
+}  // namespace cactis::env
+
+#endif  // CACTIS_ENV_COMMAND_RUNNER_H_

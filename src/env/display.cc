@@ -1,0 +1,92 @@
+#include "env/display.h"
+
+namespace cactis::env {
+
+const char* DisplayManager::SchemaSource() {
+  return R"(
+relationship contains_widget;
+
+object class widget is
+  relationships
+    parent   : contains_widget multi plug;
+    children : contains_widget multi socket;
+  attributes
+    kind  : string;   -- "label" | "meter" | "box"
+    text  : string;
+    level : int;      -- meter fill
+    render : string;  -- this widget's redraw fragment
+  rules
+    render =
+      begin
+        acc : string;
+        acc = text;
+        if kind = "meter" then
+          acc = text + " [" + repeat("#", level) + repeat(".", 10 - level)
+                + "]";
+        end;
+        if kind = "box" then
+          acc = "== " + text + " ==";
+        end;
+        for each c related to children do
+          acc = acc + "\n" + indent(c.fragment, 2);
+        end;
+        return acc;
+      end;
+    parent.fragment = render;
+end object;
+)";
+}
+
+Result<std::unique_ptr<DisplayManager>> DisplayManager::Attach(
+    core::Database* db) {
+  if (db->catalog()->FindClass("widget") == nullptr) {
+    CACTIS_RETURN_IF_ERROR(db->LoadSchema(SchemaSource()));
+  }
+  return std::unique_ptr<DisplayManager>(new DisplayManager(db));
+}
+
+Result<InstanceId> DisplayManager::AddWidget(const std::string& name,
+                                             const std::string& kind,
+                                             const std::string& text,
+                                             const std::string& parent) {
+  if (widgets_.contains(name)) {
+    return Status::AlreadyExists("widget '" + name + "' already exists");
+  }
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, db_->Create("widget"));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "kind", Value::String(kind)));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "text", Value::String(text)));
+  if (!parent.empty()) {
+    CACTIS_ASSIGN_OR_RETURN(InstanceId p, IdOf(parent));
+    CACTIS_RETURN_IF_ERROR(
+        db_->Connect(p, "children", id, "parent").status());
+  }
+  widgets_[name] = id;
+  return id;
+}
+
+Status DisplayManager::SetText(const std::string& name,
+                               const std::string& text) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  return db_->Set(id, "text", Value::String(text));
+}
+
+Status DisplayManager::SetLevel(const std::string& name, int64_t level) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  return db_->Set(id, "level", Value::Int(level));
+}
+
+Result<std::string> DisplayManager::Render(const std::string& name) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  CACTIS_ASSIGN_OR_RETURN(Value v, db_->Peek(id, "render"));
+  return v.AsString();
+}
+
+Result<InstanceId> DisplayManager::IdOf(const std::string& name) const {
+  auto it = widgets_.find(name);
+  if (it == widgets_.end()) {
+    return Status::NotFound("unknown widget '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace cactis::env

@@ -1,0 +1,58 @@
+// Display attributes: the user-interface example closing paper section 4.
+//
+// "Cactis attributed graphs can be used to manage the user interface ...
+// constructing and composing special program fragments that, when
+// combined, are able to redraw a graphical display screen. Attribute
+// evaluation rules are used to create, combine and control these program
+// fragments ... This allows the user interface to automatically reflect
+// the state of the underlying data regardless of how it is modified."
+// (The authors' Higgens UIMS.)
+//
+// Here the "program fragments" are rendered text blocks: every widget
+// derives its own `render` string and exports it to its parent as
+// `fragment`; a container composes its children's fragments. Changing any
+// widget's data re-renders exactly the path from that widget to the root
+// — the same incremental machinery as everything else.
+
+#ifndef CACTIS_ENV_DISPLAY_H_
+#define CACTIS_ENV_DISPLAY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace cactis::env {
+
+class DisplayManager {
+ public:
+  static Result<std::unique_ptr<DisplayManager>> Attach(core::Database* db);
+
+  /// Creates a widget. Kinds: "label" (shows text), "meter" (text plus a
+  /// bar of `level` ticks), "box" (titled container composing children).
+  Result<InstanceId> AddWidget(const std::string& name,
+                               const std::string& kind,
+                               const std::string& text,
+                               const std::string& parent = "");
+
+  Status SetText(const std::string& name, const std::string& text);
+  Status SetLevel(const std::string& name, int64_t level);
+
+  /// The rendered screen for the widget subtree rooted at `name`.
+  Result<std::string> Render(const std::string& name);
+
+  Result<InstanceId> IdOf(const std::string& name) const;
+
+  static const char* SchemaSource();
+
+ private:
+  explicit DisplayManager(core::Database* db) : db_(db) {}
+
+  core::Database* db_;
+  std::map<std::string, InstanceId> widgets_;
+};
+
+}  // namespace cactis::env
+
+#endif  // CACTIS_ENV_DISPLAY_H_

@@ -1,0 +1,117 @@
+#include "env/flow_analysis.h"
+
+namespace cactis::env {
+
+const char* FlowAnalysis::SchemaSource() {
+  return R"(
+relationship flow;
+
+object class stmt_node is
+  relationships
+    preds : flow multi socket;
+    succs : flow multi plug;
+  attributes
+    defs : array;   -- variables this statement defines
+    uses : array;   -- variables this statement reads
+    defined_in : array;
+    defined_out : array;
+    undefined_uses : array;
+  rules
+    -- `circular`: these attributes may sit on control-flow cycles
+    -- (loops); the engine resolves them by fixed-point iteration from
+    -- the empty set, per [Far86] ("circular but well-defined").
+    circular defined_in =
+      begin
+        acc : array;
+        acc = [];
+        for each p related to preds do
+          acc = set_union(acc, p.defined_out);
+        end;
+        return acc;
+      end;
+    circular defined_out = set_union(defined_in, defs);
+    undefined_uses = set_diff(uses, defined_in);
+end object;
+)";
+}
+
+Result<std::unique_ptr<FlowAnalysis>> FlowAnalysis::Attach(
+    core::Database* db) {
+  if (db->catalog()->FindClass("stmt_node") == nullptr) {
+    CACTIS_RETURN_IF_ERROR(db->LoadSchema(SchemaSource()));
+  }
+  return std::unique_ptr<FlowAnalysis>(new FlowAnalysis(db));
+}
+
+Value FlowAnalysis::StringSet(const std::vector<std::string>& names) {
+  std::vector<Value> values;
+  values.reserve(names.size());
+  for (const std::string& n : names) values.push_back(Value::String(n));
+  return Value::Array(std::move(values));
+}
+
+Result<std::vector<std::string>> FlowAnalysis::ToStrings(const Value& v) {
+  CACTIS_ASSIGN_OR_RETURN(std::vector<Value> elems, v.AsArray());
+  std::vector<std::string> out;
+  out.reserve(elems.size());
+  for (const Value& e : elems) {
+    CACTIS_ASSIGN_OR_RETURN(std::string s, e.AsString());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Result<InstanceId> FlowAnalysis::AddStatement(
+    const std::string& label, const std::vector<std::string>& defs,
+    const std::vector<std::string>& uses) {
+  if (stmts_.contains(label)) {
+    return Status::AlreadyExists("statement '" + label + "' already exists");
+  }
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, db_->Create("stmt_node"));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "defs", StringSet(defs)));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "uses", StringSet(uses)));
+  stmts_[label] = id;
+  return id;
+}
+
+Status FlowAnalysis::AddFlow(const std::string& from, const std::string& to) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId f, IdOf(from));
+  CACTIS_ASSIGN_OR_RETURN(InstanceId t, IdOf(to));
+  return db_->Connect(t, "preds", f, "succs").status();
+}
+
+Result<std::vector<std::string>> FlowAnalysis::UndefinedUses(
+    const std::string& label) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(label));
+  CACTIS_ASSIGN_OR_RETURN(Value v, db_->Get(id, "undefined_uses"));
+  return ToStrings(v);
+}
+
+Result<std::vector<std::string>> FlowAnalysis::DefinedOnEntry(
+    const std::string& label) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(label));
+  CACTIS_ASSIGN_OR_RETURN(Value v, db_->Get(id, "defined_in"));
+  return ToStrings(v);
+}
+
+Status FlowAnalysis::SetDefs(const std::string& label,
+                             const std::vector<std::string>& defs) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(label));
+  return db_->Set(id, "defs", StringSet(defs));
+}
+
+Status FlowAnalysis::SetUses(const std::string& label,
+                             const std::vector<std::string>& uses) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(label));
+  return db_->Set(id, "uses", StringSet(uses));
+}
+
+Result<InstanceId> FlowAnalysis::IdOf(const std::string& label) const {
+  auto it = stmts_.find(label);
+  if (it == stmts_.end()) {
+    return Status::NotFound("unknown statement '" + label + "'");
+  }
+  return it->second;
+}
+
+}  // namespace cactis::env

@@ -1,0 +1,72 @@
+// FlowAnalysis: program flow analysis as attribute evaluation (paper
+// section 4).
+//
+// "Since Cactis does not support data cycles, it can only handle flow
+// analysis for simple languages such as a goto-less Pascal; however, the
+// techniques described in [Far86] are being incorporated into Cactis so
+// that it may support more general forms of flow analysis." This library
+// implements that extension: the propagation attributes are declared
+// `circular`, so loops in the control-flow graph are resolved by
+// fixed-point iteration from the empty set. Each statement node declares
+// the variables it defines and uses, and derived attributes propagate the
+// defined set forward:
+//
+//   defined_in  = union over predecessors of their defined_out
+//   defined_out = defined_in U defs
+//   undefined_uses = uses \ defined_in   (possible use-before-definition)
+//
+// Editing one statement re-propagates incrementally through exactly the
+// affected region — the same machinery the milestone manager uses.
+
+#ifndef CACTIS_ENV_FLOW_ANALYSIS_H_
+#define CACTIS_ENV_FLOW_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace cactis::env {
+
+class FlowAnalysis {
+ public:
+  static Result<std::unique_ptr<FlowAnalysis>> Attach(core::Database* db);
+
+  /// Adds a statement node with the variables it defines and uses.
+  Result<InstanceId> AddStatement(const std::string& label,
+                                  const std::vector<std::string>& defs,
+                                  const std::vector<std::string>& uses);
+
+  /// Adds a control-flow edge `from` -> `to`.
+  Status AddFlow(const std::string& from, const std::string& to);
+
+  /// Variables possibly used before definition at the labelled statement.
+  Result<std::vector<std::string>> UndefinedUses(const std::string& label);
+
+  /// Variables definitely defined on entry to the statement.
+  Result<std::vector<std::string>> DefinedOnEntry(const std::string& label);
+
+  /// Changes a statement's defined / used variable sets (an edit).
+  Status SetDefs(const std::string& label,
+                 const std::vector<std::string>& defs);
+  Status SetUses(const std::string& label,
+                 const std::vector<std::string>& uses);
+
+  Result<InstanceId> IdOf(const std::string& label) const;
+
+  static const char* SchemaSource();
+
+ private:
+  explicit FlowAnalysis(core::Database* db) : db_(db) {}
+
+  static Value StringSet(const std::vector<std::string>& names);
+  static Result<std::vector<std::string>> ToStrings(const Value& v);
+
+  core::Database* db_;
+  std::map<std::string, InstanceId> stmts_;
+};
+
+}  // namespace cactis::env
+
+#endif  // CACTIS_ENV_FLOW_ANALYSIS_H_

@@ -1,0 +1,180 @@
+#include "env/make_facility.h"
+
+namespace cactis::env {
+
+const char* MakeFacility::SchemaSource() {
+  // Figures 2, 3 and 4 of the paper, in the data language. `void(...)`
+  // is the paper's VOID; `void(file_stamp)` additionally ties the rules to
+  // the intrinsic mtime mirror so external file changes (folded in by
+  // SyncStamps) invalidate them.
+  return R"(
+relationship make_result;
+
+object class make_rule is
+  relationships
+    output     : make_result multi plug;
+    depends_on : make_result multi socket;
+  attributes
+    file_name    : string;   -- path name of file to create
+    make_command : string;   -- text of command to create the file
+    file_stamp   : time;     -- mirror of the file's mtime (invalidation)
+  rules
+    -- Figure 3: the youngest of this file and the things it depends on.
+    output.mod_time =
+      begin
+        youngest : time;
+        void(file_stamp);
+        youngest = file_mod_time(file_name);
+        for each dep related to depends_on do
+          youngest = later_of(youngest, dep.mod_time);
+        end;
+        return youngest;
+      end;
+    -- Figure 4: make sure everything depended on is up to date, then
+    -- recreate this object if necessary. (One refinement over the figure:
+    -- a target that does not exist yet must be recreated — the paper's
+    -- "distant future" convention for missing files covers dependencies,
+    -- not the target itself.)
+    output.up_to_date =
+      begin
+        need_recreate : boolean;
+        this_time : time;
+        void(file_stamp);
+        need_recreate = false;
+        if file_exists(file_name) then
+          this_time = file_mod_time(file_name);
+        else
+          need_recreate = true;
+          this_time = time0;
+        end;
+        for each dep related to depends_on do
+          void(dep.up_to_date);
+          if later_than(dep.mod_time, this_time) then
+            need_recreate = true;
+          end;
+        end;
+        if need_recreate and len(make_command) > 0 then
+          system_command(make_command);
+        end;
+        return 1;
+      end;
+end object;
+)";
+}
+
+Result<std::unique_ptr<MakeFacility>> MakeFacility::Attach(
+    core::Database* db, VirtualFileSystem* vfs, CommandRunner* runner) {
+  if (db->catalog()->FindClass("make_rule") == nullptr) {
+    CACTIS_RETURN_IF_ERROR(db->LoadSchema(SchemaSource()));
+  }
+  db->builtins()->Register(
+      "file_mod_time", [vfs](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("file_mod_time() expects a path");
+        }
+        CACTIS_ASSIGN_OR_RETURN(std::string path, args[0].AsString());
+        return Value::Time(vfs->MTime(path));
+      });
+  db->builtins()->Register(
+      "file_exists", [vfs](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("file_exists() expects a path");
+        }
+        CACTIS_ASSIGN_OR_RETURN(std::string path, args[0].AsString());
+        return Value::Bool(vfs->Exists(path));
+      });
+  db->builtins()->Register(
+      "system_command",
+      [runner](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("system_command() expects a string");
+        }
+        CACTIS_ASSIGN_OR_RETURN(std::string cmd, args[0].AsString());
+        CACTIS_RETURN_IF_ERROR(runner->Run(cmd));
+        return Value::Int(0);
+      });
+  return std::unique_ptr<MakeFacility>(new MakeFacility(db, vfs, runner));
+}
+
+Result<InstanceId> MakeFacility::AddSource(const std::string& file) {
+  if (rules_.contains(file)) {
+    return Status::AlreadyExists("a rule for '" + file + "' already exists");
+  }
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, db_->Create("make_rule"));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "file_name", Value::String(file)));
+  CACTIS_RETURN_IF_ERROR(
+      db_->Set(id, "file_stamp", Value::Time(vfs_->MTime(file))));
+  rules_[file] = id;
+  return id;
+}
+
+Result<InstanceId> MakeFacility::AddRule(
+    const std::string& file, const std::string& command,
+    const std::vector<std::string>& inputs) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, AddSource(file));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "make_command", Value::String(command)));
+  for (const std::string& input : inputs) {
+    auto in = rules_.find(input);
+    if (in == rules_.end()) {
+      return Status::NotFound("no rule for input '" + input +
+                              "'; add sources before rules that use them");
+    }
+    CACTIS_RETURN_IF_ERROR(
+        db_->Connect(id, "depends_on", in->second, "output").status());
+  }
+  // Building this rule writes its output file.
+  VirtualFileSystem* vfs = vfs_;
+  std::string out_file = file;
+  runner_->RegisterEffect(command, [vfs, out_file](const std::string&) {
+    vfs->Write(out_file, "built: " + out_file);
+    return Status::OK();
+  });
+  return id;
+}
+
+Status MakeFacility::SyncStamps() {
+  for (const auto& [file, id] : rules_) {
+    TimePoint real = vfs_->MTime(file);
+    CACTIS_ASSIGN_OR_RETURN(Value stored, db_->Peek(id, "file_stamp"));
+    CACTIS_ASSIGN_OR_RETURN(TimePoint stamp, stored.AsTime());
+    if (stamp != real) {
+      CACTIS_RETURN_IF_ERROR(db_->Set(id, "file_stamp", Value::Time(real)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> MakeFacility::Build(const std::string& file) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, RuleFor(file));
+  size_t total = 0;
+  // Commands run during a pass change file times behind the cached
+  // attribute values; iterate to the (quickly reached) fixpoint. Each
+  // out-of-date module's command runs exactly once overall.
+  for (int iter = 0; iter < 64; ++iter) {
+    CACTIS_RETURN_IF_ERROR(SyncStamps());
+    size_t before = runner_->execution_count();
+    CACTIS_RETURN_IF_ERROR(db_->Peek(id, "output.up_to_date").status());
+    size_t executed = runner_->execution_count() - before;
+    total += executed;
+    if (executed == 0) break;
+  }
+  CACTIS_RETURN_IF_ERROR(SyncStamps());
+  return total;
+}
+
+Result<TimePoint> MakeFacility::ModTime(const std::string& file) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, RuleFor(file));
+  CACTIS_RETURN_IF_ERROR(SyncStamps());
+  CACTIS_ASSIGN_OR_RETURN(Value v, db_->Peek(id, "output.mod_time"));
+  return v.AsTime();
+}
+
+Result<InstanceId> MakeFacility::RuleFor(const std::string& file) const {
+  auto it = rules_.find(file);
+  if (it == rules_.end()) {
+    return Status::NotFound("no make rule for '" + file + "'");
+  }
+  return it->second;
+}
+
+}  // namespace cactis::env

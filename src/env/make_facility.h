@@ -1,0 +1,95 @@
+// MakeFacility: the make capability of paper section 4 (Figures 2-4),
+// "which has been completed".
+//
+// Every file that participates in a build is represented by a `make_rule`
+// object whose `output` relationship feeds the things that depend on it
+// and whose `depends_on` relationship names the things it depends on. Two
+// values are transmitted across `output`:
+//
+//   mod_time   (Figure 3) — the youngest modification time among this
+//              object's file and everything it depends on;
+//   up_to_date (Figure 4) — demanding it recursively brings all
+//              dependencies up to date (executing `system_command`s in
+//              dependency order) and then this object itself.
+//
+// Model note: the paper's Cactis needed an auxiliary connector class for
+// the many-to-many output/depends_on shape; this library's relationship
+// types connect multi-plugs to multi-sockets directly, so `make_result`
+// edges simply join `output` ports to `depends_on` ports.
+//
+// External invalidation: file modification times live outside the
+// database, so each make_rule carries an intrinsic `file_stamp` mirror of
+// its file's mtime. SyncStamps() folds VFS changes into the database
+// (changed stamps mark the derived make values out of date); the rules
+// reference `file_stamp` (via `void(file_stamp)`) exactly so that this
+// dependency exists, while reading true times through `file_mod_time`.
+
+#ifndef CACTIS_ENV_MAKE_FACILITY_H_
+#define CACTIS_ENV_MAKE_FACILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "env/command_runner.h"
+#include "env/vfs.h"
+
+namespace cactis::env {
+
+class MakeFacility {
+ public:
+  /// Loads the make_rule schema into `db` and registers the
+  /// `file_mod_time` / `system_command` builtins against `vfs`/`runner`.
+  /// All three must outlive the facility.
+  static Result<std::unique_ptr<MakeFacility>> Attach(core::Database* db,
+                                                      VirtualFileSystem* vfs,
+                                                      CommandRunner* runner);
+
+  /// Defines a build rule: `file` is produced by `command` from `inputs`
+  /// (each input must already have a rule; source files use AddSource).
+  /// Registers a command effect that writes `file` into the VFS.
+  Result<InstanceId> AddRule(const std::string& file,
+                             const std::string& command,
+                             const std::vector<std::string>& inputs);
+
+  /// Declares a source file (no command; must exist in the VFS or be
+  /// written later).
+  Result<InstanceId> AddSource(const std::string& file);
+
+  /// Folds external file changes into the database: for every rule whose
+  /// file's VFS mtime differs from its stored `file_stamp`, updates the
+  /// stamp (marking dependents out of date).
+  Status SyncStamps();
+
+  /// Brings `file` (and transitively everything it depends on) up to
+  /// date, executing the necessary commands in dependency order. Returns
+  /// the number of commands executed.
+  Result<size_t> Build(const std::string& file);
+
+  /// The youngest modification time among `file` and its dependencies.
+  Result<TimePoint> ModTime(const std::string& file);
+
+  Result<InstanceId> RuleFor(const std::string& file) const;
+
+  core::Database* db() { return db_; }
+  VirtualFileSystem* vfs() { return vfs_; }
+  CommandRunner* runner() { return runner_; }
+
+  /// The data-language source of the make_rule class (Figures 2-4).
+  static const char* SchemaSource();
+
+ private:
+  MakeFacility(core::Database* db, VirtualFileSystem* vfs,
+               CommandRunner* runner)
+      : db_(db), vfs_(vfs), runner_(runner) {}
+
+  core::Database* db_;
+  VirtualFileSystem* vfs_;
+  CommandRunner* runner_;
+  std::map<std::string, InstanceId> rules_;
+};
+
+}  // namespace cactis::env
+
+#endif  // CACTIS_ENV_MAKE_FACILITY_H_

@@ -1,0 +1,109 @@
+#include "env/milestone.h"
+
+namespace cactis::env {
+
+const char* MilestoneManager::SchemaSource() {
+  // Figure 1 of the paper. A milestone transmits its expected completion
+  // time to the things that consist of it (i.e. depend on it) as
+  // `exp_time`.
+  return R"(
+relationship milestone_dep;
+
+object class milestone is
+  relationships
+    depends_on  : milestone_dep multi socket;
+    consists_of : milestone_dep multi plug;
+  attributes
+    sched_compl : time;   -- originally scheduled completion time
+    local_work  : time;   -- time to complete milestone alone
+    exp_compl   : time;   -- expected completion time
+    late        : boolean; -- is this milestone expected late
+  rules
+    exp_compl =
+      begin
+        latest : time;
+        -- sum local work and latest of things depended on
+        latest = time0;
+        for each dep related to depends_on do
+          latest = later_of(latest, dep.exp_time);
+        end;
+        return latest + local_work;
+      end;
+    late = later_than(exp_compl, sched_compl);
+    consists_of.exp_time = exp_compl;
+end object;
+)";
+}
+
+Result<std::unique_ptr<MilestoneManager>> MilestoneManager::Attach(
+    core::Database* db) {
+  if (db->catalog()->FindClass("milestone") == nullptr) {
+    CACTIS_RETURN_IF_ERROR(db->LoadSchema(SchemaSource()));
+  }
+  return std::unique_ptr<MilestoneManager>(new MilestoneManager(db));
+}
+
+Result<InstanceId> MilestoneManager::AddMilestone(const std::string& name,
+                                                  TimePoint sched_compl,
+                                                  int64_t local_work) {
+  if (milestones_.contains(name)) {
+    return Status::AlreadyExists("milestone '" + name + "' already exists");
+  }
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, db_->Create("milestone"));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "sched_compl", Value::Time(sched_compl)));
+  CACTIS_RETURN_IF_ERROR(db_->Set(id, "local_work", Value::Time(local_work)));
+  milestones_[name] = id;
+  return id;
+}
+
+Status MilestoneManager::AddDependency(const std::string& name,
+                                       const std::string& prereq) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId a, IdOf(name));
+  CACTIS_ASSIGN_OR_RETURN(InstanceId b, IdOf(prereq));
+  return db_->Connect(a, "depends_on", b, "consists_of").status();
+}
+
+Result<TimePoint> MilestoneManager::ExpectedCompletion(
+    const std::string& name) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  CACTIS_ASSIGN_OR_RETURN(Value v, db_->Get(id, "exp_compl"));
+  return v.AsTime();
+}
+
+Result<bool> MilestoneManager::IsLate(const std::string& name) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  CACTIS_ASSIGN_OR_RETURN(Value v, db_->Get(id, "late"));
+  return v.AsBool();
+}
+
+Status MilestoneManager::SetLocalWork(const std::string& name,
+                                      int64_t local_work) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  return db_->Set(id, "local_work", Value::Time(local_work));
+}
+
+Status MilestoneManager::SetScheduledCompletion(const std::string& name,
+                                                TimePoint t) {
+  CACTIS_ASSIGN_OR_RETURN(InstanceId id, IdOf(name));
+  return db_->Set(id, "sched_compl", Value::Time(t));
+}
+
+Result<InstanceId> MilestoneManager::IdOf(const std::string& name) const {
+  auto it = milestones_.find(name);
+  if (it == milestones_.end()) {
+    return Status::NotFound("unknown milestone '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MilestoneManager::Names() const {
+  std::vector<std::string> out;
+  out.reserve(milestones_.size());
+  for (const auto& [name, id] : milestones_) {
+    (void)id;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace cactis::env

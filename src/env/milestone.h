@@ -1,0 +1,60 @@
+// MilestoneManager: the milestone manager of paper section 4 (Figure 1).
+//
+// A milestone has an originally scheduled completion time, the local work
+// remaining once its prerequisites finish, a derived expected completion
+// time (the latest expected time among everything it depends on plus the
+// local work), and a derived `late` flag. Changing one milestone's
+// schedule "may have effects that ripple throughout the expected
+// completion dates for other milestones in the system" — and Cactis keeps
+// all of it consistent incrementally.
+
+#ifndef CACTIS_ENV_MILESTONE_H_
+#define CACTIS_ENV_MILESTONE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace cactis::env {
+
+class MilestoneManager {
+ public:
+  /// Loads the milestone schema (Figure 1) into `db`.
+  static Result<std::unique_ptr<MilestoneManager>> Attach(core::Database* db);
+
+  /// Creates a milestone. `sched_compl` is the originally scheduled
+  /// completion time, `local_work` the time to complete it alone.
+  Result<InstanceId> AddMilestone(const std::string& name,
+                                  TimePoint sched_compl, int64_t local_work);
+
+  /// Declares that `name` depends on (cannot finish before) `prereq`.
+  Status AddDependency(const std::string& name, const std::string& prereq);
+
+  /// Derived queries.
+  Result<TimePoint> ExpectedCompletion(const std::string& name);
+  Result<bool> IsLate(const std::string& name);
+
+  /// Updates.
+  Status SetLocalWork(const std::string& name, int64_t local_work);
+  Status SetScheduledCompletion(const std::string& name, TimePoint t);
+
+  Result<InstanceId> IdOf(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  core::Database* db() { return db_; }
+
+  /// The data-language source of the milestone class (Figure 1).
+  static const char* SchemaSource();
+
+ private:
+  explicit MilestoneManager(core::Database* db) : db_(db) {}
+
+  core::Database* db_;
+  std::map<std::string, InstanceId> milestones_;
+};
+
+}  // namespace cactis::env
+
+#endif  // CACTIS_ENV_MILESTONE_H_

@@ -1,0 +1,45 @@
+#include "env/vfs.h"
+
+namespace cactis::env {
+
+void VirtualFileSystem::Write(const std::string& path, std::string content) {
+  TimePoint now = clock_->Advance();
+  files_[path] = FileEntry{now, std::move(content)};
+}
+
+void VirtualFileSystem::Touch(const std::string& path) {
+  TimePoint now = clock_->Advance();
+  files_[path].mtime = now;
+}
+
+TimePoint VirtualFileSystem::MTime(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? kTimeInfinity : it->second.mtime;
+}
+
+Result<std::string> VirtualFileSystem::ReadFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second.content;
+}
+
+Status VirtualFileSystem::Remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VirtualFileSystem::List() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, entry] : files_) {
+    (void)entry;
+    out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace cactis::env

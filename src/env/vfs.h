@@ -1,0 +1,61 @@
+// VirtualFileSystem: the deterministic stand-in for the Unix file system
+// under the make facility (paper section 4, Figures 2-4).
+//
+// Substitution note (DESIGN.md): the paper's `file_mod_time` consulted
+// real files and `system_command` shelled out. We reproduce both against
+// an in-process file store driven by a SimClock, which keeps the
+// experiments deterministic and assertable while exercising the same rule
+// logic. Per the paper, the modification time of a missing file is "a
+// time in the distant future".
+
+#ifndef CACTIS_ENV_VFS_H_
+#define CACTIS_ENV_VFS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace cactis::env {
+
+class VirtualFileSystem {
+ public:
+  explicit VirtualFileSystem(SimClock* clock) : clock_(clock) {}
+
+  /// Creates or overwrites a file; its mtime becomes "now" (the clock is
+  /// advanced first so every write has a distinct time).
+  void Write(const std::string& path, std::string content);
+
+  /// Updates only the mtime (like touch(1)).
+  void Touch(const std::string& path);
+
+  bool Exists(const std::string& path) const {
+    return files_.contains(path);
+  }
+
+  /// Modification time; kTimeInfinity when the file does not exist.
+  TimePoint MTime(const std::string& path) const;
+
+  Result<std::string> ReadFile(const std::string& path) const;
+
+  Status Remove(const std::string& path);
+
+  std::vector<std::string> List() const;
+  SimClock* clock() { return clock_; }
+
+ private:
+  struct FileEntry {
+    TimePoint mtime;
+    std::string content;
+  };
+
+  SimClock* clock_;
+  std::map<std::string, FileEntry> files_;
+};
+
+}  // namespace cactis::env
+
+#endif  // CACTIS_ENV_VFS_H_

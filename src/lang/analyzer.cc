@@ -1,0 +1,166 @@
+#include "lang/analyzer.h"
+
+#include <map>
+
+namespace cactis::lang {
+
+namespace {
+
+/// Builtins whose first argument is a port name rather than a value.
+bool IsPortBuiltin(std::string_view callee) {
+  return callee == "count" || callee == "exists";
+}
+
+class Analysis {
+ public:
+  Analysis(const ClassContext& ctx, bool allow_attr_assign)
+      : ctx_(ctx), allow_attr_assign_(allow_attr_assign) {}
+
+  Status WalkBody(const RuleBody& body) {
+    if (body.is_block) return WalkStmts(body.block);
+    return WalkExpr(*body.expr);
+  }
+
+  Status WalkStmts(const StmtList& stmts) {
+    for (const Stmt& s : stmts) CACTIS_RETURN_IF_ERROR(WalkStmt(s));
+    return Status::OK();
+  }
+
+  std::vector<Dependency> TakeDeps() {
+    return std::vector<Dependency>(deps_.begin(), deps_.end());
+  }
+
+ private:
+  Status WalkStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kVarDecl:
+        if (stmt.expr) CACTIS_RETURN_IF_ERROR(WalkExpr(*stmt.expr));
+        vars_[stmt.name] = "";  // plain variable, not a loop binding
+        return Status::OK();
+      case StmtKind::kAssign: {
+        CACTIS_RETURN_IF_ERROR(WalkExpr(*stmt.expr));
+        if (vars_.contains(stmt.name)) return Status::OK();
+        if (ctx_.attribute_names.contains(stmt.name)) {
+          if (!allow_attr_assign_) {
+            return Status::ParseError(
+                "rule assigns attribute '" + stmt.name +
+                "' (only recovery actions may assign attributes), line " +
+                std::to_string(stmt.line));
+          }
+          return Status::OK();
+        }
+        return Status::ParseError("assignment to undeclared name '" +
+                                  stmt.name + "' at line " +
+                                  std::to_string(stmt.line));
+      }
+      case StmtKind::kForEach: {
+        if (!ctx_.port_names.contains(stmt.port)) {
+          return Status::ParseError("for-each over unknown relationship '" +
+                                    stmt.port + "' at line " +
+                                    std::to_string(stmt.line));
+        }
+        deps_.insert({Dependency::Kind::kStructural, "", stmt.port});
+        auto saved = vars_;
+        vars_[stmt.var] = stmt.port;  // loop binding
+        CACTIS_RETURN_IF_ERROR(WalkStmts(stmt.body));
+        vars_ = std::move(saved);
+        return Status::OK();
+      }
+      case StmtKind::kIf:
+        CACTIS_RETURN_IF_ERROR(WalkExpr(*stmt.expr));
+        CACTIS_RETURN_IF_ERROR(WalkStmts(stmt.body));
+        return WalkStmts(stmt.else_body);
+      case StmtKind::kReturn:
+      case StmtKind::kExpr:
+        return WalkExpr(*stmt.expr);
+    }
+    return Status::Internal("unknown statement kind");
+  }
+
+  Status WalkExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return Status::OK();
+      case ExprKind::kName:
+        // Variable shadows attribute; unknown names may be zero-argument
+        // builtins (e.g. time0), resolved at run time.
+        if (!vars_.contains(e.name) && ctx_.attribute_names.contains(e.name)) {
+          deps_.insert({Dependency::Kind::kLocal, e.name, ""});
+        }
+        return Status::OK();
+      case ExprKind::kDot: {
+        auto var = vars_.find(e.name);
+        if (var != vars_.end()) {
+          if (var->second.empty()) {
+            return Status::ParseError(
+                "'" + e.name + "' is a plain variable, not a loop variable; "
+                "cannot access '." + e.field + "' at line " +
+                std::to_string(e.line));
+          }
+          deps_.insert({Dependency::Kind::kRemote, e.field, var->second});
+          return Status::OK();
+        }
+        if (ctx_.port_names.contains(e.name)) {
+          // Direct single-port access; also structural (which neighbour?).
+          deps_.insert({Dependency::Kind::kRemote, e.field, e.name});
+          deps_.insert({Dependency::Kind::kStructural, "", e.name});
+          return Status::OK();
+        }
+        if (ctx_.attribute_names.contains(e.name)) {
+          // Record field access on a local attribute.
+          deps_.insert({Dependency::Kind::kLocal, e.name, ""});
+          return Status::OK();
+        }
+        return Status::ParseError("'" + e.name +
+                                  "' is neither a loop variable, a "
+                                  "relationship, nor an attribute at line " +
+                                  std::to_string(e.line));
+      }
+      case ExprKind::kCall: {
+        if (IsPortBuiltin(e.name)) {
+          if (e.args.size() != 1 || e.args[0]->kind != ExprKind::kName ||
+              !ctx_.port_names.contains(e.args[0]->name)) {
+            return Status::ParseError(
+                e.name + "() expects a single relationship name, line " +
+                std::to_string(e.line));
+          }
+          deps_.insert({Dependency::Kind::kStructural, "", e.args[0]->name});
+          return Status::OK();
+        }
+        for (const ExprPtr& a : e.args) CACTIS_RETURN_IF_ERROR(WalkExpr(*a));
+        return Status::OK();
+      }
+      case ExprKind::kBinary:
+        CACTIS_RETURN_IF_ERROR(WalkExpr(*e.lhs));
+        return WalkExpr(*e.rhs);
+      case ExprKind::kUnary:
+        return WalkExpr(*e.lhs);
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  const ClassContext& ctx_;
+  bool allow_attr_assign_;
+  std::map<std::string, std::string> vars_;  // name -> port ("" if plain)
+  std::set<Dependency> deps_;
+};
+
+}  // namespace
+
+Result<std::vector<Dependency>> AnalyzeDependencies(const RuleBody& body,
+                                                    const ClassContext& ctx,
+                                                    bool allow_attr_assign) {
+  Analysis a(ctx, allow_attr_assign);
+  CACTIS_RETURN_IF_ERROR(a.WalkBody(body));
+  return a.TakeDeps();
+}
+
+Result<std::vector<Dependency>> AnalyzeDependencies(const StmtList& stmts,
+                                                    const ClassContext& ctx,
+                                                    bool allow_attr_assign) {
+  Analysis a(ctx, allow_attr_assign);
+  CACTIS_RETURN_IF_ERROR(a.WalkStmts(stmts));
+  return a.TakeDeps();
+}
+
+}  // namespace cactis::lang

@@ -1,0 +1,62 @@
+// Static dependency analysis of attribute-evaluation rules.
+//
+// Paper, section 2.2: "An attribute is dependent on another attribute if
+// that attribute is mentioned in its attribute evaluation rule." The
+// analyzer extracts exactly those mentions from a rule's AST:
+//
+//  * kLocal      — a mention of an attribute of the same instance;
+//  * kRemote     — `v.name` inside `for each v related to port`, or
+//                  `port.name` directly: the value `name` received across
+//                  `port`;
+//  * kStructural — the rule's result depends on the *set of edges* of a
+//                  port (for-each iteration, count/exists), so connecting
+//                  or disconnecting the port invalidates it.
+//
+// The schema layer uses the dependency list to wire the attribute
+// dependency graph; the mark-out-of-date phase traverses its reverse.
+
+#ifndef CACTIS_LANG_ANALYZER_H_
+#define CACTIS_LANG_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace cactis::lang {
+
+struct Dependency {
+  enum class Kind { kLocal, kRemote, kStructural };
+  Kind kind;
+  std::string name;  // attribute / received-value name (empty: structural)
+  std::string port;  // for kRemote and kStructural
+
+  auto operator<=>(const Dependency&) const = default;
+};
+
+/// The class context the analyzer resolves names against.
+struct ClassContext {
+  std::set<std::string> attribute_names;
+  std::set<std::string> port_names;
+};
+
+/// Extracts the deduplicated dependency list of `body`.
+///
+/// `allow_attr_assign` permits assignment statements that target an
+/// attribute name (legal only in constraint recovery actions). An
+/// assignment to a name that is neither a declared local variable nor
+/// (when allowed) an attribute is an error; likewise a for-each over an
+/// unknown port.
+Result<std::vector<Dependency>> AnalyzeDependencies(
+    const RuleBody& body, const ClassContext& ctx,
+    bool allow_attr_assign = false);
+
+/// Convenience overload for bare statement lists (recovery actions).
+Result<std::vector<Dependency>> AnalyzeDependencies(
+    const StmtList& stmts, const ClassContext& ctx, bool allow_attr_assign);
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_ANALYZER_H_

@@ -1,0 +1,238 @@
+// AST of the Cactis data language: expressions, statements, rule bodies,
+// and the schema-level declaration specs that the schema loader converts
+// into catalog entries.
+//
+// Name resolution is dynamic (performed by the interpreter against an
+// EvalContext) and mirrored statically by the dependency analyzer: a bare
+// identifier resolves to, in order, a local variable, a local attribute, or
+// a zero-argument builtin; `base.field` resolves `base` to a For-Each loop
+// variable or to a relationship port.
+
+#ifndef CACTIS_LANG_AST_H_
+#define CACTIS_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace cactis::lang {
+
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+std::string_view BinOpToString(BinOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kLiteral,   // value
+  kName,      // bare identifier: variable / local attribute / 0-arg builtin
+  kDot,       // base.field: loop-variable or port remote access
+  kCall,      // f(args); count/exists with a port-name argument are special
+  kBinary,
+  kUnary,
+};
+
+/// One expression node. A single flat struct (rather than a class
+/// hierarchy) keeps the analyzer and interpreter to simple switches.
+struct Expr {
+  ExprKind kind;
+  // kLiteral
+  Value literal;
+  // kName / kDot / kCall
+  std::string name;   // identifier, dot base, or callee
+  std::string field;  // kDot field
+  // kCall
+  std::vector<ExprPtr> args;
+  // kBinary / kUnary
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  int line = 0;
+
+  static ExprPtr Literal(Value v, int line = 0) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal = std::move(v);
+    e->line = line;
+    return e;
+  }
+  static ExprPtr Name(std::string n, int line = 0) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kName;
+    e->name = std::move(n);
+    e->line = line;
+    return e;
+  }
+  static ExprPtr Dot(std::string base, std::string field, int line = 0) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kDot;
+    e->name = std::move(base);
+    e->field = std::move(field);
+    e->line = line;
+    return e;
+  }
+  static ExprPtr Call(std::string callee, std::vector<ExprPtr> args,
+                      int line = 0) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kCall;
+    e->name = std::move(callee);
+    e->args = std::move(args);
+    e->line = line;
+    return e;
+  }
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r, int line = 0) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->bin_op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    e->line = line;
+    return e;
+  }
+  static ExprPtr Unary(UnOp op, ExprPtr operand, int line = 0) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kUnary;
+    e->un_op = op;
+    e->lhs = std::move(operand);
+    e->line = line;
+    return e;
+  }
+};
+
+struct Stmt;
+using StmtList = std::vector<Stmt>;
+
+enum class StmtKind {
+  kVarDecl,  // name : type [= expr];
+  kAssign,   // name = expr;  (local variable, or intrinsic attribute inside
+             //  recovery actions)
+  kForEach,  // for each var related to port do ... end;
+  kIf,       // if expr then ... [else ...] end;
+  kReturn,   // return(expr);
+  kExpr,     // expr;  (for side effects, e.g. void(dep.up_to_date))
+};
+
+struct Stmt {
+  StmtKind kind;
+  std::string name;                      // var decl / assign target
+  ValueType decl_type = ValueType::kNull;  // var decl
+  ExprPtr expr;                          // init / rhs / condition / return
+  std::string var;                       // for-each loop variable
+  std::string port;                      // for-each port
+  StmtList body;
+  StmtList else_body;
+  int line = 0;
+};
+
+/// The body of an attribute-evaluation rule, constraint predicate, subtype
+/// predicate, or recovery action: either a single expression or a
+/// Begin...End block whose value is supplied by `return`.
+struct RuleBody {
+  bool is_block = false;
+  ExprPtr expr;    // when !is_block
+  StmtList block;  // when is_block
+
+  static RuleBody FromExpr(ExprPtr e) {
+    RuleBody b;
+    b.is_block = false;
+    b.expr = std::move(e);
+    return b;
+  }
+  static RuleBody FromBlock(StmtList stmts) {
+    RuleBody b;
+    b.is_block = true;
+    b.block = std::move(stmts);
+    return b;
+  }
+};
+
+// --- Schema-level declarations -------------------------------------------
+
+/// `relationship name;` — declares a relationship type (an edge kind
+/// connecting one class's plug port to another class's socket port).
+struct RelTypeSpec {
+  std::string name;
+};
+
+struct PortSpec {
+  std::string name;
+  std::string rel_type;
+  bool is_plug = false;   // else socket
+  bool is_multi = false;  // else single
+};
+
+struct AttrSpec {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool has_default = false;
+  Value default_value;
+};
+
+/// A rule `target = body;` where target is `attr` (derived attribute) or
+/// `port.value_name` (an export: the value this class transmits across the
+/// named relationship port).
+struct RuleSpec {
+  std::string target;       // attribute name, or port name for exports
+  std::string export_name;  // non-empty for `port.value` targets
+  RuleBody body;
+  /// Declared with the `circular` keyword: the attribute may participate
+  /// in instance-level dependency cycles, resolved by fixed-point
+  /// iteration from its default value ([Far86]-style circular-but-
+  /// well-defined evaluation).
+  bool circular = false;
+};
+
+/// `name : predicate [recovery begin ... end];`
+struct ConstraintSpec {
+  std::string name;
+  RuleBody predicate;
+  bool has_recovery = false;
+  StmtList recovery;
+};
+
+struct ClassSpec {
+  std::string name;
+  std::vector<PortSpec> ports;
+  std::vector<AttrSpec> attributes;
+  std::vector<RuleSpec> rules;
+  std::vector<ConstraintSpec> constraints;
+};
+
+/// `subtype name of class where predicate;`
+struct SubtypeSpec {
+  std::string name;
+  std::string class_name;
+  RuleBody predicate;
+};
+
+/// One top-level declaration of a schema source file.
+struct Decl {
+  enum class Kind { kRelType, kClass, kSubtype } kind;
+  RelTypeSpec rel_type;
+  ClassSpec class_spec;
+  SubtypeSpec subtype;
+};
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_AST_H_

@@ -1,0 +1,320 @@
+#include "lang/builtins.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cactis::lang {
+
+namespace {
+
+Status Arity(const std::vector<Value>& args, size_t n,
+             std::string_view name) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(std::string(name) + "() expects " +
+                                   std::to_string(n) + " argument(s), got " +
+                                   std::to_string(args.size()));
+  }
+  return Status::OK();
+}
+
+Result<TimePoint> AsTimeLoose(const Value& v) {
+  if (v.type() == ValueType::kTime) return *v.AsTime();
+  if (v.type() == ValueType::kInt) return TimePoint{*v.AsInt()};
+  return Status::TypeMismatch("expected a time value, got " + v.ToString());
+}
+
+Result<Value> LaterOf(const std::vector<Value>& args) {
+  if (args.empty()) return Value::Time(kTimeZero);
+  CACTIS_ASSIGN_OR_RETURN(TimePoint best, AsTimeLoose(args[0]));
+  for (size_t i = 1; i < args.size(); ++i) {
+    CACTIS_ASSIGN_OR_RETURN(TimePoint t, AsTimeLoose(args[i]));
+    best = std::max(best, t);
+  }
+  return Value::Time(best);
+}
+
+Result<Value> EarlierOf(const std::vector<Value>& args) {
+  if (args.empty()) return Value::Time(kTimeInfinity);
+  CACTIS_ASSIGN_OR_RETURN(TimePoint best, AsTimeLoose(args[0]));
+  for (size_t i = 1; i < args.size(); ++i) {
+    CACTIS_ASSIGN_OR_RETURN(TimePoint t, AsTimeLoose(args[i]));
+    best = std::min(best, t);
+  }
+  return Value::Time(best);
+}
+
+/// Collects numeric aggregation inputs: either one array argument or N
+/// scalar arguments.
+Result<std::vector<double>> GatherNumbers(const std::vector<Value>& args) {
+  std::vector<double> nums;
+  if (args.size() == 1 && args[0].type() == ValueType::kArray) {
+    CACTIS_ASSIGN_OR_RETURN(std::vector<Value> elems, args[0].AsArray());
+    for (const Value& v : elems) {
+      CACTIS_ASSIGN_OR_RETURN(double d, v.ToNumber());
+      nums.push_back(d);
+    }
+    return nums;
+  }
+  for (const Value& v : args) {
+    CACTIS_ASSIGN_OR_RETURN(double d, v.ToNumber());
+    nums.push_back(d);
+  }
+  return nums;
+}
+
+bool AllInts(const std::vector<Value>& args) {
+  if (args.size() == 1 && args[0].type() == ValueType::kArray) {
+    const std::vector<Value> elems = *args[0].AsArray();
+    return std::all_of(elems.begin(), elems.end(), [](const Value& v) {
+      return v.type() == ValueType::kInt;
+    });
+  }
+  return std::all_of(args.begin(), args.end(), [](const Value& v) {
+    return v.type() == ValueType::kInt;
+  });
+}
+
+Value NumberValue(double d, bool as_int) {
+  return as_int ? Value::Int(static_cast<int64_t>(d)) : Value::Real(d);
+}
+
+}  // namespace
+
+void BuiltinRegistry::Register(std::string name, BuiltinFn fn) {
+  table_[std::move(name)] = std::move(fn);
+}
+
+const BuiltinFn* BuiltinRegistry::Lookup(const std::string& name) const {
+  auto it = table_.find(name);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+BuiltinRegistry BuiltinRegistry::WithDefaults() {
+  BuiltinRegistry reg;
+
+  reg.Register("time0", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_RETURN_IF_ERROR(Arity(args, 0, "time0"));
+    return Value::Time(kTimeZero);
+  });
+  reg.Register("time_inf",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 0, "time_inf"));
+                 return Value::Time(kTimeInfinity);
+               });
+  reg.Register("time", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_RETURN_IF_ERROR(Arity(args, 1, "time"));
+    CACTIS_ASSIGN_OR_RETURN(TimePoint t, AsTimeLoose(args[0]));
+    return Value::Time(t);
+  });
+  reg.Register("later_of", LaterOf);
+  reg.Register("earlier_of", EarlierOf);
+  reg.Register("later_than",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "later_than"));
+                 CACTIS_ASSIGN_OR_RETURN(TimePoint a, AsTimeLoose(args[0]));
+                 CACTIS_ASSIGN_OR_RETURN(TimePoint b, AsTimeLoose(args[1]));
+                 return Value::Bool(a > b);
+               });
+  reg.Register("earlier_than",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "earlier_than"));
+                 CACTIS_ASSIGN_OR_RETURN(TimePoint a, AsTimeLoose(args[0]));
+                 CACTIS_ASSIGN_OR_RETURN(TimePoint b, AsTimeLoose(args[1]));
+                 return Value::Bool(a < b);
+               });
+
+  reg.Register("min", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_ASSIGN_OR_RETURN(std::vector<double> nums, GatherNumbers(args));
+    if (nums.empty()) return Status::InvalidArgument("min() of nothing");
+    return NumberValue(*std::min_element(nums.begin(), nums.end()),
+                       AllInts(args));
+  });
+  reg.Register("max", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_ASSIGN_OR_RETURN(std::vector<double> nums, GatherNumbers(args));
+    if (nums.empty()) return Status::InvalidArgument("max() of nothing");
+    return NumberValue(*std::max_element(nums.begin(), nums.end()),
+                       AllInts(args));
+  });
+  reg.Register("sum", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_ASSIGN_OR_RETURN(std::vector<double> nums, GatherNumbers(args));
+    double total = 0;
+    for (double d : nums) total += d;
+    return NumberValue(total, AllInts(args));
+  });
+  reg.Register("abs", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_RETURN_IF_ERROR(Arity(args, 1, "abs"));
+    if (args[0].type() == ValueType::kInt) {
+      return Value::Int(std::llabs(*args[0].AsInt()));
+    }
+    CACTIS_ASSIGN_OR_RETURN(double d, args[0].ToNumber());
+    return Value::Real(d < 0 ? -d : d);
+  });
+
+  reg.Register("len", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_RETURN_IF_ERROR(Arity(args, 1, "len"));
+    if (args[0].type() == ValueType::kString) {
+      return Value::Int(static_cast<int64_t>(args[0].AsString()->size()));
+    }
+    if (args[0].type() == ValueType::kArray) {
+      return Value::Int(static_cast<int64_t>(args[0].AsArray()->size()));
+    }
+    return Status::TypeMismatch("len() expects a string or array");
+  });
+  reg.Register("concat",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 std::string out;
+                 for (const Value& v : args) {
+                   if (v.type() == ValueType::kString) {
+                     out += *v.AsString();
+                   } else {
+                     out += v.ToString();
+                   }
+                 }
+                 return Value::String(std::move(out));
+               });
+  reg.Register("repeat",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "repeat"));
+                 CACTIS_ASSIGN_OR_RETURN(std::string s, args[0].AsString());
+                 CACTIS_ASSIGN_OR_RETURN(int64_t n, args[1].AsInt());
+                 if (n < 0 || n > 1 << 20) {
+                   return Status::OutOfRange("repeat() count out of range");
+                 }
+                 std::string out;
+                 out.reserve(s.size() * static_cast<size_t>(n));
+                 for (int64_t i = 0; i < n; ++i) out += s;
+                 return Value::String(std::move(out));
+               });
+  reg.Register("indent",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "indent"));
+                 CACTIS_ASSIGN_OR_RETURN(std::string s, args[0].AsString());
+                 CACTIS_ASSIGN_OR_RETURN(int64_t n, args[1].AsInt());
+                 if (n < 0 || n > 1024) {
+                   return Status::OutOfRange("indent() width out of range");
+                 }
+                 std::string pad(static_cast<size_t>(n), ' ');
+                 std::string out = pad;
+                 for (char c : s) {
+                   out.push_back(c);
+                   if (c == '\n') out += pad;
+                 }
+                 return Value::String(std::move(out));
+               });
+  reg.Register("to_string",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 1, "to_string"));
+                 if (args[0].type() == ValueType::kString) return args[0];
+                 return Value::String(args[0].ToString());
+               });
+  reg.Register("to_int", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_RETURN_IF_ERROR(Arity(args, 1, "to_int"));
+    CACTIS_ASSIGN_OR_RETURN(double d, args[0].ToNumber());
+    return Value::Int(static_cast<int64_t>(d));
+  });
+  reg.Register("to_real",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 1, "to_real"));
+                 CACTIS_ASSIGN_OR_RETURN(double d, args[0].ToNumber());
+                 return Value::Real(d);
+               });
+
+  reg.Register("select",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 3, "select"));
+                 CACTIS_ASSIGN_OR_RETURN(bool c, args[0].AsBool());
+                 return c ? args[1] : args[2];
+               });
+
+  reg.Register("array", [](const std::vector<Value>& args) -> Result<Value> {
+    return Value::Array(args);
+  });
+  reg.Register("append",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "append"));
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a,
+                                         args[0].AsArray());
+                 a.push_back(args[1]);
+                 return Value::Array(std::move(a));
+               });
+  reg.Register("at", [](const std::vector<Value>& args) -> Result<Value> {
+    CACTIS_RETURN_IF_ERROR(Arity(args, 2, "at"));
+    CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a, args[0].AsArray());
+    CACTIS_ASSIGN_OR_RETURN(int64_t i, args[1].AsInt());
+    if (i < 0 || static_cast<size_t>(i) >= a.size()) {
+      return Status::OutOfRange("array index " + std::to_string(i) +
+                                " out of bounds (size " +
+                                std::to_string(a.size()) + ")");
+    }
+    return a[static_cast<size_t>(i)];
+  });
+
+  // Arrays-as-ordered-sets: elements kept sorted and unique, so set values
+  // compare equal independent of insertion order (used by flow analysis).
+  reg.Register("set_insert",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "set_insert"));
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a,
+                                         args[0].AsArray());
+                 auto pos = std::lower_bound(a.begin(), a.end(), args[1]);
+                 if (pos == a.end() || !(*pos == args[1])) {
+                   a.insert(pos, args[1]);
+                 }
+                 return Value::Array(std::move(a));
+               });
+  reg.Register("set_union",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "set_union"));
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a,
+                                         args[0].AsArray());
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> b,
+                                         args[1].AsArray());
+                 std::vector<Value> merged;
+                 std::sort(a.begin(), a.end());
+                 std::sort(b.begin(), b.end());
+                 std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(merged));
+                 merged.erase(std::unique(merged.begin(), merged.end()),
+                              merged.end());
+                 return Value::Array(std::move(merged));
+               });
+  reg.Register("set_diff",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "set_diff"));
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a,
+                                         args[0].AsArray());
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> b,
+                                         args[1].AsArray());
+                 std::sort(a.begin(), a.end());
+                 std::sort(b.begin(), b.end());
+                 std::vector<Value> out;
+                 std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                     std::back_inserter(out));
+                 out.erase(std::unique(out.begin(), out.end()), out.end());
+                 return Value::Array(std::move(out));
+               });
+  reg.Register("set_member",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 2, "set_member"));
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a,
+                                         args[0].AsArray());
+                 return Value::Bool(std::find(a.begin(), a.end(), args[1]) !=
+                                    a.end());
+               });
+  reg.Register("set_size",
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 CACTIS_RETURN_IF_ERROR(Arity(args, 1, "set_size"));
+                 CACTIS_ASSIGN_OR_RETURN(std::vector<Value> a,
+                                         args[0].AsArray());
+                 return Value::Int(static_cast<int64_t>(a.size()));
+               });
+
+  reg.Register("void", [](const std::vector<Value>& args) -> Result<Value> {
+    (void)args;  // arguments were evaluated (and their effects happened)
+    return Value::Null();
+  });
+
+  return reg;
+}
+
+}  // namespace cactis::lang

@@ -1,0 +1,60 @@
+// Builtin function registry for the data language.
+//
+// Pure builtins (later_of, count, string and set helpers, ...) are
+// registered by default. The environment layer registers the impure ones
+// the paper's Figures 3-4 use — `file_mod_time` and `system_command` —
+// against its virtual file system and command runner.
+
+#ifndef CACTIS_LANG_BUILTINS_H_
+#define CACTIS_LANG_BUILTINS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace cactis::lang {
+
+using BuiltinFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+class BuiltinRegistry {
+ public:
+  /// Creates a registry pre-populated with the pure builtins:
+  ///   time0()                - the distant past (paper's TIME0)
+  ///   time_inf()             - the distant future
+  ///   time(i)                - int ticks -> time
+  ///   later_of(a, b, ...)    - max of times
+  ///   earlier_of(a, b, ...)  - min of times
+  ///   later_than(a, b)       - a > b
+  ///   earlier_than(a, b)     - a < b
+  ///   min/max/sum(...)       - over numbers, or one array argument
+  ///   abs(x), len(s|a), concat(...), to_string(x), to_int(x), to_real(x)
+  ///   select(c, a, b)        - c ? a : b (both sides evaluated)
+  ///   array(...)             - array constructor ([..] literals lower to it)
+  ///   append(a, x)           - array with x appended
+  ///   at(a, i)               - array element
+  ///   set_union(a, b), set_diff(a, b), set_insert(a, x),
+  ///   set_member(a, x), set_size(a)
+  ///   void(x)                - evaluate and discard (Figure 4's VOID)
+  static BuiltinRegistry WithDefaults();
+
+  /// Registers (or replaces) a builtin. Names are lower-case.
+  void Register(std::string name, BuiltinFn fn);
+
+  /// Returns nullptr when unknown.
+  const BuiltinFn* Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return table_.contains(name);
+  }
+
+ private:
+  std::unordered_map<std::string, BuiltinFn> table_;
+};
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_BUILTINS_H_

@@ -1,0 +1,373 @@
+#include "lang/interpreter.h"
+
+namespace cactis::lang {
+
+namespace {
+
+Value DefaultForType(ValueType t) {
+  switch (t) {
+    case ValueType::kBool:
+      return Value::Bool(false);
+    case ValueType::kInt:
+      return Value::Int(0);
+    case ValueType::kReal:
+      return Value::Real(0.0);
+    case ValueType::kString:
+      return Value::String("");
+    case ValueType::kTime:
+      return Value::Time(kTimeZero);
+    case ValueType::kArray:
+      return Value::Array({});
+    default:
+      return Value::Null();
+  }
+}
+
+bool IsNumericLike(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kBool:
+    case ValueType::kInt:
+    case ValueType::kReal:
+    case ValueType::kTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<Value> ApplyBinaryOp(BinOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case BinOp::kAnd: {
+      CACTIS_ASSIGN_OR_RETURN(bool a, lhs.AsBool());
+      CACTIS_ASSIGN_OR_RETURN(bool b, rhs.AsBool());
+      return Value::Bool(a && b);
+    }
+    case BinOp::kOr: {
+      CACTIS_ASSIGN_OR_RETURN(bool a, lhs.AsBool());
+      CACTIS_ASSIGN_OR_RETURN(bool b, rhs.AsBool());
+      return Value::Bool(a || b);
+    }
+    case BinOp::kEq:
+      if (IsNumericLike(lhs) && IsNumericLike(rhs) &&
+          lhs.type() != rhs.type()) {
+        return Value::Bool(*lhs.ToNumber() == *rhs.ToNumber());
+      }
+      return Value::Bool(lhs == rhs);
+    case BinOp::kNe:
+      if (IsNumericLike(lhs) && IsNumericLike(rhs) &&
+          lhs.type() != rhs.type()) {
+        return Value::Bool(*lhs.ToNumber() != *rhs.ToNumber());
+      }
+      return Value::Bool(!(lhs == rhs));
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      // Strings compare lexically; everything numeric-like via ToNumber.
+      if (lhs.type() == ValueType::kString &&
+          rhs.type() == ValueType::kString) {
+        const std::string a = *lhs.AsString();
+        const std::string b = *rhs.AsString();
+        bool r = op == BinOp::kLt   ? a < b
+                 : op == BinOp::kLe ? a <= b
+                 : op == BinOp::kGt ? a > b
+                                    : a >= b;
+        return Value::Bool(r);
+      }
+      CACTIS_ASSIGN_OR_RETURN(double a, lhs.ToNumber());
+      CACTIS_ASSIGN_OR_RETURN(double b, rhs.ToNumber());
+      bool r = op == BinOp::kLt   ? a < b
+               : op == BinOp::kLe ? a <= b
+               : op == BinOp::kGt ? a > b
+                                  : a >= b;
+      return Value::Bool(r);
+    }
+    case BinOp::kAdd:
+      if (lhs.type() == ValueType::kString ||
+          rhs.type() == ValueType::kString) {
+        auto str = [](const Value& v) {
+          return v.type() == ValueType::kString ? *v.AsString() : v.ToString();
+        };
+        return Value::String(str(lhs) + str(rhs));
+      }
+      if (lhs.type() == ValueType::kArray &&
+          rhs.type() == ValueType::kArray) {
+        std::vector<Value> a = *lhs.AsArray();
+        std::vector<Value> b = *rhs.AsArray();
+        a.insert(a.end(), b.begin(), b.end());
+        return Value::Array(std::move(a));
+      }
+      [[fallthrough]];
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: {
+      // Time arithmetic: time +/- numeric stays a time; time - time is a
+      // time-valued duration (Figure 1 adds local work to a latest time).
+      bool time_result = (op == BinOp::kAdd || op == BinOp::kSub) &&
+                         (lhs.type() == ValueType::kTime ||
+                          rhs.type() == ValueType::kTime);
+      bool int_result = lhs.type() == ValueType::kInt &&
+                        rhs.type() == ValueType::kInt;
+      CACTIS_ASSIGN_OR_RETURN(double a, lhs.ToNumber());
+      CACTIS_ASSIGN_OR_RETURN(double b, rhs.ToNumber());
+      double r = 0;
+      switch (op) {
+        case BinOp::kAdd:
+          r = a + b;
+          break;
+        case BinOp::kSub:
+          r = a - b;
+          break;
+        case BinOp::kMul:
+          r = a * b;
+          break;
+        case BinOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          if (int_result) {
+            return Value::Int(*lhs.AsInt() / *rhs.AsInt());
+          }
+          r = a / b;
+          break;
+        case BinOp::kMod:
+          if (!int_result) {
+            return Status::TypeMismatch("'%' requires integer operands");
+          }
+          if (*rhs.AsInt() == 0) {
+            return Status::InvalidArgument("modulo by zero");
+          }
+          return Value::Int(*lhs.AsInt() % *rhs.AsInt());
+        default:
+          break;
+      }
+      if (time_result) return Value::Time(static_cast<int64_t>(r));
+      if (int_result) return Value::Int(static_cast<int64_t>(r));
+      return Value::Real(r);
+    }
+  }
+  return Status::Internal("unknown binary operator");
+}
+
+Result<Value> Interpreter::EvalRule(const RuleBody& body, EvalContext* ctx) {
+  if (!body.is_block) {
+    Scope scope;
+    return Eval(*body.expr, &scope, ctx);
+  }
+  Scope scope;
+  CACTIS_ASSIGN_OR_RETURN(Flow flow, RunStmts(body.block, &scope, ctx));
+  if (!flow.returned) {
+    return Status::InvalidArgument(
+        "rule block finished without executing 'return'");
+  }
+  return flow.value;
+}
+
+Result<Value> Interpreter::EvalExpr(const Expr& expr, EvalContext* ctx) {
+  Scope scope;
+  return Eval(expr, &scope, ctx);
+}
+
+Status Interpreter::ExecStmts(const StmtList& stmts, EvalContext* ctx) {
+  Scope scope;
+  return RunStmts(stmts, &scope, ctx).status();
+}
+
+Result<Interpreter::Flow> Interpreter::RunStmts(const StmtList& stmts,
+                                                Scope* scope,
+                                                EvalContext* ctx) {
+  for (const Stmt& stmt : stmts) {
+    CACTIS_ASSIGN_OR_RETURN(Flow flow, RunStmt(stmt, scope, ctx));
+    if (flow.returned) return flow;
+  }
+  return Flow{};
+}
+
+Result<Interpreter::Flow> Interpreter::RunStmt(const Stmt& stmt, Scope* scope,
+                                               EvalContext* ctx) {
+  switch (stmt.kind) {
+    case StmtKind::kVarDecl: {
+      Value init = DefaultForType(stmt.decl_type);
+      if (stmt.expr) {
+        CACTIS_ASSIGN_OR_RETURN(init, Eval(*stmt.expr, scope, ctx));
+      }
+      (*scope)[stmt.name] = Binding(std::move(init));
+      return Flow{};
+    }
+    case StmtKind::kAssign: {
+      CACTIS_ASSIGN_OR_RETURN(Value v, Eval(*stmt.expr, scope, ctx));
+      auto it = scope->find(stmt.name);
+      if (it != scope->end()) {
+        it->second = Binding(std::move(v));
+        return Flow{};
+      }
+      if (ctx->HasLocalAttr(stmt.name)) {
+        CACTIS_RETURN_IF_ERROR(ctx->SetLocalAttr(stmt.name, std::move(v)));
+        return Flow{};
+      }
+      return Status::InvalidArgument("assignment to undeclared name '" +
+                                     stmt.name + "' at line " +
+                                     std::to_string(stmt.line));
+    }
+    case StmtKind::kForEach: {
+      CACTIS_ASSIGN_OR_RETURN(std::vector<EvalContext::Neighbor> neighbors,
+                              ctx->GetNeighbors(stmt.port));
+      for (const auto& n : neighbors) {
+        auto saved = scope->find(stmt.var) != scope->end()
+                         ? std::optional<Binding>((*scope)[stmt.var])
+                         : std::nullopt;
+        (*scope)[stmt.var] = Binding(n);
+        auto flow_result = RunStmts(stmt.body, scope, ctx);
+        if (saved.has_value()) {
+          (*scope)[stmt.var] = *saved;
+        } else {
+          scope->erase(stmt.var);
+        }
+        CACTIS_ASSIGN_OR_RETURN(Flow flow, std::move(flow_result));
+        if (flow.returned) return flow;
+      }
+      return Flow{};
+    }
+    case StmtKind::kIf: {
+      CACTIS_ASSIGN_OR_RETURN(Value cond, Eval(*stmt.expr, scope, ctx));
+      CACTIS_ASSIGN_OR_RETURN(bool c, cond.AsBool());
+      return RunStmts(c ? stmt.body : stmt.else_body, scope, ctx);
+    }
+    case StmtKind::kReturn: {
+      CACTIS_ASSIGN_OR_RETURN(Value v, Eval(*stmt.expr, scope, ctx));
+      Flow flow;
+      flow.returned = true;
+      flow.value = std::move(v);
+      return flow;
+    }
+    case StmtKind::kExpr: {
+      CACTIS_RETURN_IF_ERROR(Eval(*stmt.expr, scope, ctx).status());
+      return Flow{};
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<Value> Interpreter::Eval(const Expr& expr, Scope* scope,
+                                EvalContext* ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+
+    case ExprKind::kName: {
+      auto it = scope->find(expr.name);
+      if (it != scope->end()) {
+        if (const Value* v = std::get_if<Value>(&it->second)) return *v;
+        return Status::TypeMismatch(
+            "loop variable '" + expr.name +
+            "' used as a value (access a field with '.') at line " +
+            std::to_string(expr.line));
+      }
+      if (ctx->HasLocalAttr(expr.name)) return ctx->GetLocalAttr(expr.name);
+      if (const BuiltinFn* fn = ctx->builtins().Lookup(expr.name)) {
+        return (*fn)({});
+      }
+      return Status::NotFound("unknown name '" + expr.name + "' at line " +
+                              std::to_string(expr.line));
+    }
+
+    case ExprKind::kDot: {
+      auto it = scope->find(expr.name);
+      if (it != scope->end()) {
+        const auto* n = std::get_if<EvalContext::Neighbor>(&it->second);
+        if (n == nullptr) {
+          // Record field access on a plain variable.
+          const Value* v = std::get_if<Value>(&it->second);
+          return v->GetField(expr.field);
+        }
+        return ctx->GetRemoteValue(*n, expr.field);
+      }
+      if (ctx->HasPort(expr.name)) {
+        CACTIS_ASSIGN_OR_RETURN(std::vector<EvalContext::Neighbor> neighbors,
+                                ctx->GetNeighbors(expr.name));
+        if (neighbors.empty()) return Value::Null();
+        if (neighbors.size() > 1) {
+          return Status::InvalidArgument(
+              "relationship '" + expr.name +
+              "' has several instances; use 'for each' (line " +
+              std::to_string(expr.line) + ")");
+        }
+        return ctx->GetRemoteValue(neighbors[0], expr.field);
+      }
+      if (ctx->HasLocalAttr(expr.name)) {
+        CACTIS_ASSIGN_OR_RETURN(Value v, ctx->GetLocalAttr(expr.name));
+        return v.GetField(expr.field);
+      }
+      return Status::NotFound("unknown name '" + expr.name + "' at line " +
+                              std::to_string(expr.line));
+    }
+
+    case ExprKind::kCall: {
+      // count/exists take a port name, not a value.
+      if ((expr.name == "count" || expr.name == "exists") &&
+          expr.args.size() == 1 &&
+          expr.args[0]->kind == ExprKind::kName &&
+          ctx->HasPort(expr.args[0]->name)) {
+        CACTIS_ASSIGN_OR_RETURN(std::vector<EvalContext::Neighbor> neighbors,
+                                ctx->GetNeighbors(expr.args[0]->name));
+        if (expr.name == "count") {
+          return Value::Int(static_cast<int64_t>(neighbors.size()));
+        }
+        return Value::Bool(!neighbors.empty());
+      }
+      const BuiltinFn* fn = ctx->builtins().Lookup(expr.name);
+      if (fn == nullptr) {
+        return Status::NotFound("unknown function '" + expr.name +
+                                "' at line " + std::to_string(expr.line));
+      }
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& a : expr.args) {
+        CACTIS_ASSIGN_OR_RETURN(Value v, Eval(*a, scope, ctx));
+        args.push_back(std::move(v));
+      }
+      return (*fn)(args);
+    }
+
+    case ExprKind::kBinary:
+      return EvalBinary(expr, scope, ctx);
+
+    case ExprKind::kUnary: {
+      CACTIS_ASSIGN_OR_RETURN(Value v, Eval(*expr.lhs, scope, ctx));
+      if (expr.un_op == UnOp::kNot) {
+        CACTIS_ASSIGN_OR_RETURN(bool b, v.AsBool());
+        return Value::Bool(!b);
+      }
+      if (v.type() == ValueType::kInt) return Value::Int(-*v.AsInt());
+      CACTIS_ASSIGN_OR_RETURN(double d, v.ToNumber());
+      return Value::Real(-d);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<Value> Interpreter::EvalBinary(const Expr& expr, Scope* scope,
+                                      EvalContext* ctx) {
+  // Short-circuit and/or.
+  if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+    CACTIS_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, scope, ctx));
+    CACTIS_ASSIGN_OR_RETURN(bool lb, l.AsBool());
+    if (expr.bin_op == BinOp::kAnd && !lb) return Value::Bool(false);
+    if (expr.bin_op == BinOp::kOr && lb) return Value::Bool(true);
+    CACTIS_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, scope, ctx));
+    CACTIS_ASSIGN_OR_RETURN(bool rb, r.AsBool());
+    return Value::Bool(rb);
+  }
+  CACTIS_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, scope, ctx));
+  CACTIS_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, scope, ctx));
+  auto result = ApplyBinaryOp(expr.bin_op, l, r);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + " (line " +
+                      std::to_string(expr.line) + ")");
+  }
+  return result;
+}
+
+}  // namespace cactis::lang

@@ -1,0 +1,111 @@
+// Interpreter for attribute-evaluation rules.
+//
+// The interpreter is context-driven: every access to the database (local
+// attribute reads, neighbour enumeration, remote value reads, attribute
+// writes from recovery actions) goes through the EvalContext interface, so
+// the core evaluation engine fully controls demand-driven evaluation,
+// dependency tracking, I/O accounting and side-effect ordering. The
+// interpreter itself is pure control flow plus builtins.
+
+#ifndef CACTIS_LANG_INTERPRETER_H_
+#define CACTIS_LANG_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/ids_reltype.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "lang/ast.h"
+#include "lang/builtins.h"
+
+namespace cactis::lang {
+
+/// The database-facing interface a rule executes against. Implemented by
+/// the core evaluation engine (and by lightweight fakes in tests).
+class EvalContext {
+ public:
+  /// One instance related to the current one across a port. Port fields
+  /// are class-local port indexes (opaque to the interpreter).
+  struct Neighbor {
+    InstanceId id;
+    uint32_t my_port = 0;    // port index on the evaluating instance
+    uint32_t peer_port = 0;  // port index on the neighbour's side
+    EdgeId edge;
+  };
+
+  virtual ~EvalContext() = default;
+
+  /// Reads an attribute of the instance being evaluated (triggering its
+  /// evaluation first when it is a derived attribute that is out of date).
+  virtual Result<Value> GetLocalAttr(const std::string& name) = 0;
+
+  /// True when `name` names an attribute of the current instance's class.
+  virtual bool HasLocalAttr(const std::string& name) const = 0;
+
+  /// True when `name` names a relationship port of the current class.
+  virtual bool HasPort(const std::string& name) const = 0;
+
+  /// Enumerates the instances related via `port` (deterministic order).
+  virtual Result<std::vector<Neighbor>> GetNeighbors(
+      const std::string& port) = 0;
+
+  /// Reads the value `name` received from `neighbor` across the
+  /// relationship: the neighbour's export under that name on its side of
+  /// the edge, or its plain attribute of that name.
+  virtual Result<Value> GetRemoteValue(const Neighbor& neighbor,
+                                       const std::string& name) = 0;
+
+  /// Writes an intrinsic attribute; legal only for recovery actions (the
+  /// core rejects it elsewhere).
+  virtual Status SetLocalAttr(const std::string& name, Value value) = 0;
+
+  /// The builtin registry in effect (per-database, so the environment
+  /// layer can register file_mod_time / system_command).
+  virtual const BuiltinRegistry& builtins() const = 0;
+};
+
+class Interpreter {
+ public:
+  /// Evaluates a rule body to its value. Expression bodies produce the
+  /// expression's value; block bodies produce the value of the executed
+  /// `return` (reaching the end of a block without `return` is an error).
+  static Result<Value> EvalRule(const RuleBody& body, EvalContext* ctx);
+
+  /// Evaluates a standalone expression with no local variables in scope.
+  static Result<Value> EvalExpr(const Expr& expr, EvalContext* ctx);
+
+  /// Executes a statement list for its side effects (recovery actions);
+  /// `return` is permitted and simply stops execution.
+  static Status ExecStmts(const StmtList& stmts, EvalContext* ctx);
+
+ private:
+  // A scope binding is either a plain value or a loop-variable neighbour.
+  using Binding = std::variant<Value, EvalContext::Neighbor>;
+  using Scope = std::map<std::string, Binding>;
+
+  struct Flow {
+    bool returned = false;
+    Value value;
+  };
+
+  static Result<Flow> RunStmts(const StmtList& stmts, Scope* scope,
+                               EvalContext* ctx);
+  static Result<Flow> RunStmt(const Stmt& stmt, Scope* scope,
+                              EvalContext* ctx);
+  static Result<Value> Eval(const Expr& expr, Scope* scope, EvalContext* ctx);
+  static Result<Value> EvalBinary(const Expr& expr, Scope* scope,
+                                  EvalContext* ctx);
+};
+
+/// Applies a binary operator to two values with Cactis coercion rules
+/// (int/real promotion, time arithmetic, string concatenation with `+`).
+/// Exposed for unit tests.
+Result<Value> ApplyBinaryOp(BinOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_INTERPRETER_H_

@@ -1,0 +1,337 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace cactis::lang {
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenType>{
+      {"object", TokenType::kKwObject},
+      {"class", TokenType::kKwClass},
+      {"is", TokenType::kKwIs},
+      {"end", TokenType::kKwEndKw},
+      {"relationships", TokenType::kKwRelationships},
+      {"relationship", TokenType::kKwRelationship},
+      {"attributes", TokenType::kKwAttributes},
+      {"rules", TokenType::kKwRules},
+      {"constraints", TokenType::kKwConstraints},
+      {"constraint", TokenType::kKwConstraint},
+      {"recovery", TokenType::kKwRecovery},
+      {"subtype", TokenType::kKwSubtype},
+      {"of", TokenType::kKwOf},
+      {"where", TokenType::kKwWhere},
+      {"multi", TokenType::kKwMulti},
+      {"single", TokenType::kKwSingle},
+      {"plug", TokenType::kKwPlug},
+      {"socket", TokenType::kKwSocket},
+      {"begin", TokenType::kKwBegin},
+      {"for", TokenType::kKwFor},
+      {"each", TokenType::kKwEach},
+      {"related", TokenType::kKwRelated},
+      {"to", TokenType::kKwTo},
+      {"do", TokenType::kKwDo},
+      {"if", TokenType::kKwIf},
+      {"then", TokenType::kKwThen},
+      {"else", TokenType::kKwElse},
+      {"return", TokenType::kKwReturn},
+      {"true", TokenType::kKwTrue},
+      {"false", TokenType::kKwFalse},
+      {"and", TokenType::kKwAnd},
+      {"or", TokenType::kKwOr},
+      {"not", TokenType::kKwNot},
+      {"null", TokenType::kKwNull},
+      {"circular", TokenType::kKwCircular},
+  };
+  return *table;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kIntLiteral:
+      return "integer literal";
+    case TokenType::kRealLiteral:
+      return "real literal";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kAssign:
+      return "'='";
+    case TokenType::kEq:
+      return "'=='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    default:
+      return "keyword";
+  }
+}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      int start_line = line_;
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (AtEnd()) {
+          return Status::ParseError("unterminated comment starting at line " +
+                                    std::to_string(start_line));
+        }
+        Advance();
+      }
+      Advance();
+      Advance();
+    } else {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Token> Lexer::Next() {
+  CACTIS_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (AtEnd()) {
+    tok.type = TokenType::kEnd;
+    return tok;
+  }
+
+  char c = Peek();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      word.push_back(Advance());
+    }
+    word = ToLower(word);
+    auto kw = KeywordTable().find(word);
+    if (kw != KeywordTable().end()) {
+      tok.type = kw->second;
+      tok.text = word;
+    } else {
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::move(word);
+    }
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string number;
+    bool is_real = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      number.push_back(Advance());
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_real = true;
+      number.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        number.push_back(Advance());
+      }
+    }
+    tok.text = number;
+    if (is_real) {
+      tok.type = TokenType::kRealLiteral;
+      tok.real_value = std::stod(number);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      tok.int_value = std::stoll(number);
+    }
+    return tok;
+  }
+
+  if (c == '"' || c == '\'') {
+    char quote = Advance();
+    std::string text;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(tok.line));
+      }
+      char ch = Advance();
+      if (ch == quote) break;
+      if (ch == '\\' && !AtEnd()) {
+        char esc = Advance();
+        switch (esc) {
+          case 'n':
+            text.push_back('\n');
+            break;
+          case 't':
+            text.push_back('\t');
+            break;
+          default:
+            text.push_back(esc);
+        }
+      } else {
+        text.push_back(ch);
+      }
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Advance();
+  switch (c) {
+    case '(':
+      tok.type = TokenType::kLParen;
+      return tok;
+    case ')':
+      tok.type = TokenType::kRParen;
+      return tok;
+    case '[':
+      tok.type = TokenType::kLBracket;
+      return tok;
+    case ']':
+      tok.type = TokenType::kRBracket;
+      return tok;
+    case ',':
+      tok.type = TokenType::kComma;
+      return tok;
+    case ';':
+      tok.type = TokenType::kSemicolon;
+      return tok;
+    case ':':
+      tok.type = TokenType::kColon;
+      return tok;
+    case '.':
+      tok.type = TokenType::kDot;
+      return tok;
+    case '+':
+      tok.type = TokenType::kPlus;
+      return tok;
+    case '-':
+      tok.type = TokenType::kMinus;
+      return tok;
+    case '*':
+      tok.type = TokenType::kStar;
+      return tok;
+    case '/':
+      tok.type = TokenType::kSlash;
+      return tok;
+    case '%':
+      tok.type = TokenType::kPercent;
+      return tok;
+    case '=':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kEq;
+      } else {
+        tok.type = TokenType::kAssign;
+      }
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kNe;
+        return tok;
+      }
+      return Status::ParseError("unexpected '!' at line " +
+                                std::to_string(tok.line));
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kLe;
+      } else if (Peek() == '>') {
+        Advance();
+        tok.type = TokenType::kNe;
+      } else {
+        tok.type = TokenType::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kGe;
+      } else {
+        tok.type = TokenType::kGt;
+      }
+      return tok;
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at line " + std::to_string(tok.line));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    CACTIS_ASSIGN_OR_RETURN(Token tok, Next());
+    bool at_end = tok.type == TokenType::kEnd;
+    tokens.push_back(std::move(tok));
+    if (at_end) break;
+  }
+  return tokens;
+}
+
+}  // namespace cactis::lang

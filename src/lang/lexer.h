@@ -1,0 +1,41 @@
+// Lexer for the Cactis data language.
+
+#ifndef CACTIS_LANG_LEXER_H_
+#define CACTIS_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace cactis::lang {
+
+/// Tokenises an entire source buffer. Identifiers and keywords are
+/// case-insensitive; identifiers are canonicalised to lower case (so
+/// `TIME0`, `Time0` and `time0` are the same name). Comments are
+/// `/* ... */` and `-- ...` to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  /// Produces the full token stream, terminated by a kEnd token.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  Status SkipWhitespaceAndComments();
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_LEXER_H_

@@ -1,0 +1,557 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace cactis::lang {
+
+std::string_view BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // the kEnd sentinel
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenType t) {
+  if (!Check(t)) return false;
+  Advance();
+  return true;
+}
+
+Result<Token> Parser::Expect(TokenType t, std::string_view what) {
+  if (!Check(t)) {
+    return Status::ParseError("expected " + std::string(what) + " but found " +
+                              TokenTypeToString(Peek().type) + " at line " +
+                              std::to_string(Peek().line));
+  }
+  return Advance();
+}
+
+Status Parser::ErrorHere(std::string_view message) const {
+  return Status::ParseError(std::string(message) + " at line " +
+                            std::to_string(Peek().line));
+}
+
+Result<std::vector<Decl>> Parser::ParseSchema(std::string_view source) {
+  Lexer lexer(source);
+  CACTIS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser p(std::move(tokens));
+  std::vector<Decl> decls;
+  while (!p.Check(TokenType::kEnd)) {
+    CACTIS_ASSIGN_OR_RETURN(Decl d, p.ParseDecl());
+    decls.push_back(std::move(d));
+  }
+  return decls;
+}
+
+Result<RuleBody> Parser::ParseRuleBody(std::string_view source) {
+  Lexer lexer(source);
+  CACTIS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser p(std::move(tokens));
+  CACTIS_ASSIGN_OR_RETURN(RuleBody body, p.ParseRuleBodyInternal());
+  p.Match(TokenType::kSemicolon);
+  if (!p.Check(TokenType::kEnd)) {
+    return p.ErrorHere("trailing input after rule body");
+  }
+  return body;
+}
+
+Result<ExprPtr> Parser::ParseExpression(std::string_view source) {
+  Lexer lexer(source);
+  CACTIS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser p(std::move(tokens));
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr e, p.ParseExpr());
+  if (!p.Check(TokenType::kEnd)) {
+    return p.ErrorHere("trailing input after expression");
+  }
+  return e;
+}
+
+Result<Decl> Parser::ParseDecl() {
+  Decl decl;
+  if (Match(TokenType::kKwRelationship)) {
+    CACTIS_ASSIGN_OR_RETURN(Token name,
+                            Expect(TokenType::kIdentifier, "relationship name"));
+    CACTIS_RETURN_IF_ERROR(
+        Expect(TokenType::kSemicolon, "';'").status());
+    decl.kind = Decl::Kind::kRelType;
+    decl.rel_type.name = name.text;
+    return decl;
+  }
+  if (Check(TokenType::kKwObject)) {
+    CACTIS_ASSIGN_OR_RETURN(ClassSpec cls, ParseClass());
+    decl.kind = Decl::Kind::kClass;
+    decl.class_spec = std::move(cls);
+    return decl;
+  }
+  if (Check(TokenType::kKwSubtype)) {
+    CACTIS_ASSIGN_OR_RETURN(SubtypeSpec sub, ParseSubtype());
+    decl.kind = Decl::Kind::kSubtype;
+    decl.subtype = std::move(sub);
+    return decl;
+  }
+  return ErrorHere("expected 'object class', 'relationship' or 'subtype'");
+}
+
+Result<ClassSpec> Parser::ParseClass() {
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwObject, "'object'").status());
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwClass, "'class'").status());
+  CACTIS_ASSIGN_OR_RETURN(Token name,
+                          Expect(TokenType::kIdentifier, "class name"));
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwIs, "'is'").status());
+
+  ClassSpec cls;
+  cls.name = name.text;
+
+  if (Match(TokenType::kKwRelationships)) {
+    while (Check(TokenType::kIdentifier)) {
+      CACTIS_ASSIGN_OR_RETURN(PortSpec port, ParsePort());
+      cls.ports.push_back(std::move(port));
+    }
+  }
+  if (Match(TokenType::kKwAttributes)) {
+    while (Check(TokenType::kIdentifier)) {
+      CACTIS_ASSIGN_OR_RETURN(AttrSpec attr, ParseAttr());
+      cls.attributes.push_back(std::move(attr));
+    }
+  }
+  if (Match(TokenType::kKwRules)) {
+    while (Check(TokenType::kIdentifier) || Check(TokenType::kKwCircular)) {
+      CACTIS_ASSIGN_OR_RETURN(RuleSpec rule, ParseRule());
+      cls.rules.push_back(std::move(rule));
+    }
+  }
+  if (Match(TokenType::kKwConstraints)) {
+    while (Check(TokenType::kIdentifier)) {
+      CACTIS_ASSIGN_OR_RETURN(ConstraintSpec c, ParseConstraint());
+      cls.constraints.push_back(std::move(c));
+    }
+  }
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwEndKw, "'end'").status());
+  Match(TokenType::kKwObject);
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  return cls;
+}
+
+Result<SubtypeSpec> Parser::ParseSubtype() {
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwSubtype, "'subtype'").status());
+  CACTIS_ASSIGN_OR_RETURN(Token name,
+                          Expect(TokenType::kIdentifier, "subtype name"));
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwOf, "'of'").status());
+  CACTIS_ASSIGN_OR_RETURN(Token cls,
+                          Expect(TokenType::kIdentifier, "class name"));
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwWhere, "'where'").status());
+  SubtypeSpec sub;
+  sub.name = name.text;
+  sub.class_name = cls.text;
+  CACTIS_ASSIGN_OR_RETURN(sub.predicate, ParseRuleBodyInternal());
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  return sub;
+}
+
+Result<PortSpec> Parser::ParsePort() {
+  PortSpec port;
+  CACTIS_ASSIGN_OR_RETURN(Token name,
+                          Expect(TokenType::kIdentifier, "relationship name"));
+  port.name = name.text;
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kColon, "':'").status());
+  CACTIS_ASSIGN_OR_RETURN(
+      Token rel, Expect(TokenType::kIdentifier, "relationship type name"));
+  port.rel_type = rel.text;
+  if (Match(TokenType::kKwMulti)) {
+    port.is_multi = true;
+  } else if (Match(TokenType::kKwSingle)) {
+    port.is_multi = false;
+  } else {
+    return ErrorHere("expected 'multi' or 'single'");
+  }
+  if (Match(TokenType::kKwPlug)) {
+    port.is_plug = true;
+  } else if (Match(TokenType::kKwSocket)) {
+    port.is_plug = false;
+  } else {
+    return ErrorHere("expected 'plug' or 'socket'");
+  }
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  return port;
+}
+
+Result<AttrSpec> Parser::ParseAttr() {
+  AttrSpec attr;
+  CACTIS_ASSIGN_OR_RETURN(Token name,
+                          Expect(TokenType::kIdentifier, "attribute name"));
+  attr.name = name.text;
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kColon, "':'").status());
+  CACTIS_ASSIGN_OR_RETURN(Token type,
+                          Expect(TokenType::kIdentifier, "type name"));
+  CACTIS_ASSIGN_OR_RETURN(attr.type, ValueTypeFromString(type.text));
+  if (Match(TokenType::kAssign)) {
+    // Default values are literal expressions evaluated without context.
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr lit, ParseUnary());
+    if (lit->kind == ExprKind::kLiteral) {
+      attr.has_default = true;
+      attr.default_value = lit->literal;
+    } else if (lit->kind == ExprKind::kUnary && lit->un_op == UnOp::kNeg &&
+               lit->lhs->kind == ExprKind::kLiteral) {
+      attr.has_default = true;
+      auto num = lit->lhs->literal.AsInt();
+      if (num.ok()) {
+        attr.default_value = Value::Int(-*num);
+      } else {
+        CACTIS_ASSIGN_OR_RETURN(double d, lit->lhs->literal.AsReal());
+        attr.default_value = Value::Real(-d);
+      }
+    } else {
+      return ErrorHere("attribute default must be a literal");
+    }
+  }
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  return attr;
+}
+
+Result<RuleSpec> Parser::ParseRule() {
+  RuleSpec rule;
+  if (Match(TokenType::kKwCircular)) rule.circular = true;
+  CACTIS_ASSIGN_OR_RETURN(Token target,
+                          Expect(TokenType::kIdentifier, "rule target"));
+  rule.target = target.text;
+  if (Match(TokenType::kDot)) {
+    CACTIS_ASSIGN_OR_RETURN(Token exported,
+                            Expect(TokenType::kIdentifier, "export name"));
+    rule.export_name = exported.text;
+  }
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kAssign, "'='").status());
+  CACTIS_ASSIGN_OR_RETURN(rule.body, ParseRuleBodyInternal());
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  return rule;
+}
+
+Result<ConstraintSpec> Parser::ParseConstraint() {
+  ConstraintSpec c;
+  CACTIS_ASSIGN_OR_RETURN(Token name,
+                          Expect(TokenType::kIdentifier, "constraint name"));
+  c.name = name.text;
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kColon, "':'").status());
+  CACTIS_ASSIGN_OR_RETURN(c.predicate, ParseRuleBodyInternal());
+  if (Match(TokenType::kKwRecovery)) {
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwBegin, "'begin'").status());
+    CACTIS_ASSIGN_OR_RETURN(c.recovery,
+                            ParseBlockUntil({TokenType::kKwEndKw}));
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwEndKw, "'end'").status());
+    c.has_recovery = true;
+  }
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  return c;
+}
+
+Result<RuleBody> Parser::ParseRuleBodyInternal() {
+  if (Match(TokenType::kKwBegin)) {
+    CACTIS_ASSIGN_OR_RETURN(StmtList stmts,
+                            ParseBlockUntil({TokenType::kKwEndKw}));
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwEndKw, "'end'").status());
+    return RuleBody::FromBlock(std::move(stmts));
+  }
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  return RuleBody::FromExpr(std::move(e));
+}
+
+Result<StmtList> Parser::ParseBlockUntil(
+    std::initializer_list<TokenType> stops) {
+  StmtList stmts;
+  while (true) {
+    if (Check(TokenType::kEnd)) {
+      return ErrorHere("unterminated block");
+    }
+    bool at_stop = false;
+    for (TokenType t : stops) {
+      if (Check(t)) at_stop = true;
+    }
+    if (at_stop) break;
+    CACTIS_ASSIGN_OR_RETURN(Stmt s, ParseStmt());
+    stmts.push_back(std::move(s));
+  }
+  return stmts;
+}
+
+Result<Stmt> Parser::ParseStmt() {
+  Stmt stmt;
+  stmt.line = Peek().line;
+
+  if (Match(TokenType::kKwFor)) {
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwEach, "'each'").status());
+    CACTIS_ASSIGN_OR_RETURN(Token var,
+                            Expect(TokenType::kIdentifier, "loop variable"));
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwRelated, "'related'").status());
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwTo, "'to'").status());
+    CACTIS_ASSIGN_OR_RETURN(Token port,
+                            Expect(TokenType::kIdentifier, "port name"));
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwDo, "'do'").status());
+    CACTIS_ASSIGN_OR_RETURN(stmt.body, ParseBlockUntil({TokenType::kKwEndKw}));
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwEndKw, "'end'").status());
+    Match(TokenType::kKwFor);
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+    stmt.kind = StmtKind::kForEach;
+    stmt.var = var.text;
+    stmt.port = port.text;
+    return stmt;
+  }
+
+  if (Match(TokenType::kKwIf)) {
+    CACTIS_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwThen, "'then'").status());
+    CACTIS_ASSIGN_OR_RETURN(
+        stmt.body, ParseBlockUntil({TokenType::kKwEndKw, TokenType::kKwElse}));
+    if (Match(TokenType::kKwElse)) {
+      CACTIS_ASSIGN_OR_RETURN(stmt.else_body,
+                              ParseBlockUntil({TokenType::kKwEndKw}));
+    }
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kKwEndKw, "'end'").status());
+    Match(TokenType::kKwIf);
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+    stmt.kind = StmtKind::kIf;
+    return stmt;
+  }
+
+  if (Match(TokenType::kKwReturn)) {
+    CACTIS_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+    CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+    stmt.kind = StmtKind::kReturn;
+    return stmt;
+  }
+
+  // Lookahead to distinguish `name : type ...;`, `name = expr;` and a bare
+  // expression statement.
+  if (Check(TokenType::kIdentifier)) {
+    if (Peek(1).type == TokenType::kColon) {
+      CACTIS_ASSIGN_OR_RETURN(Token name,
+                              Expect(TokenType::kIdentifier, "variable name"));
+      Advance();  // ':'
+      CACTIS_ASSIGN_OR_RETURN(Token type,
+                              Expect(TokenType::kIdentifier, "type name"));
+      CACTIS_ASSIGN_OR_RETURN(ValueType vt, ValueTypeFromString(type.text));
+      stmt.kind = StmtKind::kVarDecl;
+      stmt.name = name.text;
+      stmt.decl_type = vt;
+      if (Match(TokenType::kAssign)) {
+        CACTIS_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+      }
+      CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+      return stmt;
+    }
+    if (Peek(1).type == TokenType::kAssign) {
+      CACTIS_ASSIGN_OR_RETURN(Token name,
+                              Expect(TokenType::kIdentifier, "target name"));
+      Advance();  // '='
+      CACTIS_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+      CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+      stmt.kind = StmtKind::kAssign;
+      stmt.name = name.text;
+      return stmt;
+    }
+  }
+
+  CACTIS_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+  CACTIS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'").status());
+  stmt.kind = StmtKind::kExpr;
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (Check(TokenType::kKwOr)) {
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs), line);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+  while (Check(TokenType::kKwAnd)) {
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+    lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs), line);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  while (true) {
+    BinOp op;
+    switch (Peek().type) {
+      case TokenType::kLt:
+        op = BinOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = BinOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = BinOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = BinOp::kGe;
+        break;
+      case TokenType::kEq:
+      case TokenType::kAssign:  // the paper writes `=` for comparison too
+        op = BinOp::kEq;
+        break;
+      case TokenType::kNe:
+        op = BinOp::kNe;
+        break;
+      default:
+        return lhs;
+    }
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), line);
+  }
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinOp op = Check(TokenType::kPlus) ? BinOp::kAdd : BinOp::kSub;
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), line);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  CACTIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+         Check(TokenType::kPercent)) {
+    BinOp op = Check(TokenType::kStar)    ? BinOp::kMul
+               : Check(TokenType::kSlash) ? BinOp::kDiv
+                                          : BinOp::kMod;
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), line);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Check(TokenType::kMinus)) {
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Expr::Unary(UnOp::kNeg, std::move(operand), line);
+  }
+  if (Check(TokenType::kKwNot)) {
+    int line = Advance().line;
+    CACTIS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Expr::Unary(UnOp::kNot, std::move(operand), line);
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kIntLiteral: {
+      int64_t v = Advance().int_value;
+      return Expr::Literal(Value::Int(v), tok.line);
+    }
+    case TokenType::kRealLiteral: {
+      double v = Advance().real_value;
+      return Expr::Literal(Value::Real(v), tok.line);
+    }
+    case TokenType::kStringLiteral: {
+      std::string v = Advance().text;
+      return Expr::Literal(Value::String(std::move(v)), tok.line);
+    }
+    case TokenType::kKwTrue:
+      Advance();
+      return Expr::Literal(Value::Bool(true), tok.line);
+    case TokenType::kKwFalse:
+      Advance();
+      return Expr::Literal(Value::Bool(false), tok.line);
+    case TokenType::kKwNull:
+      Advance();
+      return Expr::Literal(Value::Null(), tok.line);
+    case TokenType::kLParen: {
+      Advance();
+      CACTIS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      CACTIS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+      return inner;
+    }
+    case TokenType::kLBracket: {
+      int line = Advance().line;
+      std::vector<ExprPtr> elems;
+      if (!Check(TokenType::kRBracket)) {
+        do {
+          CACTIS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          elems.push_back(std::move(e));
+        } while (Match(TokenType::kComma));
+      }
+      CACTIS_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "']'").status());
+      // Array literals are a call to the pure builtin `array`.
+      return Expr::Call("array", std::move(elems), line);
+    }
+    case TokenType::kIdentifier: {
+      Token name = Advance();
+      if (Match(TokenType::kLParen)) {
+        std::vector<ExprPtr> args;
+        if (!Check(TokenType::kRParen)) {
+          do {
+            CACTIS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            args.push_back(std::move(e));
+          } while (Match(TokenType::kComma));
+        }
+        CACTIS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+        return Expr::Call(name.text, std::move(args), name.line);
+      }
+      if (Match(TokenType::kDot)) {
+        CACTIS_ASSIGN_OR_RETURN(Token field,
+                                Expect(TokenType::kIdentifier, "field name"));
+        return Expr::Dot(name.text, field.text, name.line);
+      }
+      return Expr::Name(name.text, name.line);
+    }
+    default:
+      return ErrorHere("expected an expression");
+  }
+}
+
+}  // namespace cactis::lang

@@ -1,0 +1,94 @@
+// Recursive-descent parser for the Cactis data language.
+//
+// Grammar (keywords case-insensitive; `--` and `/* */` comments):
+//
+//   schema       := { decl }
+//   decl         := rel_type_decl | class_decl | subtype_decl
+//   rel_type_decl:= "relationship" IDENT ";"
+//   class_decl   := "object" "class" IDENT "is" sections "end" ["object"] ";"
+//   sections     := ["relationships" {port_decl}]
+//                   ["attributes" {attr_decl}]
+//                   ["rules" {rule_decl}]
+//                   ["constraints" {constraint_decl}]
+//   port_decl    := IDENT ":" IDENT ("multi"|"single") ("plug"|"socket") ";"
+//   attr_decl    := IDENT ":" type ["=" literal] ";"
+//   rule_decl    := IDENT ["." IDENT] "=" rule_body ";"
+//   constraint_decl := IDENT ":" rule_body ["recovery" block] ";"
+//   subtype_decl := "subtype" IDENT "of" IDENT "where" rule_body ";"
+//   rule_body    := block | expr
+//   block        := "begin" {stmt} "end"
+//   stmt         := var_decl | assign | foreach | if | return | expr ";"
+//   var_decl     := IDENT ":" type ["=" expr] ";"
+//   assign       := IDENT "=" expr ";"
+//   foreach      := "for" "each" IDENT "related" "to" IDENT "do"
+//                     {stmt} "end" ["for"] ";"
+//   if           := "if" expr "then" {stmt} ["else" {stmt}] "end" ["if"] ";"
+//   return       := "return" "(" expr ")" ";"  |  "return" expr ";"
+//   expr         := or-expression with usual precedence; primary is
+//                   literal, name, name "." field, call, "(" expr ")",
+//                   "[" expr-list "]" (array literal)
+//
+// Equality accepts both `==` and a bare `=` inside expressions (the paper
+// uses `=` for both definition and comparison; context disambiguates:
+// statement-level `=` after a bare identifier is assignment).
+
+#ifndef CACTIS_LANG_PARSER_H_
+#define CACTIS_LANG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace cactis::lang {
+
+class Parser {
+ public:
+  /// Parses a full schema source: a sequence of declarations.
+  static Result<std::vector<Decl>> ParseSchema(std::string_view source);
+
+  /// Parses a standalone rule body (used by the C++ ClassBuilder API, which
+  /// accepts rule source strings).
+  static Result<RuleBody> ParseRuleBody(std::string_view source);
+
+  /// Parses a standalone expression.
+  static Result<ExprPtr> ParseExpression(std::string_view source);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t);
+  Result<Token> Expect(TokenType t, std::string_view what);
+  Status ErrorHere(std::string_view message) const;
+
+  Result<Decl> ParseDecl();
+  Result<ClassSpec> ParseClass();
+  Result<SubtypeSpec> ParseSubtype();
+  Result<PortSpec> ParsePort();
+  Result<AttrSpec> ParseAttr();
+  Result<RuleSpec> ParseRule();
+  Result<ConstraintSpec> ParseConstraint();
+  Result<RuleBody> ParseRuleBodyInternal();
+  Result<StmtList> ParseBlockUntil(std::initializer_list<TokenType> stops);
+  Result<Stmt> ParseStmt();
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_PARSER_H_

@@ -1,0 +1,95 @@
+// Tokens of the Cactis data language.
+//
+// The language is the one used in the paper's Figures 1-4: class
+// definitions with Relationships / Attributes / Rules sections, Begin/End
+// blocks, `For Each x Related To port Do ... End`, and expression rules.
+// Keywords are case-insensitive (the paper capitalises them).
+
+#ifndef CACTIS_LANG_TOKEN_H_
+#define CACTIS_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cactis::lang {
+
+enum class TokenType {
+  kEnd,  // end of input
+  kIdentifier,
+  kIntLiteral,
+  kRealLiteral,
+  kStringLiteral,
+  // Keywords.
+  kKwObject,
+  kKwClass,
+  kKwIs,
+  kKwEndKw,   // "end"
+  kKwRelationships,
+  kKwRelationship,
+  kKwAttributes,
+  kKwRules,
+  kKwConstraints,
+  kKwConstraint,
+  kKwRecovery,
+  kKwSubtype,
+  kKwOf,
+  kKwWhere,
+  kKwMulti,
+  kKwSingle,
+  kKwPlug,
+  kKwSocket,
+  kKwBegin,
+  kKwFor,
+  kKwEach,
+  kKwRelated,
+  kKwTo,
+  kKwDo,
+  kKwIf,
+  kKwThen,
+  kKwElse,
+  kKwReturn,
+  kKwTrue,
+  kKwFalse,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+  kKwNull,
+  kKwCircular,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kAssign,      // =
+  kEq,          // ==
+  kNe,          // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier / literal spelling (lower-cased for ids)
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+/// Debug name of a token type ("identifier", "';'", ...).
+std::string TokenTypeToString(TokenType type);
+
+}  // namespace cactis::lang
+
+#endif  // CACTIS_LANG_TOKEN_H_

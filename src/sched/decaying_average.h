@@ -1,0 +1,50 @@
+// DecayingAverage: the self-adaptive statistic of paper section 2.3.
+//
+// "We keep information about past behavior in the form of a decaying
+// average which changes over time. This makes the database self-adaptive,
+// allowing changes in the structure of the database to be reflected in
+// changing averages and hence changing scheduling priorities." A
+// worst-case statistic gathered at cluster time is used as the initial
+// estimate.
+
+#ifndef CACTIS_SCHED_DECAYING_AVERAGE_H_
+#define CACTIS_SCHED_DECAYING_AVERAGE_H_
+
+namespace cactis::sched {
+
+class DecayingAverage {
+ public:
+  /// `alpha` is the weight of each new sample (0 < alpha <= 1).
+  explicit DecayingAverage(double alpha = 0.25, double initial = 1.0)
+      : alpha_(alpha), value_(initial) {}
+
+  /// Records an observation: value <- alpha*sample + (1-alpha)*value. The
+  /// first sample after a Seed() replaces the seed entirely.
+  void Record(double sample) {
+    if (seeded_only_) {
+      value_ = sample;
+      seeded_only_ = false;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  /// Sets the initial (worst-case) estimate without counting it as an
+  /// observation.
+  void Seed(double estimate) {
+    value_ = estimate;
+    seeded_only_ = true;
+  }
+
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_;
+  bool seeded_only_ = true;
+};
+
+}  // namespace cactis::sched
+
+#endif  // CACTIS_SCHED_DECAYING_AVERAGE_H_

@@ -1,0 +1,137 @@
+#include "sched/scheduler.h"
+
+namespace cactis::sched {
+
+std::string_view SchedulingPolicyToString(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kGreedyAdaptive:
+      return "greedy-adaptive";
+    case SchedulingPolicy::kGreedyStatic:
+      return "greedy-static";
+    case SchedulingPolicy::kDepthFirst:
+      return "depth-first";
+    case SchedulingPolicy::kBreadthFirst:
+      return "breadth-first";
+  }
+  return "?";
+}
+
+ChunkScheduler::ChunkScheduler(storage::RecordStore* store,
+                               SchedulingPolicy policy)
+    : store_(store), policy_(policy) {}
+
+void ChunkScheduler::Schedule(Chunk chunk) {
+  uint64_t seq = ++next_seq_;
+  auto owned = std::make_unique<Chunk>(std::move(chunk));
+
+  switch (policy_) {
+    case SchedulingPolicy::kDepthFirst:
+      dfs_stack_.push_back(seq);
+      break;
+    case SchedulingPolicy::kBreadthFirst:
+      bfs_queue_.push_back(seq);
+      break;
+    case SchedulingPolicy::kGreedyAdaptive:
+    case SchedulingPolicy::kGreedyStatic: {
+      if (owned->user_request) {
+        user_.push_back(seq);
+      } else if (store_ != nullptr &&
+                 store_->IsInstanceResident(owned->owner)) {
+        high_.push_back(seq);
+      } else {
+        pending_.push({owned->expected_io, seq});
+        IndexByBlock(seq, *owned);
+      }
+      break;
+    }
+  }
+  arena_.emplace(seq, std::move(owned));
+}
+
+void ChunkScheduler::IndexByBlock(uint64_t seq, const Chunk& chunk) {
+  if (store_ == nullptr) return;
+  auto block = store_->BlockOf(chunk.owner);
+  if (block.ok()) by_block_[*block].push_back(seq);
+}
+
+void ChunkScheduler::OnBlockLoaded(BlockId id) {
+  auto it = by_block_.find(id);
+  if (it == by_block_.end()) return;
+  for (uint64_t seq : it->second) {
+    if (arena_.contains(seq)) {
+      high_.push_back(seq);
+      ++stats_.promotions;
+    }
+  }
+  by_block_.erase(it);
+}
+
+std::unique_ptr<Chunk> ChunkScheduler::PopNext() {
+  auto take = [this](uint64_t seq) -> std::unique_ptr<Chunk> {
+    auto it = arena_.find(seq);
+    if (it == arena_.end()) return nullptr;  // ran already via promotion
+    std::unique_ptr<Chunk> c = std::move(it->second);
+    arena_.erase(it);
+    return c;
+  };
+
+  switch (policy_) {
+    case SchedulingPolicy::kDepthFirst:
+      while (!dfs_stack_.empty()) {
+        uint64_t seq = dfs_stack_.back();
+        dfs_stack_.pop_back();
+        if (auto c = take(seq)) return c;
+      }
+      return nullptr;
+    case SchedulingPolicy::kBreadthFirst:
+      while (!bfs_queue_.empty()) {
+        uint64_t seq = bfs_queue_.front();
+        bfs_queue_.pop_front();
+        if (auto c = take(seq)) return c;
+      }
+      return nullptr;
+    case SchedulingPolicy::kGreedyAdaptive:
+    case SchedulingPolicy::kGreedyStatic: {
+      while (!high_.empty()) {
+        uint64_t seq = high_.front();
+        high_.pop_front();
+        if (auto c = take(seq)) {
+          ++stats_.high_runs;
+          return c;
+        }
+      }
+      while (!user_.empty()) {
+        uint64_t seq = user_.front();
+        user_.pop_front();
+        if (auto c = take(seq)) return c;
+      }
+      while (!pending_.empty()) {
+        uint64_t seq = pending_.top().seq;
+        pending_.pop();
+        if (auto c = take(seq)) {
+          ++stats_.pending_runs;
+          return c;
+        }
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool ChunkScheduler::Idle() const { return arena_.empty(); }
+
+Status ChunkScheduler::RunUntilIdle() {
+  while (true) {
+    std::unique_ptr<Chunk> chunk = PopNext();
+    if (chunk == nullptr) break;
+    // The chunk body faults its owner's block in itself (so the engine
+    // can attribute the I/O to the right traversal); the resulting
+    // OnBlockLoaded event promotes sibling chunks on the same block.
+    ++stats_.chunks_run;
+    CACTIS_RETURN_IF_ERROR(chunk->run());
+  }
+  return Status::OK();
+}
+
+}  // namespace cactis::sched

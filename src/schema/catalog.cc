@@ -1,0 +1,726 @@
+#include "schema/catalog.h"
+
+#include <algorithm>
+
+#include "lang/parser.h"
+
+namespace cactis::schema {
+
+namespace {
+
+const std::vector<size_t>& EmptyIndexList() {
+  static const std::vector<size_t>* empty = new std::vector<size_t>();
+  return *empty;
+}
+
+Value DefaultValueForType(ValueType t) {
+  switch (t) {
+    case ValueType::kBool:
+      return Value::Bool(false);
+    case ValueType::kInt:
+      return Value::Int(0);
+    case ValueType::kReal:
+      return Value::Real(0.0);
+    case ValueType::kString:
+      return Value::String("");
+    case ValueType::kTime:
+      return Value::Time(kTimeZero);
+    case ValueType::kArray:
+      return Value::Array({});
+    default:
+      return Value::Null();
+  }
+}
+
+/// Builds the analyzer's view of a class under construction.
+lang::ClassContext MakeClassContext(const std::vector<AttributeDef>& attrs,
+                                    const std::vector<PortDef>& ports) {
+  lang::ClassContext ctx;
+  for (const AttributeDef& a : attrs) {
+    if (a.kind != AttrKind::kExport) ctx.attribute_names.insert(a.name);
+  }
+  for (const PortDef& p : ports) ctx.port_names.insert(p.name);
+  return ctx;
+}
+
+}  // namespace
+
+// --- ObjectClass -----------------------------------------------------------
+
+size_t ObjectClass::AttrIndexOf(const std::string& name) const {
+  auto it = attr_by_name_.find(name);
+  return it == attr_by_name_.end() ? SIZE_MAX : it->second;
+}
+
+size_t ObjectClass::PortIndexOf(const std::string& name) const {
+  auto it = port_by_name_.find(name);
+  return it == port_by_name_.end() ? SIZE_MAX : it->second;
+}
+
+const AttributeDef* ObjectClass::FindAttr(const std::string& name) const {
+  size_t i = AttrIndexOf(name);
+  return i == SIZE_MAX ? nullptr : &attributes_[i];
+}
+
+const PortDef* ObjectClass::FindPort(const std::string& name) const {
+  size_t i = PortIndexOf(name);
+  return i == SIZE_MAX ? nullptr : &ports_[i];
+}
+
+const std::vector<size_t>& ObjectClass::LocalDependents(
+    size_t attr_index) const {
+  if (attr_index >= local_dependents_.size()) return EmptyIndexList();
+  return local_dependents_[attr_index];
+}
+
+const std::vector<size_t>& ObjectClass::RemoteDependents(
+    size_t port_index, const std::string& name) const {
+  auto it = remote_dependents_.find({port_index, name});
+  return it == remote_dependents_.end() ? EmptyIndexList() : it->second;
+}
+
+const std::vector<size_t>& ObjectClass::StructuralDependents(
+    size_t port_index) const {
+  if (port_index >= structural_dependents_.size()) return EmptyIndexList();
+  return structural_dependents_[port_index];
+}
+
+const std::vector<ObjectClass::VisibleName>& ObjectClass::VisibleNames(
+    size_t attr_index) const {
+  static const std::vector<VisibleName>* empty =
+      new std::vector<VisibleName>();
+  if (attr_index >= visible_names_.size()) return *empty;
+  return visible_names_[attr_index];
+}
+
+size_t ObjectClass::ResolveProvidedValue(size_t port_index,
+                                         const std::string& name) const {
+  auto it = provided_values_.find({port_index, name});
+  if (it != provided_values_.end()) return it->second;
+  size_t idx = AttrIndexOf(name);
+  if (idx != SIZE_MAX && attributes_[idx].kind != AttrKind::kExport) {
+    return idx;
+  }
+  return SIZE_MAX;
+}
+
+Status ObjectClass::Finalize() {
+  attr_by_name_.clear();
+  port_by_name_.clear();
+  local_dependents_.assign(attributes_.size(), {});
+  remote_dependents_.clear();
+  structural_dependents_.assign(ports_.size(), {});
+  consumed_remote_.clear();
+  visible_names_.assign(attributes_.size(), {});
+  provided_values_.clear();
+  constraint_attrs_.clear();
+
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    ports_[i].index = i;
+    if (!port_by_name_.emplace(ports_[i].name, i).second) {
+      return Status::AlreadyExists("class " + name_ +
+                                   " declares relationship '" +
+                                   ports_[i].name + "' twice");
+    }
+  }
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    attributes_[i].index = i;
+    if (!attr_by_name_.emplace(attributes_[i].name, i).second) {
+      return Status::AlreadyExists("class " + name_ +
+                                   " declares attribute '" +
+                                   attributes_[i].name + "' twice");
+    }
+  }
+
+  std::set<std::pair<size_t, std::string>> consumed;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const AttributeDef& a = attributes_[i];
+
+    if (a.intrinsically_important()) constraint_attrs_.push_back(i);
+
+    // Provider-side visibility.
+    if (a.kind == AttrKind::kExport) {
+      if (a.export_port_index >= ports_.size()) {
+        return Status::Internal("export '" + a.name +
+                                "' references a bad port index");
+      }
+      visible_names_[i].push_back({a.export_port_index, a.export_name});
+      auto [it, inserted] = provided_values_.emplace(
+          std::make_pair(a.export_port_index, a.export_name), i);
+      if (!inserted) {
+        return Status::AlreadyExists(
+            "class " + name_ + " exports '" + a.export_name +
+            "' twice across relationship '" +
+            ports_[a.export_port_index].name + "'");
+      }
+    } else {
+      visible_names_[i].push_back({SIZE_MAX, a.name});
+    }
+
+    // Consumer-side dependency tables.
+    for (const lang::Dependency& d : a.deps) {
+      switch (d.kind) {
+        case lang::Dependency::Kind::kLocal: {
+          size_t target = AttrIndexOf(d.name);
+          if (target == SIZE_MAX) {
+            return Status::NotFound("rule for '" + a.name +
+                                    "' mentions unknown attribute '" +
+                                    d.name + "' in class " + name_);
+          }
+          local_dependents_[target].push_back(i);
+          break;
+        }
+        case lang::Dependency::Kind::kRemote: {
+          size_t port = PortIndexOf(d.port);
+          if (port == SIZE_MAX) {
+            return Status::NotFound("rule for '" + a.name +
+                                    "' mentions unknown relationship '" +
+                                    d.port + "' in class " + name_);
+          }
+          remote_dependents_[{port, d.name}].push_back(i);
+          consumed.insert({port, d.name});
+          break;
+        }
+        case lang::Dependency::Kind::kStructural: {
+          size_t port = PortIndexOf(d.port);
+          if (port == SIZE_MAX) {
+            return Status::NotFound("rule for '" + a.name +
+                                    "' iterates unknown relationship '" +
+                                    d.port + "' in class " + name_);
+          }
+          structural_dependents_[port].push_back(i);
+          break;
+        }
+      }
+    }
+  }
+  consumed_remote_.assign(consumed.begin(), consumed.end());
+  consumes_across_port_.assign(ports_.size(), false);
+  for (const auto& [port, name] : consumed_remote_) {
+    (void)name;
+    consumes_across_port_[port] = true;
+  }
+  // Structural dependencies also make edges into the port significant for
+  // marking when relationships change, but only value flow matters for
+  // the worst-case marking estimate, so kRemote alone feeds this table.
+
+  // Local static cycle check: a dependency cycle confined to one instance
+  // can never evaluate, so reject it at schema time — unless every
+  // attribute on the cycle is declared `circular`, in which case the
+  // engine resolves it by fixed-point iteration ([Far86]). We check the
+  // subgraph with circular attributes removed. (Cross-instance cycles
+  // depend on the instance graph and are handled at run time.)
+  enum class Mark : uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> marks(attributes_.size(), Mark::kWhite);
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].circular) marks[i] = Mark::kBlack;  // excluded
+  }
+  // Iterative DFS over "dependent" edges.
+  std::vector<std::pair<size_t, size_t>> stack;  // (node, next child pos)
+  for (size_t root = 0; root < attributes_.size(); ++root) {
+    if (marks[root] != Mark::kWhite) continue;
+    stack.push_back({root, 0});
+    marks[root] = Mark::kGray;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      const std::vector<size_t>& out = local_dependents_[node];
+      if (child < out.size()) {
+        size_t next = out[child++];
+        if (marks[next] == Mark::kGray) {
+          return Status::CycleDetected(
+              "class " + name_ + " has a local attribute dependency cycle "
+              "involving '" + attributes_[next].name + "'");
+        }
+        if (marks[next] == Mark::kWhite) {
+          marks[next] = Mark::kGray;
+          stack.push_back({next, 0});
+        }
+      } else {
+        marks[node] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// --- Catalog ---------------------------------------------------------------
+
+RelTypeId Catalog::InternRelType(const std::string& name) {
+  auto it = rel_types_.find(name);
+  if (it != rel_types_.end()) return it->second;
+  RelTypeId id(++next_rel_type_);
+  rel_types_.emplace(name, id);
+  rel_type_names_.emplace(id, name);
+  return id;
+}
+
+Result<RelTypeId> Catalog::FindRelType(const std::string& name) const {
+  auto it = rel_types_.find(name);
+  if (it == rel_types_.end()) {
+    return Status::NotFound("unknown relationship type '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::string& Catalog::RelTypeName(RelTypeId id) const {
+  static const std::string* unknown = new std::string("<unknown>");
+  auto it = rel_type_names_.find(id);
+  return it == rel_type_names_.end() ? *unknown : it->second;
+}
+
+const ObjectClass* Catalog::GetClass(ClassId id) const {
+  auto it = classes_.find(id);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+const ObjectClass* Catalog::FindClass(const std::string& name) const {
+  auto it = class_by_name_.find(name);
+  return it == class_by_name_.end() ? nullptr : GetClass(it->second);
+}
+
+Result<ClassId> Catalog::ClassIdOf(const std::string& name) const {
+  auto it = class_by_name_.find(name);
+  if (it == class_by_name_.end()) {
+    return Status::NotFound("unknown object class '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Catalog::Register(std::unique_ptr<ObjectClass> cls) {
+  auto by_name = class_by_name_.find(cls->name());
+  if (by_name != class_by_name_.end() && by_name->second != cls->id()) {
+    return Status::AlreadyExists("object class '" + cls->name() +
+                                 "' already exists");
+  }
+  for (const AttributeDef& a : cls->attributes()) {
+    attr_locations_[a.id] = AttrLocation{cls->id(), a.index};
+  }
+  class_by_name_[cls->name()] = cls->id();
+  classes_[cls->id()] = std::move(cls);
+  return Status::OK();
+}
+
+Result<Catalog::AttrLocation> Catalog::LocateAttribute(AttributeId id) const {
+  auto it = attr_locations_.find(id);
+  if (it == attr_locations_.end()) {
+    return Status::NotFound("unknown attribute id " + std::to_string(id.value));
+  }
+  return it->second;
+}
+
+std::vector<const ObjectClass*> Catalog::AllClasses() const {
+  std::vector<const ObjectClass*> out;
+  out.reserve(classes_.size());
+  for (const auto& [id, cls] : classes_) {
+    (void)id;
+    out.push_back(cls.get());
+  }
+  return out;
+}
+
+Result<size_t> Catalog::AppendAttribute(const std::string& class_name,
+                                        AttributeDef def,
+                                        const std::string& rule_source,
+                                        const std::string& recovery_source) {
+  const ObjectClass* existing = FindClass(class_name);
+  if (existing == nullptr) {
+    return Status::NotFound("unknown object class '" + class_name + "'");
+  }
+
+  auto cls = std::unique_ptr<ObjectClass>(new ObjectClass());
+  cls->id_ = existing->id();
+  cls->name_ = existing->name();
+  cls->attributes_ = existing->attributes();
+  cls->ports_ = existing->ports();
+
+  if (!rule_source.empty()) {
+    CACTIS_ASSIGN_OR_RETURN(lang::RuleBody body,
+                            lang::Parser::ParseRuleBody(rule_source));
+    auto rule = std::make_shared<Rule>();
+    rule->is_native = false;
+    rule->body = std::move(body);
+    def.rule = std::move(rule);
+  }
+  if (def.rule == nullptr) {
+    return Status::InvalidArgument(
+        "class extension attributes must be derived (have a rule)");
+  }
+
+  lang::ClassContext ctx = MakeClassContext(cls->attributes_, cls->ports_);
+  ctx.attribute_names.insert(def.name);
+
+  if (!def.rule->is_native) {
+    CACTIS_ASSIGN_OR_RETURN(def.deps,
+                            lang::AnalyzeDependencies(def.rule->body, ctx));
+  } else {
+    def.deps = def.rule->native.deps;
+  }
+
+  if (!recovery_source.empty()) {
+    CACTIS_ASSIGN_OR_RETURN(lang::RuleBody rec,
+                            lang::Parser::ParseRuleBody(recovery_source));
+    if (!rec.is_block) {
+      return Status::InvalidArgument(
+          "recovery action must be a begin...end block");
+    }
+    CACTIS_RETURN_IF_ERROR(
+        lang::AnalyzeDependencies(rec.block, ctx, /*allow_attr_assign=*/true)
+            .status());
+    def.recovery = std::make_shared<lang::StmtList>(std::move(rec.block));
+  }
+
+  def.id = NextAttrId();
+  if (def.default_value.is_null()) {
+    def.default_value = DefaultValueForType(def.type);
+  }
+  def.index = cls->attributes_.size();
+  size_t new_index = def.index;
+  cls->attributes_.push_back(std::move(def));
+
+  CACTIS_RETURN_IF_ERROR(cls->Finalize());
+  CACTIS_RETURN_IF_ERROR(Register(std::move(cls)));
+  return new_index;
+}
+
+Result<SubtypeId> Catalog::DefineSubtype(const std::string& name,
+                                         const std::string& class_name,
+                                         const std::string& predicate_source) {
+  CACTIS_ASSIGN_OR_RETURN(lang::RuleBody body,
+                          lang::Parser::ParseRuleBody(predicate_source));
+  return DefineSubtype(name, class_name, std::move(body));
+}
+
+Result<SubtypeId> Catalog::DefineSubtype(const std::string& name,
+                                         const std::string& class_name,
+                                         lang::RuleBody predicate) {
+  if (subtype_by_name_.contains(name)) {
+    return Status::AlreadyExists("subtype '" + name + "' already exists");
+  }
+  SubtypeId id(next_subtype_ + 1);
+
+  AttributeDef def;
+  def.name = name;  // membership readable as a boolean attribute
+  def.type = ValueType::kBool;
+  def.kind = AttrKind::kDerived;
+  def.subtype = id;
+  auto rule = std::make_shared<Rule>();
+  rule->body = std::move(predicate);
+  def.rule = std::move(rule);
+  CACTIS_ASSIGN_OR_RETURN(size_t index,
+                          AppendAttribute(class_name, std::move(def), "", ""));
+
+  ++next_subtype_;
+  SubtypeDef sub;
+  sub.id = id;
+  sub.name = name;
+  sub.class_id = *ClassIdOf(class_name);
+  sub.predicate_attr_index = index;
+  subtypes_.emplace(id, sub);
+  subtype_by_name_.emplace(name, id);
+  return id;
+}
+
+Result<size_t> Catalog::ExtendClassWithDerived(const std::string& class_name,
+                                               const std::string& attr_name,
+                                               ValueType type,
+                                               const std::string& rule_source) {
+  AttributeDef def;
+  def.name = attr_name;
+  def.type = type;
+  def.kind = AttrKind::kDerived;
+  return AppendAttribute(class_name, std::move(def), rule_source, "");
+}
+
+Result<size_t> Catalog::ExtendClassWithConstraint(
+    const std::string& class_name, const std::string& constraint_name,
+    const std::string& predicate_source, const std::string& recovery_source) {
+  AttributeDef def;
+  def.name = constraint_name;
+  def.type = ValueType::kBool;
+  def.kind = AttrKind::kDerived;
+  def.is_constraint = true;
+  return AppendAttribute(class_name, std::move(def), predicate_source,
+                         recovery_source);
+}
+
+const SubtypeDef* Catalog::FindSubtype(const std::string& name) const {
+  auto it = subtype_by_name_.find(name);
+  return it == subtype_by_name_.end() ? nullptr : GetSubtype(it->second);
+}
+
+const SubtypeDef* Catalog::GetSubtype(SubtypeId id) const {
+  auto it = subtypes_.find(id);
+  return it == subtypes_.end() ? nullptr : &it->second;
+}
+
+// --- ClassBuilder ----------------------------------------------------------
+
+ClassBuilder::ClassBuilder(Catalog* catalog, std::string class_name)
+    : catalog_(catalog), name_(std::move(class_name)) {}
+
+ClassBuilder& ClassBuilder::Port(const std::string& name,
+                                 const std::string& rel_type, Side side,
+                                 Cardinality cardinality) {
+  ports_.push_back(PortSpecInternal{name, rel_type, side, cardinality});
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Intrinsic(const std::string& name,
+                                      ValueType type) {
+  return Intrinsic(name, type, DefaultValueForType(type));
+}
+
+ClassBuilder& ClassBuilder::Intrinsic(const std::string& name, ValueType type,
+                                      Value default_value) {
+  PendingAttr p;
+  p.def.name = name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kIntrinsic;
+  p.def.default_value = std::move(default_value);
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Derived(const std::string& name, ValueType type,
+                                    const std::string& rule_source) {
+  PendingAttr p;
+  p.def.name = name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kDerived;
+  p.rule_source = rule_source;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::DerivedCircular(const std::string& name,
+                                            ValueType type,
+                                            const std::string& rule_source) {
+  Derived(name, type, rule_source);
+  attrs_.back().def.circular = true;
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::MarkLastRuleCircular() {
+  if (attrs_.empty()) {
+    deferred_error_ =
+        Status::InvalidArgument("MarkLastRuleCircular with no attributes");
+    return *this;
+  }
+  attrs_.back().def.circular = true;
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Derived(const std::string& name, ValueType type,
+                                    lang::RuleBody body) {
+  PendingAttr p;
+  p.def.name = name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kDerived;
+  auto rule = std::make_shared<Rule>();
+  rule->body = std::move(body);
+  p.def.rule = std::move(rule);
+  p.has_body = true;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::DerivedNative(const std::string& name,
+                                          ValueType type, NativeRule rule) {
+  PendingAttr p;
+  p.def.name = name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kDerived;
+  auto r = std::make_shared<Rule>();
+  r->is_native = true;
+  r->native = std::move(rule);
+  p.def.rule = std::move(r);
+  p.has_body = true;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Export(const std::string& port,
+                                   const std::string& value_name,
+                                   ValueType type,
+                                   const std::string& rule_source) {
+  PendingAttr p;
+  p.def.name = port + "." + value_name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kExport;
+  p.def.export_name = value_name;
+  p.rule_source = rule_source;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Export(const std::string& port,
+                                   const std::string& value_name,
+                                   ValueType type, lang::RuleBody body) {
+  PendingAttr p;
+  p.def.name = port + "." + value_name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kExport;
+  p.def.export_name = value_name;
+  auto rule = std::make_shared<Rule>();
+  rule->body = std::move(body);
+  p.def.rule = std::move(rule);
+  p.has_body = true;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::ExportNative(const std::string& port,
+                                         const std::string& value_name,
+                                         ValueType type, NativeRule rule) {
+  PendingAttr p;
+  p.def.name = port + "." + value_name;
+  p.def.type = type;
+  p.def.kind = AttrKind::kExport;
+  p.def.export_name = value_name;
+  auto r = std::make_shared<Rule>();
+  r->is_native = true;
+  r->native = std::move(rule);
+  p.def.rule = std::move(r);
+  p.has_body = true;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Constraint(const std::string& name,
+                                       const std::string& predicate_source,
+                                       const std::string& recovery_source) {
+  PendingAttr p;
+  p.def.name = name;
+  p.def.type = ValueType::kBool;
+  p.def.kind = AttrKind::kDerived;
+  p.def.is_constraint = true;
+  p.rule_source = predicate_source;
+  p.recovery_source = recovery_source;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::Constraint(
+    const std::string& name, lang::RuleBody predicate,
+    std::shared_ptr<const lang::StmtList> recovery) {
+  PendingAttr p;
+  p.def.name = name;
+  p.def.type = ValueType::kBool;
+  p.def.kind = AttrKind::kDerived;
+  p.def.is_constraint = true;
+  auto rule = std::make_shared<Rule>();
+  rule->body = std::move(predicate);
+  p.def.rule = std::move(rule);
+  p.def.recovery = std::move(recovery);
+  p.has_body = true;
+  attrs_.push_back(std::move(p));
+  return *this;
+}
+
+Result<ClassId> ClassBuilder::Build() { return BuildInternal(nullptr); }
+
+Result<ClassId> ClassBuilder::BuildInternal(const ObjectClass* existing) {
+  if (!deferred_error_.ok()) return deferred_error_;
+
+  auto cls = std::unique_ptr<ObjectClass>(new ObjectClass());
+  cls->name_ = name_;
+  if (existing != nullptr) {
+    cls->id_ = existing->id();
+    cls->attributes_ = existing->attributes();
+    cls->ports_ = existing->ports();
+  } else {
+    cls->id_ = ClassId(++catalog_->next_class_);
+  }
+
+  for (const PortSpecInternal& spec : ports_) {
+    PortDef port;
+    port.id = catalog_->NextPortId();
+    port.name = spec.name;
+    port.rel_type = catalog_->InternRelType(spec.rel_type);
+    port.side = spec.side;
+    port.cardinality = spec.cardinality;
+    cls->ports_.push_back(std::move(port));
+  }
+
+  lang::ClassContext ctx = MakeClassContext({}, cls->ports_);
+  for (const AttributeDef& a : cls->attributes_) {
+    if (a.kind != AttrKind::kExport) ctx.attribute_names.insert(a.name);
+  }
+  for (const PendingAttr& p : attrs_) {
+    if (p.def.kind != AttrKind::kExport) {
+      ctx.attribute_names.insert(p.def.name);
+    }
+  }
+
+  for (PendingAttr& pending : attrs_) {
+    AttributeDef def = std::move(pending.def);
+
+    if (!pending.rule_source.empty()) {
+      CACTIS_ASSIGN_OR_RETURN(lang::RuleBody body,
+                              lang::Parser::ParseRuleBody(pending.rule_source));
+      auto rule = std::make_shared<Rule>();
+      rule->body = std::move(body);
+      def.rule = std::move(rule);
+    }
+
+    if (def.kind == AttrKind::kExport) {
+      // Resolve the port the export is attached to from the name prefix.
+      std::string port_name = def.name.substr(0, def.name.find('.'));
+      bool found = false;
+      for (size_t i = 0; i < cls->ports_.size(); ++i) {
+        if (cls->ports_[i].name == port_name) {
+          def.export_port_index = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("export '" + def.name +
+                                "' names unknown relationship '" + port_name +
+                                "' in class " + name_);
+      }
+    }
+
+    if (def.is_derived()) {
+      if (def.rule == nullptr) {
+        return Status::InvalidArgument("derived attribute '" + def.name +
+                                       "' has no rule in class " + name_);
+      }
+      if (def.rule->is_native) {
+        def.deps = def.rule->native.deps;
+      } else {
+        CACTIS_ASSIGN_OR_RETURN(def.deps,
+                                lang::AnalyzeDependencies(def.rule->body, ctx));
+      }
+    }
+
+    if (!pending.recovery_source.empty()) {
+      CACTIS_ASSIGN_OR_RETURN(
+          lang::RuleBody rec,
+          lang::Parser::ParseRuleBody(pending.recovery_source));
+      if (!rec.is_block) {
+        return Status::InvalidArgument(
+            "recovery action for '" + def.name +
+            "' must be a begin...end block in class " + name_);
+      }
+      CACTIS_RETURN_IF_ERROR(lang::AnalyzeDependencies(
+                                 rec.block, ctx, /*allow_attr_assign=*/true)
+                                 .status());
+      def.recovery = std::make_shared<lang::StmtList>(std::move(rec.block));
+    }
+
+    if (def.default_value.is_null() && def.type != ValueType::kNull) {
+      def.default_value = DefaultValueForType(def.type);
+    }
+    def.id = catalog_->NextAttrId();
+    cls->attributes_.push_back(std::move(def));
+  }
+
+  CACTIS_RETURN_IF_ERROR(cls->Finalize());
+  ClassId id = cls->id_;
+  CACTIS_RETURN_IF_ERROR(catalog_->Register(std::move(cls)));
+  return id;
+}
+
+}  // namespace cactis::schema

@@ -1,0 +1,391 @@
+// The Cactis catalog: object classes, relationship types, attributes,
+// rules, constraints and predicate-defined subtypes (paper section 2.1).
+//
+// A class declares relationship *ports* (named, typed, plug/socket,
+// single/multi) and attributes. Intrinsic attributes are directly
+// assignable; derived attributes carry an evaluation rule. A rule of the
+// form `port.value = ...` defines an *export*: the value this class
+// transmits across that relationship, which is how "values flow across
+// relationships in order to communicate information from one instance to
+// another". Constraints and subtype predicates are boolean derived
+// attributes with extra flags.
+//
+// The catalog is extensible at run time — classes and subtypes can be
+// added while a database is live (requirement 3 of section 1.1) — but an
+// ObjectClass is immutable once built, so the evaluation engine can cache
+// its dependency tables freely.
+
+#ifndef CACTIS_SCHEMA_CATALOG_H_
+#define CACTIS_SCHEMA_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/ids_reltype.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "lang/analyzer.h"
+#include "lang/ast.h"
+#include "lang/interpreter.h"
+
+namespace cactis::schema {
+
+enum class Side { kPlug, kSocket };
+enum class Cardinality { kSingle, kMulti };
+
+inline Side Opposite(Side s) {
+  return s == Side::kPlug ? Side::kSocket : Side::kPlug;
+}
+
+/// A relationship port declared by a class.
+struct PortDef {
+  RelationshipId id;  // catalog-global
+  std::string name;
+  RelTypeId rel_type;
+  Side side = Side::kPlug;
+  Cardinality cardinality = Cardinality::kMulti;
+  size_t index = 0;  // dense position within the class
+};
+
+enum class AttrKind {
+  kIntrinsic,  // directly assignable, no rule
+  kDerived,    // has an evaluation rule
+  kExport,     // derived value transmitted across a relationship port
+};
+
+/// A rule implementation: a data-language body, or a native C++ function
+/// with manually declared dependencies (used by benchmarks to factor out
+/// interpreter overhead, and available to library users).
+struct NativeRule {
+  std::function<Result<Value>(lang::EvalContext*)> fn;
+  std::vector<lang::Dependency> deps;
+};
+
+struct Rule {
+  bool is_native = false;
+  lang::RuleBody body;  // when !is_native
+  NativeRule native;    // when is_native
+};
+
+struct AttributeDef {
+  AttributeId id;  // catalog-global
+  std::string name;
+  ValueType type = ValueType::kNull;
+  AttrKind kind = AttrKind::kIntrinsic;
+  Value default_value;
+  std::shared_ptr<const Rule> rule;  // null for intrinsic
+  std::vector<lang::Dependency> deps;
+  size_t index = 0;  // dense position within the class
+
+  // Constraint flags (paper 2.1: a constraint is a derived boolean
+  // attribute; false aborts the transaction unless recovery repairs it).
+  bool is_constraint = false;
+  std::shared_ptr<const lang::StmtList> recovery;
+
+  // Subtype-predicate flag: this attribute maintains membership of a
+  // predicate-defined subtype.
+  SubtypeId subtype;
+
+  /// Circular-but-well-defined attribute ([Far86], paper section 4): the
+  /// attribute may take part in instance-level dependency cycles, which
+  /// the engine resolves by fixed-point iteration from `default_value`.
+  bool circular = false;
+
+  // Export bookkeeping (kind == kExport): the port it is transmitted
+  // across and the public name consumers use.
+  size_t export_port_index = SIZE_MAX;
+  std::string export_name;
+
+  bool is_derived() const { return kind != AttrKind::kIntrinsic; }
+  /// Constraints and subtype predicates are born "important" (paper 2.2).
+  bool intrinsically_important() const {
+    return is_constraint || subtype.valid();
+  }
+};
+
+/// An immutable object class with precomputed dependency tables.
+class ObjectClass {
+ public:
+  ClassId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const std::vector<PortDef>& ports() const { return ports_; }
+
+  /// Index lookup by name; SIZE_MAX when absent.
+  size_t AttrIndexOf(const std::string& name) const;
+  size_t PortIndexOf(const std::string& name) const;
+  const AttributeDef* FindAttr(const std::string& name) const;
+  const PortDef* FindPort(const std::string& name) const;
+
+  /// Attributes of this class whose rules mention the local attribute at
+  /// `attr_index` (forward marking, local step).
+  const std::vector<size_t>& LocalDependents(size_t attr_index) const;
+
+  /// Attributes of this class whose rules read value `name` across the
+  /// port at `port_index` (forward marking, remote step: the *consumer*
+  /// side table).
+  const std::vector<size_t>& RemoteDependents(size_t port_index,
+                                              const std::string& name) const;
+
+  /// Attributes whose rules depend on the edge-set of the port (for-each,
+  /// count/exists, direct port access).
+  const std::vector<size_t>& StructuralDependents(size_t port_index) const;
+
+  /// Every (port_index, value_name) this class consumes across each port;
+  /// used when a relationship is established to mark consumers.
+  const std::vector<std::pair<size_t, std::string>>& ConsumedRemoteValues()
+      const {
+    return consumed_remote_;
+  }
+
+  /// Whether any attribute of this class reads values across the port at
+  /// `port_index` (i.e. edges into that port carry dependencies).
+  bool ConsumesAcrossPort(size_t port_index) const {
+    return port_index < consumes_across_port_.size() &&
+           consumes_across_port_[port_index];
+  }
+
+  /// Provider-side visibility: the names under which the attribute at
+  /// `attr_index` can be read from across a relationship. An export is
+  /// visible only on its own port under its export name; a plain attribute
+  /// is visible under its own name on every port (`port_index` SIZE_MAX
+  /// means "any port").
+  struct VisibleName {
+    size_t port_index;  // SIZE_MAX = any port
+    std::string name;
+  };
+  const std::vector<VisibleName>& VisibleNames(size_t attr_index) const;
+
+  /// Provider-side resolution: the attribute a consumer reads when it asks
+  /// this class for value `name` across an edge attached to the port at
+  /// `port_index`. Export match first, then plain attribute. SIZE_MAX when
+  /// unresolvable.
+  size_t ResolveProvidedValue(size_t port_index, const std::string& name)
+      const;
+
+  /// Indexes of attributes that are constraints / subtype predicates.
+  const std::vector<size_t>& constraint_attrs() const {
+    return constraint_attrs_;
+  }
+
+ private:
+  friend class ClassBuilder;
+  friend class Catalog;
+  ObjectClass() = default;
+
+  /// Computes all dependency tables; called once by ClassBuilder.
+  Status Finalize();
+
+  ClassId id_;
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<PortDef> ports_;
+
+  std::unordered_map<std::string, size_t> attr_by_name_;
+  std::unordered_map<std::string, size_t> port_by_name_;
+
+  std::vector<std::vector<size_t>> local_dependents_;
+  std::map<std::pair<size_t, std::string>, std::vector<size_t>>
+      remote_dependents_;
+  std::vector<std::vector<size_t>> structural_dependents_;
+  std::vector<std::pair<size_t, std::string>> consumed_remote_;
+  std::vector<bool> consumes_across_port_;
+  std::vector<std::vector<VisibleName>> visible_names_;
+  std::map<std::pair<size_t, std::string>, size_t> provided_values_;
+  std::vector<size_t> constraint_attrs_;
+};
+
+/// A predicate-defined subtype (paper 2.1: "a Car Buff might be defined as
+/// the subtype defined by the predicate which calculates all Persons who
+/// own more than three cars"). Membership is maintained by a boolean
+/// derived attribute on the class.
+struct SubtypeDef {
+  SubtypeId id;
+  std::string name;
+  ClassId class_id;
+  size_t predicate_attr_index = 0;
+};
+
+class ClassBuilder;
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Declares (or returns the existing) relationship type.
+  RelTypeId InternRelType(const std::string& name);
+  Result<RelTypeId> FindRelType(const std::string& name) const;
+  const std::string& RelTypeName(RelTypeId id) const;
+
+  const ObjectClass* GetClass(ClassId id) const;
+  const ObjectClass* FindClass(const std::string& name) const;
+  Result<ClassId> ClassIdOf(const std::string& name) const;
+
+  /// Defines a predicate subtype over an *existing* class. The class is
+  /// replaced (same ClassId, attribute indices stable) with one extra
+  /// boolean predicate attribute appended; the database layer migrates
+  /// live instances lazily. This is the paper's dynamic type extension.
+  /// `predicate_source` is a data-language expression.
+  Result<SubtypeId> DefineSubtype(const std::string& name,
+                                  const std::string& class_name,
+                                  const std::string& predicate_source);
+  Result<SubtypeId> DefineSubtype(const std::string& name,
+                                  const std::string& class_name,
+                                  lang::RuleBody predicate);
+
+  /// Extends an existing class in place (same ClassId): appends the given
+  /// derived attribute. Existing attribute and port indices are unchanged.
+  /// Returns the new attribute's index. This implements the paper's
+  /// section-4 scenario of adding `very_late` to milestones without
+  /// disturbing existing tools.
+  Result<size_t> ExtendClassWithDerived(const std::string& class_name,
+                                        const std::string& attr_name,
+                                        ValueType type,
+                                        const std::string& rule_source);
+
+  /// As above but appends a constraint attribute.
+  Result<size_t> ExtendClassWithConstraint(
+      const std::string& class_name, const std::string& constraint_name,
+      const std::string& predicate_source,
+      const std::string& recovery_source = "");
+
+  const SubtypeDef* FindSubtype(const std::string& name) const;
+  const SubtypeDef* GetSubtype(SubtypeId id) const;
+
+  /// Looks up an attribute definition by catalog-global AttributeId.
+  /// Returns (class, attr index) or NotFound.
+  struct AttrLocation {
+    ClassId class_id;
+    size_t attr_index;
+  };
+  Result<AttrLocation> LocateAttribute(AttributeId id) const;
+
+  std::vector<const ObjectClass*> AllClasses() const;
+
+ private:
+  friend class ClassBuilder;
+
+  AttributeId NextAttrId() { return AttributeId(++next_attr_); }
+  RelationshipId NextPortId() { return RelationshipId(++next_port_); }
+
+  Status Register(std::unique_ptr<ObjectClass> cls);
+
+  /// Shared implementation of the class-extension entry points: clones the
+  /// class, appends `def` (parsing `rule_source` / `recovery_source`),
+  /// re-finalises and replaces it. Returns the new attribute index.
+  Result<size_t> AppendAttribute(const std::string& class_name,
+                                 AttributeDef def,
+                                 const std::string& rule_source,
+                                 const std::string& recovery_source);
+
+  uint64_t next_class_ = 0;
+  uint64_t next_attr_ = 0;
+  uint64_t next_port_ = 0;
+  uint64_t next_rel_type_ = 0;
+  uint64_t next_subtype_ = 0;
+
+  std::map<ClassId, std::unique_ptr<ObjectClass>> classes_;
+  std::unordered_map<std::string, ClassId> class_by_name_;
+  std::unordered_map<std::string, RelTypeId> rel_types_;
+  std::map<RelTypeId, std::string> rel_type_names_;
+  std::map<SubtypeId, SubtypeDef> subtypes_;
+  std::unordered_map<std::string, SubtypeId> subtype_by_name_;
+  std::unordered_map<AttributeId, AttrLocation> attr_locations_;
+};
+
+/// Fluent builder for object classes. All methods record specs; Build()
+/// parses rule sources, runs dependency analysis, computes the dependency
+/// tables and registers the class with the catalog.
+class ClassBuilder {
+ public:
+  ClassBuilder(Catalog* catalog, std::string class_name);
+
+  /// Declares a relationship port.
+  ClassBuilder& Port(const std::string& name, const std::string& rel_type,
+                     Side side, Cardinality cardinality = Cardinality::kMulti);
+
+  /// Declares an intrinsic attribute (optionally with a default value).
+  ClassBuilder& Intrinsic(const std::string& name, ValueType type);
+  ClassBuilder& Intrinsic(const std::string& name, ValueType type,
+                          Value default_value);
+
+  /// Declares a derived attribute with a data-language rule body.
+  ClassBuilder& Derived(const std::string& name, ValueType type,
+                        const std::string& rule_source);
+  ClassBuilder& Derived(const std::string& name, ValueType type,
+                        lang::RuleBody body);
+
+  /// Declares a circular derived attribute (fixed-point evaluated from
+  /// its default value when it participates in a dependency cycle).
+  ClassBuilder& DerivedCircular(const std::string& name, ValueType type,
+                                const std::string& rule_source);
+
+  /// Flags the most recently declared attribute as circular (used by the
+  /// schema loader for `circular x = ...;` rules).
+  ClassBuilder& MarkLastRuleCircular();
+
+  /// Declares a derived attribute with a native rule (dependencies must be
+  /// declared explicitly and completely).
+  ClassBuilder& DerivedNative(const std::string& name, ValueType type,
+                              NativeRule rule);
+
+  /// Declares an export: value `value_name` transmitted across `port`.
+  ClassBuilder& Export(const std::string& port, const std::string& value_name,
+                       ValueType type, const std::string& rule_source);
+  ClassBuilder& Export(const std::string& port, const std::string& value_name,
+                       ValueType type, lang::RuleBody body);
+  ClassBuilder& ExportNative(const std::string& port,
+                             const std::string& value_name, ValueType type,
+                             NativeRule rule);
+
+  /// Declares a constraint with an optional recovery action (data-language
+  /// statement block source).
+  ClassBuilder& Constraint(const std::string& name,
+                           const std::string& predicate_source,
+                           const std::string& recovery_source = "");
+  ClassBuilder& Constraint(const std::string& name, lang::RuleBody predicate,
+                           std::shared_ptr<const lang::StmtList> recovery);
+
+  /// Finalises and registers the class.
+  Result<ClassId> Build();
+
+ private:
+  friend class Catalog;
+
+  struct PortSpecInternal {
+    std::string name;
+    std::string rel_type;
+    Side side = Side::kPlug;
+    Cardinality cardinality = Cardinality::kMulti;
+  };
+
+  struct PendingAttr {
+    AttributeDef def;
+    std::string rule_source;  // parsed at Build() when non-empty
+    std::string recovery_source;
+    bool has_body = false;            // def.rule already holds a parsed body
+  };
+
+  /// Shared implementation of Build() and Catalog's class-extension path:
+  /// parses pending rule sources, analyses dependencies, finalises the
+  /// class and registers it (replacing an existing class when `existing`).
+  Result<ClassId> BuildInternal(const ObjectClass* existing);
+
+  Catalog* catalog_;
+  std::string name_;
+  std::vector<PortSpecInternal> ports_;
+  std::vector<PendingAttr> attrs_;
+  Status deferred_error_;
+};
+
+}  // namespace cactis::schema
+
+#endif  // CACTIS_SCHEMA_CATALOG_H_

@@ -1,0 +1,97 @@
+#include "schema/schema_loader.h"
+
+#include "lang/parser.h"
+
+namespace cactis::schema {
+
+namespace {
+
+Status DefineClass(Catalog* catalog, const lang::ClassSpec& spec) {
+  ClassBuilder builder(catalog, spec.name);
+
+  for (const lang::PortSpec& port : spec.ports) {
+    builder.Port(port.name, port.rel_type,
+                 port.is_plug ? Side::kPlug : Side::kSocket,
+                 port.is_multi ? Cardinality::kMulti : Cardinality::kSingle);
+  }
+
+  // Attributes with a rule in the Rules section are derived; the others
+  // are intrinsic (that is how the paper's figures distinguish them).
+  std::set<std::string> ruled;
+  for (const lang::RuleSpec& rule : spec.rules) {
+    if (rule.export_name.empty()) ruled.insert(rule.target);
+  }
+
+  for (const lang::AttrSpec& attr : spec.attributes) {
+    if (ruled.contains(attr.name)) continue;  // declared via its rule below
+    if (attr.has_default) {
+      builder.Intrinsic(attr.name, attr.type, attr.default_value);
+    } else {
+      builder.Intrinsic(attr.name, attr.type);
+    }
+  }
+
+  for (const lang::RuleSpec& rule : spec.rules) {
+    if (!rule.export_name.empty()) {
+      // `port.value = body;` — an export. Exports declare their own value
+      // type as the static type of the body; we register them as kTime /
+      // etc. only when the declared attribute exists; otherwise kNull
+      // (dynamically typed), which the evaluation engine accepts.
+      builder.Export(rule.target, rule.export_name, ValueType::kNull,
+                     rule.body);
+      continue;
+    }
+    ValueType type = ValueType::kNull;
+    for (const lang::AttrSpec& attr : spec.attributes) {
+      if (attr.name == rule.target) {
+        type = attr.type;
+        break;
+      }
+    }
+    builder.Derived(rule.target, type, rule.body);
+    if (rule.circular) builder.MarkLastRuleCircular();
+  }
+
+  for (const lang::ConstraintSpec& c : spec.constraints) {
+    std::shared_ptr<const lang::StmtList> recovery;
+    if (c.has_recovery) {
+      recovery = std::make_shared<lang::StmtList>(c.recovery);
+    }
+    builder.Constraint(c.name, c.predicate, std::move(recovery));
+  }
+
+  return builder.Build().status();
+}
+
+}  // namespace
+
+Result<std::vector<ClassId>> LoadSchema(Catalog* catalog,
+                                        std::string_view source) {
+  CACTIS_ASSIGN_OR_RETURN(std::vector<lang::Decl> decls,
+                          lang::Parser::ParseSchema(source));
+  std::vector<ClassId> classes;
+  for (const lang::Decl& decl : decls) {
+    switch (decl.kind) {
+      case lang::Decl::Kind::kRelType:
+        catalog->InternRelType(decl.rel_type.name);
+        break;
+      case lang::Decl::Kind::kClass: {
+        CACTIS_RETURN_IF_ERROR(DefineClass(catalog, decl.class_spec));
+        CACTIS_ASSIGN_OR_RETURN(ClassId id,
+                                catalog->ClassIdOf(decl.class_spec.name));
+        classes.push_back(id);
+        break;
+      }
+      case lang::Decl::Kind::kSubtype: {
+        const lang::SubtypeSpec& sub = decl.subtype;
+        CACTIS_RETURN_IF_ERROR(
+            catalog->DefineSubtype(sub.name, sub.class_name, sub.predicate)
+                .status());
+        break;
+      }
+    }
+  }
+  return classes;
+}
+
+}  // namespace cactis::schema

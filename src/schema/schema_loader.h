@@ -1,0 +1,25 @@
+// SchemaLoader: loads data-language schema source (class, relationship and
+// subtype declarations — the form used in the paper's Figures 1-4) into a
+// Catalog.
+
+#ifndef CACTIS_SCHEMA_SCHEMA_LOADER_H_
+#define CACTIS_SCHEMA_SCHEMA_LOADER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "schema/catalog.h"
+
+namespace cactis::schema {
+
+/// Parses `source` and defines every declaration in order. Relationship
+/// types are interned on first use, so a standalone `relationship x;`
+/// declaration is optional. Returns the ids of the classes defined.
+Result<std::vector<ClassId>> LoadSchema(Catalog* catalog,
+                                        std::string_view source);
+
+}  // namespace cactis::schema
+
+#endif  // CACTIS_SCHEMA_SCHEMA_LOADER_H_

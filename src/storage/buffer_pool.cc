@@ -1,0 +1,79 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace cactis::storage {
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<BlockImage*> BufferPool::Fetch(BlockId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return &it->second.image;
+  }
+  ++stats_.misses;
+  while (frames_.size() >= capacity_) {
+    CACTIS_RETURN_IF_ERROR(EvictOne());
+  }
+  CACTIS_ASSIGN_OR_RETURN(std::string bytes, disk_->Read(id));
+  CACTIS_ASSIGN_OR_RETURN(BlockImage image, BlockImage::Decode(bytes));
+  lru_.push_front(id);
+  Frame frame{std::move(image), /*dirty=*/false, lru_.begin()};
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  assert(inserted);
+  (void)inserted;
+  for (ResidencyListener* l : listeners_) l->OnBlockLoaded(id);
+  return &pos->second.image;
+}
+
+Status BufferPool::MarkDirty(BlockId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::Internal("MarkDirty on non-resident block " +
+                            std::to_string(id.value));
+  }
+  it->second.dirty = true;
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool eviction with no frames");
+  }
+  BlockId victim = lru_.back();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  CACTIS_RETURN_IF_ERROR(WriteBack(victim, &it->second));
+  lru_.pop_back();
+  frames_.erase(it);
+  ++stats_.evictions;
+  for (ResidencyListener* l : listeners_) l->OnBlockEvicted(victim);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(BlockId id, Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  if (pre_evict_hook_) pre_evict_hook_(id, &frame->image);
+  CACTIS_RETURN_IF_ERROR(disk_->Write(id, frame->image.Encode()));
+  frame->dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    CACTIS_RETURN_IF_ERROR(WriteBack(id, &frame));
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard(BlockId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
+
+}  // namespace cactis::storage

@@ -1,0 +1,108 @@
+// BufferPool: fixed-capacity LRU cache of decoded blocks over the
+// SimulatedDisk.
+//
+// Two hooks matter to the rest of the system (paper section 2.3):
+//  * ResidencyListener.OnBlockLoaded — "Whenever a disk block is read into
+//    memory, all processes which are associated with some instance stored
+//    on that block are promoted to a special very high priority queue."
+//    The chunk scheduler registers a listener to implement exactly that.
+//  * pre-evict hook — lets the object cache in core serialize its dirty
+//    in-memory instances back into the BlockImage before it is written out.
+
+#ifndef CACTIS_STORAGE_BUFFER_POOL_H_
+#define CACTIS_STORAGE_BUFFER_POOL_H_
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/block_image.h"
+#include "storage/simulated_disk.h"
+
+namespace cactis::storage {
+
+/// Notification interface for block residency transitions.
+class ResidencyListener {
+ public:
+  virtual ~ResidencyListener() = default;
+  /// The block has just been read from disk into the pool.
+  virtual void OnBlockLoaded(BlockId id) = 0;
+  /// The block is about to leave the pool (already flushed if dirty).
+  virtual void OnBlockEvicted(BlockId id) = 0;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class BufferPool {
+ public:
+  /// The hook is called with the image of a dirty block immediately before
+  /// it is encoded and written back, so owners of cached decoded state can
+  /// fold their changes in.
+  using PreEvictHook = std::function<void(BlockId, BlockImage*)>;
+
+  /// `capacity` is the number of blocks held in memory; must be >= 1.
+  BufferPool(SimulatedDisk* disk, size_t capacity);
+
+  /// Returns the in-memory image of `id`, reading it from disk (and
+  /// possibly evicting the LRU block) if needed. The pointer stays valid
+  /// until the block is evicted.
+  Result<BlockImage*> Fetch(BlockId id);
+
+  /// Marks a resident block dirty; it will be written back on eviction or
+  /// FlushAll. It is an error to mark a non-resident block.
+  Status MarkDirty(BlockId id);
+
+  /// True when the block is in memory (no I/O is triggered).
+  bool IsResident(BlockId id) const { return frames_.contains(id); }
+
+  /// Writes back every dirty block (blocks stay resident).
+  Status FlushAll();
+
+  /// Drops a block from the pool without writing it back; used when the
+  /// record store frees the block. No listener eviction event is fired.
+  void Discard(BlockId id);
+
+  /// Registers an additional residency listener (the object cache and the
+  /// chunk scheduler both observe block transitions).
+  void AddListener(ResidencyListener* listener) {
+    listeners_.push_back(listener);
+  }
+  void set_pre_evict_hook(PreEvictHook hook) {
+    pre_evict_hook_ = std::move(hook);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t resident_blocks() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  struct Frame {
+    BlockImage image;
+    bool dirty = false;
+    std::list<BlockId>::iterator lru_pos;
+  };
+
+  Status EvictOne();
+  Status WriteBack(BlockId id, Frame* frame);
+
+  SimulatedDisk* disk_;
+  size_t capacity_;
+  std::unordered_map<BlockId, Frame> frames_;
+  std::list<BlockId> lru_;  // front = most recently used
+  std::vector<ResidencyListener*> listeners_;
+  PreEvictHook pre_evict_hook_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace cactis::storage
+
+#endif  // CACTIS_STORAGE_BUFFER_POOL_H_

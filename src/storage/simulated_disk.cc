@@ -1,0 +1,56 @@
+#include "storage/simulated_disk.h"
+
+namespace cactis::storage {
+
+BlockId SimulatedDisk::Allocate() {
+  ++stats_.allocations;
+  BlockId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = BlockId(++next_block_);
+  }
+  blocks_[id] = std::string();
+  return id;
+}
+
+Status SimulatedDisk::Free(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::IoError("freeing unallocated block " +
+                           std::to_string(id.value));
+  }
+  blocks_.erase(it);
+  free_list_.push_back(id);
+  ++stats_.frees;
+  return Status::OK();
+}
+
+Result<std::string> SimulatedDisk::Read(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::IoError("reading unallocated block " +
+                           std::to_string(id.value));
+  }
+  ++stats_.reads;
+  return it->second;
+}
+
+Status SimulatedDisk::Write(BlockId id, std::string content) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::IoError("writing unallocated block " +
+                           std::to_string(id.value));
+  }
+  if (content.size() > block_size_) {
+    return Status::OutOfRange("block content exceeds block size: " +
+                              std::to_string(content.size()) + " > " +
+                              std::to_string(block_size_));
+  }
+  ++stats_.writes;
+  it->second = std::move(content);
+  return Status::OK();
+}
+
+}  // namespace cactis::storage

@@ -1,0 +1,77 @@
+// SimulatedDisk: the instrumented block device under Cactis.
+//
+// Paper substitution (see DESIGN.md): the original system ran on a physical
+// Sun workstation disk; every technique in section 2.3 of the paper is
+// about minimising the *number of block accesses*, so we reproduce the
+// evaluation on a simulated block store that counts reads and writes.
+// The counters are the measured quantity in experiments E4-E6.
+
+#ifndef CACTIS_STORAGE_SIMULATED_DISK_H_
+#define CACTIS_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cactis::storage {
+
+/// Cumulative I/O counters; snapshot and subtract to measure a workload.
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+
+  DiskStats operator-(const DiskStats& other) const {
+    return DiskStats{reads - other.reads, writes - other.writes,
+                     allocations - other.allocations, frees - other.frees};
+  }
+};
+
+/// A block-addressed in-memory store standing in for a disk. Blocks have a
+/// fixed capacity in bytes; the record store enforces it. Reading or
+/// writing a block bumps the corresponding counter.
+class SimulatedDisk {
+ public:
+  /// `block_size` is the usable bytes per block.
+  explicit SimulatedDisk(size_t block_size = 4096)
+      : block_size_(block_size) {}
+
+  size_t block_size() const { return block_size_; }
+
+  /// Allocates a fresh (or recycled) block; its content starts empty.
+  BlockId Allocate();
+
+  /// Returns the block to the free list. Further access is an error until
+  /// it is re-allocated.
+  Status Free(BlockId id);
+
+  /// Reads the raw content of a block (counted).
+  Result<std::string> Read(BlockId id);
+
+  /// Overwrites the content of a block (counted). Content must fit in
+  /// block_size() bytes.
+  Status Write(BlockId id, std::string content);
+
+  bool IsAllocated(BlockId id) const { return blocks_.contains(id); }
+  size_t num_allocated_blocks() const { return blocks_.size(); }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  size_t block_size_;
+  uint64_t next_block_ = 0;
+  std::unordered_map<BlockId, std::string> blocks_;
+  std::vector<BlockId> free_list_;
+  DiskStats stats_;
+};
+
+}  // namespace cactis::storage
+
+#endif  // CACTIS_STORAGE_SIMULATED_DISK_H_

@@ -1,0 +1,51 @@
+#include "txn/delta.h"
+
+namespace cactis::txn {
+
+std::string_view DeltaOpToString(DeltaOp op) {
+  switch (op) {
+    case DeltaOp::kSetAttr:
+      return "set-attr";
+    case DeltaOp::kCreate:
+      return "create";
+    case DeltaOp::kDelete:
+      return "delete";
+    case DeltaOp::kConnect:
+      return "connect";
+    case DeltaOp::kDisconnect:
+      return "disconnect";
+  }
+  return "?";
+}
+
+size_t DeltaRecord::ByteSize() const {
+  size_t n = 1 + 8;  // op + instance id
+  switch (op) {
+    case DeltaOp::kSetAttr:
+      n += 4 + old_value.SerializedSize() + new_value.SerializedSize();
+      break;
+    case DeltaOp::kCreate:
+      n += 8;
+      break;
+    case DeltaOp::kDelete:
+      n += 8;
+      for (const auto& [idx, value] : intrinsic_snapshot) {
+        (void)idx;
+        n += 4 + value.SerializedSize();
+      }
+      break;
+    case DeltaOp::kConnect:
+    case DeltaOp::kDisconnect:
+      n += 8 + 8 + 8 + 4 + 4;  // edge, from, to, ports
+      break;
+  }
+  return n;
+}
+
+size_t TransactionDelta::ByteSize() const {
+  size_t n = 16;
+  for (const DeltaRecord& r : records) n += r.ByteSize();
+  return n;
+}
+
+}  // namespace cactis::txn

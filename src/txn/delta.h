@@ -1,0 +1,76 @@
+// Delta records: the undo/redo log of Cactis (paper sections 2.2 and 3).
+//
+// "All of the actions that take place as a consequence of changing an
+// attribute value can be undone simply by restoring the old value of the
+// attribute. Updates resulting from structural changes can be undone by
+// restoring the old structure." Only *primitive* changes are logged —
+// intrinsic attribute writes and structural operations — never derived
+// ripple, which is recomputed. This is the paper's "delta proportional in
+// size to the initial changes" property (measured in experiment E7).
+//
+// Each record carries both old and new state, so a committed delta chain
+// supports undo (walk backwards) and redo (walk forwards), which is the
+// basis of the version facility.
+
+#ifndef CACTIS_TXN_DELTA_H_
+#define CACTIS_TXN_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+
+namespace cactis::txn {
+
+enum class DeltaOp : uint8_t {
+  kSetAttr,     // intrinsic attribute write
+  kCreate,      // instance creation
+  kDelete,      // instance deletion (snapshot of intrinsic values)
+  kConnect,     // relationship established
+  kDisconnect,  // relationship broken
+};
+
+std::string_view DeltaOpToString(DeltaOp op);
+
+struct DeltaRecord {
+  DeltaOp op = DeltaOp::kSetAttr;
+  InstanceId instance;
+
+  // kSetAttr
+  size_t attr_index = 0;
+  Value old_value;
+  Value new_value;
+
+  // kCreate / kDelete
+  ClassId class_id;
+  /// kDelete: the intrinsic attribute values at deletion time, so undo can
+  /// rebuild the instance (derived values are recomputed, not logged).
+  std::vector<std::pair<size_t, Value>> intrinsic_snapshot;
+
+  // kConnect / kDisconnect
+  EdgeId edge;
+  InstanceId from;
+  size_t from_port = 0;
+  InstanceId to;
+  size_t to_port = 0;
+
+  /// Approximate serialized size in bytes; experiment E7 measures delta
+  /// growth against ripple size with this.
+  size_t ByteSize() const;
+};
+
+/// The delta of one transaction, in execution order.
+struct TransactionDelta {
+  TxnId txn;
+  uint64_t commit_seq = 0;  // position in the committed history
+  std::vector<DeltaRecord> records;
+
+  size_t ByteSize() const;
+  bool empty() const { return records.empty(); }
+};
+
+}  // namespace cactis::txn
+
+#endif  // CACTIS_TXN_DELTA_H_

@@ -1,0 +1,34 @@
+#include "txn/timestamp_cc.h"
+
+namespace cactis::txn {
+
+Status TimestampManager::CheckRead(InstanceId id, uint64_t ts) {
+  ++stats_.reads_checked;
+  Marks& m = marks_[id];
+  if (ts < m.write_ts) {
+    ++stats_.read_rejections;
+    return Status::Conflict(
+        "read of instance " + std::to_string(id.value) + " by txn ts " +
+        std::to_string(ts) + " arrives after write ts " +
+        std::to_string(m.write_ts));
+  }
+  if (ts > m.read_ts) m.read_ts = ts;
+  return Status::OK();
+}
+
+Status TimestampManager::CheckWrite(InstanceId id, uint64_t ts) {
+  ++stats_.writes_checked;
+  Marks& m = marks_[id];
+  if (ts < m.read_ts || ts < m.write_ts) {
+    ++stats_.write_rejections;
+    return Status::Conflict(
+        "write of instance " + std::to_string(id.value) + " by txn ts " +
+        std::to_string(ts) + " conflicts (read ts " +
+        std::to_string(m.read_ts) + ", write ts " +
+        std::to_string(m.write_ts) + ")");
+  }
+  m.write_ts = ts;
+  return Status::OK();
+}
+
+}  // namespace cactis::txn

@@ -1,0 +1,96 @@
+#include "txn/version_store.h"
+
+namespace cactis::txn {
+
+uint64_t VersionStore::Append(TransactionDelta delta) {
+  if (position_ < history_.size()) {
+    // Truncate the redo tail and every version naming a truncated point.
+    history_.resize(position_);
+    for (auto it = versions_.begin(); it != versions_.end();) {
+      if (it->second > position_) {
+        it = versions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  delta.commit_seq = history_.size() + 1;
+  history_.push_back(std::move(delta));
+  position_ = history_.size();
+  return position_;
+}
+
+Result<VersionId> VersionStore::CreateVersion(const std::string& name) {
+  if (versions_.contains(name)) {
+    return Status::AlreadyExists("version '" + name + "' already exists");
+  }
+  versions_[name] = position_;
+  return VersionId(++next_version_);
+}
+
+Result<uint64_t> VersionStore::PositionOf(const std::string& name) const {
+  auto it = versions_.find(name);
+  if (it == versions_.end()) {
+    return Status::NotFound("unknown version '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<const TransactionDelta*> VersionStore::DeltasToUndo(
+    uint64_t target) const {
+  std::vector<const TransactionDelta*> out;
+  for (uint64_t i = position_; i > target; --i) {
+    out.push_back(&history_[i - 1]);
+  }
+  return out;
+}
+
+std::vector<const TransactionDelta*> VersionStore::DeltasToRedo(
+    uint64_t target) const {
+  std::vector<const TransactionDelta*> out;
+  uint64_t stop = target > history_.size() ? history_.size() : target;
+  for (uint64_t i = position_; i < stop; ++i) {
+    out.push_back(&history_[i]);
+  }
+  return out;
+}
+
+Result<TransactionDelta> VersionStore::PopLast() {
+  if (history_.empty()) {
+    return Status::NotFound("no committed transaction to undo");
+  }
+  if (position_ != history_.size()) {
+    return Status::InvalidArgument(
+        "cannot pop the last transaction while positioned at an old "
+        "version; check out the newest state first");
+  }
+  TransactionDelta delta = std::move(history_.back());
+  history_.pop_back();
+  position_ = history_.size();
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    if (it->second > position_) {
+      it = versions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return delta;
+}
+
+size_t VersionStore::TotalDeltaBytes() const {
+  size_t n = 0;
+  for (const TransactionDelta& d : history_) n += d.ByteSize();
+  return n;
+}
+
+std::vector<std::string> VersionStore::VersionNames() const {
+  std::vector<std::string> out;
+  out.reserve(versions_.size());
+  for (const auto& [name, pos] : versions_) {
+    (void)pos;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace cactis::txn

@@ -1,0 +1,73 @@
+// VersionStore: the delta-based version facility (paper section 3).
+//
+// Committed transaction deltas form a linear history. A *version* names a
+// position in that history. Checking out an older version walks deltas
+// backwards (undo); returning to a newer one walks forwards (redo). "The
+// information needed to remember a delta is proportional in size to the
+// initial changes made to the database rather than the total change ...
+// which may result because of derived data."
+//
+// Committing new work while positioned before the end truncates the redo
+// tail (linear history, like an editor's undo stack). The store only
+// manages bookkeeping; applying a delta to the database is the core
+// layer's job, via the records this class hands back.
+
+#ifndef CACTIS_TXN_VERSION_STORE_H_
+#define CACTIS_TXN_VERSION_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "txn/delta.h"
+
+namespace cactis::txn {
+
+class VersionStore {
+ public:
+  /// Appends a committed transaction delta. If the current position is not
+  /// at the end of history, the tail beyond it (and any versions naming
+  /// positions inside the truncated tail) is discarded first.
+  /// Returns the commit sequence number.
+  uint64_t Append(TransactionDelta delta);
+
+  /// Names the current position. Version names are unique.
+  Result<VersionId> CreateVersion(const std::string& name);
+
+  /// Position lookup.
+  Result<uint64_t> PositionOf(const std::string& name) const;
+
+  uint64_t position() const { return position_; }
+  uint64_t end() const { return history_.size(); }
+
+  /// The deltas to undo, newest first, to move from the current position
+  /// back to `target`. Empty when target >= position.
+  std::vector<const TransactionDelta*> DeltasToUndo(uint64_t target) const;
+
+  /// The deltas to redo, oldest first, to move forward to `target`.
+  std::vector<const TransactionDelta*> DeltasToRedo(uint64_t target) const;
+
+  /// Moves the position marker after the core has applied the deltas.
+  void SetPosition(uint64_t position) { position_ = position; }
+
+  /// Pops the most recent delta entirely (the Undo meta-action on the last
+  /// committed transaction). Only valid when positioned at the end.
+  Result<TransactionDelta> PopLast();
+
+  /// Total bytes held by all retained deltas (experiment E7).
+  size_t TotalDeltaBytes() const;
+
+  std::vector<std::string> VersionNames() const;
+
+ private:
+  std::vector<TransactionDelta> history_;
+  uint64_t position_ = 0;  // number of applied deltas
+  std::map<std::string, uint64_t> versions_;
+  uint64_t next_version_ = 0;
+};
+
+}  // namespace cactis::txn
+
+#endif  // CACTIS_TXN_VERSION_STORE_H_

@@ -1,0 +1,163 @@
+#include "lang/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace cactis::lang {
+namespace {
+
+ClassContext MilestoneContext() {
+  ClassContext ctx;
+  ctx.attribute_names = {"sched_compl", "local_work", "exp_compl", "late"};
+  ctx.port_names = {"depends_on", "consists_of"};
+  return ctx;
+}
+
+std::vector<Dependency> Analyze(std::string_view rule,
+                                bool allow_assign = false) {
+  auto body = Parser::ParseRuleBody(rule);
+  EXPECT_TRUE(body.ok()) << body.status();
+  auto deps = AnalyzeDependencies(*body, MilestoneContext(), allow_assign);
+  EXPECT_TRUE(deps.ok()) << deps.status();
+  return deps.ok() ? *deps : std::vector<Dependency>{};
+}
+
+bool HasDep(const std::vector<Dependency>& deps, Dependency::Kind kind,
+            const std::string& name, const std::string& port) {
+  for (const Dependency& d : deps) {
+    if (d.kind == kind && d.name == name && d.port == port) return true;
+  }
+  return false;
+}
+
+TEST(AnalyzerTest, LocalAttributeMention) {
+  auto deps = Analyze("later_than(exp_compl, sched_compl)");
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kLocal, "exp_compl", ""));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kLocal, "sched_compl", ""));
+  EXPECT_EQ(deps.size(), 2u);
+}
+
+TEST(AnalyzerTest, UnknownBareNamesAreNotDependencies) {
+  // time0 is a builtin, not an attribute: no dependency.
+  auto deps = Analyze("time0");
+  EXPECT_TRUE(deps.empty());
+}
+
+TEST(AnalyzerTest, ForEachYieldsRemoteAndStructural) {
+  auto deps = Analyze(R"(
+    begin
+      latest : time;
+      latest = time0;
+      for each dep related to depends_on do
+        latest = later_of(latest, dep.exp_time);
+      end;
+      return latest + local_work;
+    end)");
+  EXPECT_TRUE(
+      HasDep(deps, Dependency::Kind::kRemote, "exp_time", "depends_on"));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kStructural, "", "depends_on"));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kLocal, "local_work", ""));
+}
+
+TEST(AnalyzerTest, VariablesShadowAttributes) {
+  // `late` is re-declared as a local variable: no local dependency.
+  auto deps = Analyze("begin late : int = 3; return late; end");
+  EXPECT_TRUE(deps.empty());
+}
+
+TEST(AnalyzerTest, DirectPortAccess) {
+  auto deps = Analyze("consists_of.exp_time");
+  EXPECT_TRUE(
+      HasDep(deps, Dependency::Kind::kRemote, "exp_time", "consists_of"));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kStructural, "", "consists_of"));
+}
+
+TEST(AnalyzerTest, CountIsStructuralOnly) {
+  auto deps = Analyze("count(depends_on) > 3");
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].kind, Dependency::Kind::kStructural);
+  EXPECT_EQ(deps[0].port, "depends_on");
+}
+
+TEST(AnalyzerTest, CountOfNonPortRejected) {
+  auto body = Parser::ParseRuleBody("count(local_work)");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnalyzeDependencies(*body, MilestoneContext()).ok());
+}
+
+TEST(AnalyzerTest, ForEachOverUnknownPortRejected) {
+  auto body = Parser::ParseRuleBody(
+      "begin for each d related to nowhere do return 1; end; return 0; end");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnalyzeDependencies(*body, MilestoneContext()).ok());
+}
+
+TEST(AnalyzerTest, AttributeAssignmentOnlyInRecovery) {
+  auto body = Parser::ParseRuleBody("begin local_work = time0; return 1; end");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnalyzeDependencies(*body, MilestoneContext(), false).ok());
+  EXPECT_TRUE(AnalyzeDependencies(*body, MilestoneContext(), true).ok());
+}
+
+TEST(AnalyzerTest, AssignmentToUndeclaredNameRejected) {
+  auto body = Parser::ParseRuleBody("begin typo = 1; return 1; end");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnalyzeDependencies(*body, MilestoneContext(), true).ok());
+}
+
+TEST(AnalyzerTest, DotOnPlainVariableRejectedAsRemote) {
+  // A plain (non-loop) variable cannot be crossed with '.';
+  // (record field access is resolved dynamically, but the analyzer
+  // rejects it on plain variables to catch the common mistake).
+  auto body =
+      Parser::ParseRuleBody("begin v : int = 1; return v.field; end");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnalyzeDependencies(*body, MilestoneContext()).ok());
+}
+
+TEST(AnalyzerTest, LoopVariableScopingRestored) {
+  // After the loop, `dep` is no longer bound; using it is an error.
+  auto body = Parser::ParseRuleBody(R"(
+    begin
+      for each dep related to depends_on do
+        void(dep.exp_time);
+      end;
+      return dep.exp_time;
+    end)");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnalyzeDependencies(*body, MilestoneContext()).ok());
+}
+
+TEST(AnalyzerTest, NestedLoopsBothRecorded) {
+  auto deps = Analyze(R"(
+    begin
+      acc : time = time0;
+      for each a related to depends_on do
+        for each b related to consists_of do
+          acc = later_of(a.x, b.y);
+        end;
+      end;
+      return acc;
+    end)");
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kRemote, "x", "depends_on"));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kRemote, "y", "consists_of"));
+}
+
+TEST(AnalyzerTest, DependenciesDeduplicated) {
+  auto deps = Analyze("exp_compl + exp_compl + exp_compl");
+  EXPECT_EQ(deps.size(), 1u);
+}
+
+TEST(AnalyzerTest, IfBranchesBothWalked) {
+  auto deps = Analyze(R"(
+    begin
+      if late then return exp_compl; else return sched_compl; end;
+    end)");
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kLocal, "late", ""));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kLocal, "exp_compl", ""));
+  EXPECT_TRUE(HasDep(deps, Dependency::Kind::kLocal, "sched_compl", ""));
+}
+
+}  // namespace
+}  // namespace cactis::lang

@@ -1,0 +1,128 @@
+#include "lang/builtins.h"
+
+#include <gtest/gtest.h>
+
+namespace cactis::lang {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  BuiltinsTest() : reg_(BuiltinRegistry::WithDefaults()) {}
+
+  Result<Value> Call(const std::string& name, std::vector<Value> args) {
+    const BuiltinFn* fn = reg_.Lookup(name);
+    if (fn == nullptr) return Status::NotFound("no builtin " + name);
+    return (*fn)(args);
+  }
+
+  BuiltinRegistry reg_;
+};
+
+TEST_F(BuiltinsTest, TimeConstants) {
+  EXPECT_EQ(*Call("time0", {}), Value::Time(kTimeZero));
+  EXPECT_EQ(*Call("time_inf", {}), Value::Time(kTimeInfinity));
+  EXPECT_EQ(*Call("time", {Value::Int(5)}), Value::Time(5));
+}
+
+TEST_F(BuiltinsTest, LaterEarlierFamily) {
+  Value a = Value::Time(3), b = Value::Time(9);
+  EXPECT_EQ(*Call("later_of", {a, b}), b);
+  EXPECT_EQ(*Call("earlier_of", {a, b}), a);
+  EXPECT_EQ(*Call("later_than", {b, a}), Value::Bool(true));
+  EXPECT_EQ(*Call("later_than", {a, b}), Value::Bool(false));
+  EXPECT_EQ(*Call("earlier_than", {a, b}), Value::Bool(true));
+  // Varargs and int coercion.
+  EXPECT_EQ(*Call("later_of", {a, Value::Int(100), b}), Value::Time(100));
+  // Identity elements.
+  EXPECT_EQ(*Call("later_of", {}), Value::Time(kTimeZero));
+  EXPECT_EQ(*Call("earlier_of", {}), Value::Time(kTimeInfinity));
+}
+
+TEST_F(BuiltinsTest, NumericAggregates) {
+  std::vector<Value> ints = {Value::Int(4), Value::Int(1), Value::Int(7)};
+  EXPECT_EQ(*Call("min", ints), Value::Int(1));
+  EXPECT_EQ(*Call("max", ints), Value::Int(7));
+  EXPECT_EQ(*Call("sum", ints), Value::Int(12));
+  // One-array form.
+  EXPECT_EQ(*Call("sum", {Value::Array(ints)}), Value::Int(12));
+  // Mixed types give real.
+  EXPECT_EQ(*Call("sum", {Value::Int(1), Value::Real(0.5)}),
+            Value::Real(1.5));
+  EXPECT_FALSE(Call("min", {}).ok());
+}
+
+TEST_F(BuiltinsTest, AbsLenConcat) {
+  EXPECT_EQ(*Call("abs", {Value::Int(-4)}), Value::Int(4));
+  EXPECT_EQ(*Call("abs", {Value::Real(-2.5)}), Value::Real(2.5));
+  EXPECT_EQ(*Call("len", {Value::String("abc")}), Value::Int(3));
+  EXPECT_EQ(*Call("len", {Value::Array({Value::Int(1)})}), Value::Int(1));
+  EXPECT_FALSE(Call("len", {Value::Int(3)}).ok());
+  EXPECT_EQ(*Call("concat", {Value::String("a"), Value::Int(1)}),
+            Value::String("a1"));
+}
+
+TEST_F(BuiltinsTest, Conversions) {
+  EXPECT_EQ(*Call("to_int", {Value::Real(3.7)}), Value::Int(3));
+  EXPECT_EQ(*Call("to_real", {Value::Int(3)}), Value::Real(3.0));
+  EXPECT_EQ(*Call("to_string", {Value::Int(3)}), Value::String("3"));
+  EXPECT_EQ(*Call("to_string", {Value::String("s")}), Value::String("s"));
+}
+
+TEST_F(BuiltinsTest, Select) {
+  EXPECT_EQ(*Call("select", {Value::Bool(true), Value::Int(1), Value::Int(2)}),
+            Value::Int(1));
+  EXPECT_EQ(
+      *Call("select", {Value::Bool(false), Value::Int(1), Value::Int(2)}),
+      Value::Int(2));
+  EXPECT_FALSE(Call("select", {Value::Int(1), Value::Int(1), Value::Int(2)})
+                   .ok());
+}
+
+TEST_F(BuiltinsTest, ArrayHelpers) {
+  Value arr = Value::Array({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(*Call("append", {arr, Value::Int(3)}),
+            Value::Array({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(*Call("at", {arr, Value::Int(1)}), Value::Int(2));
+  EXPECT_FALSE(Call("at", {arr, Value::Int(5)}).ok());
+  EXPECT_FALSE(Call("at", {arr, Value::Int(-1)}).ok());
+}
+
+TEST_F(BuiltinsTest, SetOperationsAreOrderInsensitive) {
+  Value a = Value::Array({Value::Int(3), Value::Int(1)});
+  Value b = Value::Array({Value::Int(2), Value::Int(1)});
+  Value u = *Call("set_union", {a, b});
+  EXPECT_EQ(u, Value::Array({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(*Call("set_diff", {a, b}), Value::Array({Value::Int(3)}));
+  EXPECT_EQ(*Call("set_member", {u, Value::Int(2)}), Value::Bool(true));
+  EXPECT_EQ(*Call("set_member", {u, Value::Int(9)}), Value::Bool(false));
+  EXPECT_EQ(*Call("set_size", {u}), Value::Int(3));
+  // Insert is idempotent.
+  Value ins = *Call("set_insert", {u, Value::Int(2)});
+  EXPECT_EQ(ins, u);
+}
+
+TEST_F(BuiltinsTest, VoidDiscards) {
+  EXPECT_EQ(*Call("void", {Value::Int(42)}), Value::Null());
+  EXPECT_EQ(*Call("void", {}), Value::Null());
+}
+
+TEST_F(BuiltinsTest, RegisterReplaces) {
+  reg_.Register("custom", [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(1);
+  });
+  EXPECT_TRUE(reg_.Contains("custom"));
+  EXPECT_EQ(*Call("custom", {}), Value::Int(1));
+  reg_.Register("custom", [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(2);
+  });
+  EXPECT_EQ(*Call("custom", {}), Value::Int(2));
+}
+
+TEST_F(BuiltinsTest, ArityErrors) {
+  EXPECT_FALSE(Call("later_than", {Value::Time(1)}).ok());
+  EXPECT_FALSE(Call("time0", {Value::Int(1)}).ok());
+  EXPECT_FALSE(Call("abs", {}).ok());
+}
+
+}  // namespace
+}  // namespace cactis::lang

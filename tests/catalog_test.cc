@@ -1,0 +1,293 @@
+// Catalog unit tests: the builder, dependency tables, provider-side
+// resolution, constraints, subtypes, dynamic class extension, and the
+// schema loader.
+
+#include "schema/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/schema_loader.h"
+
+namespace cactis::schema {
+namespace {
+
+TEST(CatalogTest, RelTypeInterning) {
+  Catalog cat;
+  RelTypeId a = cat.InternRelType("dep");
+  RelTypeId b = cat.InternRelType("dep");
+  RelTypeId c = cat.InternRelType("other");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cat.RelTypeName(a), "dep");
+  EXPECT_TRUE(cat.FindRelType("dep").ok());
+  EXPECT_FALSE(cat.FindRelType("nope").ok());
+}
+
+TEST(CatalogTest, BuilderBuildsClassWithLookups) {
+  Catalog cat;
+  ClassBuilder b(&cat, "task");
+  b.Port("deps", "dep", Side::kSocket, Cardinality::kMulti);
+  b.Intrinsic("effort", ValueType::kInt);
+  b.Derived("double_effort", ValueType::kInt, "effort * 2");
+  auto id = b.Build();
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  const ObjectClass* cls = cat.GetClass(*id);
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->name(), "task");
+  EXPECT_EQ(cls, cat.FindClass("task"));
+  EXPECT_EQ(cls->AttrIndexOf("effort"), 0u);
+  EXPECT_EQ(cls->AttrIndexOf("double_effort"), 1u);
+  EXPECT_EQ(cls->AttrIndexOf("nope"), SIZE_MAX);
+  EXPECT_EQ(cls->PortIndexOf("deps"), 0u);
+  EXPECT_FALSE(cls->attributes()[0].is_derived());
+  EXPECT_TRUE(cls->attributes()[1].is_derived());
+}
+
+TEST(CatalogTest, LocalDependentsTable) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Intrinsic("x", ValueType::kInt);
+  b.Derived("y", ValueType::kInt, "x + 1");
+  b.Derived("z", ValueType::kInt, "y + x");
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("c");
+  // x's dependents: y and z; y's dependents: z.
+  auto deps_x = cls->LocalDependents(cls->AttrIndexOf("x"));
+  EXPECT_EQ(deps_x.size(), 2u);
+  auto deps_y = cls->LocalDependents(cls->AttrIndexOf("y"));
+  ASSERT_EQ(deps_y.size(), 1u);
+  EXPECT_EQ(deps_y[0], cls->AttrIndexOf("z"));
+}
+
+TEST(CatalogTest, RemoteAndStructuralDependents) {
+  Catalog cat;
+  ClassBuilder b(&cat, "node");
+  b.Port("in", "link", Side::kSocket, Cardinality::kMulti);
+  b.Derived("total", ValueType::kInt,
+            "begin t : int = 0; for each d related to in do "
+            "t = t + d.v; end; return t; end");
+  b.Derived("fanin", ValueType::kInt, "count(in)");
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("node");
+  size_t in = cls->PortIndexOf("in");
+  auto remote = cls->RemoteDependents(in, "v");
+  ASSERT_EQ(remote.size(), 1u);
+  EXPECT_EQ(remote[0], cls->AttrIndexOf("total"));
+  auto structural = cls->StructuralDependents(in);
+  EXPECT_EQ(structural.size(), 2u);  // total (for-each) and fanin (count)
+  EXPECT_TRUE(cls->ConsumesAcrossPort(in));
+}
+
+TEST(CatalogTest, ExportVisibilityAndResolution) {
+  Catalog cat;
+  ClassBuilder b(&cat, "provider");
+  b.Port("out", "link", Side::kPlug, Cardinality::kMulti);
+  b.Port("other", "link2", Side::kPlug, Cardinality::kMulti);
+  b.Intrinsic("base", ValueType::kInt);
+  b.Export("out", "v", ValueType::kInt, "base * 10");
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("provider");
+
+  size_t out = cls->PortIndexOf("out");
+  size_t other = cls->PortIndexOf("other");
+  size_t export_idx = cls->AttrIndexOf("out.v");
+  ASSERT_NE(export_idx, SIZE_MAX);
+  EXPECT_EQ(cls->attributes()[export_idx].kind, AttrKind::kExport);
+  // The export resolves only on its own port.
+  EXPECT_EQ(cls->ResolveProvidedValue(out, "v"), export_idx);
+  EXPECT_EQ(cls->ResolveProvidedValue(other, "v"), SIZE_MAX);
+  // Plain attributes resolve on any port.
+  EXPECT_EQ(cls->ResolveProvidedValue(other, "base"),
+            cls->AttrIndexOf("base"));
+}
+
+TEST(CatalogTest, ExportShadowsPlainAttributeOnItsPort) {
+  Catalog cat;
+  ClassBuilder b(&cat, "p");
+  b.Port("out", "link", Side::kPlug, Cardinality::kMulti);
+  b.Intrinsic("v", ValueType::kInt);
+  b.Export("out", "v", ValueType::kInt, "v + 100");
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("p");
+  EXPECT_EQ(cls->ResolveProvidedValue(cls->PortIndexOf("out"), "v"),
+            cls->AttrIndexOf("out.v"));
+}
+
+TEST(CatalogTest, LocalCycleRejectedAtBuildTime) {
+  Catalog cat;
+  ClassBuilder b(&cat, "cyclic");
+  b.Derived("a", ValueType::kInt, "b + 1");
+  b.Derived("b", ValueType::kInt, "a + 1");
+  auto id = b.Build();
+  ASSERT_FALSE(id.ok());
+  EXPECT_TRUE(id.status().IsCycleDetected());
+}
+
+TEST(CatalogTest, SelfCycleRejected) {
+  Catalog cat;
+  ClassBuilder b(&cat, "selfcycle");
+  b.Derived("a", ValueType::kInt, "a + 1");
+  EXPECT_TRUE(b.Build().status().IsCycleDetected());
+}
+
+TEST(CatalogTest, DuplicateAttributeRejected) {
+  Catalog cat;
+  ClassBuilder b(&cat, "dup");
+  b.Intrinsic("x", ValueType::kInt);
+  b.Intrinsic("x", ValueType::kReal);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(CatalogTest, DuplicateClassNameRejected) {
+  Catalog cat;
+  ASSERT_TRUE(ClassBuilder(&cat, "c").Build().ok());
+  EXPECT_FALSE(ClassBuilder(&cat, "c").Build().ok());
+}
+
+TEST(CatalogTest, RuleReferencingUnknownPortRejected) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Derived("x", ValueType::kInt, "count(nowhere)");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(CatalogTest, ExportOnUnknownPortRejected) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Export("ghost", "v", ValueType::kInt, "1");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(CatalogTest, ConstraintsAreIntrinsicallyImportant) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Intrinsic("n", ValueType::kInt);
+  b.Constraint("non_negative", "n >= 0");
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("c");
+  size_t idx = cls->AttrIndexOf("non_negative");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_TRUE(cls->attributes()[idx].is_constraint);
+  EXPECT_TRUE(cls->attributes()[idx].intrinsically_important());
+  ASSERT_EQ(cls->constraint_attrs().size(), 1u);
+  EXPECT_EQ(cls->constraint_attrs()[0], idx);
+}
+
+TEST(CatalogTest, ExtendClassKeepsIndicesStable) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Intrinsic("x", ValueType::kInt);
+  ASSERT_TRUE(b.Build().ok());
+  ClassId id = *cat.ClassIdOf("c");
+
+  auto idx = cat.ExtendClassWithDerived("c", "y", ValueType::kInt, "x * 2");
+  ASSERT_TRUE(idx.ok()) << idx.status();
+  EXPECT_EQ(*idx, 1u);
+  const ObjectClass* cls = cat.FindClass("c");
+  EXPECT_EQ(cls->id(), id);  // same class id after replacement
+  EXPECT_EQ(cls->AttrIndexOf("x"), 0u);
+  EXPECT_EQ(cls->AttrIndexOf("y"), 1u);
+  // The new rule's dependency tables are live.
+  EXPECT_EQ(cls->LocalDependents(0).size(), 1u);
+}
+
+TEST(CatalogTest, DefineSubtypeAppendsPredicate) {
+  Catalog cat;
+  ClassBuilder b(&cat, "persons");
+  b.Port("cars", "owns", Side::kPlug, Cardinality::kMulti);
+  ASSERT_TRUE(b.Build().ok());
+
+  auto sub = cat.DefineSubtype("car_buff", "persons", "count(cars) > 3");
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  const SubtypeDef* def = cat.FindSubtype("car_buff");
+  ASSERT_NE(def, nullptr);
+  const ObjectClass* cls = cat.FindClass("persons");
+  const AttributeDef& pred = cls->attributes()[def->predicate_attr_index];
+  EXPECT_EQ(pred.name, "car_buff");
+  EXPECT_EQ(pred.subtype, def->id);
+  EXPECT_TRUE(pred.intrinsically_important());
+  // Duplicate subtype name rejected.
+  EXPECT_FALSE(cat.DefineSubtype("car_buff", "persons", "true").ok());
+}
+
+TEST(CatalogTest, LocateAttributeByGlobalId) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Intrinsic("x", ValueType::kInt);
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("c");
+  AttributeId id = cls->attributes()[0].id;
+  auto loc = cat.LocateAttribute(id);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->class_id, cls->id());
+  EXPECT_EQ(loc->attr_index, 0u);
+}
+
+TEST(SchemaLoaderTest, LoadsClassesSubtypesAndRelTypes) {
+  Catalog cat;
+  auto classes = LoadSchema(&cat, R"(
+    relationship owns;
+    object class persons is
+      relationships
+        cars : owns multi plug;
+      attributes
+        age : int;
+    end object;
+    object class automobiles is
+      relationships
+        owner : owns single socket;
+    end object;
+    subtype car_buff of persons where count(cars) > 3;
+  )");
+  ASSERT_TRUE(classes.ok()) << classes.status();
+  EXPECT_EQ(classes->size(), 2u);
+  EXPECT_NE(cat.FindClass("persons"), nullptr);
+  EXPECT_NE(cat.FindClass("automobiles"), nullptr);
+  EXPECT_NE(cat.FindSubtype("car_buff"), nullptr);
+  const ObjectClass* autos = cat.FindClass("automobiles");
+  EXPECT_EQ(autos->ports()[0].cardinality, Cardinality::kSingle);
+  EXPECT_EQ(autos->ports()[0].side, Side::kSocket);
+}
+
+TEST(SchemaLoaderTest, DerivedAttributesComeFromRulesSection) {
+  Catalog cat;
+  ASSERT_TRUE(LoadSchema(&cat, R"(
+    object class c is
+      attributes
+        x : int;
+        y : int;
+      rules
+        y = x + 1;
+    end object;
+  )")
+                  .ok());
+  const ObjectClass* cls = cat.FindClass("c");
+  EXPECT_FALSE(cls->FindAttr("x")->is_derived());
+  EXPECT_TRUE(cls->FindAttr("y")->is_derived());
+  EXPECT_EQ(cls->FindAttr("y")->type, ValueType::kInt);
+}
+
+TEST(SchemaLoaderTest, SubtypeOfUnknownClassFails) {
+  Catalog cat;
+  EXPECT_FALSE(LoadSchema(&cat, "subtype s of ghost where true;").ok());
+}
+
+TEST(CatalogTest, NativeRuleWithDeclaredDeps) {
+  Catalog cat;
+  ClassBuilder b(&cat, "c");
+  b.Intrinsic("x", ValueType::kInt);
+  NativeRule rule;
+  rule.fn = [](lang::EvalContext* ctx) -> Result<Value> {
+    CACTIS_ASSIGN_OR_RETURN(Value x, ctx->GetLocalAttr("x"));
+    return Value::Int(*x.AsInt() + 1);
+  };
+  rule.deps = {{lang::Dependency::Kind::kLocal, "x", ""}};
+  b.DerivedNative("y", ValueType::kInt, std::move(rule));
+  ASSERT_TRUE(b.Build().ok());
+  const ObjectClass* cls = cat.FindClass("c");
+  EXPECT_EQ(cls->LocalDependents(cls->AttrIndexOf("x")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cactis::schema

@@ -1,0 +1,215 @@
+// Fixed-point evaluation of `circular` attributes ([Far86]; the paper's
+// section-4 note that these techniques "are being incorporated into
+// Cactis so that it may support more general forms of flow analysis").
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace cactis::core {
+namespace {
+
+// Nodes propagate the set of reachable node labels around an arbitrary
+// graph — the canonical monotone circular attribute.
+const char* kReachSchema = R"(
+  object class rnode is
+    relationships
+      in  : arc multi socket;
+      out : arc multi plug;
+    attributes
+      label : string;
+      reach : array;   -- labels reachable from (and including) this node
+    rules
+      circular reach =
+        begin
+          acc : array;
+          acc = set_insert([], label);
+          for each s related to in do
+            acc = set_union(acc, s.reach);
+          end;
+          return acc;
+        end;
+  end object;
+)";
+
+class CircularTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(db_.LoadSchema(kReachSchema).ok()); }
+
+  InstanceId Node(const std::string& label) {
+    auto id = *db_.Create("rnode");
+    EXPECT_TRUE(db_.Set(id, "label", Value::String(label)).ok());
+    return id;
+  }
+
+  /// b reachable-from a (a's reach flows into b via b's `in` socket).
+  void Arc(InstanceId from, InstanceId to) {
+    // `in` consumes; provider side is `out`.
+    ASSERT_TRUE(db_.Connect(to, "in", from, "out").ok());
+  }
+
+  std::vector<std::string> Reach(InstanceId id) {
+    auto v = db_.Peek(id, "reach");
+    EXPECT_TRUE(v.ok()) << v.status();
+    std::vector<std::string> out;
+    if (v.ok()) {
+      const std::vector<Value> elems = *v->AsArray();
+      for (const Value& e : elems) out.push_back(*e.AsString());
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(CircularTest, AcyclicGraphStillWorksNormally) {
+  auto a = Node("a"), b = Node("b"), c = Node("c");
+  Arc(a, b);
+  Arc(b, c);
+  EXPECT_EQ(Reach(c), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a"}));
+}
+
+TEST_F(CircularTest, TwoCycleConverges) {
+  auto a = Node("a"), b = Node("b");
+  Arc(a, b);
+  Arc(b, a);  // cycle
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Reach(b), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(CircularTest, LargerCycleWithTail) {
+  // d -> a -> b -> c -> a  (3-cycle fed by a tail), e off c.
+  auto a = Node("a"), b = Node("b"), c = Node("c"), d = Node("d"),
+       e = Node("e");
+  Arc(d, a);
+  Arc(a, b);
+  Arc(b, c);
+  Arc(c, a);
+  Arc(c, e);
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_EQ(Reach(e), (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+  EXPECT_EQ(Reach(d), (std::vector<std::string>{"d"}));
+}
+
+TEST_F(CircularTest, CycleRecomputesAfterEdit) {
+  auto a = Node("a"), b = Node("b");
+  Arc(a, b);
+  Arc(b, a);
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a", "b"}));
+  // Renaming a node re-runs the fixed point.
+  ASSERT_TRUE(db_.Set(b, "label", Value::String("z")).ok());
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a", "z"}));
+}
+
+TEST_F(CircularTest, DisconnectingBreaksTheCycle) {
+  auto a = Node("a"), b = Node("b");
+  Arc(a, b);
+  auto back = db_.Connect(a, "in", b, "out");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(db_.Disconnect(*back).ok());
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(Reach(b), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(CircularTest, SelfLoopConverges) {
+  auto a = Node("a");
+  Arc(a, a);
+  EXPECT_EQ(Reach(a), (std::vector<std::string>{"a"}));
+}
+
+TEST(CircularSchemaTest, NonCircularCyclesStillRejected) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class cell is
+      relationships
+        prev : chain multi socket;
+        next : chain multi plug;
+      attributes
+        base : int;
+        acc : int;
+      rules
+        acc = begin
+          t : int;
+          t = base;
+          for each p related to prev do
+            t = t + p.acc;
+          end;
+          return t;
+        end;
+    end object;
+  )")
+                  .ok());
+  auto a = *db.Create("cell");
+  auto b = *db.Create("cell");
+  ASSERT_TRUE(db.Connect(a, "prev", b, "next").ok());
+  ASSERT_TRUE(db.Connect(b, "prev", a, "next").ok());
+  auto v = db.Get(a, "acc");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsCycleDetected());
+  // The error explains the fix.
+  EXPECT_NE(v.status().message().find("circular"), std::string::npos);
+}
+
+TEST(CircularSchemaTest, NonMonotonicCycleFailsToConverge) {
+  // x = y + 1 and y = x + 1 oscillates forever: the iteration cap turns
+  // that into a clear error instead of a hang.
+  Database db;
+  core::DatabaseOptions opts;
+  (void)opts;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class osc is
+      relationships
+        peer_in  : link multi socket;
+        peer_out : link multi plug;
+      attributes
+        v : int;
+      rules
+        circular v =
+          begin
+            acc : int = 0;
+            for each p related to peer_in do
+              acc = acc + p.v + 1;
+            end;
+            return acc;
+          end;
+    end object;
+  )")
+                  .ok());
+  auto a = *db.Create("osc");
+  auto b = *db.Create("osc");
+  ASSERT_TRUE(db.Connect(a, "peer_in", b, "peer_out").ok());
+  ASSERT_TRUE(db.Connect(b, "peer_in", a, "peer_out").ok());
+  auto v = db.Get(a, "v");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsCycleDetected());
+  EXPECT_NE(v.status().message().find("converge"), std::string::npos);
+}
+
+TEST(CircularSchemaTest, LocalCircularCycleAcceptedAtSchemaTime) {
+  // Two mutually-referencing circular attributes within one class build
+  // fine (the static check excludes circular attributes).
+  Database db;
+  auto s = db.LoadSchema(R"(
+    object class m is
+      attributes
+        x : array;
+        y : array;
+        seed : array;
+      rules
+        circular x = set_union(seed, y);
+        circular y = x;
+    end object;
+  )");
+  ASSERT_TRUE(s.ok()) << s;
+  auto id = *db.Create("m");
+  ASSERT_TRUE(
+      db.Set(id, "seed", Value::Array({Value::Int(1)})).ok());
+  auto v = db.Peek(id, "x");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(*v, Value::Array({Value::Int(1)}));
+}
+
+}  // namespace
+}  // namespace cactis::core

@@ -1,0 +1,184 @@
+// Constraints (paper 2.1/2.2): a constraint is a boolean derived
+// attribute; evaluating to false rolls the transaction back, unless a
+// recovery action repairs the violation.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace cactis::core {
+namespace {
+
+TEST(ConstraintTest, ViolationAbortsAndRollsBack) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class account is
+      attributes
+        balance : int;
+      constraints
+        solvent : balance >= 0;
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("account");
+  ASSERT_TRUE(db.Set(id, "balance", Value::Int(10)).ok());
+
+  auto s = db.Set(id, "balance", Value::Int(-5));
+  EXPECT_TRUE(s.IsTransactionAborted()) << s;
+  // The violating write was rolled back.
+  EXPECT_EQ(*db.Get(id, "balance"), Value::Int(10));
+}
+
+TEST(ConstraintTest, MultiOperationTransactionRollsBackEntirely) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class account is
+      attributes
+        balance : int;
+        owner : string;
+      constraints
+        solvent : balance >= 0;
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("account");
+  ASSERT_TRUE(db.Set(id, "balance", Value::Int(5)).ok());
+  ASSERT_TRUE(db.Set(id, "owner", Value::String("ann")).ok());
+
+  auto t = db.Begin();
+  ASSERT_TRUE(t->Set(id, "owner", Value::String("bob")).ok());
+  auto s = t->Set(id, "balance", Value::Int(-1));
+  EXPECT_TRUE(s.IsTransactionAborted());
+  EXPECT_FALSE(t->open());
+  EXPECT_TRUE(t->aborted());
+  // Every write of the transaction is undone, including the earlier one.
+  EXPECT_EQ(*db.Get(id, "owner"), Value::String("ann"));
+  EXPECT_EQ(*db.Get(id, "balance"), Value::Int(5));
+  // Further use of the aborted transaction is rejected.
+  EXPECT_TRUE(t->Set(id, "owner", Value::String("x")).IsTransactionAborted());
+}
+
+TEST(ConstraintTest, RecoveryActionRepairsViolation) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class gauge is
+      attributes
+        level : int;
+        clamped : int;
+      constraints
+        in_range : level <= 100
+          recovery begin level = 100; end;
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("gauge");
+  // The recovery action clamps instead of aborting.
+  ASSERT_TRUE(db.Set(id, "level", Value::Int(250)).ok());
+  EXPECT_EQ(*db.Get(id, "level"), Value::Int(100));
+  EXPECT_GE(db.eval_stats().recoveries_run, 1u);
+}
+
+TEST(ConstraintTest, RecoveryThatDoesNotRepairAborts) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class gauge is
+      attributes
+        level : int;
+        touched : int;
+      constraints
+        in_range : level <= 100
+          recovery begin touched = 1; end;  -- does not fix level
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("gauge");
+  auto s = db.Set(id, "level", Value::Int(250));
+  EXPECT_TRUE(s.IsTransactionAborted());
+  EXPECT_EQ(*db.Get(id, "level"), Value::Int(0));
+  EXPECT_EQ(*db.Get(id, "touched"), Value::Int(0));  // recovery undone too
+}
+
+TEST(ConstraintTest, CrossInstanceConstraint) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class bucket is
+      relationships
+        contains : holds multi socket;
+      attributes
+        capacity : int;
+      constraints
+        not_overfull : begin
+          n : int = 0;
+          for each i related to contains do
+            n = n + i.size;
+          end;
+          return n <= capacity;
+        end;
+    end object;
+    object class item is
+      relationships
+        holder : holds multi plug;
+      attributes
+        size : int;
+    end object;
+  )")
+                  .ok());
+  auto bucket = *db.Create("bucket");
+  ASSERT_TRUE(db.Set(bucket, "capacity", Value::Int(10)).ok());
+  auto i1 = *db.Create("item");
+  ASSERT_TRUE(db.Set(i1, "size", Value::Int(6)).ok());
+  ASSERT_TRUE(db.Connect(bucket, "contains", i1, "holder").ok());
+
+  auto i2 = *db.Create("item");
+  ASSERT_TRUE(db.Set(i2, "size", Value::Int(6)).ok());
+  // Connecting the second item would overflow the bucket: aborted.
+  auto e = db.Connect(bucket, "contains", i2, "holder");
+  EXPECT_TRUE(e.status().IsTransactionAborted()) << e.status();
+  EXPECT_EQ(db.NeighborsOf(bucket, "contains")->size(), 1u);
+
+  // Growing a contained item past capacity is also caught — the change
+  // propagates across the relationship into the constraint.
+  auto s = db.Set(i1, "size", Value::Int(11));
+  EXPECT_TRUE(s.IsTransactionAborted());
+  EXPECT_EQ(*db.Get(i1, "size"), Value::Int(6));
+}
+
+TEST(ConstraintTest, ConstraintCheckedOnCreate) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class widget is
+      attributes
+        count : int = -1;
+      constraints
+        positive : count >= 0;
+    end object;
+  )")
+                  .ok());
+  // The default value violates the constraint: creation aborts.
+  auto id = db.Create("widget");
+  EXPECT_TRUE(id.status().IsTransactionAborted()) << id.status();
+  EXPECT_EQ(db.InstancesOf("widget")->size(), 0u);
+}
+
+TEST(ConstraintTest, ConstraintAddedByExtensionIsEnforced) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class doc is
+      attributes
+        pages : int;
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("doc");
+  ASSERT_TRUE(db.Set(id, "pages", Value::Int(5)).ok());
+  // Extend the live class with a constraint (paper section 4:
+  // "new tests and constraints can be added to the database without
+  // modifying existing tools").
+  ASSERT_TRUE(
+      db.ExtendClassWithConstraint("doc", "not_empty", "pages > 0").ok());
+  EXPECT_TRUE(db.Set(id, "pages", Value::Int(0)).IsTransactionAborted());
+  EXPECT_EQ(*db.Get(id, "pages"), Value::Int(5));
+}
+
+}  // namespace
+}  // namespace cactis::core

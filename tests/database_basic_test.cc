@@ -1,0 +1,208 @@
+// Database primitives: create/delete/set/get, relationship validation,
+// queries, type coercion, and error reporting.
+
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+namespace cactis::core {
+namespace {
+
+const char* kSchema = R"(
+  relationship link;
+  object class node is
+    relationships
+      in  : link multi socket;
+      out : link multi plug;
+    attributes
+      label : string;
+      weight : int;
+      total : int;
+    rules
+      total = begin
+        t : int;
+        t = weight;
+        for each d related to in do
+          t = t + d.total;
+        end;
+        return t;
+      end;
+  end object;
+  object class leaf is
+    attributes
+      v : int;
+  end object;
+)";
+
+class DatabaseBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(db_.LoadSchema(kSchema).ok()); }
+  Database db_;
+};
+
+TEST_F(DatabaseBasicTest, CreateSetGetIntrinsic) {
+  auto id = db_.Create("node");
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(db_.Set(*id, "label", Value::String("root")).ok());
+  EXPECT_EQ(*db_.Get(*id, "label"), Value::String("root"));
+  // Unset attributes hold their typed default.
+  EXPECT_EQ(*db_.Get(*id, "weight"), Value::Int(0));
+}
+
+TEST_F(DatabaseBasicTest, CreateUnknownClassFails) {
+  EXPECT_EQ(db_.Create("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseBasicTest, SetUnknownAttrFails) {
+  auto id = db_.Create("node");
+  EXPECT_EQ(db_.Set(*id, "nope", Value::Int(1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseBasicTest, SetDerivedAttrRejected) {
+  auto id = db_.Create("node");
+  auto s = db_.Set(*id, "total", Value::Int(1));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseBasicTest, SetCoercesIntToDeclaredType) {
+  auto id = db_.Create("node");
+  // weight is int; setting a bool coerces via the declared-type rules.
+  EXPECT_TRUE(db_.Set(*id, "weight", Value::Bool(true)).ok());
+  EXPECT_EQ(*db_.Get(*id, "weight"), Value::Int(1));
+  // A string does not coerce to int.
+  EXPECT_EQ(db_.Set(*id, "weight", Value::String("x")).code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(DatabaseBasicTest, DerivedValuePropagatesAcrossEdges) {
+  auto a = db_.Create("node");
+  auto b = db_.Create("node");
+  ASSERT_TRUE(db_.Set(*a, "weight", Value::Int(3)).ok());
+  ASSERT_TRUE(db_.Set(*b, "weight", Value::Int(4)).ok());
+  ASSERT_TRUE(db_.Connect(*b, "in", *a, "out").ok());
+  EXPECT_EQ(*db_.Get(*b, "total"), Value::Int(7));
+  ASSERT_TRUE(db_.Set(*a, "weight", Value::Int(10)).ok());
+  EXPECT_EQ(*db_.Get(*b, "total"), Value::Int(14));
+}
+
+TEST_F(DatabaseBasicTest, ConnectValidatesSidesAndTypes) {
+  auto a = db_.Create("node");
+  auto b = db_.Create("node");
+  // plug-to-plug rejected.
+  EXPECT_EQ(db_.Connect(*a, "out", *b, "out").status().code(),
+            StatusCode::kInvalidArgument);
+  // socket-to-socket rejected.
+  EXPECT_EQ(db_.Connect(*a, "in", *b, "in").status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown port.
+  EXPECT_EQ(db_.Connect(*a, "sideways", *b, "in").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseBasicTest, SingleCardinalityEnforced) {
+  ASSERT_TRUE(db_.LoadSchema(R"(
+    object class child is
+      relationships
+        parent : family single plug;
+    end object;
+    object class parent_node is
+      relationships
+        kids : family multi socket;
+    end object;
+  )")
+                  .ok());
+  auto kid = db_.Create("child");
+  auto p1 = db_.Create("parent_node");
+  auto p2 = db_.Create("parent_node");
+  ASSERT_TRUE(db_.Connect(*kid, "parent", *p1, "kids").ok());
+  EXPECT_EQ(db_.Connect(*kid, "parent", *p2, "kids").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseBasicTest, DisconnectRemovesBothEndpoints) {
+  auto a = db_.Create("node");
+  auto b = db_.Create("node");
+  auto e = db_.Connect(*b, "in", *a, "out");
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(db_.Disconnect(*e).ok());
+  EXPECT_TRUE(db_.NeighborsOf(*a, "out")->empty());
+  EXPECT_TRUE(db_.NeighborsOf(*b, "in")->empty());
+  // Double disconnect fails.
+  EXPECT_EQ(db_.Disconnect(*e).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseBasicTest, DeleteBreaksEdgesFirst) {
+  auto a = db_.Create("node");
+  auto b = db_.Create("node");
+  auto c = db_.Create("node");
+  ASSERT_TRUE(db_.Connect(*b, "in", *a, "out").ok());
+  ASSERT_TRUE(db_.Connect(*c, "in", *b, "out").ok());
+  ASSERT_TRUE(db_.Set(*a, "weight", Value::Int(5)).ok());
+  ASSERT_TRUE(db_.Set(*b, "weight", Value::Int(1)).ok());
+  EXPECT_EQ(*db_.Get(*c, "total"), Value::Int(6));
+
+  ASSERT_TRUE(db_.Delete(*b).ok());
+  EXPECT_TRUE(db_.NeighborsOf(*a, "out")->empty());
+  EXPECT_EQ(*db_.Get(*c, "total"), Value::Int(0));
+  EXPECT_FALSE(db_.Get(*b, "weight").ok());
+}
+
+TEST_F(DatabaseBasicTest, InstancesOfQuery) {
+  auto a = db_.Create("node");
+  auto b = db_.Create("node");
+  auto c = db_.Create("leaf");
+  (void)c;
+  auto nodes = db_.InstancesOf("node");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 2u);
+  EXPECT_EQ((*nodes)[0], *a);
+  EXPECT_EQ((*nodes)[1], *b);
+  EXPECT_EQ(db_.InstancesOf("leaf")->size(), 1u);
+  EXPECT_FALSE(db_.InstancesOf("ghost").ok());
+}
+
+TEST_F(DatabaseBasicTest, NeighborsInInsertionOrder) {
+  auto hub = db_.Create("node");
+  std::vector<InstanceId> spokes;
+  for (int i = 0; i < 4; ++i) {
+    auto s = db_.Create("node");
+    spokes.push_back(*s);
+    ASSERT_TRUE(db_.Connect(*hub, "in", *s, "out").ok());
+  }
+  auto n = db_.NeighborsOf(*hub, "in");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, spokes);
+}
+
+TEST_F(DatabaseBasicTest, PeekDoesNotSubscribe) {
+  auto a = db_.Create("node");
+  ASSERT_TRUE(db_.Set(*a, "weight", Value::Int(2)).ok());
+  EXPECT_EQ(*db_.Peek(*a, "total"), Value::Int(2));
+  db_.ResetStats();
+  // After Peek, changing weight must NOT eagerly re-evaluate total.
+  ASSERT_TRUE(db_.Set(*a, "weight", Value::Int(3)).ok());
+  EXPECT_EQ(db_.eval_stats().rule_evaluations, 0u);
+  // After Get (subscribes), it must.
+  EXPECT_EQ(*db_.Get(*a, "total"), Value::Int(3));
+  db_.ResetStats();
+  ASSERT_TRUE(db_.Set(*a, "weight", Value::Int(4)).ok());
+  EXPECT_GE(db_.eval_stats().rule_evaluations, 1u);
+}
+
+TEST_F(DatabaseBasicTest, ClassOfReportsClass) {
+  auto a = db_.Create("node");
+  auto cls = db_.ClassOf(*a);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(db_.catalog()->GetClass(*cls)->name(), "node");
+}
+
+TEST_F(DatabaseBasicTest, GetOnDeletedInstanceFails) {
+  auto a = db_.Create("node");
+  ASSERT_TRUE(db_.Delete(*a).ok());
+  EXPECT_FALSE(db_.Get(*a, "weight").ok());
+  EXPECT_FALSE(db_.Delete(*a).ok());
+}
+
+}  // namespace
+}  // namespace cactis::core

@@ -1,0 +1,113 @@
+// Distribution edge cases: undo at the home site with live mirrors,
+// several providers mirrored into one consumer, mirror freshness after
+// bursts, and schema agreement across sites.
+
+#include <gtest/gtest.h>
+
+#include "dist/cluster.h"
+
+namespace cactis::dist {
+namespace {
+
+const char* kSchema = R"(
+  object class cell is
+    relationships
+      prev : chain multi socket;
+      next : chain multi plug;
+    attributes
+      base : int;
+      acc  : int;
+    rules
+      acc = begin
+        t : int;
+        t = base;
+        for each p related to prev do
+          t = t + p.acc;
+        end;
+        return t;
+      end;
+  end object;
+)";
+
+class DistributedEdgeTest : public ::testing::Test {
+ protected:
+  DistributedEdgeTest() : cluster_(2) {}
+  void SetUp() override { ASSERT_TRUE(cluster_.LoadSchema(kSchema).ok()); }
+  DistributedCactis cluster_;
+};
+
+TEST_F(DistributedEdgeTest, HomeSiteUndoPropagatesToMirrors) {
+  auto producer = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", producer, "next").ok());
+  ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(5)).ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(5));
+
+  // Undo at the home site; the change listener fires for the restored
+  // value too, so the mirror catches up after delivery.
+  ASSERT_TRUE(cluster_.site(0)->UndoLast().ok());
+  ASSERT_TRUE(cluster_.network()->DeliverAll().ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(0));
+}
+
+TEST_F(DistributedEdgeTest, FanInFromManyRemoteProviders) {
+  auto consumer = *cluster_.Create(1, "cell");
+  std::vector<GlobalRef> producers;
+  for (int i = 0; i < 5; ++i) {
+    auto p = *cluster_.Create(0, "cell");
+    producers.push_back(p);
+    ASSERT_TRUE(cluster_.Set(p, "base", Value::Int(i + 1)).ok());
+    ASSERT_TRUE(cluster_.Connect(consumer, "prev", p, "next").ok());
+  }
+  EXPECT_EQ(cluster_.mirror_count(), 5u);
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(15));
+  ASSERT_TRUE(cluster_.Set(producers[2], "base", Value::Int(100)).ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(112));
+}
+
+TEST_F(DistributedEdgeTest, BurstsCoalesceThroughStaleness) {
+  auto producer = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", producer, "next").ok());
+  ASSERT_TRUE(cluster_.Peek(consumer, "acc").status().ok());
+
+  // 100 rapid updates, one read: the final value is correct.
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(i)).ok());
+  }
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(100));
+}
+
+TEST_F(DistributedEdgeTest, BidirectionalSharing) {
+  // Site 0 consumes from site 1 and vice versa (no cycle: two pairs).
+  auto p0 = *cluster_.Create(0, "cell");
+  auto c0 = *cluster_.Create(0, "cell");
+  auto p1 = *cluster_.Create(1, "cell");
+  auto c1 = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Set(p0, "base", Value::Int(7)).ok());
+  ASSERT_TRUE(cluster_.Set(p1, "base", Value::Int(9)).ok());
+  ASSERT_TRUE(cluster_.Connect(c1, "prev", p0, "next").ok());
+  ASSERT_TRUE(cluster_.Connect(c0, "prev", p1, "next").ok());
+  EXPECT_EQ(*cluster_.Peek(c1, "acc"), Value::Int(7));
+  EXPECT_EQ(*cluster_.Peek(c0, "acc"), Value::Int(9));
+  EXPECT_EQ(cluster_.mirror_count(), 2u);
+}
+
+TEST_F(DistributedEdgeTest, LocalGraphBehindTheMirror) {
+  // The remote provider has its own upstream chain at home; the mirrored
+  // derived value reflects the whole home-side closure.
+  auto deep = *cluster_.Create(0, "cell");
+  auto mid = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Set(deep, "base", Value::Int(3)).ok());
+  ASSERT_TRUE(cluster_.Set(mid, "base", Value::Int(4)).ok());
+  ASSERT_TRUE(cluster_.Connect(mid, "prev", deep, "next").ok());
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", mid, "next").ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(7));
+  // A change two hops behind the mirror still arrives.
+  ASSERT_TRUE(cluster_.Set(deep, "base", Value::Int(30)).ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(34));
+}
+
+}  // namespace
+}  // namespace cactis::dist

@@ -1,0 +1,156 @@
+// Full software-environment integration (paper section 3: "a unique
+// feature of using the Cactis data model ... is its ability to represent
+// the entire range of data within a system"). One database hosts the
+// make facility, the milestone manager, bug tracking with constraints,
+// a display dashboard, subtypes and versions — all interrelated and
+// incrementally consistent.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/command_runner.h"
+#include "env/display.h"
+#include "env/make_facility.h"
+#include "env/milestone.h"
+#include "env/vfs.h"
+
+namespace cactis {
+namespace {
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  EnvironmentTest() : vfs_(&clock_) {}
+
+  void SetUp() override {
+    make_ = std::move(env::MakeFacility::Attach(&db_, &vfs_, &runner_))
+                .value_or(nullptr);
+    ASSERT_NE(make_, nullptr);
+    milestones_ = std::move(env::MilestoneManager::Attach(&db_))
+                      .value_or(nullptr);
+    ASSERT_NE(milestones_, nullptr);
+    display_ =
+        std::move(env::DisplayManager::Attach(&db_)).value_or(nullptr);
+    ASSERT_NE(display_, nullptr);
+
+    // A cross-cutting class tying builds to schedule data.
+    ASSERT_TRUE(db_.LoadSchema(R"(
+      object class release_gate is
+        attributes
+          open_bugs : int;
+          builds_green : boolean;
+          ready : boolean;
+        rules
+          ready = builds_green and open_bugs = 0;
+        constraints
+          sane_bug_count : open_bugs >= 0;
+      end object;
+    )")
+                    .ok());
+  }
+
+  SimClock clock_;
+  env::VirtualFileSystem vfs_;
+  env::CommandRunner runner_;
+  core::Database db_;
+  std::unique_ptr<env::MakeFacility> make_;
+  std::unique_ptr<env::MilestoneManager> milestones_;
+  std::unique_ptr<env::DisplayManager> display_;
+};
+
+TEST_F(EnvironmentTest, ThreeToolsShareOneDatabase) {
+  // Make: a one-file build.
+  vfs_.Write("main.c", "x");
+  ASSERT_TRUE(make_->AddSource("main.c").ok());
+  ASSERT_TRUE(make_->AddRule("app", "cc main.c", {"main.c"}).ok());
+  EXPECT_EQ(*make_->Build("app"), 1u);
+
+  // Milestones: a two-step plan.
+  ASSERT_TRUE(milestones_->AddMilestone("code", TimePoint{20}, 8).ok());
+  ASSERT_TRUE(milestones_->AddMilestone("ship", TimePoint{30}, 2).ok());
+  ASSERT_TRUE(milestones_->AddDependency("ship", "code").ok());
+  EXPECT_EQ(milestones_->ExpectedCompletion("ship")->ticks, 10);
+
+  // Display: a dashboard over both.
+  ASSERT_TRUE(display_->AddWidget("dash", "box", "Project").ok());
+  ASSERT_TRUE(display_->AddWidget("sched", "label", "ship day 10", "dash")
+                  .ok());
+  EXPECT_NE(display_->Render("dash")->find("ship day 10"),
+            std::string::npos);
+
+  // All instances live in the same store and catalog.
+  EXPECT_EQ(db_.InstancesOf("make_rule")->size(), 2u);
+  EXPECT_EQ(db_.InstancesOf("milestone")->size(), 2u);
+  EXPECT_EQ(db_.InstancesOf("widget")->size(), 2u);
+}
+
+TEST_F(EnvironmentTest, GateCombinesToolOutputs) {
+  auto gate = *db_.Create("release_gate");
+  ASSERT_TRUE(db_.Set(gate, "open_bugs", Value::Int(2)).ok());
+  ASSERT_TRUE(db_.Set(gate, "builds_green", Value::Bool(true)).ok());
+  EXPECT_EQ(*db_.Get(gate, "ready"), Value::Bool(false));
+  ASSERT_TRUE(db_.Set(gate, "open_bugs", Value::Int(0)).ok());
+  EXPECT_EQ(*db_.Get(gate, "ready"), Value::Bool(true));
+  // The constraint guards nonsense across every tool's transactions.
+  EXPECT_TRUE(db_.Set(gate, "open_bugs", Value::Int(-1))
+                  .IsTransactionAborted());
+}
+
+TEST_F(EnvironmentTest, VersionsSpanEveryTool) {
+  vfs_.Write("lib.c", "v1");
+  ASSERT_TRUE(make_->AddSource("lib.c").ok());
+  ASSERT_TRUE(milestones_->AddMilestone("m", TimePoint{10}, 3).ok());
+  ASSERT_TRUE(db_.CreateVersion("sprint-1").ok());
+
+  ASSERT_TRUE(milestones_->SetLocalWork("m", 9).ok());
+  auto gate = *db_.Create("release_gate");
+  (void)gate;
+  EXPECT_EQ(milestones_->ExpectedCompletion("m")->ticks, 9);
+  EXPECT_EQ(db_.InstancesOf("release_gate")->size(), 1u);
+
+  ASSERT_TRUE(db_.CheckoutVersion("sprint-1").ok());
+  EXPECT_EQ(milestones_->ExpectedCompletion("m")->ticks, 3);
+  EXPECT_EQ(db_.InstancesOf("release_gate")->size(), 0u);
+}
+
+TEST_F(EnvironmentTest, SubtypesAndQueriesCutAcrossTools) {
+  for (auto [name, sched, work] :
+       std::initializer_list<std::tuple<const char*, int, int>>{
+           {"a", 10, 4}, {"b", 10, 40}, {"c", 10, 7}}) {
+    ASSERT_TRUE(milestones_->AddMilestone(name, TimePoint{sched}, work).ok());
+  }
+  ASSERT_TRUE(db_.DefineSubtype("at_risk", "milestone",
+                                "later_than(exp_compl, sched_compl)")
+                  .ok());
+  EXPECT_EQ(db_.MembersOfSubtype("at_risk")->size(), 1u);  // b
+
+  auto heavy = db_.SelectWhere("milestone", "local_work > time(5)");
+  ASSERT_TRUE(heavy.ok()) << heavy.status();
+  EXPECT_EQ(heavy->size(), 2u);  // b and c
+}
+
+TEST_F(EnvironmentTest, ReorganizeWithHeterogeneousClasses) {
+  // Clustering must cope with instances of many classes in one store.
+  vfs_.Write("s.c", "x");
+  ASSERT_TRUE(make_->AddSource("s.c").ok());
+  ASSERT_TRUE(milestones_->AddMilestone("m1", TimePoint{5}, 1).ok());
+  ASSERT_TRUE(milestones_->AddMilestone("m2", TimePoint{9}, 2).ok());
+  ASSERT_TRUE(milestones_->AddDependency("m2", "m1").ok());
+  ASSERT_TRUE(display_->AddWidget("w", "label", "hello").ok());
+  ASSERT_TRUE(db_.Reorganize().ok());
+  // Everything still reachable and consistent.
+  EXPECT_EQ(milestones_->ExpectedCompletion("m2")->ticks, 3);
+  EXPECT_EQ(*display_->Render("w"), "hello");
+  EXPECT_TRUE(make_->ModTime("s.c").ok());
+}
+
+TEST_F(EnvironmentTest, UndoAcrossToolBoundaries) {
+  ASSERT_TRUE(milestones_->AddMilestone("m", TimePoint{10}, 3).ok());
+  ASSERT_TRUE(display_->AddWidget("status", "label", "on track").ok());
+  ASSERT_TRUE(display_->SetText("status", "SLIPPING").ok());
+  EXPECT_EQ(*display_->Render("status"), "SLIPPING");
+  ASSERT_TRUE(db_.UndoLast().ok());
+  EXPECT_EQ(*display_->Render("status"), "on track");
+}
+
+}  // namespace
+}  // namespace cactis

@@ -1,0 +1,261 @@
+// Interpreter unit tests against a lightweight fake EvalContext (no
+// database): control flow, coercion rules, neighbour iteration, builtins
+// dispatch, recovery-assignment gating.
+
+#include "lang/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lang/parser.h"
+
+namespace cactis::lang {
+namespace {
+
+/// A fake instance world: `attrs` are this instance's values; `neighbors`
+/// maps a port name to (instance id, values) pairs.
+class FakeContext : public EvalContext {
+ public:
+  FakeContext() : builtins_(BuiltinRegistry::WithDefaults()) {}
+
+  std::map<std::string, Value> attrs;
+  std::map<std::string, std::vector<std::map<std::string, Value>>> ports;
+  bool allow_assign = false;
+
+  Result<Value> GetLocalAttr(const std::string& name) override {
+    auto it = attrs.find(name);
+    if (it == attrs.end()) return Status::NotFound("no attr " + name);
+    return it->second;
+  }
+  bool HasLocalAttr(const std::string& name) const override {
+    return attrs.contains(name);
+  }
+  bool HasPort(const std::string& name) const override {
+    return ports.contains(name);
+  }
+  Result<std::vector<Neighbor>> GetNeighbors(
+      const std::string& port) override {
+    auto it = ports.find(port);
+    if (it == ports.end()) return Status::NotFound("no port " + port);
+    std::vector<Neighbor> out;
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      Neighbor n;
+      n.id = InstanceId(i + 1);
+      n.edge = EdgeId(i + 1);
+      out.push_back(n);
+    }
+    port_of_last_neighbors_ = port;
+    return out;
+  }
+  Result<Value> GetRemoteValue(const Neighbor& n,
+                               const std::string& name) override {
+    const auto& list = ports[port_of_last_neighbors_];
+    size_t idx = n.id.value - 1;
+    if (idx >= list.size()) return Status::Internal("bad neighbor");
+    auto it = list[idx].find(name);
+    if (it == list[idx].end()) {
+      return Status::NotFound("neighbor has no " + name);
+    }
+    return it->second;
+  }
+  Status SetLocalAttr(const std::string& name, Value value) override {
+    if (!allow_assign) return Status::InvalidArgument("no assignment");
+    attrs[name] = std::move(value);
+    return Status::OK();
+  }
+  const BuiltinRegistry& builtins() const override { return builtins_; }
+
+ private:
+  BuiltinRegistry builtins_;
+  std::string port_of_last_neighbors_;
+};
+
+Result<Value> EvalSrc(std::string_view rule, FakeContext* ctx) {
+  auto body = Parser::ParseRuleBody(rule);
+  if (!body.ok()) return body.status();
+  return Interpreter::EvalRule(*body, ctx);
+}
+
+TEST(InterpreterTest, ArithmeticTyping) {
+  FakeContext ctx;
+  EXPECT_EQ(*EvalSrc("1 + 2", &ctx), Value::Int(3));
+  EXPECT_EQ(*EvalSrc("1 + 2.5", &ctx), Value::Real(3.5));
+  EXPECT_EQ(*EvalSrc("7 / 2", &ctx), Value::Int(3));  // integer division
+  EXPECT_EQ(*EvalSrc("7.0 / 2", &ctx), Value::Real(3.5));
+  EXPECT_EQ(*EvalSrc("7 % 3", &ctx), Value::Int(1));
+  EXPECT_EQ(*EvalSrc("-(3)", &ctx), Value::Int(-3));
+}
+
+TEST(InterpreterTest, DivisionByZeroFails) {
+  FakeContext ctx;
+  EXPECT_FALSE(EvalSrc("1 / 0", &ctx).ok());
+  EXPECT_FALSE(EvalSrc("1 % 0", &ctx).ok());
+}
+
+TEST(InterpreterTest, TimeArithmetic) {
+  FakeContext ctx;
+  ctx.attrs["t"] = Value::Time(10);
+  EXPECT_EQ(*EvalSrc("t + 5", &ctx), Value::Time(15));
+  EXPECT_EQ(*EvalSrc("t - 3", &ctx), Value::Time(7));
+  ctx.attrs["u"] = Value::Time(4);
+  EXPECT_EQ(*EvalSrc("t + u", &ctx), Value::Time(14));
+}
+
+TEST(InterpreterTest, StringConcatWithPlus) {
+  FakeContext ctx;
+  EXPECT_EQ(*EvalSrc("\"a\" + \"b\"", &ctx), Value::String("ab"));
+  EXPECT_EQ(*EvalSrc("\"n=\" + 3", &ctx), Value::String("n=3"));
+}
+
+TEST(InterpreterTest, ComparisonAcrossNumericTypes) {
+  FakeContext ctx;
+  EXPECT_EQ(*EvalSrc("2 < 2.5", &ctx), Value::Bool(true));
+  EXPECT_EQ(*EvalSrc("2 = 2.0", &ctx), Value::Bool(true));
+  EXPECT_EQ(*EvalSrc("\"abc\" < \"abd\"", &ctx), Value::Bool(true));
+  EXPECT_EQ(*EvalSrc("2 != 3", &ctx), Value::Bool(true));
+}
+
+TEST(InterpreterTest, ShortCircuitAndOr) {
+  FakeContext ctx;
+  // Dividing by zero on the right side must not be reached.
+  EXPECT_EQ(*EvalSrc("false and (1 / 0 = 1)", &ctx), Value::Bool(false));
+  EXPECT_EQ(*EvalSrc("true or (1 / 0 = 1)", &ctx), Value::Bool(true));
+  EXPECT_FALSE(EvalSrc("true and (1 / 0 = 1)", &ctx).ok());
+}
+
+TEST(InterpreterTest, NameResolutionOrder) {
+  FakeContext ctx;
+  ctx.attrs["time0"] = Value::Int(99);  // attribute shadows builtin
+  EXPECT_EQ(*EvalSrc("time0", &ctx), Value::Int(99));
+  ctx.attrs.erase("time0");
+  EXPECT_EQ(*EvalSrc("time0", &ctx), Value::Time(kTimeZero));  // builtin
+  EXPECT_FALSE(EvalSrc("no_such_name", &ctx).ok());
+}
+
+TEST(InterpreterTest, VariableShadowsAttribute) {
+  FakeContext ctx;
+  ctx.attrs["x"] = Value::Int(1);
+  EXPECT_EQ(*EvalSrc("begin x : int = 5; return x; end", &ctx), Value::Int(5));
+}
+
+TEST(InterpreterTest, ForEachAggregation) {
+  FakeContext ctx;
+  ctx.ports["deps"] = {{{"v", Value::Int(3)}},
+                       {{"v", Value::Int(7)}},
+                       {{"v", Value::Int(5)}}};
+  auto v = EvalSrc(R"(
+    begin
+      total : int = 0;
+      for each d related to deps do
+        total = total + d.v;
+      end;
+      return total;
+    end)",
+               &ctx);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(*v, Value::Int(15));
+}
+
+TEST(InterpreterTest, ForEachOverEmptyPort) {
+  FakeContext ctx;
+  ctx.ports["deps"] = {};
+  EXPECT_EQ(*EvalSrc("begin c : int = 0; for each d related to deps do c = c + 1; "
+                 "end; return c; end",
+                 &ctx),
+            Value::Int(0));
+}
+
+TEST(InterpreterTest, CountAndExistsOnPorts) {
+  FakeContext ctx;
+  ctx.ports["deps"] = {{{"v", Value::Int(1)}}, {{"v", Value::Int(2)}}};
+  ctx.ports["none"] = {};
+  EXPECT_EQ(*EvalSrc("count(deps)", &ctx), Value::Int(2));
+  EXPECT_EQ(*EvalSrc("exists(deps)", &ctx), Value::Bool(true));
+  EXPECT_EQ(*EvalSrc("exists(none)", &ctx), Value::Bool(false));
+}
+
+TEST(InterpreterTest, SinglePortDirectAccess) {
+  FakeContext ctx;
+  ctx.ports["mother"] = {{{"age", Value::Int(62)}}};
+  EXPECT_EQ(*EvalSrc("mother.age", &ctx), Value::Int(62));
+  ctx.ports["mother"].clear();
+  EXPECT_EQ(*EvalSrc("mother.age", &ctx), Value::Null());  // dangling -> null
+  ctx.ports["mother"] = {{{"age", Value::Int(1)}}, {{"age", Value::Int(2)}}};
+  EXPECT_FALSE(EvalSrc("mother.age", &ctx).ok());  // ambiguous
+}
+
+TEST(InterpreterTest, RecordFieldOnVariable) {
+  FakeContext ctx;
+  ctx.attrs["rec"] = Value::Record({{"f", Value::Int(9)}});
+  EXPECT_EQ(*EvalSrc("begin v : record = rec; return v.f; end", &ctx),
+            Value::Int(9));
+  EXPECT_EQ(*EvalSrc("rec.f", &ctx), Value::Int(9));  // attr record access
+}
+
+TEST(InterpreterTest, IfControlFlow) {
+  FakeContext ctx;
+  ctx.attrs["n"] = Value::Int(5);
+  auto rule = R"(
+    begin
+      if n > 3 then return "big"; else return "small"; end;
+    end)";
+  EXPECT_EQ(*EvalSrc(rule, &ctx), Value::String("big"));
+  ctx.attrs["n"] = Value::Int(1);
+  EXPECT_EQ(*EvalSrc(rule, &ctx), Value::String("small"));
+}
+
+TEST(InterpreterTest, ReturnInsideLoopStopsIteration) {
+  FakeContext ctx;
+  ctx.ports["deps"] = {{{"v", Value::Int(1)}}, {{"v", Value::Int(2)}}};
+  EXPECT_EQ(*EvalSrc(R"(
+    begin
+      for each d related to deps do
+        return d.v;
+      end;
+      return 0;
+    end)",
+                 &ctx),
+            Value::Int(1));
+}
+
+TEST(InterpreterTest, BlockWithoutReturnFails) {
+  FakeContext ctx;
+  auto r = EvalSrc("begin x : int = 1; end", &ctx);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(InterpreterTest, AssignmentToAttributeGated) {
+  FakeContext ctx;
+  ctx.attrs["x"] = Value::Int(0);
+  EXPECT_FALSE(EvalSrc("begin x = 5; return x; end", &ctx).ok());
+  ctx.allow_assign = true;
+  auto body = Parser::ParseRuleBody("begin x = 5; end");
+  ASSERT_TRUE(body.ok());
+  ASSERT_TRUE(Interpreter::ExecStmts(body->block, &ctx).ok());
+  EXPECT_EQ(ctx.attrs["x"], Value::Int(5));
+}
+
+TEST(InterpreterTest, LoopVariableUsedBareIsError) {
+  FakeContext ctx;
+  ctx.ports["deps"] = {{{"v", Value::Int(1)}}};
+  EXPECT_FALSE(EvalSrc(R"(
+    begin
+      for each d related to deps do
+        return d;
+      end;
+      return 0;
+    end)",
+                   &ctx)
+                   .ok());
+}
+
+TEST(InterpreterTest, ApplyBinaryOpDirect) {
+  EXPECT_EQ(*ApplyBinaryOp(BinOp::kAdd, Value::Array({Value::Int(1)}),
+                           Value::Array({Value::Int(2)})),
+            Value::Array({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(ApplyBinaryOp(BinOp::kMod, Value::Real(1), Value::Real(2)).ok());
+}
+
+}  // namespace
+}  // namespace cactis::lang

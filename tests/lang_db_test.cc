@@ -1,0 +1,221 @@
+// Data-language features exercised against a live database (rather than
+// the fake context): records, arrays, selects, string/time handling, type
+// coercion of rule results, and error surfaces.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace cactis::core {
+namespace {
+
+TEST(LangDbTest, RecordAttributesAndFieldAccess) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class person is
+      attributes
+        address : record;
+        city : string;
+      rules
+        city = address.city;
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("person");
+  ASSERT_TRUE(db.Set(id, "address",
+                     Value::Record({{"street", Value::String("Main St 1")},
+                                    {"city", Value::String("Boulder")}}))
+                  .ok());
+  EXPECT_EQ(*db.Get(id, "city"), Value::String("Boulder"));
+  // A write that breaks a (subscribed) rule's evaluation — the record no
+  // longer has the field — aborts and rolls the write back.
+  auto s = db.Set(id, "address", Value::Record({}));
+  EXPECT_TRUE(s.IsTransactionAborted()) << s;
+  EXPECT_EQ(*db.Get(id, "city"), Value::String("Boulder"));
+}
+
+TEST(LangDbTest, ArrayAggregationAcrossRelationships) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class bag is
+      relationships
+        items : holds multi socket;
+      attributes
+        all_tags : array;
+        tag_count : int;
+      rules
+        all_tags = begin
+          acc : array = [];
+          for each i related to items do
+            acc = set_union(acc, i.tags);
+          end;
+          return acc;
+        end;
+        tag_count = set_size(all_tags);
+    end object;
+    object class item is
+      relationships
+        bag : holds multi plug;
+      attributes
+        tags : array;
+    end object;
+  )")
+                  .ok());
+  auto bag = *db.Create("bag");
+  auto a = *db.Create("item");
+  auto b = *db.Create("item");
+  ASSERT_TRUE(db.Set(a, "tags",
+                     Value::Array({Value::String("red"), Value::String("hot")}))
+                  .ok());
+  ASSERT_TRUE(
+      db.Set(b, "tags",
+             Value::Array({Value::String("hot"), Value::String("new")}))
+          .ok());
+  ASSERT_TRUE(db.Connect(bag, "items", a, "bag").ok());
+  ASSERT_TRUE(db.Connect(bag, "items", b, "bag").ok());
+  EXPECT_EQ(*db.Get(bag, "tag_count"), Value::Int(3));  // red hot new
+}
+
+TEST(LangDbTest, SelectBuiltinInRules) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class toggle is
+      attributes
+        on : boolean;
+        label : string;
+      rules
+        label = select(on, "enabled", "disabled");
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("toggle");
+  EXPECT_EQ(*db.Get(id, "label"), Value::String("disabled"));
+  ASSERT_TRUE(db.Set(id, "on", Value::Bool(true)).ok());
+  EXPECT_EQ(*db.Get(id, "label"), Value::String("enabled"));
+}
+
+TEST(LangDbTest, RuleResultCoercedToDeclaredType) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class c is
+      attributes
+        n : int;
+        as_time : time;
+        as_real : real;
+      rules
+        as_time = n * 10;    -- int result coerced to declared time
+        as_real = n;         -- int result coerced to declared real
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("c");
+  ASSERT_TRUE(db.Set(id, "n", Value::Int(4)).ok());
+  EXPECT_EQ(*db.Get(id, "as_time"), Value::Time(40));
+  EXPECT_EQ(*db.Get(id, "as_real"), Value::Real(4.0));
+}
+
+TEST(LangDbTest, RuleResultTypeMismatchIsError) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class c is
+      attributes
+        s : string;
+        n : int;
+      rules
+        n = s;   -- a string can never become an int
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("c");
+  auto v = db.Get(id, "n");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(LangDbTest, UnknownFunctionSurfacesWithAttributeName) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class c is
+      attributes
+        x : int;
+      rules
+        x = frobnicate(1);
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("c");
+  auto v = db.Get(id, "x");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("frobnicate"), std::string::npos);
+  EXPECT_NE(v.status().message().find("c#"), std::string::npos);  // site
+}
+
+TEST(LangDbTest, UserRegisteredBuiltins) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class c is
+      attributes
+        x : int;
+        doubled : int;
+      rules
+        doubled = my_double(x);
+    end object;
+  )")
+                  .ok());
+  db.builtins()->Register(
+      "my_double", [](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) return Status::InvalidArgument("arity");
+        return Value::Int(*args[0].AsInt() * 2);
+      });
+  auto id = *db.Create("c");
+  ASSERT_TRUE(db.Set(id, "x", Value::Int(21)).ok());
+  EXPECT_EQ(*db.Get(id, "doubled"), Value::Int(42));
+}
+
+TEST(LangDbTest, TimeArithmeticInRules) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class window is
+      attributes
+        start : time;
+        len : int;
+        finish : time;
+        overdue : boolean;
+      rules
+        finish = start + len;
+        overdue = later_than(finish, time(100));
+    end object;
+  )")
+                  .ok());
+  auto id = *db.Create("window");
+  ASSERT_TRUE(db.Set(id, "start", Value::Time(90)).ok());
+  ASSERT_TRUE(db.Set(id, "len", Value::Int(5)).ok());
+  EXPECT_EQ(*db.Get(id, "finish"), Value::Time(95));
+  EXPECT_EQ(*db.Get(id, "overdue"), Value::Bool(false));
+  ASSERT_TRUE(db.Set(id, "len", Value::Int(15)).ok());
+  EXPECT_EQ(*db.Get(id, "overdue"), Value::Bool(true));
+}
+
+TEST(LangDbTest, NativeRuleIntegratesWithInterpretedOnes) {
+  Database db;
+  schema::ClassBuilder b(db.catalog(), "hybrid");
+  b.Intrinsic("x", ValueType::kInt);
+  schema::NativeRule native;
+  native.fn = [](lang::EvalContext* ctx) -> Result<Value> {
+    CACTIS_ASSIGN_OR_RETURN(Value x, ctx->GetLocalAttr("x"));
+    return Value::Int(*x.AsInt() * *x.AsInt());
+  };
+  native.deps = {{lang::Dependency::Kind::kLocal, "x", ""}};
+  b.DerivedNative("squared", ValueType::kInt, std::move(native));
+  b.Derived("squared_plus_one", ValueType::kInt, "squared + 1");
+  ASSERT_TRUE(b.Build().ok());
+
+  auto id = *db.Create("hybrid");
+  ASSERT_TRUE(db.Set(id, "x", Value::Int(6)).ok());
+  EXPECT_EQ(*db.Get(id, "squared_plus_one"), Value::Int(37));
+  ASSERT_TRUE(db.Set(id, "x", Value::Int(7)).ok());
+  EXPECT_EQ(*db.Get(id, "squared_plus_one"), Value::Int(50));
+}
+
+}  // namespace
+}  // namespace cactis::core

@@ -1,0 +1,156 @@
+// Integration: the paper's Figures 2-4 make facility — recompilation
+// driven entirely by attribute evaluation over make_rule objects.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/command_runner.h"
+#include "env/make_facility.h"
+#include "env/vfs.h"
+
+namespace cactis {
+namespace {
+
+using core::Database;
+using env::CommandRunner;
+using env::MakeFacility;
+using env::VirtualFileSystem;
+
+class MakeTest : public ::testing::Test {
+ protected:
+  MakeTest() : vfs_(&clock_) {}
+
+  void SetUp() override {
+    auto make = MakeFacility::Attach(&db_, &vfs_, &runner_);
+    ASSERT_TRUE(make.ok()) << make.status();
+    make_ = std::move(make).value();
+  }
+
+  // Classic layout:
+  //   app <- main.o <- main.c
+  //   app <- util.o <- util.c, util.h
+  void BuildProject() {
+    vfs_.Write("main.c", "int main() {}");
+    vfs_.Write("util.c", "void util() {}");
+    vfs_.Write("util.h", "void util();");
+    ASSERT_TRUE(make_->AddSource("main.c").ok());
+    ASSERT_TRUE(make_->AddSource("util.c").ok());
+    ASSERT_TRUE(make_->AddSource("util.h").ok());
+    ASSERT_TRUE(
+        make_->AddRule("main.o", "cc -c main.c", {"main.c"}).ok());
+    ASSERT_TRUE(
+        make_->AddRule("util.o", "cc -c util.c", {"util.c", "util.h"}).ok());
+    ASSERT_TRUE(
+        make_->AddRule("app", "cc -o app main.o util.o", {"main.o", "util.o"})
+            .ok());
+  }
+
+  size_t CountOf(const std::string& command) {
+    size_t n = 0;
+    for (const auto& c : runner_.executions()) {
+      if (c == command) ++n;
+    }
+    return n;
+  }
+
+  SimClock clock_;
+  VirtualFileSystem vfs_;
+  CommandRunner runner_;
+  Database db_;
+  std::unique_ptr<MakeFacility> make_;
+};
+
+TEST_F(MakeTest, InitialBuildRunsEverythingInDependencyOrder) {
+  BuildProject();
+  auto executed = make_->Build("app");
+  ASSERT_TRUE(executed.ok()) << executed.status();
+  EXPECT_EQ(*executed, 3u);
+  EXPECT_EQ(CountOf("cc -c main.c"), 1u);
+  EXPECT_EQ(CountOf("cc -c util.c"), 1u);
+  EXPECT_EQ(CountOf("cc -o app main.o util.o"), 1u);
+  // Objects compile before the final link.
+  const auto& log = runner_.executions();
+  EXPECT_EQ(log.back(), "cc -o app main.o util.o");
+}
+
+TEST_F(MakeTest, NoOpBuildRunsNothing) {
+  BuildProject();
+  ASSERT_TRUE(make_->Build("app").ok());
+  runner_.ClearLog();
+  auto executed = make_->Build("app");
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(*executed, 0u);
+  EXPECT_TRUE(runner_.executions().empty());
+}
+
+TEST_F(MakeTest, TouchingHeaderRebuildsOnlyItsSubtree) {
+  BuildProject();
+  ASSERT_TRUE(make_->Build("app").ok());
+  runner_.ClearLog();
+
+  vfs_.Touch("util.h");
+  auto executed = make_->Build("app");
+  ASSERT_TRUE(executed.ok());
+  // util.o and app must rebuild; main.o must not.
+  EXPECT_EQ(CountOf("cc -c util.c"), 1u);
+  EXPECT_EQ(CountOf("cc -o app main.o util.o"), 1u);
+  EXPECT_EQ(CountOf("cc -c main.c"), 0u);
+  EXPECT_EQ(*executed, 2u);
+}
+
+TEST_F(MakeTest, TouchingLeafSourceRebuildsItsChainOnce) {
+  BuildProject();
+  ASSERT_TRUE(make_->Build("app").ok());
+  runner_.ClearLog();
+
+  vfs_.Touch("main.c");
+  auto executed = make_->Build("app");
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(CountOf("cc -c main.c"), 1u);
+  EXPECT_EQ(CountOf("cc -o app main.o util.o"), 1u);
+  EXPECT_EQ(CountOf("cc -c util.c"), 0u);
+}
+
+TEST_F(MakeTest, ModTimeIsYoungestOfSelfAndDependencies) {
+  BuildProject();
+  ASSERT_TRUE(make_->Build("app").ok());
+  auto before = make_->ModTime("app");
+  ASSERT_TRUE(before.ok());
+  vfs_.Touch("util.h");
+  auto after = make_->ModTime("app");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->ticks, before->ticks);
+  EXPECT_EQ(after->ticks, vfs_.MTime("util.h").ticks);
+}
+
+TEST_F(MakeTest, MissingFileHasDistantFutureModTime) {
+  ASSERT_TRUE(make_->AddSource("ghost.c").ok());
+  auto mt = make_->ModTime("ghost.c");
+  ASSERT_TRUE(mt.ok());
+  EXPECT_EQ(mt->ticks, kTimeInfinity.ticks);
+}
+
+TEST_F(MakeTest, DiamondDependencyBuildsSharedInputOnce) {
+  vfs_.Write("common.h", "#pragma once");
+  vfs_.Write("a.c", "a");
+  vfs_.Write("b.c", "b");
+  ASSERT_TRUE(make_->AddSource("common.h").ok());
+  ASSERT_TRUE(make_->AddSource("a.c").ok());
+  ASSERT_TRUE(make_->AddSource("b.c").ok());
+  ASSERT_TRUE(make_->AddRule("a.o", "cc -c a.c", {"a.c", "common.h"}).ok());
+  ASSERT_TRUE(make_->AddRule("b.o", "cc -c b.c", {"b.c", "common.h"}).ok());
+  ASSERT_TRUE(make_->AddRule("lib", "ar lib a.o b.o", {"a.o", "b.o"}).ok());
+
+  ASSERT_TRUE(make_->Build("lib").ok());
+  runner_.ClearLog();
+  vfs_.Touch("common.h");
+  auto executed = make_->Build("lib");
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(CountOf("cc -c a.c"), 1u);
+  EXPECT_EQ(CountOf("cc -c b.c"), 1u);
+  EXPECT_EQ(CountOf("ar lib a.o b.o"), 1u);
+  EXPECT_EQ(*executed, 3u);
+}
+
+}  // namespace
+}  // namespace cactis

@@ -1,0 +1,119 @@
+// Integration: the paper's Figure-1 milestone manager running on the full
+// stack (parser -> catalog -> attributed graph -> incremental evaluation).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/milestone.h"
+
+namespace cactis {
+namespace {
+
+using core::Database;
+using env::MilestoneManager;
+
+class MilestoneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto mgr = MilestoneManager::Attach(&db_);
+    ASSERT_TRUE(mgr.ok()) << mgr.status();
+    mgr_ = std::move(mgr).value();
+  }
+
+  /// design <- code <- test, design <- docs; ship depends on test + docs.
+  void BuildChain() {
+    ASSERT_TRUE(mgr_->AddMilestone("design", TimePoint{10}, 5).ok());
+    ASSERT_TRUE(mgr_->AddMilestone("code", TimePoint{20}, 7).ok());
+    ASSERT_TRUE(mgr_->AddMilestone("test", TimePoint{30}, 3).ok());
+    ASSERT_TRUE(mgr_->AddMilestone("docs", TimePoint{25}, 4).ok());
+    ASSERT_TRUE(mgr_->AddMilestone("ship", TimePoint{40}, 1).ok());
+    ASSERT_TRUE(mgr_->AddDependency("code", "design").ok());
+    ASSERT_TRUE(mgr_->AddDependency("test", "code").ok());
+    ASSERT_TRUE(mgr_->AddDependency("docs", "design").ok());
+    ASSERT_TRUE(mgr_->AddDependency("ship", "test").ok());
+    ASSERT_TRUE(mgr_->AddDependency("ship", "docs").ok());
+  }
+
+  Database db_;
+  std::unique_ptr<MilestoneManager> mgr_;
+};
+
+TEST_F(MilestoneTest, SchemaParsesFromFigure1Source) {
+  const schema::ObjectClass* cls = db_.catalog()->FindClass("milestone");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_NE(cls->FindAttr("exp_compl"), nullptr);
+  EXPECT_NE(cls->FindAttr("late"), nullptr);
+  EXPECT_NE(cls->FindPort("depends_on"), nullptr);
+  EXPECT_NE(cls->FindPort("consists_of"), nullptr);
+  // The export consists_of.exp_time exists as an export attribute.
+  EXPECT_NE(cls->FindAttr("consists_of.exp_time"), nullptr);
+}
+
+TEST_F(MilestoneTest, ExpectedCompletionPropagatesAlongDependencies) {
+  BuildChain();
+  // design: 0+5; code: 5+7=12; test: 12+3=15; docs: 5+4=9;
+  // ship: max(15,9)+1=16.
+  auto design = mgr_->ExpectedCompletion("design");
+  ASSERT_TRUE(design.ok()) << design.status();
+  EXPECT_EQ(design->ticks, 5);
+  EXPECT_EQ(mgr_->ExpectedCompletion("code")->ticks, 12);
+  EXPECT_EQ(mgr_->ExpectedCompletion("test")->ticks, 15);
+  EXPECT_EQ(mgr_->ExpectedCompletion("docs")->ticks, 9);
+  EXPECT_EQ(mgr_->ExpectedCompletion("ship")->ticks, 16);
+}
+
+TEST_F(MilestoneTest, LateFlagFollowsSchedule) {
+  BuildChain();
+  EXPECT_FALSE(*mgr_->IsLate("ship"));  // 16 <= 40
+  // Ballooning design work ripples to every downstream milestone.
+  ASSERT_TRUE(mgr_->SetLocalWork("design", 50).ok());
+  EXPECT_EQ(mgr_->ExpectedCompletion("ship")->ticks, 61);
+  EXPECT_TRUE(*mgr_->IsLate("ship"));
+  EXPECT_TRUE(*mgr_->IsLate("code"));  // 57 > 20
+}
+
+TEST_F(MilestoneTest, RippleIsIncremental) {
+  BuildChain();
+  // Warm everything up.
+  ASSERT_TRUE(mgr_->ExpectedCompletion("ship").ok());
+  db_.ResetStats();
+
+  // Changing docs' work affects docs and ship but not design/code/test.
+  ASSERT_TRUE(mgr_->SetLocalWork("docs", 6).ok());
+  ASSERT_TRUE(mgr_->ExpectedCompletion("ship").ok());
+  const core::EvalStats& stats = db_.eval_stats();
+  // Only docs.exp_compl, docs.late, docs' export, ship.exp_compl,
+  // ship.late, ship's export can be re-evaluated (6 attribute instances).
+  EXPECT_LE(stats.rule_evaluations, 6u);
+  EXPECT_GE(stats.rule_evaluations, 2u);
+}
+
+TEST_F(MilestoneTest, DisconnectRecomputes) {
+  BuildChain();
+  ASSERT_TRUE(mgr_->SetLocalWork("design", 50).ok());
+  ASSERT_TRUE(*mgr_->IsLate("ship"));
+  // Break ship's dependency on test: ship now only waits for docs.
+  auto ship = mgr_->IdOf("ship");
+  auto edges = db_.EdgesOf(*ship, "depends_on");
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->size(), 2u);
+  ASSERT_TRUE(db_.Disconnect(edges->front()).ok());
+  // docs: 55+4? design=55, docs=59, ship=60 > 40 still late; detach docs
+  // too and ship depends on nothing: 0+1=1.
+  edges = db_.EdgesOf(*ship, "depends_on");
+  ASSERT_TRUE(db_.Disconnect(edges->front()).ok());
+  EXPECT_EQ(mgr_->ExpectedCompletion("ship")->ticks, 1);
+  EXPECT_FALSE(*mgr_->IsLate("ship"));
+}
+
+TEST_F(MilestoneTest, UndoRestoresDerivedState) {
+  BuildChain();
+  EXPECT_EQ(mgr_->ExpectedCompletion("ship")->ticks, 16);
+  ASSERT_TRUE(mgr_->SetLocalWork("design", 50).ok());
+  EXPECT_EQ(mgr_->ExpectedCompletion("ship")->ticks, 61);
+  ASSERT_TRUE(db_.UndoLast().ok());
+  EXPECT_EQ(mgr_->ExpectedCompletion("ship")->ticks, 16);
+}
+
+}  // namespace
+}  // namespace cactis

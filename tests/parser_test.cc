@@ -1,0 +1,234 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cactis::lang {
+namespace {
+
+ExprPtr MustExpr(std::string_view src) {
+  auto e = Parser::ParseExpression(src);
+  EXPECT_TRUE(e.ok()) << e.status();
+  return e.ok() ? *e : nullptr;
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  ExprPtr e = MustExpr("1 + 2 * 3");
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e->rhs->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, PrecedenceComparisonOverAnd) {
+  ExprPtr e = MustExpr("a < b and c > d");
+  EXPECT_EQ(e->bin_op, BinOp::kAnd);
+  EXPECT_EQ(e->lhs->bin_op, BinOp::kLt);
+  EXPECT_EQ(e->rhs->bin_op, BinOp::kGt);
+}
+
+TEST(ParserTest, OrBindsLoosestAndParensOverride) {
+  ExprPtr e = MustExpr("a or b and c");
+  EXPECT_EQ(e->bin_op, BinOp::kOr);
+  ExprPtr f = MustExpr("(a or b) and c");
+  EXPECT_EQ(f->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, EqualsInExpressionIsComparison) {
+  // The paper writes `=` for comparison inside rules.
+  ExprPtr e = MustExpr("x = 3");
+  EXPECT_EQ(e->bin_op, BinOp::kEq);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  ExprPtr e = MustExpr("-x");
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_EQ(e->un_op, UnOp::kNeg);
+  ExprPtr f = MustExpr("not done");
+  EXPECT_EQ(f->un_op, UnOp::kNot);
+}
+
+TEST(ParserTest, DotAndCalls) {
+  ExprPtr e = MustExpr("dep.exp_time");
+  EXPECT_EQ(e->kind, ExprKind::kDot);
+  EXPECT_EQ(e->name, "dep");
+  EXPECT_EQ(e->field, "exp_time");
+
+  ExprPtr f = MustExpr("later_of(a, b, c)");
+  EXPECT_EQ(f->kind, ExprKind::kCall);
+  EXPECT_EQ(f->args.size(), 3u);
+}
+
+TEST(ParserTest, ArrayLiteralLowersToArrayCall) {
+  ExprPtr e = MustExpr("[1, 2, 3]");
+  EXPECT_EQ(e->kind, ExprKind::kCall);
+  EXPECT_EQ(e->name, "array");
+  EXPECT_EQ(e->args.size(), 3u);
+  ExprPtr empty = MustExpr("[]");
+  EXPECT_EQ(empty->args.size(), 0u);
+}
+
+TEST(ParserTest, LiteralKinds) {
+  EXPECT_EQ(MustExpr("true")->literal, Value::Bool(true));
+  EXPECT_EQ(MustExpr("null")->literal, Value::Null());
+  EXPECT_EQ(MustExpr("\"s\"")->literal, Value::String("s"));
+  EXPECT_EQ(MustExpr("2.5")->literal, Value::Real(2.5));
+}
+
+TEST(ParserTest, RuleBodyExpressionForm) {
+  auto body = Parser::ParseRuleBody("later_than(exp_compl, sched_compl)");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(body->is_block);
+}
+
+TEST(ParserTest, RuleBodyBlockForm) {
+  auto body = Parser::ParseRuleBody(R"(
+    begin
+      latest : time;
+      latest = time0;
+      for each dep related to depends_on do
+        latest = later_of(latest, dep.exp_time);
+      end;
+      return latest + local_work;
+    end)");
+  ASSERT_TRUE(body.ok()) << body.status();
+  ASSERT_TRUE(body->is_block);
+  ASSERT_EQ(body->block.size(), 4u);
+  EXPECT_EQ(body->block[0].kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body->block[1].kind, StmtKind::kAssign);
+  EXPECT_EQ(body->block[2].kind, StmtKind::kForEach);
+  EXPECT_EQ(body->block[2].var, "dep");
+  EXPECT_EQ(body->block[2].port, "depends_on");
+  EXPECT_EQ(body->block[3].kind, StmtKind::kReturn);
+}
+
+TEST(ParserTest, IfElseStatement) {
+  auto body = Parser::ParseRuleBody(R"(
+    begin
+      x : int;
+      if a > b then x = 1; else x = 2; end if;
+      return x;
+    end)");
+  ASSERT_TRUE(body.ok()) << body.status();
+  const Stmt& s = body->block[1];
+  EXPECT_EQ(s.kind, StmtKind::kIf);
+  EXPECT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(ParserTest, ReturnWithParens) {
+  auto body = Parser::ParseRuleBody("begin return(42); end");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->block[0].kind, StmtKind::kReturn);
+}
+
+TEST(ParserTest, VarDeclWithInitializer) {
+  auto body = Parser::ParseRuleBody("begin n : int = 3 + 4; return n; end");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->block[0].kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body->block[0].decl_type, ValueType::kInt);
+  EXPECT_NE(body->block[0].expr, nullptr);
+}
+
+TEST(ParserTest, FullClassDeclaration) {
+  auto decls = Parser::ParseSchema(R"(
+    relationship milestone_dep;
+    object class milestone is
+      relationships
+        depends_on  : milestone_dep multi socket;
+        consists_of : milestone_dep multi plug;
+      attributes
+        sched_compl : time;
+        local_work  : time;
+        exp_compl   : time;
+        late        : boolean;
+      rules
+        late = later_than(exp_compl, sched_compl);
+        consists_of.exp_time = exp_compl;
+    end object;
+  )");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  ASSERT_EQ(decls->size(), 2u);
+  EXPECT_EQ((*decls)[0].kind, Decl::Kind::kRelType);
+  const ClassSpec& cls = (*decls)[1].class_spec;
+  EXPECT_EQ(cls.name, "milestone");
+  ASSERT_EQ(cls.ports.size(), 2u);
+  EXPECT_FALSE(cls.ports[0].is_plug);
+  EXPECT_TRUE(cls.ports[0].is_multi);
+  EXPECT_TRUE(cls.ports[1].is_plug);
+  EXPECT_EQ(cls.attributes.size(), 4u);
+  ASSERT_EQ(cls.rules.size(), 2u);
+  EXPECT_TRUE(cls.rules[0].export_name.empty());
+  EXPECT_EQ(cls.rules[1].target, "consists_of");
+  EXPECT_EQ(cls.rules[1].export_name, "exp_time");
+}
+
+TEST(ParserTest, SubtypeDeclaration) {
+  auto decls = Parser::ParseSchema(
+      "subtype car_buff of persons where count(cars) > 3;");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  ASSERT_EQ(decls->size(), 1u);
+  EXPECT_EQ((*decls)[0].kind, Decl::Kind::kSubtype);
+  EXPECT_EQ((*decls)[0].subtype.name, "car_buff");
+  EXPECT_EQ((*decls)[0].subtype.class_name, "persons");
+}
+
+TEST(ParserTest, ConstraintWithRecovery) {
+  auto decls = Parser::ParseSchema(R"(
+    object class task is
+      attributes
+        effort : int;
+      constraints
+        positive_effort : effort >= 0
+          recovery begin effort = 0; end;
+    end object;
+  )");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  const ClassSpec& cls = (*decls)[0].class_spec;
+  ASSERT_EQ(cls.constraints.size(), 1u);
+  EXPECT_EQ(cls.constraints[0].name, "positive_effort");
+  EXPECT_TRUE(cls.constraints[0].has_recovery);
+  EXPECT_EQ(cls.constraints[0].recovery.size(), 1u);
+}
+
+TEST(ParserTest, AttributeDefaults) {
+  auto decls = Parser::ParseSchema(R"(
+    object class c is
+      attributes
+        a : int = 7;
+        b : real = -1.5;
+        s : string = "x";
+    end object;
+  )");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  const ClassSpec& cls = (*decls)[0].class_spec;
+  EXPECT_EQ(cls.attributes[0].default_value, Value::Int(7));
+  EXPECT_EQ(cls.attributes[1].default_value, Value::Real(-1.5));
+  EXPECT_EQ(cls.attributes[2].default_value, Value::String("x"));
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto r = Parser::ParseSchema("object class c is\n  attributes\n    x ;\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status();
+}
+
+TEST(ParserTest, TrailingInputRejected) {
+  EXPECT_FALSE(Parser::ParseExpression("1 + 2 extra").ok());
+  EXPECT_FALSE(Parser::ParseRuleBody("begin return 1; end garbage").ok());
+}
+
+TEST(ParserTest, UnterminatedBlockRejected) {
+  auto r = Parser::ParseRuleBody("begin x : int;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserTest, PortRequiresCardinalityAndSide) {
+  EXPECT_FALSE(
+      Parser::ParseSchema("object class c is relationships p : t plug; "
+                          "end object;")
+          .ok());
+}
+
+}  // namespace
+}  // namespace cactis::lang

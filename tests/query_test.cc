@@ -1,0 +1,118 @@
+// Ad-hoc queries: SelectWhere predicates over live instances (attribute
+// reads, relationship counts, derived values, builtins).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace cactis::core {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.LoadSchema(R"(
+      relationship assignment;
+      object class engineer is
+        relationships
+          tasks : assignment multi socket;
+        attributes
+          name : string;
+          level : int;
+          load : int;
+        rules
+          load = begin
+            t : int = 0;
+            for each k related to tasks do
+              t = t + k.effort;
+            end;
+            return t;
+          end;
+      end object;
+      object class task is
+        relationships
+          owner : assignment multi plug;
+        attributes
+          effort : int;
+      end object;
+    )")
+                    .ok());
+    ann_ = Person("ann", 3);
+    bob_ = Person("bob", 5);
+    cara_ = Person("cara", 2);
+    Assign(ann_, 4);
+    Assign(ann_, 4);
+    Assign(bob_, 1);
+  }
+
+  InstanceId Person(const std::string& name, int level) {
+    auto id = *db_.Create("engineer");
+    EXPECT_TRUE(db_.Set(id, "name", Value::String(name)).ok());
+    EXPECT_TRUE(db_.Set(id, "level", Value::Int(level)).ok());
+    return id;
+  }
+
+  void Assign(InstanceId person, int effort) {
+    auto t = *db_.Create("task");
+    ASSERT_TRUE(db_.Set(t, "effort", Value::Int(effort)).ok());
+    ASSERT_TRUE(db_.Connect(person, "tasks", t, "owner").ok());
+  }
+
+  Database db_;
+  InstanceId ann_, bob_, cara_;
+};
+
+TEST_F(QueryTest, IntrinsicPredicate) {
+  auto senior = db_.SelectWhere("engineer", "level >= 3");
+  ASSERT_TRUE(senior.ok()) << senior.status();
+  EXPECT_EQ(*senior, (std::vector<InstanceId>{ann_, bob_}));
+}
+
+TEST_F(QueryTest, DerivedAndStructuralPredicate) {
+  auto overloaded = db_.SelectWhere("engineer", "load > 5");
+  ASSERT_TRUE(overloaded.ok());
+  EXPECT_EQ(*overloaded, (std::vector<InstanceId>{ann_}));
+
+  auto idle = db_.SelectWhere("engineer", "count(tasks) = 0");
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(*idle, (std::vector<InstanceId>{cara_}));
+}
+
+TEST_F(QueryTest, BlockBodiesAndBuiltins) {
+  auto result = db_.SelectWhere("engineer", R"(
+    begin
+      if len(name) > 3 then return false; end;
+      return level > 2;
+    end)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // ann (3 chars, level 3) and bob (3 chars, level 5); cara has 4 chars.
+  EXPECT_EQ(*result, (std::vector<InstanceId>{ann_, bob_}));
+}
+
+TEST_F(QueryTest, QueriesSeeLiveState) {
+  EXPECT_EQ(db_.SelectWhere("engineer", "load > 5")->size(), 1u);
+  Assign(bob_, 10);
+  EXPECT_EQ(db_.SelectWhere("engineer", "load > 5")->size(), 2u);
+}
+
+TEST_F(QueryTest, ErrorsReported) {
+  EXPECT_FALSE(db_.SelectWhere("ghost", "true").ok());
+  EXPECT_FALSE(db_.SelectWhere("engineer", "count(nowhere) > 0").ok());
+  EXPECT_FALSE(db_.SelectWhere("engineer", "level +").ok());  // parse error
+  // Non-boolean predicate.
+  auto r = db_.SelectWhere("engineer", "level + 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST_F(QueryTest, EmptyClassYieldsEmptyResult) {
+  ASSERT_TRUE(db_.LoadSchema("object class lonely is attributes x : int; "
+                             "end object;")
+                  .ok());
+  auto r = db_.SelectWhere("lonely", "x > 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace cactis::core

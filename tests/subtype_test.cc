@@ -1,0 +1,140 @@
+// Predicate-defined subtypes (paper 2.1) and the dynamic-membership /
+// type-extension scenario of section 4 (the very_late milestone example).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/milestone.h"
+
+namespace cactis::core {
+namespace {
+
+TEST(SubtypeTest, CarBuffMembershipFollowsCarCount) {
+  // The paper's own example: "a Car Buff might be defined as the subtype
+  // defined by the predicate which calculates all Persons who own more
+  // than three cars."
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    relationship owns;
+    object class persons is
+      relationships
+        cars : owns multi plug;
+      attributes
+        name : string;
+    end object;
+    object class automobiles is
+      relationships
+        owner : owns multi socket;
+    end object;
+    subtype car_buff of persons where count(cars) > 3;
+  )")
+                  .ok());
+
+  auto ann = *db.Create("persons");
+  auto bob = *db.Create("persons");
+  std::vector<InstanceId> ann_cars;
+  for (int i = 0; i < 4; ++i) {
+    auto car = *db.Create("automobiles");
+    ann_cars.push_back(car);
+    ASSERT_TRUE(db.Connect(ann, "cars", car, "owner").ok());
+  }
+  auto bobs_car = *db.Create("automobiles");
+  ASSERT_TRUE(db.Connect(bob, "cars", bobs_car, "owner").ok());
+
+  auto buffs = db.MembersOfSubtype("car_buff");
+  ASSERT_TRUE(buffs.ok()) << buffs.status();
+  ASSERT_EQ(buffs->size(), 1u);
+  EXPECT_EQ((*buffs)[0], ann);
+
+  // Membership is readable as a boolean attribute named like the subtype.
+  EXPECT_EQ(*db.Get(ann, "car_buff"), Value::Bool(true));
+  EXPECT_EQ(*db.Get(bob, "car_buff"), Value::Bool(false));
+
+  // Ann sells a car: she migrates out of the subtype dynamically.
+  auto edges = db.EdgesOf(ann, "cars");
+  ASSERT_TRUE(db.Disconnect(edges->front()).ok());
+  EXPECT_TRUE(db.MembersOfSubtype("car_buff")->empty());
+}
+
+TEST(SubtypeTest, SubtypeDefinedAfterInstancesExist) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class task is
+      attributes
+        effort : int;
+    end object;
+  )")
+                  .ok());
+  auto small = *db.Create("task");
+  auto big = *db.Create("task");
+  ASSERT_TRUE(db.Set(small, "effort", Value::Int(1)).ok());
+  ASSERT_TRUE(db.Set(big, "effort", Value::Int(100)).ok());
+
+  // Dynamic extension over live instances.
+  ASSERT_TRUE(db.DefineSubtype("heavy", "task", "effort > 10").ok());
+  auto members = db.MembersOfSubtype("heavy");
+  ASSERT_TRUE(members.ok()) << members.status();
+  ASSERT_EQ(members->size(), 1u);
+  EXPECT_EQ((*members)[0], big);
+
+  // Membership migrates as values change.
+  ASSERT_TRUE(db.Set(small, "effort", Value::Int(50)).ok());
+  EXPECT_EQ(db.MembersOfSubtype("heavy")->size(), 2u);
+  ASSERT_TRUE(db.Set(big, "effort", Value::Int(0)).ok());
+  members = db.MembersOfSubtype("heavy");
+  ASSERT_EQ(members->size(), 1u);
+  EXPECT_EQ((*members)[0], small);
+}
+
+TEST(SubtypeTest, DeletedInstanceLeavesSubtype) {
+  Database db;
+  ASSERT_TRUE(db.LoadSchema("object class t is attributes x : int; "
+                            "end object;")
+                  .ok());
+  ASSERT_TRUE(db.DefineSubtype("positive", "t", "x > 0").ok());
+  auto id = *db.Create("t");
+  ASSERT_TRUE(db.Set(id, "x", Value::Int(5)).ok());
+  ASSERT_EQ(db.MembersOfSubtype("positive")->size(), 1u);
+  ASSERT_TRUE(db.Delete(id).ok());
+  EXPECT_TRUE(db.MembersOfSubtype("positive")->empty());
+}
+
+TEST(SubtypeTest, VeryLateMilestoneScenario) {
+  // Paper section 4: "we can add a 'very_late' attribute to a milestone
+  // which indicates if the milestone's expected completion date exceeds
+  // its scheduled completion date by more than a fixed limit ... existing
+  // tools ... would not be affected at all by this new attribute."
+  Database db;
+  auto mgr = env::MilestoneManager::Attach(&db);
+  ASSERT_TRUE(mgr.ok());
+  auto& m = **mgr;
+  ASSERT_TRUE(m.AddMilestone("alpha", TimePoint{10}, 5).ok());
+  ASSERT_TRUE(m.AddMilestone("beta", TimePoint{12}, 4).ok());
+  ASSERT_TRUE(m.AddDependency("beta", "alpha").ok());
+
+  // Existing "tool": reads expected completion.
+  EXPECT_EQ(m.ExpectedCompletion("beta")->ticks, 9);
+
+  // Extend the live milestone class; a fixed limit of 10 time units.
+  ASSERT_TRUE(db.ExtendClassWithDerived(
+                    "milestone", "very_late", ValueType::kBool,
+                    "later_than(exp_compl, sched_compl + 10)")
+                  .ok());
+  ASSERT_TRUE(db.DefineSubtype("problem_milestones", "milestone",
+                               "very_late")
+                  .ok());
+
+  auto beta = *m.IdOf("beta");
+  EXPECT_EQ(*db.Get(beta, "very_late"), Value::Bool(false));
+
+  // The old tool keeps working, and the new attribute tracks the ripple.
+  ASSERT_TRUE(m.SetLocalWork("alpha", 30).ok());
+  EXPECT_EQ(m.ExpectedCompletion("beta")->ticks, 34);
+  EXPECT_EQ(*db.Get(beta, "very_late"), Value::Bool(true));
+  auto problems = db.MembersOfSubtype("problem_milestones");
+  ASSERT_TRUE(problems.ok());
+  EXPECT_EQ(problems->size(), 2u);  // alpha (30 > 20) and beta (34 > 22)
+}
+
+}  // namespace
+}  // namespace cactis::core

@@ -1,0 +1,121 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cactis {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(ValueTest, TypedAccessorsRoundTrip) {
+  EXPECT_EQ(*Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(*Value::Int(-42).AsInt(), -42);
+  EXPECT_DOUBLE_EQ(*Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(*Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Time(7).AsTime()->ticks, 7);
+}
+
+TEST(ValueTest, AccessorTypeMismatch) {
+  auto r = Value::Int(1).AsString();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ValueTest, AsRealAcceptsInt) {
+  EXPECT_DOUBLE_EQ(*Value::Int(3).AsReal(), 3.0);
+}
+
+TEST(ValueTest, ToNumberCoercions) {
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).ToNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(*Value::Int(5).ToNumber(), 5.0);
+  EXPECT_DOUBLE_EQ(*Value::Time(9).ToNumber(), 9.0);
+  EXPECT_FALSE(Value::String("x").ToNumber().ok());
+}
+
+TEST(ValueTest, ArrayAccess) {
+  Value a = Value::Array({Value::Int(1), Value::String("x")});
+  auto elems = a.AsArray();
+  ASSERT_TRUE(elems.ok());
+  EXPECT_EQ(elems->size(), 2u);
+  EXPECT_EQ(*(*elems)[1].AsString(), "x");
+}
+
+TEST(ValueTest, RecordFieldLookup) {
+  Value r = Value::Record({{"name", Value::String("cactis")},
+                           {"year", Value::Int(1987)}});
+  EXPECT_EQ(*(*r.GetField("year")).AsInt(), 1987);
+  EXPECT_EQ(r.GetField("nope").status().code(), StatusCode::kNotFound);
+  auto fields = r.Fields();
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 2u);
+  EXPECT_EQ((*fields)[0].first, "name");
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  Value a = Value::Array({Value::Int(1), Value::Int(2)});
+  Value b = Value::Array({Value::Int(1), Value::Int(2)});
+  Value c = Value::Array({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));  // different types
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::Time(1), Value::Time(2));
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  Value a = Value::Record({{"x", Value::Array({Value::Int(1)})}});
+  Value b = Value::Record({{"x", Value::Array({Value::Int(1)})}});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Time(1).Hash());  // tagged
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(3).ToString(), "3");
+  EXPECT_EQ(Value::String("s").ToString(), "\"s\"");
+  EXPECT_EQ(Value::Time(4).ToString(), "time(4)");
+  EXPECT_EQ(Value::Time(kTimeInfinity).ToString(), "time(inf)");
+  EXPECT_EQ(Value::Array({Value::Int(1), Value::Int(2)}).ToString(), "[1, 2]");
+  EXPECT_EQ(Value::Record({{"a", Value::Int(1)}}).ToString(), "{a: 1}");
+}
+
+TEST(ValueTest, TypeNamesRoundTrip) {
+  for (ValueType t :
+       {ValueType::kBool, ValueType::kInt, ValueType::kReal,
+        ValueType::kString, ValueType::kTime, ValueType::kArray,
+        ValueType::kRecord}) {
+    auto parsed = ValueTypeFromString(std::string(ValueTypeToString(t)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  // Paper aliases.
+  EXPECT_EQ(*ValueTypeFromString("timef"), ValueType::kTime);
+  EXPECT_EQ(*ValueTypeFromString("time_val"), ValueType::kTime);
+  EXPECT_EQ(*ValueTypeFromString("bool"), ValueType::kBool);
+  EXPECT_FALSE(ValueTypeFromString("pointer").ok());  // "except pointer"
+}
+
+TEST(ValueTest, SerializedSizeMatchesEncoding) {
+  // Spot-check that accounting matches actual encoded length.
+  EXPECT_EQ(Value::Null().SerializedSize(), 1u);
+  EXPECT_EQ(Value::Int(1).SerializedSize(), 9u);
+  EXPECT_EQ(Value::String("abc").SerializedSize(), 1u + 4u + 3u);
+}
+
+TEST(ValueTest, TimeConstantsOrdered) {
+  EXPECT_LT(kTimeZero, kTimeInfinity);
+  EXPECT_EQ(Value::Time(kTimeZero), Value::Time(0));
+}
+
+}  // namespace
+}  // namespace cactis
