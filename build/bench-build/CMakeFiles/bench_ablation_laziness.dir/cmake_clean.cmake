@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_laziness"
+  "../bench/bench_ablation_laziness.pdb"
+  "CMakeFiles/bench_ablation_laziness.dir/bench_ablation_laziness.cc.o"
+  "CMakeFiles/bench_ablation_laziness.dir/bench_ablation_laziness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_laziness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incremental_eval"
+  "../bench/bench_incremental_eval.pdb"
+  "CMakeFiles/bench_incremental_eval.dir/bench_incremental_eval.cc.o"
+  "CMakeFiles/bench_incremental_eval.dir/bench_incremental_eval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lazy_importance"
+  "../bench/bench_lazy_importance.pdb"
+  "CMakeFiles/bench_lazy_importance.dir/bench_lazy_importance.cc.o"
+  "CMakeFiles/bench_lazy_importance.dir/bench_lazy_importance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

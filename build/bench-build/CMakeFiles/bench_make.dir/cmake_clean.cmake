@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_make"
+  "../bench/bench_make.pdb"
+  "CMakeFiles/bench_make.dir/bench_make.cc.o"
+  "CMakeFiles/bench_make.dir/bench_make.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

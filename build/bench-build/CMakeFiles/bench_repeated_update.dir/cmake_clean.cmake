@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_repeated_update"
+  "../bench/bench_repeated_update.pdb"
+  "CMakeFiles/bench_repeated_update.dir/bench_repeated_update.cc.o"
+  "CMakeFiles/bench_repeated_update.dir/bench_repeated_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repeated_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_undo_delta"
+  "../bench/bench_undo_delta.pdb"
+  "CMakeFiles/bench_undo_delta.dir/bench_undo_delta.cc.o"
+  "CMakeFiles/bench_undo_delta.dir/bench_undo_delta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_undo_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

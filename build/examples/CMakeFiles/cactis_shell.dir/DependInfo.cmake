@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cactis_shell.cpp" "examples/CMakeFiles/cactis_shell.dir/cactis_shell.cpp.o" "gcc" "examples/CMakeFiles/cactis_shell.dir/cactis_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cactis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cactis_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/cactis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cactis_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cactis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cactis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cactis_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/cactis_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cactis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cactis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

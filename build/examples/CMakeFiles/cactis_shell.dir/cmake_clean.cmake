@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_shell.dir/cactis_shell.cpp.o"
+  "CMakeFiles/cactis_shell.dir/cactis_shell.cpp.o.d"
+  "cactis_shell"
+  "cactis_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_workspaces.dir/distributed_workspaces.cpp.o"
+  "CMakeFiles/distributed_workspaces.dir/distributed_workspaces.cpp.o.d"
+  "distributed_workspaces"
+  "distributed_workspaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_workspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

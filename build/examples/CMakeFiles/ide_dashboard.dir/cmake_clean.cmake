@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ide_dashboard.dir/ide_dashboard.cpp.o"
+  "CMakeFiles/ide_dashboard.dir/ide_dashboard.cpp.o.d"
+  "ide_dashboard"
+  "ide_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ide_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_tool.dir/make_tool.cpp.o"
+  "CMakeFiles/make_tool.dir/make_tool.cpp.o.d"
+  "make_tool"
+  "make_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milestone_manager.dir/milestone_manager.cpp.o"
+  "CMakeFiles/milestone_manager.dir/milestone_manager.cpp.o.d"
+  "milestone_manager"
+  "milestone_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milestone_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

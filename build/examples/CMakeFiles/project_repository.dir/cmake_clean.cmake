@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_repository.dir/project_repository.cpp.o"
+  "CMakeFiles/project_repository.dir/project_repository.cpp.o.d"
+  "project_repository"
+  "project_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

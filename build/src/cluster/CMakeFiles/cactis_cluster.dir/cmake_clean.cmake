@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_cluster.dir/reorganizer.cc.o"
+  "CMakeFiles/cactis_cluster.dir/reorganizer.cc.o.d"
+  "libcactis_cluster.a"
+  "libcactis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

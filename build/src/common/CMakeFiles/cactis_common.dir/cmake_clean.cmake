@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_common.dir/serial.cc.o"
+  "CMakeFiles/cactis_common.dir/serial.cc.o.d"
+  "CMakeFiles/cactis_common.dir/status.cc.o"
+  "CMakeFiles/cactis_common.dir/status.cc.o.d"
+  "CMakeFiles/cactis_common.dir/value.cc.o"
+  "CMakeFiles/cactis_common.dir/value.cc.o.d"
+  "libcactis_common.a"
+  "libcactis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_core.dir/database.cc.o"
+  "CMakeFiles/cactis_core.dir/database.cc.o.d"
+  "CMakeFiles/cactis_core.dir/eval_engine.cc.o"
+  "CMakeFiles/cactis_core.dir/eval_engine.cc.o.d"
+  "CMakeFiles/cactis_core.dir/instance.cc.o"
+  "CMakeFiles/cactis_core.dir/instance.cc.o.d"
+  "CMakeFiles/cactis_core.dir/object_cache.cc.o"
+  "CMakeFiles/cactis_core.dir/object_cache.cc.o.d"
+  "libcactis_core.a"
+  "libcactis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_dist.dir/cluster.cc.o"
+  "CMakeFiles/cactis_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/cactis_dist.dir/network.cc.o"
+  "CMakeFiles/cactis_dist.dir/network.cc.o.d"
+  "libcactis_dist.a"
+  "libcactis_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/command_runner.cc" "src/env/CMakeFiles/cactis_env.dir/command_runner.cc.o" "gcc" "src/env/CMakeFiles/cactis_env.dir/command_runner.cc.o.d"
+  "/root/repo/src/env/display.cc" "src/env/CMakeFiles/cactis_env.dir/display.cc.o" "gcc" "src/env/CMakeFiles/cactis_env.dir/display.cc.o.d"
+  "/root/repo/src/env/flow_analysis.cc" "src/env/CMakeFiles/cactis_env.dir/flow_analysis.cc.o" "gcc" "src/env/CMakeFiles/cactis_env.dir/flow_analysis.cc.o.d"
+  "/root/repo/src/env/make_facility.cc" "src/env/CMakeFiles/cactis_env.dir/make_facility.cc.o" "gcc" "src/env/CMakeFiles/cactis_env.dir/make_facility.cc.o.d"
+  "/root/repo/src/env/milestone.cc" "src/env/CMakeFiles/cactis_env.dir/milestone.cc.o" "gcc" "src/env/CMakeFiles/cactis_env.dir/milestone.cc.o.d"
+  "/root/repo/src/env/vfs.cc" "src/env/CMakeFiles/cactis_env.dir/vfs.cc.o" "gcc" "src/env/CMakeFiles/cactis_env.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cactis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cactis_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cactis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cactis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cactis_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/cactis_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cactis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cactis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_env.dir/command_runner.cc.o"
+  "CMakeFiles/cactis_env.dir/command_runner.cc.o.d"
+  "CMakeFiles/cactis_env.dir/display.cc.o"
+  "CMakeFiles/cactis_env.dir/display.cc.o.d"
+  "CMakeFiles/cactis_env.dir/flow_analysis.cc.o"
+  "CMakeFiles/cactis_env.dir/flow_analysis.cc.o.d"
+  "CMakeFiles/cactis_env.dir/make_facility.cc.o"
+  "CMakeFiles/cactis_env.dir/make_facility.cc.o.d"
+  "CMakeFiles/cactis_env.dir/milestone.cc.o"
+  "CMakeFiles/cactis_env.dir/milestone.cc.o.d"
+  "CMakeFiles/cactis_env.dir/vfs.cc.o"
+  "CMakeFiles/cactis_env.dir/vfs.cc.o.d"
+  "libcactis_env.a"
+  "libcactis_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

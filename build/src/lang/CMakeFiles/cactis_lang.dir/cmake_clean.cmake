@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_lang.dir/analyzer.cc.o"
+  "CMakeFiles/cactis_lang.dir/analyzer.cc.o.d"
+  "CMakeFiles/cactis_lang.dir/builtins.cc.o"
+  "CMakeFiles/cactis_lang.dir/builtins.cc.o.d"
+  "CMakeFiles/cactis_lang.dir/interpreter.cc.o"
+  "CMakeFiles/cactis_lang.dir/interpreter.cc.o.d"
+  "CMakeFiles/cactis_lang.dir/lexer.cc.o"
+  "CMakeFiles/cactis_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/cactis_lang.dir/parser.cc.o"
+  "CMakeFiles/cactis_lang.dir/parser.cc.o.d"
+  "libcactis_lang.a"
+  "libcactis_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

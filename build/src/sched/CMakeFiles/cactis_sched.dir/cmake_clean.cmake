@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_sched.dir/scheduler.cc.o"
+  "CMakeFiles/cactis_sched.dir/scheduler.cc.o.d"
+  "libcactis_sched.a"
+  "libcactis_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

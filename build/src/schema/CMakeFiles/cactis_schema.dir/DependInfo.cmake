@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/catalog.cc" "src/schema/CMakeFiles/cactis_schema.dir/catalog.cc.o" "gcc" "src/schema/CMakeFiles/cactis_schema.dir/catalog.cc.o.d"
+  "/root/repo/src/schema/schema_loader.cc" "src/schema/CMakeFiles/cactis_schema.dir/schema_loader.cc.o" "gcc" "src/schema/CMakeFiles/cactis_schema.dir/schema_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cactis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cactis_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_schema.dir/catalog.cc.o"
+  "CMakeFiles/cactis_schema.dir/catalog.cc.o.d"
+  "CMakeFiles/cactis_schema.dir/schema_loader.cc.o"
+  "CMakeFiles/cactis_schema.dir/schema_loader.cc.o.d"
+  "libcactis_schema.a"
+  "libcactis_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_storage.dir/block_image.cc.o"
+  "CMakeFiles/cactis_storage.dir/block_image.cc.o.d"
+  "CMakeFiles/cactis_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/cactis_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/cactis_storage.dir/record_store.cc.o"
+  "CMakeFiles/cactis_storage.dir/record_store.cc.o.d"
+  "CMakeFiles/cactis_storage.dir/simulated_disk.cc.o"
+  "CMakeFiles/cactis_storage.dir/simulated_disk.cc.o.d"
+  "libcactis_storage.a"
+  "libcactis_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcactis_storage.a"
+)

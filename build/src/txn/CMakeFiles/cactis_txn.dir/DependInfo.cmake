@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/delta.cc" "src/txn/CMakeFiles/cactis_txn.dir/delta.cc.o" "gcc" "src/txn/CMakeFiles/cactis_txn.dir/delta.cc.o.d"
+  "/root/repo/src/txn/timestamp_cc.cc" "src/txn/CMakeFiles/cactis_txn.dir/timestamp_cc.cc.o" "gcc" "src/txn/CMakeFiles/cactis_txn.dir/timestamp_cc.cc.o.d"
+  "/root/repo/src/txn/version_store.cc" "src/txn/CMakeFiles/cactis_txn.dir/version_store.cc.o" "gcc" "src/txn/CMakeFiles/cactis_txn.dir/version_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cactis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/cactis_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cactis_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactis_txn.dir/delta.cc.o"
+  "CMakeFiles/cactis_txn.dir/delta.cc.o.d"
+  "CMakeFiles/cactis_txn.dir/timestamp_cc.cc.o"
+  "CMakeFiles/cactis_txn.dir/timestamp_cc.cc.o.d"
+  "CMakeFiles/cactis_txn.dir/version_store.cc.o"
+  "CMakeFiles/cactis_txn.dir/version_store.cc.o.d"
+  "libcactis_txn.a"
+  "libcactis_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactis_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

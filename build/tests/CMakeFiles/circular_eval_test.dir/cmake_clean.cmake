@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circular_eval_test.dir/circular_eval_test.cc.o"
+  "CMakeFiles/circular_eval_test.dir/circular_eval_test.cc.o.d"
+  "circular_eval_test"
+  "circular_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circular_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_basic_test.dir/database_basic_test.cc.o"
+  "CMakeFiles/database_basic_test.dir/database_basic_test.cc.o.d"
+  "database_basic_test"
+  "database_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

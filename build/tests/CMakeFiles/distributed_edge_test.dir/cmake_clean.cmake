@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_edge_test.dir/distributed_edge_test.cc.o"
+  "CMakeFiles/distributed_edge_test.dir/distributed_edge_test.cc.o.d"
+  "distributed_edge_test"
+  "distributed_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_integration_test.dir/environment_integration_test.cc.o"
+  "CMakeFiles/environment_integration_test.dir/environment_integration_test.cc.o.d"
+  "environment_integration_test"
+  "environment_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_engine_test.dir/eval_engine_test.cc.o"
+  "CMakeFiles/eval_engine_test.dir/eval_engine_test.cc.o.d"
+  "eval_engine_test"
+  "eval_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_analysis_test.dir/flow_analysis_test.cc.o"
+  "CMakeFiles/flow_analysis_test.dir/flow_analysis_test.cc.o.d"
+  "flow_analysis_test"
+  "flow_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

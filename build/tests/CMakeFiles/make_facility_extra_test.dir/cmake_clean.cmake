@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_facility_extra_test.dir/make_facility_extra_test.cc.o"
+  "CMakeFiles/make_facility_extra_test.dir/make_facility_extra_test.cc.o.d"
+  "make_facility_extra_test"
+  "make_facility_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_facility_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milestone_integration_test.dir/milestone_integration_test.cc.o"
+  "CMakeFiles/milestone_integration_test.dir/milestone_integration_test.cc.o.d"
+  "milestone_integration_test"
+  "milestone_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milestone_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

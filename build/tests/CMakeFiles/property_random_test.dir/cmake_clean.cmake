@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_random_test.dir/property_random_test.cc.o"
+  "CMakeFiles/property_random_test.dir/property_random_test.cc.o.d"
+  "property_random_test"
+  "property_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

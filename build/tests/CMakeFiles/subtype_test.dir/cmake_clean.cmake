@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtype_test.dir/subtype_test.cc.o"
+  "CMakeFiles/subtype_test.dir/subtype_test.cc.o.d"
+  "subtype_test"
+  "subtype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
