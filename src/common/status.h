@@ -40,8 +40,13 @@ enum class StatusCode : int {
   kTransactionAborted,
   /// Timestamp-ordering conflict: the operation arrived too late.
   kConflict,
-  /// The simulated disk / record store failed (out of space, bad block id).
+  /// The simulated disk / record store failed (out of space, bad block id,
+  /// injected fault, simulated crash).
   kIoError,
+  /// Stored bytes fail their checksum: a torn write or bit rot was
+  /// detected. Unlike kIoError, retrying cannot help; the block must be
+  /// recovered from the write-ahead log.
+  kCorruption,
   /// The data-language processor rejected its input.
   kParseError,
   /// A limit (block size, value size, queue capacity) was exceeded.
@@ -95,6 +100,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
@@ -113,6 +121,9 @@ class Status {
   }
 
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
   bool IsConstraintViolation() const {
     return code() == StatusCode::kConstraintViolation;
   }
@@ -121,6 +132,8 @@ class Status {
     return code() == StatusCode::kTransactionAborted;
   }
   bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
 
   /// "OK" or "<Code>: <message>".

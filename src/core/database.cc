@@ -53,6 +53,17 @@ Database::Database(DatabaseOptions options)
   engine_ = std::make_unique<EvalEngine>(this);
   pool_.AddListener(&cache_);
   pool_.AddListener(scheduler_.get());
+  if (options_.enable_wal) {
+    // Nothing has touched the disk yet, so the WAL superblock becomes the
+    // first allocated block — the address Recover() looks for.
+    wal_ = std::make_unique<txn::WriteAheadLog>(&disk_);
+    if (!wal_->Initialize().ok()) {
+      // Block size too small for a WAL chunk: run without durability
+      // rather than with a log that cannot hold an entry.
+      wal_.reset();
+      options_.enable_wal = false;
+    }
+  }
 }
 
 Database::~Database() = default;
@@ -324,6 +335,18 @@ Status Database::OpDisconnect(Transaction* t, EdgeId edge) {
 
 Status Database::OpCommit(Transaction* t) {
   CACTIS_RETURN_IF_ERROR(RequireOpen(t));
+  if (!t->delta_.empty()) {
+    // Write-ahead: the delta must be on disk before the commit is
+    // acknowledged. If the journal write fails (crash, I/O error) the
+    // transaction is not committed — and no rollback is attempted either,
+    // since the disk is gone; Recover() will discard the torn entry.
+    Status journaled = JournalEvent(txn::WalEvent::Commit(t->delta_));
+    if (!journaled.ok()) {
+      t->open_ = false;
+      t->aborted_ = true;
+      return journaled;
+    }
+  }
   t->open_ = false;
   if (!t->delta_.empty()) {
     versions_.Append(std::move(t->delta_));
@@ -692,17 +715,30 @@ Status Database::ApplyRedo(const txn::TransactionDelta& delta) {
   return status;
 }
 
-Status Database::UndoLast() {
+Status Database::JournalEvent(const txn::WalEvent& event) {
+  if (!wal_) return Status::OK();
+  return wal_->Append(event);
+}
+
+Status Database::UndoLastInternal() {
   CACTIS_ASSIGN_OR_RETURN(txn::TransactionDelta delta, versions_.PopLast());
   return ApplyUndo(delta);
 }
 
-Result<VersionId> Database::CreateVersion(const std::string& name) {
-  return versions_.CreateVersion(name);
+Status Database::UndoLast() {
+  CACTIS_RETURN_IF_ERROR(UndoLastInternal());
+  // Meta-actions are journaled after they succeed: a crash in between
+  // loses at most the meta-action itself, never committed data.
+  return JournalEvent(txn::WalEvent::Undo());
 }
 
-Status Database::CheckoutVersion(const std::string& name) {
-  CACTIS_ASSIGN_OR_RETURN(uint64_t target, versions_.PositionOf(name));
+Result<VersionId> Database::CreateVersion(const std::string& name) {
+  CACTIS_ASSIGN_OR_RETURN(VersionId id, versions_.CreateVersion(name));
+  CACTIS_RETURN_IF_ERROR(JournalEvent(txn::WalEvent::Version(name)));
+  return id;
+}
+
+Status Database::CheckoutPosition(uint64_t target) {
   if (target < versions_.position()) {
     for (const txn::TransactionDelta* d : versions_.DeltasToUndo(target)) {
       CACTIS_RETURN_IF_ERROR(ApplyUndo(*d));
@@ -714,6 +750,49 @@ Status Database::CheckoutVersion(const std::string& name) {
   }
   versions_.SetPosition(target);
   return Status::OK();
+}
+
+Status Database::CheckoutVersion(const std::string& name) {
+  CACTIS_ASSIGN_OR_RETURN(uint64_t target, versions_.PositionOf(name));
+  CACTIS_RETURN_IF_ERROR(CheckoutPosition(target));
+  return JournalEvent(txn::WalEvent::Checkout(target));
+}
+
+// --- Crash recovery ----------------------------------------------------------
+
+Status Database::Recover(const storage::SimulatedDisk& platter) {
+  if (store_.record_count() != 0 || versions_.end() != 0) {
+    return Status::InvalidArgument(
+        "Recover requires a fresh database: construct, LoadSchema with the "
+        "same source, then recover");
+  }
+  CACTIS_ASSIGN_OR_RETURN(std::vector<txn::WalEvent> events,
+                          txn::WriteAheadLog::ScanPlatter(platter));
+  for (const txn::WalEvent& event : events) {
+    switch (event.kind) {
+      case txn::WalEventKind::kCommit: {
+        CACTIS_RETURN_IF_ERROR(ApplyRedo(event.delta));
+        txn::TransactionDelta delta = event.delta;
+        delta.commit_seq = 0;  // Append reassigns it
+        versions_.Append(std::move(delta));
+        break;
+      }
+      case txn::WalEventKind::kUndo:
+        CACTIS_RETURN_IF_ERROR(UndoLastInternal());
+        break;
+      case txn::WalEventKind::kCheckout:
+        CACTIS_RETURN_IF_ERROR(CheckoutPosition(event.checkout_target));
+        break;
+      case txn::WalEventKind::kVersion:
+        CACTIS_RETURN_IF_ERROR(
+            versions_.CreateVersion(event.version_name).status());
+        break;
+    }
+    // Re-journal into this database's own log so the recovered state can
+    // itself be recovered (recovery is idempotent across platters).
+    CACTIS_RETURN_IF_ERROR(JournalEvent(event));
+  }
+  return Flush();
 }
 
 // --- Queries -----------------------------------------------------------------

@@ -49,6 +49,7 @@
 #include "txn/delta.h"
 #include "txn/timestamp_cc.h"
 #include "txn/version_store.h"
+#include "txn/wal.h"
 
 namespace cactis::core {
 
@@ -70,6 +71,9 @@ struct DatabaseOptions {
   int max_recovery_rounds = 4;
   /// Iteration cap for fixed-point evaluation of `circular` attributes.
   int max_fixpoint_iterations = 100;
+  /// Journal committed deltas (and version meta-actions) to a write-ahead
+  /// log before acknowledging them, enabling Recover() after a crash.
+  bool enable_wal = true;
 };
 
 class Database;
@@ -196,6 +200,26 @@ class Database {
   /// Moves the database to a named version (backwards via undo deltas,
   /// forwards via redo deltas).
   Status CheckoutVersion(const std::string& name);
+
+  // --- Crash recovery ----------------------------------------------------
+
+  /// Rebuilds database state from the write-ahead log of another disk
+  /// (typically the platter of a crashed database). Must be called on a
+  /// fresh database after LoadSchema with the same schema source the
+  /// crashed database used (catalog ids are deterministic). Committed
+  /// transactions are redone in order; an entry torn by the crash is
+  /// discarded, so the result is exactly the state acknowledged before the
+  /// failure. The replayed events are re-journaled to this database's own
+  /// WAL, so the recovered database is itself durable.
+  Status Recover(const storage::SimulatedDisk& platter);
+
+  /// Number of transactions in the committed history (the crash-point
+  /// harness compares this against its commit oracle).
+  uint64_t committed_transactions() const { return versions_.end(); }
+
+  /// The write-ahead log, or null when options.enable_wal is false.
+  /// Exposed for the recovery bench (WAL write overhead) and tests.
+  const txn::WriteAheadLog* wal() const { return wal_.get(); }
 
   /// Bytes retained by all committed deltas (experiment E7).
   size_t delta_bytes() const { return versions_.TotalDeltaBytes(); }
@@ -363,6 +387,16 @@ class Database {
   /// Replays a delta forwards.
   Status ApplyRedo(const txn::TransactionDelta& delta);
 
+  /// Appends an event to the WAL (no-op when the WAL is disabled). Commit
+  /// calls this *before* applying to the version store; meta-actions call
+  /// it after they succeed.
+  Status JournalEvent(const txn::WalEvent& event);
+  /// UndoLast without journaling (shared by UndoLast and Recover).
+  Status UndoLastInternal();
+  /// Moves history to `target` by undo/redo, without journaling (shared by
+  /// CheckoutVersion and Recover).
+  Status CheckoutPosition(uint64_t target);
+
   /// Turns a non-OK status from an operation into a transaction abort when
   /// it reflects a consistency failure (constraint violation or
   /// concurrency conflict).
@@ -405,6 +439,7 @@ class Database {
   std::unique_ptr<EvalEngine> engine_;
   txn::TimestampManager tsm_;
   txn::VersionStore versions_;
+  std::unique_ptr<txn::WriteAheadLog> wal_;
 
   uint64_t next_instance_ = 0;
   uint64_t next_txn_ = 0;

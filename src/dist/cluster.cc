@@ -1,6 +1,33 @@
 #include "dist/cluster.h"
 
 namespace cactis::dist {
+namespace {
+
+/// One fetch exchange with bounded retransmission: the simulated network
+/// may lose the request/reply pair (NetworkFaults::drop_every_nth_rpc);
+/// the caller retransmits within the retry budget, then gives up with
+/// IoError. The home database read happens only for the exchange that
+/// completes.
+Result<Value> RpcFetch(Network* net, core::Database* home_db, SiteId from_site,
+                       SiteId home_site, InstanceId provider,
+                       const std::string& attr) {
+  for (int attempt = 0;; ++attempt) {
+    if (net->RpcLost()) {
+      if (attempt + 1 >= net->faults().max_rpc_retries) {
+        return Status::IoError("fetch of '" + attr + "' from site " +
+                               std::to_string(home_site) + " lost after " +
+                               std::to_string(attempt + 1) + " attempts");
+      }
+      continue;
+    }
+    if (attempt > 0) net->NoteRpcRetry();
+    CACTIS_ASSIGN_OR_RETURN(Value v, home_db->Peek(provider, attr));
+    net->CountRpc(from_site, home_site, 16 + attr.size(), v.SerializedSize());
+    return v;
+  }
+}
+
+}  // namespace
 
 DistributedCactis::DistributedCactis(int num_sites,
                                      core::DatabaseOptions options)
@@ -125,18 +152,16 @@ Result<InstanceId> DistributedCactis::EnsureMirror(const GlobalRef& provider,
           return Status::Internal("mirror fetch of unknown attribute");
         }
         const std::string& name = cls_ptr->attributes()[attr_index].name;
-        CACTIS_ASSIGN_OR_RETURN(Value v, home_db->Peek(provider_id, name));
-        net->CountRpc(local_site, home_site, 16 + name.size(),
-                      v.SerializedSize());
-        return v;
+        return RpcFetch(net, home_db, local_site, home_site, provider_id,
+                        name);
       });
 
   // Intrinsic values are pushed eagerly: sync them now...
   for (const schema::AttributeDef& def : cls->attributes()) {
     if (def.is_derived()) continue;
-    CACTIS_ASSIGN_OR_RETURN(Value v, home.Peek(provider.id, def.name));
-    network_.CountRpc(at_site, provider.site, 16 + def.name.size(),
-                      v.SerializedSize());
+    CACTIS_ASSIGN_OR_RETURN(
+        Value v, RpcFetch(&network_, &home, at_site, provider.site,
+                          provider.id, def.name));
     CACTIS_RETURN_IF_ERROR(local.Set(mirror, def.name, std::move(v)));
   }
   // ...and watch the provider for future changes.

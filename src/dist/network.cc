@@ -40,7 +40,31 @@ void Network::Send(SiteId from, SiteId to, MessageKind kind,
   (void)from;
   (void)to;
   Count(kind, approx_bytes + 16);  // header estimate
+  ++sends_;
+  if (faults_.drop_every_nth_send != 0 &&
+      sends_ % faults_.drop_every_nth_send == 0) {
+    ++stats_.dropped;  // the bytes hit the wire; the handler never runs
+    return;
+  }
+  if (faults_.duplicate_every_nth_send != 0 &&
+      sends_ % faults_.duplicate_every_nth_send == 0) {
+    ++stats_.duplicated;
+    Count(kind, approx_bytes + 16);
+    queue_.push_back(deliver);
+  }
   queue_.push_back(std::move(deliver));
+}
+
+bool Network::RpcLost() {
+  ++rpcs_;
+  if (faults_.drop_every_nth_rpc != 0 &&
+      rpcs_ % faults_.drop_every_nth_rpc == 0) {
+    ++stats_.rpc_lost;
+    // The request went out before it (or its reply) vanished.
+    Count(MessageKind::kFetchRequest, 16);
+    return true;
+  }
+  return false;
 }
 
 void Network::CountRpc(SiteId from, SiteId to, size_t request_bytes,

@@ -32,6 +32,22 @@ enum class MessageKind : uint8_t {
 
 std::string_view MessageKindToString(MessageKind kind);
 
+/// Deterministic fault injection for the message bus. Counters are
+/// 1-based: with drop_every_nth_send = 3, sends 3, 6, 9, ... are lost.
+/// Zero disables a knob.
+struct NetworkFaults {
+  /// Silently discard every Nth queued message (push/invalidate traffic).
+  uint64_t drop_every_nth_send = 0;
+  /// Deliver every Nth queued message twice (handlers are idempotent, so
+  /// duplicates must be harmless; the duplicate's bytes are counted).
+  uint64_t duplicate_every_nth_send = 0;
+  /// Lose every Nth RPC exchange (fetch request/reply pair). Callers
+  /// retransmit up to max_rpc_retries times before giving up.
+  uint64_t drop_every_nth_rpc = 0;
+  /// Retransmission budget per RPC before the caller surfaces IoError.
+  int max_rpc_retries = 3;
+};
+
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
@@ -39,6 +55,11 @@ struct NetworkStats {
   uint64_t invalidate = 0;
   uint64_t fetch_request = 0;
   uint64_t fetch_reply = 0;
+  // Fault-injection outcomes.
+  uint64_t dropped = 0;      ///< queued messages lost in transit
+  uint64_t duplicated = 0;   ///< queued messages delivered twice
+  uint64_t rpc_lost = 0;     ///< RPC exchanges that never completed
+  uint64_t rpc_retries = 0;  ///< retransmissions that did complete
 
   uint64_t CountOf(MessageKind kind) const {
     switch (kind) {
@@ -73,6 +94,15 @@ class Network {
   void CountRpc(SiteId from, SiteId to, size_t request_bytes,
                 size_t reply_bytes);
 
+  /// Consults fault injection for the next RPC exchange. True means the
+  /// request (or its reply) was lost: the caller must retransmit, up to
+  /// faults().max_rpc_retries attempts, then surface IoError. A lost
+  /// exchange still burned a request's bytes on the wire.
+  bool RpcLost();
+
+  /// Records that a retransmitted RPC finally completed (stats only).
+  void NoteRpcRetry() { ++stats_.rpc_retries; }
+
   /// Delivers every queued message (handlers may enqueue more; runs to
   /// quiescence, with a safety cap).
   Status DeliverAll();
@@ -81,11 +111,17 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
+  void set_faults(NetworkFaults faults) { faults_ = faults; }
+  const NetworkFaults& faults() const { return faults_; }
+
  private:
   void Count(MessageKind kind, size_t bytes);
 
   std::deque<Handler> queue_;
   NetworkStats stats_;
+  NetworkFaults faults_;
+  uint64_t sends_ = 0;  // 1-based fault-injection counters
+  uint64_t rpcs_ = 0;
 };
 
 }  // namespace cactis::dist

@@ -18,8 +18,13 @@ Result<BlockImage*> BufferPool::Fetch(BlockId id) {
   while (frames_.size() >= capacity_) {
     CACTIS_RETURN_IF_ERROR(EvictOne());
   }
-  CACTIS_ASSIGN_OR_RETURN(std::string bytes, disk_->Read(id));
-  CACTIS_ASSIGN_OR_RETURN(BlockImage image, BlockImage::Decode(bytes));
+  CACTIS_ASSIGN_OR_RETURN(std::string framed, disk_->Read(id));
+  Result<std::string> bytes = UnwrapChecksum(framed);
+  if (!bytes.ok()) {
+    return Status::Corruption("block " + std::to_string(id.value) + ": " +
+                              bytes.status().message());
+  }
+  CACTIS_ASSIGN_OR_RETURN(BlockImage image, BlockImage::Decode(*bytes));
   lru_.push_front(id);
   Frame frame{std::move(image), /*dirty=*/false, lru_.begin()};
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
@@ -57,7 +62,7 @@ Status BufferPool::EvictOne() {
 Status BufferPool::WriteBack(BlockId id, Frame* frame) {
   if (!frame->dirty) return Status::OK();
   if (pre_evict_hook_) pre_evict_hook_(id, &frame->image);
-  CACTIS_RETURN_IF_ERROR(disk_->Write(id, frame->image.Encode()));
+  CACTIS_RETURN_IF_ERROR(disk_->Write(id, WrapWithChecksum(frame->image.Encode())));
   frame->dirty = false;
   return Status::OK();
 }

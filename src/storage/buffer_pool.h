@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/block_image.h"
+#include "storage/checksum.h"
 #include "storage/simulated_disk.h"
 
 namespace cactis::storage {
@@ -53,8 +54,19 @@ class BufferPool {
 
   /// Returns the in-memory image of `id`, reading it from disk (and
   /// possibly evicting the LRU block) if needed. The pointer stays valid
-  /// until the block is evicted.
+  /// until the block is evicted. Every block read is checksum-verified;
+  /// a torn or bit-rotted block surfaces as kCorruption instead of being
+  /// decoded as garbage.
   Result<BlockImage*> Fetch(BlockId id);
+
+  /// Bytes of a disk block available to an encoded BlockImage: the block
+  /// size minus the checksum frame the pool adds on write-back. Capacity
+  /// checks above the pool must use this, not the raw block size.
+  size_t usable_block_bytes() const {
+    return disk_->block_size() > kChecksumFrameBytes
+               ? disk_->block_size() - kChecksumFrameBytes
+               : 0;
+  }
 
   /// Marks a resident block dirty; it will be written back on eviction or
   /// FlushAll. It is an error to mark a non-resident block.

@@ -1,0 +1,70 @@
+#include "storage/checksum.h"
+
+#include <array>
+
+namespace cactis::storage {
+
+namespace {
+
+// Table-driven CRC-32 (reflected 0xEDB88320), generated at static init.
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string WrapWithChecksum(std::string_view payload) {
+  uint32_t crc = Crc32(payload);
+  std::string out;
+  out.reserve(kChecksumFrameBytes + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFFu));
+  }
+  out.append(payload);
+  return out;
+}
+
+Result<std::string> UnwrapChecksum(std::string_view framed) {
+  if (framed.empty()) return std::string();  // never-written block
+  if (framed.size() < kChecksumFrameBytes) {
+    return Status::Corruption("block shorter than its checksum frame (" +
+                              std::to_string(framed.size()) + " bytes)");
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(static_cast<unsigned char>(framed[i]))
+              << (8 * i);
+  }
+  std::string_view payload = framed.substr(kChecksumFrameBytes);
+  uint32_t actual = Crc32(payload);
+  if (stored != actual) {
+    return Status::Corruption("block checksum mismatch: stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(actual));
+  }
+  return std::string(payload);
+}
+
+}  // namespace cactis::storage

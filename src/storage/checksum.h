@@ -1,0 +1,39 @@
+// Block checksums: every block image written through the buffer pool (and
+// every WAL block) is framed with a CRC32 of its payload, so torn writes
+// and bit rot are detected on read instead of being decoded as garbage.
+//
+// The frame is 4 bytes: the little-endian CRC32 of the payload, followed
+// by the payload itself. An *empty* block (freshly allocated, never
+// written) has no frame; readers treat empty content as an empty payload.
+
+#ifndef CACTIS_STORAGE_CHECKSUM_H_
+#define CACTIS_STORAGE_CHECKSUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cactis::storage {
+
+/// Bytes of checksum framing prepended to each block payload. Capacity
+/// checks against a block must reserve this much.
+inline constexpr size_t kChecksumFrameBytes = 4;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the classic zlib checksum.
+uint32_t Crc32(std::string_view data);
+
+/// Prepends the CRC32 frame to `payload`.
+std::string WrapWithChecksum(std::string_view payload);
+
+/// Verifies and strips the frame. Empty content decodes to an empty
+/// payload (a never-written block). A frame whose checksum does not match
+/// its payload yields kIoError ("checksum mismatch"), which callers
+/// surface as data corruption.
+Result<std::string> UnwrapChecksum(std::string_view framed);
+
+}  // namespace cactis::storage
+
+#endif  // CACTIS_STORAGE_CHECKSUM_H_

@@ -1,0 +1,84 @@
+// Fault injection for the simulated disk.
+//
+// A FaultPolicy is consulted on every block read and write attempt and
+// decides whether the operation proceeds normally or suffers an injected
+// fault. The disk owns the mechanics (what a torn write does to the
+// platter); the policy owns the schedule (when faults happen). Policies
+// are deterministic so every failing run is exactly reproducible — the
+// crash-point test harness sweeps `ScriptedFaults::crash_after_writes`
+// over every write index of a workload.
+
+#ifndef CACTIS_STORAGE_FAULT_POLICY_H_
+#define CACTIS_STORAGE_FAULT_POLICY_H_
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace cactis::storage {
+
+/// What happens to one disk operation.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// The operation fails with kIoError but the disk stays usable and the
+  /// platter is unchanged (a retriable bus hiccup).
+  kTransient,
+  /// Fail-stop: the operation fails, nothing is persisted, and every
+  /// subsequent operation fails too (power loss). The platter keeps
+  /// whatever was durable before the crash.
+  kCrash,
+  /// Writes only: a prefix of the content reaches the platter, then the
+  /// disk crashes (power loss mid-write). The block now fails its
+  /// checksum. Ignored on reads.
+  kTornWrite,
+  /// Silent corruption: the operation "succeeds" but one bit is flipped —
+  /// on the platter for writes, in the returned copy for reads. Detected
+  /// later by checksum verification.
+  kBitFlip,
+};
+
+/// Decides the fate of each disk operation. `op_index` counts write
+/// (resp. read) attempts since the disk was created, starting at 0, and
+/// includes attempts that were themselves faulted.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+  virtual FaultKind OnWrite(BlockId id, uint64_t op_index) = 0;
+  virtual FaultKind OnRead(BlockId id, uint64_t op_index) = 0;
+};
+
+/// A deterministic scripted policy: each knob names the single operation
+/// index (0-based) at which the fault fires; -1 disables it. Knobs
+/// compose; when several match the same index the most severe wins
+/// (crash > torn > transient > bit flip).
+class ScriptedFaults : public FaultPolicy {
+ public:
+  int64_t crash_after_writes = -1;     ///< crash on the Nth write attempt
+  int64_t torn_write_at = -1;          ///< tear the Nth write, then crash
+  int64_t transient_write_error_at = -1;
+  int64_t corrupt_write_at = -1;       ///< flip a bit in the Nth write
+  int64_t crash_after_reads = -1;
+  int64_t transient_read_error_at = -1;
+  int64_t corrupt_read_at = -1;        ///< flip a bit in the Nth read
+
+  FaultKind OnWrite(BlockId /*id*/, uint64_t op_index) override {
+    int64_t i = static_cast<int64_t>(op_index);
+    if (i == crash_after_writes) return FaultKind::kCrash;
+    if (i == torn_write_at) return FaultKind::kTornWrite;
+    if (i == transient_write_error_at) return FaultKind::kTransient;
+    if (i == corrupt_write_at) return FaultKind::kBitFlip;
+    return FaultKind::kNone;
+  }
+
+  FaultKind OnRead(BlockId /*id*/, uint64_t op_index) override {
+    int64_t i = static_cast<int64_t>(op_index);
+    if (i == crash_after_reads) return FaultKind::kCrash;
+    if (i == transient_read_error_at) return FaultKind::kTransient;
+    if (i == corrupt_read_at) return FaultKind::kBitFlip;
+    return FaultKind::kNone;
+  }
+};
+
+}  // namespace cactis::storage
+
+#endif  // CACTIS_STORAGE_FAULT_POLICY_H_

@@ -7,7 +7,7 @@ namespace cactis::storage {
 Status RecordStore::Put(InstanceId id, std::string payload) {
   if (!id.valid()) return Status::InvalidArgument("invalid instance id");
   if (payload.size() + kRecordOverheadBytes + kBlockHeaderBytes >
-      disk_->block_size()) {
+      pool_->usable_block_bytes()) {
     return Status::OutOfRange("record larger than a disk block: " +
                               std::to_string(payload.size()) + " bytes");
   }
@@ -17,7 +17,7 @@ Status RecordStore::Put(InstanceId id, std::string payload) {
     // Update in place when it still fits, else move.
     BlockId block = dir->second;
     CACTIS_ASSIGN_OR_RETURN(BlockImage * image, pool_->Fetch(block));
-    if (image->Fits(id, payload.size(), disk_->block_size())) {
+    if (image->Fits(id, payload.size(), pool_->usable_block_bytes())) {
       image->Put(id, std::move(payload));
       return pool_->MarkDirty(block);
     }
@@ -28,7 +28,7 @@ Status RecordStore::Put(InstanceId id, std::string payload) {
   // New record: try the fill block, else allocate a new one.
   if (fill_block_.valid()) {
     CACTIS_ASSIGN_OR_RETURN(BlockImage * image, pool_->Fetch(fill_block_));
-    if (image->Fits(id, payload.size(), disk_->block_size())) {
+    if (image->Fits(id, payload.size(), pool_->usable_block_bytes())) {
       return PutIntoBlock(id, std::move(payload), fill_block_);
     }
   }
@@ -39,7 +39,7 @@ Status RecordStore::Put(InstanceId id, std::string payload) {
 Status RecordStore::PutIntoBlock(InstanceId id, std::string payload,
                                  BlockId block) {
   CACTIS_ASSIGN_OR_RETURN(BlockImage * image, pool_->Fetch(block));
-  if (!image->Fits(id, payload.size(), disk_->block_size())) {
+  if (!image->Fits(id, payload.size(), pool_->usable_block_bytes())) {
     return Status::Internal("PutIntoBlock target does not fit");
   }
   image->Put(id, std::move(payload));

@@ -2,7 +2,22 @@
 
 namespace cactis::storage {
 
+namespace {
+
+/// Deterministic single-bit corruption: flip the low bit of the middle
+/// byte (content must be non-empty).
+void FlipMiddleBit(std::string* content) {
+  if (content->empty()) return;
+  (*content)[content->size() / 2] ^= 1;
+}
+
+}  // namespace
+
 BlockId SimulatedDisk::Allocate() {
+  // Allocation is directory bookkeeping, not data I/O; it cannot fault.
+  // A crashed disk hands back the invalid id, which any subsequent access
+  // turns into an IoError.
+  if (crashed_) return BlockId();
   ++stats_.allocations;
   BlockId id;
   if (!free_list_.empty()) {
@@ -16,6 +31,7 @@ BlockId SimulatedDisk::Allocate() {
 }
 
 Status SimulatedDisk::Free(BlockId id) {
+  if (crashed_) return CrashedError();
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::IoError("freeing unallocated block " +
@@ -28,16 +44,45 @@ Status SimulatedDisk::Free(BlockId id) {
 }
 
 Result<std::string> SimulatedDisk::Read(BlockId id) {
+  if (crashed_) return CrashedError();
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::IoError("reading unallocated block " +
                            std::to_string(id.value));
+  }
+  FaultKind fault = FaultKind::kNone;
+  if (fault_policy_ != nullptr) {
+    fault = fault_policy_->OnRead(id, read_attempts_);
+  }
+  ++read_attempts_;
+  switch (fault) {
+    case FaultKind::kCrash:
+      crashed_ = true;
+      ++stats_.crashes;
+      return CrashedError();
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return Status::IoError("injected transient read error on block " +
+                             std::to_string(id.value));
+    case FaultKind::kBitFlip: {
+      // Corrupt the returned copy only: the platter is fine, the transfer
+      // was not. Checksum verification upstream catches it.
+      ++stats_.bit_flips;
+      ++stats_.reads;
+      std::string copy = it->second;
+      FlipMiddleBit(&copy);
+      return copy;
+    }
+    case FaultKind::kTornWrite:  // meaningless on reads
+    case FaultKind::kNone:
+      break;
   }
   ++stats_.reads;
   return it->second;
 }
 
 Status SimulatedDisk::Write(BlockId id, std::string content) {
+  if (crashed_) return CrashedError();
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::IoError("writing unallocated block " +
@@ -48,8 +93,62 @@ Status SimulatedDisk::Write(BlockId id, std::string content) {
                               std::to_string(content.size()) + " > " +
                               std::to_string(block_size_));
   }
+  FaultKind fault = FaultKind::kNone;
+  if (fault_policy_ != nullptr) {
+    fault = fault_policy_->OnWrite(id, write_attempts_);
+  }
+  ++write_attempts_;
+  switch (fault) {
+    case FaultKind::kCrash:
+      // Power loss before any byte reached the platter.
+      crashed_ = true;
+      ++stats_.crashes;
+      return CrashedError();
+    case FaultKind::kTornWrite:
+      // Power loss mid-write: a prefix lands, then the disk dies. The
+      // caller sees the same error as a clean crash; the difference is on
+      // the platter, where the block now fails its checksum.
+      it->second = content.substr(0, content.size() / 2);
+      crashed_ = true;
+      ++stats_.torn_writes;
+      ++stats_.crashes;
+      return CrashedError();
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return Status::IoError("injected transient write error on block " +
+                             std::to_string(id.value));
+    case FaultKind::kBitFlip:
+      FlipMiddleBit(&content);
+      ++stats_.bit_flips;
+      break;
+    case FaultKind::kNone:
+      break;
+  }
   ++stats_.writes;
   it->second = std::move(content);
+  return Status::OK();
+}
+
+Result<std::string> SimulatedDisk::PeekRaw(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("no such block on platter: " +
+                            std::to_string(id.value));
+  }
+  return it->second;
+}
+
+Status SimulatedDisk::FlipBitForTesting(BlockId id, size_t bit_index) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("no such block on platter: " +
+                            std::to_string(id.value));
+  }
+  if (it->second.empty()) {
+    return Status::InvalidArgument("cannot corrupt an empty block");
+  }
+  size_t bit = bit_index % (it->second.size() * 8);
+  it->second[bit / 8] ^= static_cast<char>(1u << (bit % 8));
   return Status::OK();
 }
 

@@ -5,6 +5,13 @@
 // about minimising the *number of block accesses*, so we reproduce the
 // evaluation on a simulated block store that counts reads and writes.
 // The counters are the measured quantity in experiments E4-E6.
+//
+// The disk can fail. An installed FaultPolicy may make any read or write
+// suffer a transient error, a fail-stop crash, a torn (partial) write, or
+// a silent bit flip (see fault_policy.h). After a crash every operation
+// returns kIoError, but the platter — whatever was durably written before
+// the crash — survives and can be inspected offline via PeekRaw(), which
+// is how recovery reads the write-ahead log out of a crashed database.
 
 #ifndef CACTIS_STORAGE_SIMULATED_DISK_H_
 #define CACTIS_STORAGE_SIMULATED_DISK_H_
@@ -17,19 +24,36 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_policy.h"
 
 namespace cactis::storage {
 
 /// Cumulative I/O counters; snapshot and subtract to measure a workload.
+/// The fault counters record *injected* events, not organic failures.
 struct DiskStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
   uint64_t frees = 0;
+  uint64_t transient_errors = 0;  ///< injected retriable I/O errors
+  uint64_t torn_writes = 0;       ///< injected partial writes
+  uint64_t bit_flips = 0;         ///< injected silent corruptions
+  uint64_t crashes = 0;           ///< injected fail-stop crashes (0 or 1)
 
+  /// Saturating subtraction: counters may have been reset between the two
+  /// snapshots, so each field clamps at zero instead of wrapping.
   DiskStats operator-(const DiskStats& other) const {
-    return DiskStats{reads - other.reads, writes - other.writes,
-                     allocations - other.allocations, frees - other.frees};
+    auto sat = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+    DiskStats d;
+    d.reads = sat(reads, other.reads);
+    d.writes = sat(writes, other.writes);
+    d.allocations = sat(allocations, other.allocations);
+    d.frees = sat(frees, other.frees);
+    d.transient_errors = sat(transient_errors, other.transient_errors);
+    d.torn_writes = sat(torn_writes, other.torn_writes);
+    d.bit_flips = sat(bit_flips, other.bit_flips);
+    d.crashes = sat(crashes, other.crashes);
+    return d;
   }
 };
 
@@ -45,31 +69,68 @@ class SimulatedDisk {
   size_t block_size() const { return block_size_; }
 
   /// Allocates a fresh (or recycled) block; its content starts empty.
+  /// Returns the invalid id on a crashed disk.
   BlockId Allocate();
 
   /// Returns the block to the free list. Further access is an error until
   /// it is re-allocated.
   Status Free(BlockId id);
 
-  /// Reads the raw content of a block (counted).
+  /// Reads the raw content of a block (counted; subject to fault
+  /// injection).
   Result<std::string> Read(BlockId id);
 
-  /// Overwrites the content of a block (counted). Content must fit in
-  /// block_size() bytes.
+  /// Overwrites the content of a block (counted; subject to fault
+  /// injection). Content must fit in block_size() bytes.
   Status Write(BlockId id, std::string content);
 
   bool IsAllocated(BlockId id) const { return blocks_.contains(id); }
   size_t num_allocated_blocks() const { return blocks_.size(); }
 
+  // --- Fault injection ----------------------------------------------------
+
+  /// Installs a fault schedule (nullptr removes it). Not owned; must
+  /// outlive the disk or be removed first.
+  void set_fault_policy(FaultPolicy* policy) { fault_policy_ = policy; }
+
+  /// True after an injected fail-stop crash: every Allocate/Free/Read/
+  /// Write now fails with kIoError.
+  bool crashed() const { return crashed_; }
+
+  /// Offline platter access for recovery: reads the durable content of a
+  /// block, uncounted, bypassing fault injection and the crashed state —
+  /// the platter survives a power loss even though the device is dead.
+  /// NotFound for unallocated blocks.
+  Result<std::string> PeekRaw(BlockId id) const;
+
+  /// Test hook: flips one bit of the stored content in place (simulating
+  /// at-rest bit rot), so checksum verification can be exercised against a
+  /// specific block. `bit_index` is taken modulo the content size in bits.
+  Status FlipBitForTesting(BlockId id, size_t bit_index);
+
+  /// Write (resp. read) attempts so far — the op_index the FaultPolicy
+  /// sees next. The crash-point harness sweeps over these.
+  uint64_t write_attempts() const { return write_attempts_; }
+  uint64_t read_attempts() const { return read_attempts_; }
+
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
 
  private:
+  Status CrashedError() const {
+    return Status::IoError("simulated disk has crashed (fail-stop)");
+  }
+
   size_t block_size_;
   uint64_t next_block_ = 0;
   std::unordered_map<BlockId, std::string> blocks_;
   std::vector<BlockId> free_list_;
   DiskStats stats_;
+
+  FaultPolicy* fault_policy_ = nullptr;
+  bool crashed_ = false;
+  uint64_t write_attempts_ = 0;
+  uint64_t read_attempts_ = 0;
 };
 
 }  // namespace cactis::storage

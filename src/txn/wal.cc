@@ -1,0 +1,317 @@
+#include "txn/wal.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/checksum.h"
+
+namespace cactis::txn {
+namespace {
+
+// Fixed bytes of a chunk header: entry seq (8) + chunk index (4) +
+// chunk count (4) + next block (8) + payload length prefix (4).
+constexpr size_t kChunkHeaderBytes = 28;
+
+Status EncodeFailure(std::string what) {
+  return Status::Corruption("WAL " + std::move(what));
+}
+
+}  // namespace
+
+std::string_view WalEventKindToString(WalEventKind kind) {
+  switch (kind) {
+    case WalEventKind::kCommit:
+      return "commit";
+    case WalEventKind::kUndo:
+      return "undo";
+    case WalEventKind::kCheckout:
+      return "checkout";
+    case WalEventKind::kVersion:
+      return "version";
+  }
+  return "unknown";
+}
+
+void EncodeDeltaRecord(const DeltaRecord& rec, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(rec.op));
+  w->PutU64(rec.instance.value);
+  switch (rec.op) {
+    case DeltaOp::kSetAttr:
+      w->PutU32(static_cast<uint32_t>(rec.attr_index));
+      ValueCodec::Encode(rec.old_value, w);
+      ValueCodec::Encode(rec.new_value, w);
+      break;
+    case DeltaOp::kCreate:
+      w->PutU64(rec.class_id.value);
+      break;
+    case DeltaOp::kDelete:
+      w->PutU64(rec.class_id.value);
+      w->PutU32(static_cast<uint32_t>(rec.intrinsic_snapshot.size()));
+      for (const auto& [index, value] : rec.intrinsic_snapshot) {
+        w->PutU32(static_cast<uint32_t>(index));
+        ValueCodec::Encode(value, w);
+      }
+      break;
+    case DeltaOp::kConnect:
+    case DeltaOp::kDisconnect:
+      w->PutU64(rec.edge.value);
+      w->PutU64(rec.from.value);
+      w->PutU32(static_cast<uint32_t>(rec.from_port));
+      w->PutU64(rec.to.value);
+      w->PutU32(static_cast<uint32_t>(rec.to_port));
+      break;
+  }
+}
+
+Result<DeltaRecord> DecodeDeltaRecord(BinaryReader* r) {
+  DeltaRecord rec;
+  CACTIS_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+  if (op > static_cast<uint8_t>(DeltaOp::kDisconnect)) {
+    return EncodeFailure("delta record has unknown op " + std::to_string(op));
+  }
+  rec.op = static_cast<DeltaOp>(op);
+  CACTIS_ASSIGN_OR_RETURN(rec.instance.value, r->GetU64());
+  switch (rec.op) {
+    case DeltaOp::kSetAttr: {
+      CACTIS_ASSIGN_OR_RETURN(uint32_t index, r->GetU32());
+      rec.attr_index = index;
+      CACTIS_ASSIGN_OR_RETURN(rec.old_value, ValueCodec::Decode(r));
+      CACTIS_ASSIGN_OR_RETURN(rec.new_value, ValueCodec::Decode(r));
+      break;
+    }
+    case DeltaOp::kCreate: {
+      CACTIS_ASSIGN_OR_RETURN(rec.class_id.value, r->GetU64());
+      break;
+    }
+    case DeltaOp::kDelete: {
+      CACTIS_ASSIGN_OR_RETURN(rec.class_id.value, r->GetU64());
+      CACTIS_ASSIGN_OR_RETURN(uint32_t count, r->GetU32());
+      rec.intrinsic_snapshot.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        CACTIS_ASSIGN_OR_RETURN(uint32_t index, r->GetU32());
+        CACTIS_ASSIGN_OR_RETURN(Value value, ValueCodec::Decode(r));
+        rec.intrinsic_snapshot.emplace_back(index, std::move(value));
+      }
+      break;
+    }
+    case DeltaOp::kConnect:
+    case DeltaOp::kDisconnect: {
+      CACTIS_ASSIGN_OR_RETURN(rec.edge.value, r->GetU64());
+      CACTIS_ASSIGN_OR_RETURN(rec.from.value, r->GetU64());
+      CACTIS_ASSIGN_OR_RETURN(uint32_t from_port, r->GetU32());
+      rec.from_port = from_port;
+      CACTIS_ASSIGN_OR_RETURN(rec.to.value, r->GetU64());
+      CACTIS_ASSIGN_OR_RETURN(uint32_t to_port, r->GetU32());
+      rec.to_port = to_port;
+      break;
+    }
+  }
+  return rec;
+}
+
+void EncodeDelta(const TransactionDelta& delta, BinaryWriter* w) {
+  w->PutU64(delta.txn.value);
+  w->PutU64(delta.commit_seq);
+  w->PutU32(static_cast<uint32_t>(delta.records.size()));
+  for (const DeltaRecord& rec : delta.records) EncodeDeltaRecord(rec, w);
+}
+
+Result<TransactionDelta> DecodeDelta(BinaryReader* r) {
+  TransactionDelta delta;
+  CACTIS_ASSIGN_OR_RETURN(delta.txn.value, r->GetU64());
+  CACTIS_ASSIGN_OR_RETURN(delta.commit_seq, r->GetU64());
+  CACTIS_ASSIGN_OR_RETURN(uint32_t count, r->GetU32());
+  delta.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CACTIS_ASSIGN_OR_RETURN(DeltaRecord rec, DecodeDeltaRecord(r));
+    delta.records.push_back(std::move(rec));
+  }
+  return delta;
+}
+
+std::string EncodeEvent(const WalEvent& event) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(event.kind));
+  switch (event.kind) {
+    case WalEventKind::kCommit:
+      EncodeDelta(event.delta, &w);
+      break;
+    case WalEventKind::kUndo:
+      break;
+    case WalEventKind::kCheckout:
+      w.PutU64(event.checkout_target);
+      break;
+    case WalEventKind::kVersion:
+      w.PutString(event.version_name);
+      break;
+  }
+  return w.Take();
+}
+
+Result<WalEvent> DecodeEvent(std::string_view bytes) {
+  BinaryReader r(bytes);
+  WalEvent event;
+  CACTIS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind < static_cast<uint8_t>(WalEventKind::kCommit) ||
+      kind > static_cast<uint8_t>(WalEventKind::kVersion)) {
+    return EncodeFailure("event has unknown kind " + std::to_string(kind));
+  }
+  event.kind = static_cast<WalEventKind>(kind);
+  switch (event.kind) {
+    case WalEventKind::kCommit: {
+      CACTIS_ASSIGN_OR_RETURN(event.delta, DecodeDelta(&r));
+      break;
+    }
+    case WalEventKind::kUndo:
+      break;
+    case WalEventKind::kCheckout: {
+      CACTIS_ASSIGN_OR_RETURN(event.checkout_target, r.GetU64());
+      break;
+    }
+    case WalEventKind::kVersion: {
+      CACTIS_ASSIGN_OR_RETURN(event.version_name, r.GetString());
+      break;
+    }
+  }
+  if (!r.AtEnd()) {
+    return EncodeFailure("event payload has trailing bytes");
+  }
+  return event;
+}
+
+size_t WriteAheadLog::ChunkCapacity() const {
+  size_t overhead = storage::kChecksumFrameBytes + kChunkHeaderBytes;
+  if (disk_->block_size() <= overhead) return 0;
+  return disk_->block_size() - overhead;
+}
+
+Status WriteAheadLog::Initialize() {
+  if (ChunkCapacity() == 0) {
+    return Status::InvalidArgument(
+        "disk block size too small for a WAL chunk (need > " +
+        std::to_string(storage::kChecksumFrameBytes + kChunkHeaderBytes) +
+        " bytes)");
+  }
+  BlockId super = disk_->Allocate();
+  if (super.value != kSuperblockId) {
+    return Status::Internal(
+        "WAL superblock must be the first allocated block, got " +
+        std::to_string(super.value));
+  }
+  tail_block_ = disk_->Allocate();
+  if (!tail_block_.valid()) {
+    return Status::IoError("disk crashed before the WAL could initialize");
+  }
+  BinaryWriter w;
+  w.PutU64(kMagic);
+  w.PutU64(tail_block_.value);
+  CACTIS_RETURN_IF_ERROR(
+      disk_->Write(super, storage::WrapWithChecksum(w.data())));
+  ++stats_.blocks_written;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(const WalEvent& event) {
+  if (!tail_block_.valid()) {
+    return Status::Internal("WAL used before Initialize()");
+  }
+  std::string payload = EncodeEvent(event);
+  size_t cap = ChunkCapacity();
+  size_t chunk_count = payload.empty() ? 1 : (payload.size() + cap - 1) / cap;
+
+  // Pre-allocate the whole chain plus the new tail before writing anything:
+  // every chunk names its successor, and a crash mid-append leaves an
+  // incomplete entry that the scan discards.
+  std::vector<BlockId> blocks;
+  blocks.reserve(chunk_count + 1);
+  blocks.push_back(tail_block_);
+  for (size_t i = 0; i < chunk_count; ++i) {
+    BlockId next = disk_->Allocate();
+    if (!next.valid()) return Status::IoError("disk crashed during WAL append");
+    blocks.push_back(next);
+  }
+
+  for (size_t i = 0; i < chunk_count; ++i) {
+    size_t offset = i * cap;
+    size_t piece_len =
+        payload.size() > offset ? std::min(cap, payload.size() - offset) : 0;
+    BinaryWriter w;
+    w.PutU64(next_seq_);
+    w.PutU32(static_cast<uint32_t>(i));
+    w.PutU32(static_cast<uint32_t>(chunk_count));
+    w.PutU64(blocks[i + 1].value);
+    w.PutString(std::string_view(payload).substr(offset, piece_len));
+    CACTIS_RETURN_IF_ERROR(
+        disk_->Write(blocks[i], storage::WrapWithChecksum(w.data())));
+    ++stats_.blocks_written;
+  }
+
+  tail_block_ = blocks.back();
+  ++next_seq_;
+  ++stats_.entries_appended;
+  stats_.bytes_logged += payload.size();
+  return Status::OK();
+}
+
+Result<std::vector<WalEvent>> WriteAheadLog::ScanPlatter(
+    const storage::SimulatedDisk& platter) {
+  Result<std::string> super = platter.PeekRaw(BlockId(kSuperblockId));
+  if (!super.ok()) return Status::NotFound("platter has no WAL superblock");
+  Result<std::string> super_payload = storage::UnwrapChecksum(*super);
+  if (!super_payload.ok() || super_payload->empty()) {
+    return Status::NotFound("platter WAL superblock unreadable");
+  }
+  BinaryReader sr(*super_payload);
+  Result<uint64_t> magic = sr.GetU64();
+  if (!magic.ok() || *magic != kMagic) {
+    return Status::NotFound("platter carries no WAL magic");
+  }
+  CACTIS_ASSIGN_OR_RETURN(uint64_t first_block, sr.GetU64());
+
+  std::vector<WalEvent> events;
+  uint64_t expected_seq = 1;
+  BlockId cursor(first_block);
+  for (;;) {
+    // Assemble one entry; any irregularity means we hit the unsealed tail.
+    std::string payload;
+    BlockId next = cursor;
+    uint32_t chunk_count = 1;
+    bool complete = true;
+    for (uint32_t chunk = 0; chunk < chunk_count; ++chunk) {
+      Result<std::string> raw = platter.PeekRaw(next);
+      if (!raw.ok() || raw->empty()) {
+        complete = false;
+        break;
+      }
+      Result<std::string> content = storage::UnwrapChecksum(*raw);
+      if (!content.ok() || content->empty()) {
+        complete = false;  // torn or corrupt tail block
+        break;
+      }
+      BinaryReader r(*content);
+      Result<uint64_t> seq = r.GetU64();
+      Result<uint32_t> index = r.GetU32();
+      Result<uint32_t> count = r.GetU32();
+      Result<uint64_t> next_value = r.GetU64();
+      Result<std::string> piece = r.GetString();
+      if (!seq.ok() || !index.ok() || !count.ok() || !next_value.ok() ||
+          !piece.ok() || *seq != expected_seq || *index != chunk ||
+          *count == 0 || (chunk > 0 && *count != chunk_count)) {
+        complete = false;
+        break;
+      }
+      if (chunk == 0) chunk_count = *count;
+      payload += *piece;
+      next = BlockId(*next_value);
+    }
+    if (!complete) break;
+    Result<WalEvent> event = DecodeEvent(payload);
+    if (!event.ok()) break;  // defensively treat a bad payload as the tail
+    events.push_back(*std::move(event));
+    ++expected_seq;
+    cursor = next;
+  }
+  return events;
+}
+
+}  // namespace cactis::txn

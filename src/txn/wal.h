@@ -1,0 +1,144 @@
+// Write-ahead delta log: durability for the paper's delta machinery.
+//
+// Sections 2.2/3 of the paper sell cheap rollback because "all of the
+// actions ... can be undone simply by restoring the old value" — but that
+// only survives a failure if the deltas themselves are durable. The WAL
+// journals every committed TransactionDelta (and the version meta-actions
+// that reposition history) to dedicated disk blocks *before* the commit is
+// acknowledged; the data blocks may then be written back lazily by the
+// buffer pool. After a crash, Database::Recover() replays the journal from
+// the surviving platter: committed transactions redo, an incomplete tail
+// entry (the transaction that was mid-append when power died) is
+// discarded.
+//
+// On-disk layout. The log is a chain of write-once blocks:
+//
+//   superblock (the first block the WAL allocates; block 1 of a fresh
+//   database):  [crc32][magic u64][first-entry block id u64]
+//
+//   entry chunk: [crc32][entry seq u64][chunk index u32][chunk count u32]
+//                [next block id u64][payload piece (length-prefixed)]
+//
+// An entry's payload (one serialized WalEvent) is split across as many
+// chunks as needed; each chunk, including the last, names the block the
+// chain continues in, and that block is pre-allocated before any chunk is
+// written. Every chunk block is written exactly once, so a torn write can
+// only ever hit the *unsealed* tail of the log — committed entries are
+// never rewritten and therefore never at risk. Recovery walks the chain
+// until it meets an empty block (clean end), a checksum failure (torn
+// tail), or a sequence discontinuity, and truncates there.
+
+#ifndef CACTIS_TXN_WAL_H_
+#define CACTIS_TXN_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "storage/simulated_disk.h"
+#include "txn/delta.h"
+
+namespace cactis::txn {
+
+/// One journaled event. Commits carry the transaction's delta; the meta
+/// events mirror the version facility's history repositioning so recovery
+/// reproduces it.
+enum class WalEventKind : uint8_t {
+  kCommit = 1,    ///< a committed transaction delta (redo on recovery)
+  kUndo = 2,      ///< the Undo meta-action popped the last commit
+  kCheckout = 3,  ///< history repositioned to `checkout_target`
+  kVersion = 4,   ///< the current position was named `version_name`
+};
+
+std::string_view WalEventKindToString(WalEventKind kind);
+
+struct WalEvent {
+  WalEventKind kind = WalEventKind::kCommit;
+  TransactionDelta delta;        // kCommit
+  uint64_t checkout_target = 0;  // kCheckout
+  std::string version_name;      // kVersion
+
+  static WalEvent Commit(TransactionDelta d) {
+    WalEvent e;
+    e.kind = WalEventKind::kCommit;
+    e.delta = std::move(d);
+    return e;
+  }
+  static WalEvent Undo() {
+    WalEvent e;
+    e.kind = WalEventKind::kUndo;
+    return e;
+  }
+  static WalEvent Checkout(uint64_t target) {
+    WalEvent e;
+    e.kind = WalEventKind::kCheckout;
+    e.checkout_target = target;
+    return e;
+  }
+  static WalEvent Version(std::string name) {
+    WalEvent e;
+    e.kind = WalEventKind::kVersion;
+    e.version_name = std::move(name);
+    return e;
+  }
+};
+
+/// Serialization of deltas and events (exposed so tests can round-trip
+/// every DeltaOp without a disk).
+void EncodeDeltaRecord(const DeltaRecord& rec, BinaryWriter* w);
+Result<DeltaRecord> DecodeDeltaRecord(BinaryReader* r);
+void EncodeDelta(const TransactionDelta& delta, BinaryWriter* w);
+Result<TransactionDelta> DecodeDelta(BinaryReader* r);
+std::string EncodeEvent(const WalEvent& event);
+Result<WalEvent> DecodeEvent(std::string_view bytes);
+
+struct WalStats {
+  uint64_t entries_appended = 0;
+  uint64_t blocks_written = 0;  ///< WAL block writes (the E-metric overhead)
+  uint64_t bytes_logged = 0;
+};
+
+class WriteAheadLog {
+ public:
+  /// The WAL must be created before anything else touches the disk so its
+  /// superblock lands at a well-known address for recovery.
+  static constexpr uint64_t kMagic = 0x434143544957414CULL;  // "CACTIWAL"
+  static constexpr uint64_t kSuperblockId = 1;
+
+  explicit WriteAheadLog(storage::SimulatedDisk* disk) : disk_(disk) {}
+
+  /// Allocates the superblock and the first tail block and seals the
+  /// superblock. Must be called exactly once, on a disk whose next
+  /// allocation is block kSuperblockId.
+  Status Initialize();
+
+  /// Journals one event durably: the commit path calls this *before*
+  /// acknowledging the transaction. On failure (crash, transient error)
+  /// nothing is acknowledged and recovery will discard the partial entry.
+  Status Append(const WalEvent& event);
+
+  const WalStats& stats() const { return stats_; }
+
+  /// Offline scan of a platter (possibly of a crashed disk): returns every
+  /// complete journal entry in order, silently truncating at the first
+  /// empty block, checksum failure, or sequence discontinuity. NotFound if
+  /// the platter carries no WAL superblock.
+  static Result<std::vector<WalEvent>> ScanPlatter(
+      const storage::SimulatedDisk& platter);
+
+ private:
+  /// Usable payload bytes per chunk block.
+  size_t ChunkCapacity() const;
+
+  storage::SimulatedDisk* disk_;
+  BlockId tail_block_;       ///< pre-allocated, never-written next head
+  uint64_t next_seq_ = 1;    ///< entry sequence number of the next Append
+  WalStats stats_;
+};
+
+}  // namespace cactis::txn
+
+#endif  // CACTIS_TXN_WAL_H_

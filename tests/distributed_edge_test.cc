@@ -109,5 +109,78 @@ TEST_F(DistributedEdgeTest, LocalGraphBehindTheMirror) {
   EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(34));
 }
 
+// ---- Network fault tolerance ------------------------------------------
+
+TEST_F(DistributedEdgeTest, DuplicatedMessagesAreHarmless) {
+  // Every send is delivered twice: updates are idempotent value installs,
+  // so the mirror converges to the same state.
+  NetworkFaults faults;
+  faults.duplicate_every_nth_send = 1;
+  cluster_.network()->set_faults(faults);
+
+  auto producer = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", producer, "next").ok());
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(i)).ok());
+  }
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(10));
+  EXPECT_GT(cluster_.network()->stats().duplicated, 0u);
+}
+
+TEST_F(DistributedEdgeTest, LostFetchesAreRetransmitted) {
+  // Every other fetch RPC vanishes; the bounded retry hides the loss.
+  NetworkFaults faults;
+  faults.drop_every_nth_rpc = 2;
+  faults.max_rpc_retries = 3;
+  cluster_.network()->set_faults(faults);
+
+  auto producer = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(42)).ok());
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", producer, "next").ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(42));
+  EXPECT_GT(cluster_.network()->stats().rpc_lost, 0u);
+  EXPECT_GT(cluster_.network()->stats().rpc_retries, 0u);
+}
+
+TEST_F(DistributedEdgeTest, FetchFailsCleanlyWhenRetriesExhausted) {
+  auto producer = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", producer, "next").ok());
+
+  // A fully partitioned link: every fetch RPC is lost, so after the
+  // bounded retries the error surfaces instead of hanging.
+  NetworkFaults faults;
+  faults.drop_every_nth_rpc = 1;
+  faults.max_rpc_retries = 3;
+  cluster_.network()->set_faults(faults);
+  ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(9)).ok());
+  auto v = cluster_.Peek(consumer, "acc");
+  EXPECT_FALSE(v.ok());
+
+  // The link heals; the next read succeeds.
+  cluster_.network()->set_faults(NetworkFaults{});
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(9));
+}
+
+TEST_F(DistributedEdgeTest, DroppedTrafficHealsWhenTheLinkRecovers) {
+  auto producer = *cluster_.Create(0, "cell");
+  auto consumer = *cluster_.Create(1, "cell");
+  ASSERT_TRUE(cluster_.Connect(consumer, "prev", producer, "next").ok());
+
+  // Every invalidation message is dropped on the floor.
+  NetworkFaults faults;
+  faults.drop_every_nth_send = 1;
+  cluster_.network()->set_faults(faults);
+  ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(5)).ok());
+  EXPECT_GT(cluster_.network()->stats().dropped, 0u);
+
+  // After the link recovers, a later update reaches the mirror.
+  cluster_.network()->set_faults(NetworkFaults{});
+  ASSERT_TRUE(cluster_.Set(producer, "base", Value::Int(6)).ok());
+  EXPECT_EQ(*cluster_.Peek(consumer, "acc"), Value::Int(6));
+}
+
 }  // namespace
 }  // namespace cactis::dist

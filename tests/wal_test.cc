@@ -1,0 +1,217 @@
+// Write-ahead log: serialization round trips for every DeltaOp, event
+// framing, append/scan over a disk, chunked entries, and torn-tail
+// truncation.
+
+#include <gtest/gtest.h>
+
+#include "storage/checksum.h"
+#include "storage/fault_policy.h"
+#include "storage/simulated_disk.h"
+#include "txn/wal.h"
+
+namespace cactis::txn {
+namespace {
+
+TransactionDelta DeltaWithEveryOp() {
+  TransactionDelta delta;
+  delta.txn = TxnId(42);
+  delta.commit_seq = 7;
+
+  DeltaRecord set;
+  set.op = DeltaOp::kSetAttr;
+  set.instance = InstanceId(3);
+  set.attr_index = 2;
+  set.old_value = Value::Int(10);
+  set.new_value = Value::String("replacement");
+  delta.records.push_back(set);
+
+  DeltaRecord create;
+  create.op = DeltaOp::kCreate;
+  create.instance = InstanceId(4);
+  create.class_id = ClassId(9);
+  delta.records.push_back(create);
+
+  DeltaRecord del;
+  del.op = DeltaOp::kDelete;
+  del.instance = InstanceId(5);
+  del.class_id = ClassId(9);
+  del.intrinsic_snapshot.emplace_back(0, Value::Real(2.5));
+  del.intrinsic_snapshot.emplace_back(3, Value::Bool(true));
+  delta.records.push_back(del);
+
+  DeltaRecord conn;
+  conn.op = DeltaOp::kConnect;
+  conn.instance = InstanceId(3);
+  conn.edge = EdgeId(11);
+  conn.from = InstanceId(3);
+  conn.from_port = 1;
+  conn.to = InstanceId(4);
+  conn.to_port = 0;
+  delta.records.push_back(conn);
+
+  DeltaRecord disc = conn;
+  disc.op = DeltaOp::kDisconnect;
+  delta.records.push_back(disc);
+
+  return delta;
+}
+
+void ExpectSameDelta(const TransactionDelta& a, const TransactionDelta& b) {
+  EXPECT_EQ(a.txn, b.txn);
+  EXPECT_EQ(a.commit_seq, b.commit_seq);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const DeltaRecord& x = a.records[i];
+    const DeltaRecord& y = b.records[i];
+    EXPECT_EQ(x.op, y.op) << "record " << i;
+    EXPECT_EQ(x.instance, y.instance);
+    EXPECT_EQ(x.attr_index, y.attr_index);
+    EXPECT_EQ(x.old_value, y.old_value);
+    EXPECT_EQ(x.new_value, y.new_value);
+    EXPECT_EQ(x.class_id, y.class_id);
+    EXPECT_EQ(x.intrinsic_snapshot, y.intrinsic_snapshot);
+    EXPECT_EQ(x.edge, y.edge);
+    EXPECT_EQ(x.from, y.from);
+    EXPECT_EQ(x.from_port, y.from_port);
+    EXPECT_EQ(x.to, y.to);
+    EXPECT_EQ(x.to_port, y.to_port);
+  }
+}
+
+TEST(WalCodecTest, DeltaRoundTripsEveryOp) {
+  TransactionDelta delta = DeltaWithEveryOp();
+  BinaryWriter w;
+  EncodeDelta(delta, &w);
+  BinaryReader r(w.data());
+  auto decoded = DecodeDelta(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(r.AtEnd());
+  ExpectSameDelta(delta, *decoded);
+}
+
+TEST(WalCodecTest, EventRoundTrips) {
+  // Commit.
+  WalEvent commit = WalEvent::Commit(DeltaWithEveryOp());
+  auto commit2 = DecodeEvent(EncodeEvent(commit));
+  ASSERT_TRUE(commit2.ok());
+  EXPECT_EQ(commit2->kind, WalEventKind::kCommit);
+  ExpectSameDelta(commit.delta, commit2->delta);
+
+  // Undo.
+  auto undo = DecodeEvent(EncodeEvent(WalEvent::Undo()));
+  ASSERT_TRUE(undo.ok());
+  EXPECT_EQ(undo->kind, WalEventKind::kUndo);
+
+  // Checkout.
+  auto checkout = DecodeEvent(EncodeEvent(WalEvent::Checkout(13)));
+  ASSERT_TRUE(checkout.ok());
+  EXPECT_EQ(checkout->kind, WalEventKind::kCheckout);
+  EXPECT_EQ(checkout->checkout_target, 13u);
+
+  // Version.
+  auto version = DecodeEvent(EncodeEvent(WalEvent::Version("release-1")));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version->kind, WalEventKind::kVersion);
+  EXPECT_EQ(version->version_name, "release-1");
+}
+
+TEST(WalCodecTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeEvent("").ok());
+  EXPECT_FALSE(DecodeEvent(std::string(1, '\x09')).ok());  // unknown kind
+  std::string undo_with_tail = EncodeEvent(WalEvent::Undo()) + "x";
+  EXPECT_FALSE(DecodeEvent(undo_with_tail).ok());
+}
+
+TEST(WalLogTest, AppendThenScanRoundTrips) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+
+  ASSERT_TRUE(wal.Append(WalEvent::Commit(DeltaWithEveryOp())).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v1")).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Undo()).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Checkout(1)).ok());
+  EXPECT_EQ(wal.stats().entries_appended, 4u);
+
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 4u);
+  EXPECT_EQ((*events)[0].kind, WalEventKind::kCommit);
+  ExpectSameDelta((*events)[0].delta, DeltaWithEveryOp());
+  EXPECT_EQ((*events)[1].kind, WalEventKind::kVersion);
+  EXPECT_EQ((*events)[1].version_name, "v1");
+  EXPECT_EQ((*events)[2].kind, WalEventKind::kUndo);
+  EXPECT_EQ((*events)[3].kind, WalEventKind::kCheckout);
+  EXPECT_EQ((*events)[3].checkout_target, 1u);
+}
+
+TEST(WalLogTest, LargeEntrySpansMultipleChunks) {
+  // A tiny block size forces even modest entries across several chunks.
+  storage::SimulatedDisk disk(64);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+
+  WalEvent big = WalEvent::Version(std::string(500, 'x'));
+  uint64_t before = wal.stats().blocks_written;
+  ASSERT_TRUE(wal.Append(big).ok());
+  EXPECT_GT(wal.stats().blocks_written - before, 10u);  // 500B / ~32B chunks
+
+  ASSERT_TRUE(wal.Append(WalEvent::Undo()).ok());
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].version_name, std::string(500, 'x'));
+  EXPECT_EQ((*events)[1].kind, WalEventKind::kUndo);
+}
+
+TEST(WalLogTest, TornTailEntryIsDiscarded) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v1")).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v2")).ok());
+
+  // The next append suffers a torn write (power loss mid-write): the
+  // entry must not be acknowledged and the scan must not surface it.
+  storage::ScriptedFaults faults;
+  faults.torn_write_at = static_cast<int64_t>(disk.write_attempts());
+  disk.set_fault_policy(&faults);
+  EXPECT_FALSE(wal.Append(WalEvent::Version("v3")).ok());
+  EXPECT_TRUE(disk.crashed());
+
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[1].version_name, "v2");
+}
+
+TEST(WalLogTest, CrashBeforeWriteLosesOnlyTheTailEntry) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Checkout(0)).ok());
+
+  storage::ScriptedFaults faults;
+  faults.crash_after_writes = static_cast<int64_t>(disk.write_attempts());
+  disk.set_fault_policy(&faults);
+  EXPECT_FALSE(wal.Append(WalEvent::Version("lost")).ok());
+
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ((*events)[0].kind, WalEventKind::kCheckout);
+}
+
+TEST(WalLogTest, ScanRejectsPlatterWithoutWal) {
+  storage::SimulatedDisk empty(512);
+  EXPECT_TRUE(WriteAheadLog::ScanPlatter(empty).status().IsNotFound());
+
+  // A block 1 that carries non-WAL data is not mistaken for a superblock.
+  storage::SimulatedDisk junk(512);
+  BlockId block = junk.Allocate();
+  ASSERT_TRUE(junk.Write(block, storage::WrapWithChecksum("not a wal")).ok());
+  EXPECT_TRUE(WriteAheadLog::ScanPlatter(junk).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cactis::txn
