@@ -80,6 +80,9 @@ int main() {
       "A1 (ablation): total rule executions for %d read rounds over a\n"
       "40-pipeline graph, by consumption discipline\n\n",
       kRounds);
+  BenchReport report("ablation_laziness");
+  report.SetConfig("experiment", "A1");
+  report.SetConfig("rounds", kRounds);
   Table table({"updates per read", "lazy evals", "subscribed evals",
                "recompute-all evals"});
   for (int upr : {1, 2, 5, 10}) {
@@ -97,5 +100,7 @@ int main() {
       "every sink is watched — grows linearly with updates. The widening\n"
       "gap is the paper's motivation for deferring unimportant "
       "attributes.\n");
+  report.AddTable("rule_evaluations", table);
+  report.Write();
   return 0;
 }

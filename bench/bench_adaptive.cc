@@ -109,6 +109,9 @@ int main() {
   Shift(&adaptive);
   Shift(&fixed);
 
+  BenchReport report("adaptive");
+  report.SetConfig("experiment", "E6");
+  report.SetConfig("epochs", 6);
   Table table({"epoch", "adaptive est(A)", "adaptive est(B)",
                "adaptive priority", "static est(A)", "static est(B)",
                "static priority"});
@@ -130,5 +133,8 @@ int main() {
       "worst-case estimates (B looks expensive). The adaptive decaying\n"
       "averages converge to the post-shift costs within a few epochs and\n"
       "flip the scheduling priority; the static estimates never change.\n");
+  report.AddTable("estimates", table);
+  report.AttachMetricsJson(adaptive.db->SnapshotMetrics());
+  report.Write();
   return 0;
 }

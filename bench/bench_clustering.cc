@@ -74,6 +74,10 @@ int main() {
       "E5: block reads per sequential walk (x5) of a %d-cell chain,\n"
       "scrambled placement vs after usage-based reorganisation\n\n",
       kN);
+  BenchReport report("clustering");
+  report.SetConfig("experiment", "E5");
+  report.SetConfig("cells", kN);
+  report.SetConfig("walks", 5);
   Table table({"buffer blocks", "db blocks", "scrambled", "clustered",
                "improvement"});
   for (size_t buffer : {2u, 4u, 8u, 16u}) {
@@ -91,5 +95,7 @@ int main() {
       "\nShape check (paper): clustering cuts reads whenever the buffer\n"
       "pool is smaller than the database; the gap narrows as the pool\n"
       "approaches the database size.\n");
+  report.AddTable("reads", table);
+  report.Write();
   return 0;
 }

@@ -85,6 +85,10 @@ int main() {
       "E9: timestamp-ordering concurrency control, %d interleaved users,\n"
       "%d rounds (each txn: 1 read + 1 write in a hot set of H instances)\n\n",
       kUsers, kRounds);
+  BenchReport report("concurrency");
+  report.SetConfig("experiment", "E9");
+  report.SetConfig("users", kUsers);
+  report.SetConfig("rounds", kRounds);
   Table table({"hot set H", "committed", "aborted", "abort rate %",
                "TO rejections"});
   for (int hot : {200, 64, 16, 4, 2}) {
@@ -99,5 +103,7 @@ int main() {
       "\nShape check: with low contention almost everything commits; as\n"
       "the hot set shrinks, timestamp-ordering rejections and aborts\n"
       "climb — the standard TO trade-off.\n");
+  report.AddTable("contention", table);
+  report.Write();
   return 0;
 }

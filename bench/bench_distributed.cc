@@ -55,6 +55,9 @@ int main() {
       "eager per-update value shipping (%d read rounds; one remote "
       "dependency)\n\n",
       kRounds);
+  BenchReport report("distributed");
+  report.SetConfig("experiment", "E10");
+  report.SetConfig("rounds", kRounds);
   Table table({"updates per read", "lazy msgs", "eager msgs", "lazy bytes",
                "eager bytes"});
   for (int upr : {1, 2, 5, 10, 20}) {
@@ -69,5 +72,7 @@ int main() {
       "same; as updates outnumber reads, the lazy protocol's traffic\n"
       "stays bounded by reads (plus cheap intrinsic pushes) while eager\n"
       "shipping grows with every update.\n");
+  report.AddTable("traffic", table);
+  report.Write();
   return 0;
 }

@@ -116,6 +116,8 @@ int main() {
   std::printf(
       "E1: incremental evaluation vs recompute-all vs recursive triggers\n"
       "(rule executions after one intrinsic update + one sink read)\n\n");
+  BenchReport report("incremental_eval");
+  report.SetConfig("experiment", "E1");
   Table table({"depth", "width", "fanin", "attrs", "touched", "cactis",
                "recompute-all", "naive-trigger"});
   for (int depth : {4, 8, 12, 16}) {
@@ -132,5 +134,7 @@ int main() {
       "evaluated at most once, and only if actually needed);\n"
       "recompute-all pays ~attrs for any change; the naive trigger count\n"
       "explodes like fanin^depth and saturates.\n");
+  report.AddTable("rule_executions", table);
+  report.Write();
   return 0;
 }

@@ -19,6 +19,9 @@ int main() {
       "E3: eager evaluation scales with the *important* fraction only\n"
       "(%d pipelines off one root; rule executions per root update)\n\n",
       kWidth);
+  BenchReport report("lazy_importance");
+  report.SetConfig("experiment", "E3");
+  report.SetConfig("pipelines", kWidth);
   Table table({"important %", "eager evals", "deferred attrs",
                "evals if all important"});
   for (int pct : {0, 10, 25, 50, 75, 100}) {
@@ -67,5 +70,7 @@ int main() {
       "\nShape check (paper): eager work grows with the subscribed\n"
       "fraction; at 0%% importance an update does no evaluation at all,\n"
       "while an eager system would recompute every affected attribute.\n");
+  report.AddTable("importance", table);
+  report.Write();
   return 0;
 }

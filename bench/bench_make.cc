@@ -63,6 +63,8 @@ int main() {
   std::printf(
       "E8: make facility — commands executed per build\n"
       "(G object groups x S sources each, one final link)\n\n");
+  BenchReport report("make");
+  report.SetConfig("experiment", "E8");
   Table table({"groups", "sources/grp", "full build", "no-op", "1 src touched",
                "all srcs in 1 grp", "full rebuild would run"});
   for (auto [groups, per_group] :
@@ -90,5 +92,7 @@ int main() {
       "\nShape check (paper/make): the full build runs every rule once;\n"
       "a no-op build runs nothing; touching one source rebuilds exactly\n"
       "its object + the link (2 commands) regardless of project size.\n");
+  report.AddTable("commands", table);
+  report.Write();
   return 0;
 }

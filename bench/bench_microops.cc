@@ -3,6 +3,7 @@
 // the counter-based experiment tables (E1-E9) with timing.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include "bench_util.h"
 
@@ -136,7 +137,42 @@ void BM_RuleInterpreterArithmetic(benchmark::State& state) {
 }
 BENCHMARK(BM_RuleInterpreterArithmetic);
 
+/// ConsoleReporter that also copies each run into a table so the results
+/// can be written as BENCH_microops.json next to the console output.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(Table* table)
+      : benchmark::ConsoleReporter(isatty(fileno(stdout)) ? OO_Defaults
+                                                          : OO_Tabular),
+        table_(table) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      char ns[64];
+      std::snprintf(ns, sizeof(ns), "%.1f", run.GetAdjustedRealTime());
+      table_->AddRow({run.benchmark_name(), ns,
+                      Num(static_cast<uint64_t>(run.iterations))});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Table* table_;
+};
+
 }  // namespace
 }  // namespace cactis::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cactis::bench;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report("microops");
+  Table table({"benchmark", "real time (ns)", "iterations"});
+  CapturingReporter reporter(&table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.AddTable("timings", table);
+  report.Write();
+  return 0;
+}

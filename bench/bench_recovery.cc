@@ -51,6 +51,11 @@ int main() {
       "E11: write-ahead logging overhead and recovery cost for a\n"
       "one-transaction-per-link chain workload\n\n");
 
+  BenchReport report("recovery");
+  report.SetConfig("experiment", "E11");
+  report.SetConfig("block_size", 1024);
+  report.SetConfig("buffer_capacity", 16);
+
   Table overhead({"txns", "writes (wal off)", "writes (wal on)", "wal blocks",
                   "write amplification"});
   Table recovery({"txns", "events replayed", "recovery writes",
@@ -92,5 +97,9 @@ int main() {
       "\nRecovery replays one journal entry per committed transaction and\n"
       "pays the same per-entry write to its own journal; platter reads of\n"
       "the old log are offline and uncounted by design.\n");
+
+  report.AddTable("overhead", overhead);
+  report.AddTable("recovery", recovery);
+  report.Write();
   return 0;
 }

@@ -16,6 +16,8 @@ int main() {
   std::printf(
       "E2: marking work for consecutive assignments to the same attribute\n"
       "(mark-phase visits; chain of N derived attributes downstream)\n\n");
+  BenchReport report("repeated_update");
+  report.SetConfig("experiment", "E2");
   Table table({"chain length", "1st set visits", "2nd set visits",
                "3rd set visits", "cutoffs"});
   for (int n : {10, 100, 1000, 10000}) {
@@ -47,5 +49,7 @@ int main() {
       "\nShape check (paper): 1st-set visits grow linearly with the chain;\n"
       "2nd and 3rd stay constant (the traversal is cut short at the first\n"
       "already-out-of-date attribute).\n");
+  report.AddTable("mark_visits", table);
+  report.Write();
   return 0;
 }

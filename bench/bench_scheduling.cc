@@ -52,6 +52,11 @@ int main() {
   std::printf(
       "E4: disk reads per full re-evaluation under each scheduling policy\n"
       "(layered graph 12x24 fanin 3, clustered, varying buffer sizes)\n\n");
+  BenchReport report("scheduling");
+  report.SetConfig("experiment", "E4");
+  report.SetConfig("depth", 12);
+  report.SetConfig("width", 24);
+  report.SetConfig("fanin", 3);
   Table table({"buffer blocks", "greedy-adaptive", "greedy-static",
                "depth-first", "breadth-first"});
   for (size_t buffer : {4u, 8u, 16u, 32u}) {
@@ -73,5 +78,7 @@ int main() {
       "\nShape check (paper): the greedy in-memory-first policies need\n"
       "fewer block reads than the fixed traversal orders, most visibly\n"
       "when the buffer pool is small relative to the database.\n");
+  report.AddTable("reads_by_policy", table);
+  report.Write();
   return 0;
 }

@@ -66,6 +66,8 @@ int main() {
   std::printf(
       "E7: delta bytes logged per transaction vs the derived ripple it\n"
       "causes (one intrinsic write to a hub with N subscribed consumers)\n\n");
+  BenchReport report("undo_delta");
+  report.SetConfig("experiment", "E7");
   Table table({"consumers", "ripple (rule evals)", "delta bytes",
                "undo restores all"});
   for (int n : {1, 10, 100, 1000, 5000}) {
@@ -79,5 +81,7 @@ int main() {
       "\nShape check (paper): the ripple grows linearly with N while the\n"
       "logged delta stays constant (one primitive change), and undo\n"
       "restores every derived value by recomputation.\n");
+  report.AddTable("delta", table);
+  report.Write();
   return 0;
 }

@@ -43,6 +43,8 @@ Status Transaction::Undo() { return db_->OpUndo(this); }
 
 Database::Database(DatabaseOptions options)
     : options_(options),
+      metrics_(options.enable_metrics),
+      trace_(options.trace_capacity),
       disk_(options.block_size),
       pool_(&disk_, options.buffer_capacity),
       store_(&disk_, &pool_),
@@ -53,6 +55,8 @@ Database::Database(DatabaseOptions options)
   engine_ = std::make_unique<EvalEngine>(this);
   pool_.AddListener(&cache_);
   pool_.AddListener(scheduler_.get());
+  trace_.set_enabled(options_.enable_tracing);
+  pool_.set_trace_sink(&trace_);
   if (options_.enable_wal) {
     // Nothing has touched the disk yet, so the WAL superblock becomes the
     // first allocated block — the address Recover() looks for.
@@ -62,8 +66,52 @@ Database::Database(DatabaseOptions options)
       // rather than with a log that cannot hold an entry.
       wal_.reset();
       options_.enable_wal = false;
+    } else {
+      wal_->set_trace_sink(&trace_);
     }
   }
+
+  // Every subsystem's stats struct registers itself as a snapshot source:
+  // the counting stays in the struct, the registry only reads it when a
+  // snapshot is taken.
+  metrics_.RegisterSource(
+      "disk", [this](obs::MetricsGroup* g) { disk_.stats().ExportTo(g); });
+  metrics_.RegisterSource("buffer_pool", [this](obs::MetricsGroup* g) {
+    pool_.stats().ExportTo(g);
+  });
+  metrics_.RegisterSource("eval", [this](obs::MetricsGroup* g) {
+    engine_->stats().ExportTo(g);
+  });
+  metrics_.RegisterSource("scheduler", [this](obs::MetricsGroup* g) {
+    scheduler_->stats().ExportTo(g);
+  });
+  metrics_.RegisterSource("concurrency", [this](obs::MetricsGroup* g) {
+    tsm_.stats().ExportTo(g);
+  });
+  metrics_.RegisterSource("wal", [this](obs::MetricsGroup* g) {
+    if (wal_ != nullptr) {
+      g->AddGauge("enabled", 1);
+      wal_->stats().ExportTo(g);
+    } else {
+      g->AddGauge("enabled", 0);
+      txn::WalStats{}.ExportTo(g);
+    }
+  });
+  metrics_.RegisterSource("database", [this](obs::MetricsGroup* g) {
+    g->AddGauge("instances", static_cast<double>(store_.record_count()));
+    g->AddGauge("allocated_blocks",
+                static_cast<double>(disk_.num_allocated_blocks()));
+    g->AddGauge("resident_blocks",
+                static_cast<double>(pool_.resident_blocks()));
+    g->AddGauge("committed_transactions",
+                static_cast<double>(versions_.end()));
+    g->AddGauge("delta_bytes", static_cast<double>(delta_bytes()));
+  });
+
+  txn_begun_ = metrics_.GetCounter("txn.begun");
+  txn_committed_ = metrics_.GetCounter("txn.committed");
+  txn_aborted_ = metrics_.GetCounter("txn.aborted");
+  commit_delta_records_ = metrics_.GetHistogram("txn.commit_delta_records");
 }
 
 Database::~Database() = default;
@@ -134,9 +182,16 @@ Result<SubtypeId> Database::DefineSubtype(const std::string& subtype_name,
 std::unique_ptr<Transaction> Database::Begin() {
   TxnId id(++next_txn_);
   uint64_t ts = tsm_.BeginTransaction();
+  txn_begun_->Increment();
+  trace_.Record(obs::SpanKind::kTxnBegin, id.value);
   auto t = std::unique_ptr<Transaction>(new Transaction(this, id, ts));
   t->delta_.txn = id;
   return t;
+}
+
+void Database::NoteTxnAborted(TxnId id) {
+  txn_aborted_->Increment();
+  trace_.Record(obs::SpanKind::kTxnAbort, id.value);
 }
 
 Status Database::MaybeAbort(Transaction* t, Status s) {
@@ -166,6 +221,9 @@ Status Database::AbortOnError(Transaction* t, Status s) {
 }
 
 Status Database::RollbackTxn(Transaction* t) {
+  // Every abort path funnels through here (consistency aborts, explicit
+  // Undo, destructor rollback of an open transaction).
+  NoteTxnAborted(t->id_);
   return ApplyUndo(t->delta_);
 }
 
@@ -344,10 +402,15 @@ Status Database::OpCommit(Transaction* t) {
     if (!journaled.ok()) {
       t->open_ = false;
       t->aborted_ = true;
+      NoteTxnAborted(t->id_);
       return journaled;
     }
   }
   t->open_ = false;
+  txn_committed_->Increment();
+  commit_delta_records_->Record(t->delta_.records.size());
+  trace_.Record(obs::SpanKind::kTxnCommit, t->id_.value,
+                t->delta_.records.size());
   if (!t->delta_.empty()) {
     versions_.Append(std::move(t->delta_));
     t->delta_ = txn::TransactionDelta{};

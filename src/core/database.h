@@ -40,6 +40,8 @@
 #include "core/instance.h"
 #include "core/object_cache.h"
 #include "lang/builtins.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/decaying_average.h"
 #include "sched/scheduler.h"
 #include "schema/catalog.h"
@@ -74,6 +76,16 @@ struct DatabaseOptions {
   /// Journal committed deltas (and version meta-actions) to a write-ahead
   /// log before acknowledging them, enabling Recover() after a crash.
   bool enable_wal = true;
+  /// Enable registry-owned metric instruments (transaction counters,
+  /// delta-size histograms). Subsystem stats structs always count;
+  /// disabling this only gates the registry's own instruments.
+  bool enable_metrics = true;
+  /// Record span events (chunk runs, block traffic, WAL appends,
+  /// transaction lifecycle) into the trace ring. Off by default: tracing
+  /// is a debugging/analysis aid, not a production counter.
+  bool enable_tracing = false;
+  /// Trace ring capacity in events (oldest events drop beyond this).
+  size_t trace_capacity = obs::TraceSink::kDefaultCapacity;
 };
 
 class Database;
@@ -275,6 +287,23 @@ class Database {
   const txn::ConcurrencyStats& cc_stats() const { return tsm_.stats(); }
   void ResetStats();
 
+  // --- Observability ------------------------------------------------------
+
+  /// One JSON document aggregating every subsystem's counters — disk,
+  /// buffer pool, eval engine, scheduler, concurrency control, WAL —
+  /// plus database-level gauges and the registry-owned transaction
+  /// instruments. Schema documented in DESIGN.md ("Observability").
+  std::string SnapshotMetrics() const { return metrics_.SnapshotJson(); }
+
+  /// The metrics registry (for registering extra sources/instruments).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// The span tracer. Disabled unless options.enable_tracing (or
+  /// set_tracing) turns it on; events drain via trace()->ToJson().
+  obs::TraceSink* trace() { return &trace_; }
+  const obs::TraceSink& trace() const { return trace_; }
+  void set_tracing(bool on) { trace_.set_enabled(on); }
+
   const DatabaseOptions& options() const { return options_; }
   void set_policy(sched::SchedulingPolicy policy) {
     options_.policy = policy;
@@ -428,7 +457,16 @@ class Database {
   /// Coerces `value` to the declared type (int<->real<->time promotions).
   static Result<Value> CoerceToType(Value value, ValueType declared);
 
+  /// Called from every abort path (explicit undo, consistency abort,
+  /// destructor rollback) so the counter and trace agree on what an
+  /// abort is.
+  void NoteTxnAborted(TxnId id);
+
   DatabaseOptions options_;
+  // Declared before the storage stack: components hold pointers into the
+  // registry and trace sink, so these must outlive them.
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_;
   storage::SimulatedDisk disk_;
   storage::BufferPool pool_;
   storage::RecordStore store_;
@@ -440,6 +478,12 @@ class Database {
   txn::TimestampManager tsm_;
   txn::VersionStore versions_;
   std::unique_ptr<txn::WriteAheadLog> wal_;
+
+  // Registry-owned transaction instruments (see ctor for registration).
+  obs::Counter* txn_begun_ = nullptr;
+  obs::Counter* txn_committed_ = nullptr;
+  obs::Counter* txn_aborted_ = nullptr;
+  obs::Histogram* commit_delta_records_ = nullptr;
 
   uint64_t next_instance_ = 0;
   uint64_t next_txn_ = 0;

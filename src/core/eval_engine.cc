@@ -210,6 +210,8 @@ void EvalEngine::ScheduleMark(const AttrSite& site, EdgeId via_edge) {
 
 Status EvalEngine::RunMarkChunk(const AttrSite& site) {
   ++stats_.mark_visits;
+  db_->trace_.Record(obs::SpanKind::kMarkChunk, site.instance.value,
+                     site.attr);
   // The instance may have been deleted after this chunk was scheduled
   // (delete-instance breaks all relationships first, and those markings
   // drain after the instance is gone).
@@ -324,6 +326,8 @@ Status EvalEngine::RequestEval(const AttrSite& site,
 }
 
 Status EvalEngine::RunGatherChunk(const AttrSite& site) {
+  db_->trace_.Record(obs::SpanKind::kGatherChunk, site.instance.value,
+                     site.attr);
   EvalNode* node = &nodes_[site];
   node->site = site;
   if (node->gathered || node->done) return Status::OK();
@@ -407,6 +411,8 @@ Status EvalEngine::RunGatherChunk(const AttrSite& site) {
 Status EvalEngine::RunResolveChunk(const AttrSite& parent,
                                    const EdgeRecord& edge,
                                    const std::string& name) {
+  db_->trace_.Record(obs::SpanKind::kResolveChunk, edge.peer.value,
+                     parent.attr);
   if (!db_->store_.Contains(edge.peer)) return NotifyDependencyDone(parent);
   uint64_t before = db_->disk_.stats().reads;
   CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* peer_cls,
@@ -451,6 +457,8 @@ void EvalEngine::ScheduleCompute(const AttrSite& site) {
 }
 
 Status EvalEngine::RunComputeChunk(const AttrSite& site) {
+  db_->trace_.Record(obs::SpanKind::kComputeChunk, site.instance.value,
+                     site.attr);
   EvalNode* node = &nodes_[site];
   if (node->done) return Status::OK();
   if (!db_->store_.Contains(site.instance)) return CompleteNode(site);

@@ -34,6 +34,7 @@
 #include "common/value.h"
 #include "core/instance.h"
 #include "lang/interpreter.h"
+#include "obs/metrics.h"
 #include "schema/catalog.h"
 
 namespace cactis::core {
@@ -67,6 +68,18 @@ struct EvalStats {
   uint64_t constraint_violations = 0;
   uint64_t recoveries_run = 0;
   uint64_t sync_fallbacks = 0;    // dynamic deps missed by static analysis
+
+  void ExportTo(obs::MetricsGroup* g) const {
+    g->AddCounter("attrs_marked", attrs_marked);
+    g->AddCounter("mark_visits", mark_visits);
+    g->AddCounter("mark_cutoffs", mark_cutoffs);
+    g->AddCounter("rule_evaluations", rule_evaluations);
+    g->AddCounter("eval_requests", eval_requests);
+    g->AddCounter("constraint_checks", constraint_checks);
+    g->AddCounter("constraint_violations", constraint_violations);
+    g->AddCounter("recoveries_run", recoveries_run);
+    g->AddCounter("sync_fallbacks", sync_fallbacks);
+  }
 };
 
 class EvalEngine {

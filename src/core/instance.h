@@ -63,6 +63,12 @@ class Instance {
   static Result<Instance> Deserialize(const std::string& payload,
                                       const schema::Catalog& catalog);
 
+  /// Staleness cookie for the ObjectCache pointer discipline: the cache
+  /// generation at which this decoded copy was last handed out. Not
+  /// serialized; see ObjectCache::IsFresh().
+  uint64_t cache_epoch() const { return cache_epoch_; }
+  void set_cache_epoch(uint64_t epoch) { cache_epoch_ = epoch; }
+
  private:
   Instance() = default;
 
@@ -70,6 +76,7 @@ class Instance {
   ClassId class_id_;
   std::vector<AttrSlot> attrs_;
   std::vector<std::vector<EdgeRecord>> ports_;
+  uint64_t cache_epoch_ = 0;
 };
 
 }  // namespace cactis::core

@@ -1,39 +1,58 @@
 #include "core/object_cache.h"
 
+#include <cassert>
+
 namespace cactis::core {
 
 Result<Instance*> ObjectCache::Fetch(InstanceId id) {
+  ++generation_;  // Touch/Get below can fault; prior handles go stale.
   // Touch first: this may evict another block (dropping its cached
   // instances) but guarantees our block is resident afterwards.
   CACTIS_RETURN_IF_ERROR(store_->Touch(id));
   auto it = cache_.find(id);
-  if (it != cache_.end()) return it->second.get();
+  if (it != cache_.end()) {
+    it->second->set_cache_epoch(generation_);
+    return it->second.get();
+  }
 
   CACTIS_ASSIGN_OR_RETURN(std::string payload, store_->Get(id));
   CACTIS_ASSIGN_OR_RETURN(Instance inst,
                           Instance::Deserialize(payload, *catalog_));
   auto owned = std::make_unique<Instance>(std::move(inst));
   Instance* raw = owned.get();
+  raw->set_cache_epoch(generation_);
   cache_[id] = std::move(owned);
   IndexUnderBlock(id);
   return raw;
 }
 
 Status ObjectCache::WriteThrough(const Instance& inst) {
+  // Writing through a stale cached copy means the caller held the
+  // pointer across a faulting operation — exactly the bug the pointer
+  // discipline forbids. (An uncached `inst`, e.g. a caller-owned copy
+  // being flushed, is exempt: its lifetime is the caller's business.)
+  assert(!IsCached(inst.id()) || cache_.find(inst.id())->second.get() != &inst ||
+         IsFresh(&inst));
+  ++generation_;  // Put below can fault; prior handles go stale.
   std::string payload = inst.Serialize();
   InstanceId id = inst.id();
-  // NOTE: `inst` may be *the cached copy*; Put can evict blocks, and
-  // eviction of our own block would destroy it mid-call. Serialising
-  // first (above) makes that safe; we must not touch `inst` after Put.
+  // NOTE: `inst` may be *the cached copy*; Put can evict or discard
+  // blocks, and loss of our own block would destroy it mid-call.
+  // Serialising first (above) makes that safe; we must not touch `inst`
+  // after Put.
   CACTIS_RETURN_IF_ERROR(store_->Put(id, std::move(payload)));
   IndexUnderBlock(id);  // the record may have moved to a new block
+  auto it = cache_.find(id);
+  if (it != cache_.end()) it->second->set_cache_epoch(generation_);
   return Status::OK();
 }
 
 Status ObjectCache::Insert(Instance inst) {
+  ++generation_;  // Put below can fault; prior handles go stale.
   InstanceId id = inst.id();
   std::string payload = inst.Serialize();
   auto owned = std::make_unique<Instance>(std::move(inst));
+  owned->set_cache_epoch(generation_);
   CACTIS_RETURN_IF_ERROR(store_->Put(id, std::move(payload)));
   // Put may have evicted blocks but cannot have evicted this instance's
   // (it was just fetched by Put). Cache the decoded copy.
@@ -43,6 +62,7 @@ Status ObjectCache::Insert(Instance inst) {
 }
 
 Status ObjectCache::Remove(InstanceId id) {
+  ++generation_;  // Delete below can fault; prior handles go stale.
   auto blk = block_of_.find(id);
   if (blk != block_of_.end()) {
     auto set = by_block_.find(blk->second);
@@ -54,6 +74,10 @@ Status ObjectCache::Remove(InstanceId id) {
 }
 
 void ObjectCache::OnBlockEvicted(BlockId id) {
+  // Covers both pool evictions (mid-faulting-operation) and discards of
+  // freed/relocated blocks arriving from record-store maintenance: any
+  // outstanding handle may now dangle, so all of them go stale.
+  ++generation_;
   auto it = by_block_.find(id);
   if (it == by_block_.end()) return;
   for (InstanceId inst : it->second) {

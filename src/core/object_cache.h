@@ -9,6 +9,12 @@
 // POINTER DISCIPLINE: a Fetch()ed Instance* is valid only until the next
 // operation that can fault a block in (another Fetch, a Write, any
 // record-store access). Callers copy what they need and re-fetch.
+//
+// The discipline is enforced mechanically: every cache operation that can
+// fault a block bumps `generation_`, each handed-out handle records the
+// generation it was issued at, and IsFresh() tells whether a handle is
+// still from the current generation. Debug builds assert freshness when a
+// cached copy is written through; tests assert it directly.
 
 #ifndef CACTIS_CORE_OBJECT_CACHE_H_
 #define CACTIS_CORE_OBJECT_CACHE_H_
@@ -44,6 +50,17 @@ class ObjectCache : public storage::ResidencyListener {
 
   bool IsCached(InstanceId id) const { return cache_.contains(id); }
 
+  /// Current cache generation; bumped by every operation that can fault
+  /// a block (Fetch, WriteThrough, Insert, Remove, block eviction).
+  uint64_t generation() const { return generation_; }
+
+  /// True while `inst` is a handle issued at the current generation —
+  /// i.e. no block-faulting operation has happened since it was fetched,
+  /// so the pointer is still safe to dereference.
+  bool IsFresh(const Instance* inst) const {
+    return inst != nullptr && inst->cache_epoch() == generation_;
+  }
+
   // storage::ResidencyListener:
   void OnBlockLoaded(BlockId /*id*/) override {}
   void OnBlockEvicted(BlockId id) override;
@@ -53,6 +70,7 @@ class ObjectCache : public storage::ResidencyListener {
 
   const schema::Catalog* catalog_;
   storage::RecordStore* store_;
+  uint64_t generation_ = 0;
   std::unordered_map<InstanceId, std::unique_ptr<Instance>> cache_;
   std::unordered_map<BlockId, std::unordered_set<InstanceId>> by_block_;
   std::unordered_map<InstanceId, BlockId> block_of_;

@@ -1,0 +1,58 @@
+#ifndef CACTIS_OBS_JSON_WRITER_H_
+#define CACTIS_OBS_JSON_WRITER_H_
+
+// Minimal streaming JSON serialiser for the observability layer.
+//
+// The writer emits tokens in document order and handles the structural
+// bookkeeping (commas, key/value separators, string escaping). It does
+// not validate shape beyond what falls out naturally — callers are
+// expected to produce well-formed documents, and the unit tests parse
+// the output back to keep that promise honest.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cactis::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included). Control characters become \u00XX sequences.
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits the key of the next member; must be followed by a value or a
+  // Begin*() call.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  // Splices a pre-serialised JSON value verbatim (e.g. embedding one
+  // snapshot document inside another). The caller vouches for validity.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Emits the pending comma for the current container, if any.
+  void Sep();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace cactis::obs
+
+#endif  // CACTIS_OBS_JSON_WRITER_H_

@@ -1,0 +1,98 @@
+#include "obs/metrics.h"
+
+#include "obs/json_writer.h"
+
+namespace cactis::obs {
+
+void MetricsRegistry::RegisterSource(const std::string& group, SourceFn fn) {
+  for (auto& [name, source] : sources_) {
+    if (name == group) {
+      source = std::move(fn);
+      return;
+    }
+  }
+  sources_.emplace_back(group, std::move(fn));
+}
+
+void MetricsRegistry::UnregisterSource(const std::string& group) {
+  for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+    if (it->first == group) {
+      sources_.erase(it);
+      return;
+    }
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  counters_.emplace_back(name,
+                         std::unique_ptr<Counter>(new Counter(&enabled_)));
+  return counters_.back().second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return g.get();
+  }
+  gauges_.emplace_back(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)));
+  return gauges_.back().second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h.get();
+  }
+  histograms_.emplace_back(name,
+                           std::unique_ptr<Histogram>(new Histogram(&enabled_)));
+  return histograms_.back().second.get();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Bool(enabled_);
+
+  w.Key("sources").BeginObject();
+  for (const auto& [group, fn] : sources_) {
+    MetricsGroup g;
+    if (fn) fn(&g);
+    w.Key(group).BeginObject();
+    for (const auto& [name, value] : g.counters()) w.Key(name).Uint(value);
+    for (const auto& [name, value] : g.gauges()) w.Key(name).Double(value);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.Key(name).Uint(c->value());
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.Key(name).Double(g->value());
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(h->count());
+    w.Key("sum").Uint(h->sum());
+    // Trailing all-zero buckets are trimmed; bucket i covers
+    // [2^(i-1), 2^i) with bucket 0 reserved for zero samples.
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->buckets()[i] != 0) last = i + 1;
+    }
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < last; ++i) w.Uint(h->buckets()[i]);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace cactis::obs

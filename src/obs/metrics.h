@@ -1,0 +1,167 @@
+#ifndef CACTIS_OBS_METRICS_H_
+#define CACTIS_OBS_METRICS_H_
+
+// Unified metrics layer.
+//
+// Two complementary mechanisms share one registry and one JSON snapshot:
+//
+//  1. Snapshot sources. Subsystems that already keep their own stats
+//     structs (DiskStats, BufferPoolStats, EvalStats, ...) register a
+//     callback that exports those counters into a MetricsGroup at
+//     snapshot time. The hot path pays nothing: counting stays in the
+//     existing struct fields and the export runs only when someone asks
+//     for a snapshot.
+//
+//  2. Registry-owned instruments. Counter / Gauge / Histogram objects
+//     handed out by name for call sites with no pre-existing struct
+//     (e.g. transaction lifecycle counts). Each instrument checks a
+//     shared enabled flag before touching its state, so disabled-mode
+//     overhead is a predicted-not-taken branch.
+//
+// The histogram is "histogram-lite": power-of-two buckets (bucket i
+// counts samples with i significant bits) plus count and sum. Enough to
+// see a distribution's shape without per-sample storage.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cactis::obs {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) {
+    if (*enabled_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(uint64_t sample) {
+    if (!*enabled_) return;
+    ++buckets_[BucketOf(sample)];
+    ++count_;
+    sum_ += sample;
+  }
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  // Bucket 0 holds sample 0; bucket i >= 1 holds samples in
+  // [2^(i-1), 2^i). Samples beyond 2^31 collapse into the last bucket.
+  static size_t BucketOf(uint64_t sample) {
+    size_t b = 0;
+    while (sample > 0 && b + 1 < kBuckets) {
+      sample >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// The sink a snapshot source fills in. Entries keep insertion order so
+// snapshots are deterministic.
+class MetricsGroup {
+ public:
+  void AddCounter(std::string name, uint64_t value) {
+    counters_.emplace_back(std::move(name), value);
+  }
+  void AddGauge(std::string name, double value) {
+    gauges_.emplace_back(std::move(name), value);
+  }
+
+  const std::vector<std::pair<std::string, uint64_t>>& counters() const {
+    return counters_;
+  }
+  const std::vector<std::pair<std::string, double>>& gauges() const {
+    return gauges_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+};
+
+class MetricsRegistry {
+ public:
+  using SourceFn = std::function<void(MetricsGroup*)>;
+
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Enables/disables registry-owned instruments. Snapshot sources are
+  // unaffected: their counting lives in subsystem stats structs that
+  // predate this registry.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Registers (or replaces) the snapshot source for `group`. The
+  // callback must outlive the registry or be unregistered first.
+  void RegisterSource(const std::string& group, SourceFn fn);
+  void UnregisterSource(const std::string& group);
+
+  // Named instruments, created on first use. Pointers stay valid for
+  // the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // One JSON document:
+  //   {"enabled":bool,
+  //    "sources":{<group>:{<counter>:n,...},...},
+  //    "counters":{<name>:n,...},
+  //    "gauges":{<name>:x,...},
+  //    "histograms":{<name>:{"count":n,"sum":n,"buckets":[...]},...}}
+  // Within a source group, exported counters render as integers and
+  // exported gauges as floating-point numbers.
+  std::string SnapshotJson() const;
+
+ private:
+  bool enabled_;
+  std::vector<std::pair<std::string, SourceFn>> sources_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace cactis::obs
+
+#endif  // CACTIS_OBS_METRICS_H_

@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include "obs/json_writer.h"
+
+namespace cactis::obs {
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kMarkChunk:
+      return "mark_chunk";
+    case SpanKind::kGatherChunk:
+      return "gather_chunk";
+    case SpanKind::kResolveChunk:
+      return "resolve_chunk";
+    case SpanKind::kComputeChunk:
+      return "compute_chunk";
+    case SpanKind::kBlockFetch:
+      return "block_fetch";
+    case SpanKind::kBlockEvict:
+      return "block_evict";
+    case SpanKind::kBlockDiscard:
+      return "block_discard";
+    case SpanKind::kWalAppend:
+      return "wal_append";
+    case SpanKind::kTxnBegin:
+      return "txn_begin";
+    case SpanKind::kTxnCommit:
+      return "txn_commit";
+    case SpanKind::kTxnAbort:
+      return "txn_abort";
+  }
+  return "unknown";
+}
+
+std::string TraceSink::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("capacity").Uint(capacity_);
+  w.Key("total").Uint(next_seq_);
+  w.Key("dropped").Uint(dropped_);
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : events_) {
+    w.BeginObject();
+    w.Key("seq").Uint(e.seq);
+    w.Key("kind").String(SpanKindName(e.kind));
+    w.Key("subject").Uint(e.subject);
+    w.Key("detail").Uint(e.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace cactis::obs

@@ -34,6 +34,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/record_store.h"
 
@@ -67,6 +68,13 @@ struct SchedulerStats {
   uint64_t promotions = 0;      // pending -> high on block load
   uint64_t high_runs = 0;       // chunks run from the in-memory queue
   uint64_t pending_runs = 0;    // chunks run from the expected-I/O queue
+
+  void ExportTo(obs::MetricsGroup* g) const {
+    g->AddCounter("chunks_run", chunks_run);
+    g->AddCounter("promotions", promotions);
+    g->AddCounter("high_runs", high_runs);
+    g->AddCounter("pending_runs", pending_runs);
+  }
 };
 
 class ChunkScheduler : public storage::ResidencyListener {

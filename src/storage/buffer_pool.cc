@@ -5,9 +5,17 @@
 namespace cactis::storage {
 
 BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {}
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  if (disk_->block_size() <= kChecksumFrameBytes) {
+    init_status_ = Status::InvalidArgument(
+        "block size " + std::to_string(disk_->block_size()) +
+        " leaves no payload after the " +
+        std::to_string(kChecksumFrameBytes) + "-byte checksum frame");
+  }
+}
 
 Result<BlockImage*> BufferPool::Fetch(BlockId id) {
+  CACTIS_RETURN_IF_ERROR(init_status_);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.hits;
@@ -30,6 +38,7 @@ Result<BlockImage*> BufferPool::Fetch(BlockId id) {
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   assert(inserted);
   (void)inserted;
+  if (trace_) trace_->Record(obs::SpanKind::kBlockFetch, id.value);
   for (ResidencyListener* l : listeners_) l->OnBlockLoaded(id);
   return &pos->second.image;
 }
@@ -51,10 +60,15 @@ Status BufferPool::EvictOne() {
   BlockId victim = lru_.back();
   auto it = frames_.find(victim);
   assert(it != frames_.end());
+  const bool was_dirty = it->second.dirty;
   CACTIS_RETURN_IF_ERROR(WriteBack(victim, &it->second));
   lru_.pop_back();
   frames_.erase(it);
   ++stats_.evictions;
+  if (trace_) {
+    trace_->Record(obs::SpanKind::kBlockEvict, victim.value,
+                   was_dirty ? 1 : 0);
+  }
   for (ResidencyListener* l : listeners_) l->OnBlockEvicted(victim);
   return Status::OK();
 }
@@ -79,6 +93,11 @@ void BufferPool::Discard(BlockId id) {
   if (it == frames_.end()) return;
   lru_.erase(it->second.lru_pos);
   frames_.erase(it);
+  ++stats_.discards;
+  if (trace_) trace_->Record(obs::SpanKind::kBlockDiscard, id.value);
+  // The block left memory; listeners must treat this exactly like an
+  // eviction or they keep decoded state for records that no longer exist.
+  for (ResidencyListener* l : listeners_) l->OnBlockEvicted(id);
 }
 
 }  // namespace cactis::storage

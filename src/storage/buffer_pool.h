@@ -20,6 +20,8 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/block_image.h"
 #include "storage/checksum.h"
 #include "storage/simulated_disk.h"
@@ -40,6 +42,14 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t discards = 0;
+
+  void ExportTo(obs::MetricsGroup* g) const {
+    g->AddCounter("hits", hits);
+    g->AddCounter("misses", misses);
+    g->AddCounter("evictions", evictions);
+    g->AddCounter("discards", discards);
+  }
 };
 
 class BufferPool {
@@ -50,7 +60,16 @@ class BufferPool {
   using PreEvictHook = std::function<void(BlockId, BlockImage*)>;
 
   /// `capacity` is the number of blocks held in memory; must be >= 1.
+  /// Disk geometry is validated here: a block size that cannot hold the
+  /// checksum frame plus at least one payload byte leaves the pool in a
+  /// failed state (see status()) and every Fetch returns that error.
   BufferPool(SimulatedDisk* disk, size_t capacity);
+
+  /// Construction-time validation result. Not OK when the disk's block
+  /// size is <= kChecksumFrameBytes, in which case usable_block_bytes()
+  /// would be 0 and capacity checks above the pool would divide by or
+  /// compare against zero.
+  const Status& status() const { return init_status_; }
 
   /// Returns the in-memory image of `id`, reading it from disk (and
   /// possibly evicting the LRU block) if needed. The pointer stays valid
@@ -79,7 +98,10 @@ class BufferPool {
   Status FlushAll();
 
   /// Drops a block from the pool without writing it back; used when the
-  /// record store frees the block. No listener eviction event is fired.
+  /// record store frees or relocates the block. Listeners receive
+  /// OnBlockEvicted so caches of decoded state (the object cache) drop
+  /// entries for the vanished block instead of serving stale pointers.
+  /// The pre-evict hook is NOT called: the block's contents are dead.
   void Discard(BlockId id);
 
   /// Registers an additional residency listener (the object cache and the
@@ -90,6 +112,9 @@ class BufferPool {
   void set_pre_evict_hook(PreEvictHook hook) {
     pre_evict_hook_ = std::move(hook);
   }
+
+  /// Optional span tracer; records block fetch/evict/discard events.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   size_t capacity() const { return capacity_; }
   size_t resident_blocks() const { return frames_.size(); }
@@ -108,6 +133,8 @@ class BufferPool {
 
   SimulatedDisk* disk_;
   size_t capacity_;
+  Status init_status_;
+  obs::TraceSink* trace_ = nullptr;
   std::unordered_map<BlockId, Frame> frames_;
   std::list<BlockId> lru_;  // front = most recently used
   std::vector<ResidencyListener*> listeners_;

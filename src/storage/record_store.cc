@@ -6,6 +6,9 @@ namespace cactis::storage {
 
 Status RecordStore::Put(InstanceId id, std::string payload) {
   if (!id.valid()) return Status::InvalidArgument("invalid instance id");
+  // Surface invalid disk geometry as the pool's InvalidArgument rather
+  // than a misleading "record larger than a disk block" for every record.
+  CACTIS_RETURN_IF_ERROR(pool_->status());
   if (payload.size() + kRecordOverheadBytes + kBlockHeaderBytes >
       pool_->usable_block_bytes()) {
     return Status::OutOfRange("record larger than a disk block: " +

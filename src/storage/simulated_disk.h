@@ -24,6 +24,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/fault_policy.h"
 
 namespace cactis::storage {
@@ -54,6 +55,17 @@ struct DiskStats {
     d.bit_flips = sat(bit_flips, other.bit_flips);
     d.crashes = sat(crashes, other.crashes);
     return d;
+  }
+
+  void ExportTo(obs::MetricsGroup* g) const {
+    g->AddCounter("reads", reads);
+    g->AddCounter("writes", writes);
+    g->AddCounter("allocations", allocations);
+    g->AddCounter("frees", frees);
+    g->AddCounter("transient_errors", transient_errors);
+    g->AddCounter("torn_writes", torn_writes);
+    g->AddCounter("bit_flips", bit_flips);
+    g->AddCounter("crashes", crashes);
   }
 };
 

@@ -23,6 +23,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace cactis::txn {
 
@@ -31,6 +32,13 @@ struct ConcurrencyStats {
   uint64_t writes_checked = 0;
   uint64_t read_rejections = 0;
   uint64_t write_rejections = 0;
+
+  void ExportTo(obs::MetricsGroup* g) const {
+    g->AddCounter("reads_checked", reads_checked);
+    g->AddCounter("writes_checked", writes_checked);
+    g->AddCounter("read_rejections", read_rejections);
+    g->AddCounter("write_rejections", write_rejections);
+  }
 };
 
 class TimestampManager {

@@ -247,6 +247,9 @@ Status WriteAheadLog::Append(const WalEvent& event) {
   }
 
   tail_block_ = blocks.back();
+  if (trace_) {
+    trace_->Record(obs::SpanKind::kWalAppend, next_seq_, payload.size());
+  }
   ++next_seq_;
   ++stats_.entries_appended;
   stats_.bytes_logged += payload.size();

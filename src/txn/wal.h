@@ -38,6 +38,8 @@
 #include "common/result.h"
 #include "common/serial.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/simulated_disk.h"
 #include "txn/delta.h"
 
@@ -99,6 +101,12 @@ struct WalStats {
   uint64_t entries_appended = 0;
   uint64_t blocks_written = 0;  ///< WAL block writes (the E-metric overhead)
   uint64_t bytes_logged = 0;
+
+  void ExportTo(obs::MetricsGroup* g) const {
+    g->AddCounter("entries_appended", entries_appended);
+    g->AddCounter("blocks_written", blocks_written);
+    g->AddCounter("bytes_logged", bytes_logged);
+  }
 };
 
 class WriteAheadLog {
@@ -122,6 +130,9 @@ class WriteAheadLog {
 
   const WalStats& stats() const { return stats_; }
 
+  /// Optional span tracer; records one wal_append event per entry.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Offline scan of a platter (possibly of a crashed disk): returns every
   /// complete journal entry in order, silently truncating at the first
   /// empty block, checksum failure, or sequence discontinuity. NotFound if
@@ -137,6 +148,7 @@ class WriteAheadLog {
   BlockId tail_block_;       ///< pre-allocated, never-written next head
   uint64_t next_seq_ = 1;    ///< entry sequence number of the next Append
   WalStats stats_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace cactis::txn

@@ -1,0 +1,409 @@
+// Unit tests for the observability layer: metrics registry (snapshot
+// sources + registry-owned instruments), histogram bucketing, trace sink
+// ring semantics, and the JSON documents both produce — including the
+// database-level SnapshotMetrics() / trace()->ToJson() integration.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "core/database.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cactis::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator — enough to assert the emitted documents are
+// well-formed without pulling in a parser dependency. Returns true when
+// the whole input is exactly one valid JSON value.
+class JsonChecker {
+ public:
+  static bool Valid(const std::string& s) {
+    JsonChecker c(s);
+    c.SkipWs();
+    if (!c.Value()) return false;
+    c.SkipWs();
+    return c.pos_ == s.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool Value() {
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (!Eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool Object() {
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    Eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NestedDocumentIsValid) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("bench \"quoted\"");
+  w.Key("values");
+  w.BeginArray();
+  w.Uint(1);
+  w.Int(-2);
+  w.Double(3.5);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("k");
+  w.Uint(0);
+  w.EndObject();
+  w.EndObject();
+  EXPECT_TRUE(JsonChecker::Valid(w.str())) << w.str();
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(1.0 / 0.0);
+  w.Double(0.0 / 0.0);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry instruments
+
+TEST(MetricsRegistryTest, CounterIsCreatedOnceAndStable) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter* a = reg.GetCounter("txn.begun");
+  Counter* b = reg.GetCounter("txn.begun");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  a->Increment(4);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(MetricsRegistryTest, DisabledInstrumentsAreNoOps) {
+  MetricsRegistry reg(/*enabled=*/false);
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h");
+  c->Increment(7);
+  g->Set(1.5);
+  h->Record(8);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+
+  // Re-enabling makes the same instrument pointers live again.
+  reg.set_enabled(true);
+  c->Increment(7);
+  g->Set(1.5);
+  h->Record(8);
+  EXPECT_EQ(c->value(), 7u);
+  EXPECT_EQ(g->value(), 1.5);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // Huge samples collapse into the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::BucketOf(~0ull), Histogram::kBuckets - 1);
+
+  MetricsRegistry reg(true);
+  Histogram* h = reg.GetHistogram("h");
+  h->Record(0);
+  h->Record(3);
+  h->Record(3);
+  h->Record(100);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 106u);
+  EXPECT_EQ(h->buckets()[0], 1u);
+  EXPECT_EQ(h->buckets()[2], 2u);
+  EXPECT_EQ(h->buckets()[7], 1u);  // 100 is in [64, 128)
+}
+
+TEST(MetricsRegistryTest, SourcesExportAtSnapshotTime) {
+  MetricsRegistry reg(true);
+  uint64_t live_counter = 1;
+  reg.RegisterSource("storage", [&](MetricsGroup* g) {
+    g->AddCounter("reads", live_counter);
+    g->AddGauge("fill", 0.5);
+  });
+
+  live_counter = 42;  // sources read current state, not registration state
+  std::string json = reg.SnapshotJson();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"storage\""), std::string::npos);
+  EXPECT_NE(json.find("\"reads\":42"), std::string::npos);
+
+  // Re-registering the same group replaces it (no duplicate groups).
+  reg.RegisterSource("storage", [](MetricsGroup* g) {
+    g->AddCounter("reads", 7);
+  });
+  json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"reads\":7"), std::string::npos);
+  EXPECT_EQ(json.find("\"reads\":42"), std::string::npos);
+
+  reg.UnregisterSource("storage");
+  json = reg.SnapshotJson();
+  EXPECT_EQ(json.find("\"storage\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DisablingGatesInstrumentsNotSources) {
+  MetricsRegistry reg(false);
+  reg.RegisterSource("disk", [](MetricsGroup* g) {
+    g->AddCounter("reads", 9);
+  });
+  reg.GetCounter("ignored")->Increment();
+  std::string json = reg.SnapshotJson();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"enabled\":false"), std::string::npos);
+  // The subsystem stats still export; the instrument stayed at zero.
+  EXPECT_NE(json.find("\"reads\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"ignored\":0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink
+
+TEST(TraceSinkTest, DisabledByDefaultRecordsNothing) {
+  TraceSink sink(8);
+  sink.Record(SpanKind::kBlockFetch, 1);
+  EXPECT_EQ(sink.events().size(), 0u);
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(TraceSinkTest, RingDropsOldestAndKeepsSequence) {
+  TraceSink sink(3);
+  sink.set_enabled(true);
+  for (uint64_t i = 0; i < 5; ++i) {
+    sink.Record(SpanKind::kWalAppend, i, i * 10);
+  }
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.total_recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  // Oldest two (seq 0, 1) fell off; the survivors keep their seq.
+  EXPECT_EQ(sink.events().front().seq, 2u);
+  EXPECT_EQ(sink.events().back().seq, 4u);
+  EXPECT_EQ(sink.events().back().subject, 4u);
+  EXPECT_EQ(sink.events().back().detail, 40u);
+
+  sink.Clear();
+  EXPECT_EQ(sink.events().size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSinkTest, JsonRoundTripShape) {
+  TraceSink sink(16);
+  sink.set_enabled(true);
+  sink.Record(SpanKind::kTxnBegin, 1);
+  sink.Record(SpanKind::kComputeChunk, 5, 2);
+  sink.Record(SpanKind::kTxnCommit, 1, 3);
+  std::string json = sink.ToJson();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"kind\":\"txn_begin\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"compute_chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+}
+
+TEST(TraceSinkTest, EveryKindHasAName) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kTxnAbort); ++k) {
+    EXPECT_FALSE(SpanKindName(static_cast<SpanKind>(k)).empty()) << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Database integration
+
+TEST(DatabaseObservabilityTest, SnapshotCoversAllSubsystems) {
+  core::DatabaseOptions opts;
+  opts.buffer_capacity = 4;
+  core::Database db(opts);
+  ASSERT_TRUE(db.LoadSchema(R"(
+    object class cell is
+      attributes
+        base : int;
+        acc : int;
+      rules
+        acc = base + 1;
+    end object;
+  )")
+                  .ok());
+  auto id = db.Create("cell");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db.Set(*id, "base", Value::Int(5)).ok());
+  auto v = db.Get(*id, "acc");
+  ASSERT_TRUE(v.ok());
+
+  std::string json = db.SnapshotMetrics();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  for (const char* group :
+       {"\"disk\"", "\"buffer_pool\"", "\"eval\"", "\"scheduler\"",
+        "\"concurrency\"", "\"wal\"", "\"database\""}) {
+    EXPECT_NE(json.find(group), std::string::npos) << group << " missing";
+  }
+  // The workload above began and committed implicit transactions.
+  EXPECT_EQ(json.find("\"txn.begun\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"txn.commit_delta_records\""), std::string::npos);
+}
+
+TEST(DatabaseObservabilityTest, MetricsCanBeDisabledAtConstruction) {
+  core::DatabaseOptions opts;
+  opts.enable_metrics = false;
+  core::Database db(opts);
+  ASSERT_TRUE(db.LoadSchema("object class c is attributes a : int; end object;")
+                  .ok());
+  ASSERT_TRUE(db.Create("c").ok());
+  std::string json = db.SnapshotMetrics();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"enabled\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"txn.begun\":0"), std::string::npos);
+}
+
+TEST(DatabaseObservabilityTest, TracingCapturesTxnAndBlockEvents) {
+  core::DatabaseOptions opts;
+  opts.enable_tracing = true;
+  opts.trace_capacity = 1 << 14;
+  core::Database db(opts);
+  ASSERT_TRUE(db.LoadSchema("object class c is attributes a : int; end object;")
+                  .ok());
+  auto id = db.Create("c");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db.Set(*id, "a", Value::Int(1)).ok());
+
+  bool saw_begin = false, saw_commit = false, saw_fetch = false;
+  for (const obs::TraceEvent& e : db.trace()->events()) {
+    saw_begin |= e.kind == SpanKind::kTxnBegin;
+    saw_commit |= e.kind == SpanKind::kTxnCommit;
+    saw_fetch |= e.kind == SpanKind::kBlockFetch;
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_commit);
+  EXPECT_TRUE(saw_fetch);
+  EXPECT_TRUE(JsonChecker::Valid(db.trace()->ToJson()));
+
+  // set_tracing(false) stops the stream.
+  db.set_tracing(false);
+  uint64_t before = db.trace()->total_recorded();
+  ASSERT_TRUE(db.Set(*id, "a", Value::Int(2)).ok());
+  EXPECT_EQ(db.trace()->total_recorded(), before);
+}
+
+}  // namespace
+}  // namespace cactis::obs
