@@ -1,0 +1,196 @@
+// Experiment E12 — service-layer throughput: sessions x workers.
+//
+// Paper context (section 1.1): Cactis is "a multi-user DBMS" — the
+// service layer is what turns the single-user core into that multi-user
+// system. This bench drives the full request path (LoopbackTransport ->
+// admission control -> bounded queue -> worker pool -> timestamp-ordered
+// transactions) with a mixed workload and sweeps the worker pool against
+// the session count.
+//
+// Workload per session: 70% reads (`get obj(i).v`, auto-commit) and 30%
+// increments, each increment a read-modify-write transaction spanning
+// three round trips (`begin` / `set obj(i).v = v + 1` / `commit`),
+// retried on clean aborts. Targets are drawn from a small hot set, so
+// timestamp-ordering conflicts genuinely occur.
+//
+// Correctness gate: a per-object shadow count of committed increments is
+// compared against the final attribute values — any difference is a lost
+// update and the bench reports it (lost_updates must be 0).
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <thread>
+
+#include "bench_util.h"
+#include "server/executor.h"
+#include "server/statement.h"
+#include "server/transport.h"
+
+namespace cactis::bench {
+namespace {
+
+constexpr const char* kServerSchema = R"(
+  object class counter is
+    attributes
+      v : int;
+  end object;
+)";
+
+constexpr int kHotSet = 8;        // shared instances under contention
+constexpr int kOpsPerSession = 150;
+constexpr int kReadPercent = 70;
+
+struct RunResult {
+  double wall_s = 0;
+  uint64_t reads = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t rejected = 0;
+  uint64_t statements = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t lost_updates = 0;
+};
+
+server::Response CallAdmitted(server::LoopbackTransport* client,
+                              SessionId s, const std::string& text,
+                              std::atomic<uint64_t>* rejected) {
+  for (;;) {
+    server::Response r = client->Call(s, text);
+    if (!r.rejected()) return r;
+    rejected->fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+RunResult Run(size_t workers, size_t num_sessions) {
+  core::Database db;
+  Die(db.LoadSchema(kServerSchema), "schema");
+
+  server::ServerOptions opts;
+  opts.num_workers = workers;
+  opts.max_queue_depth = 2 * num_sessions + 8;
+  server::Executor exec(&db, opts);
+  exec.Start();
+  server::LoopbackTransport client(&exec);
+
+  auto setup = MustV(client.Connect(), "connect");
+  std::vector<std::string> objs;
+  for (int i = 0; i < kHotSet; ++i) {
+    auto r = client.Call(setup, "create counter");
+    Die(r.ok() ? Status::OK() : Status::Internal(r.payload), "create");
+    objs.push_back(r.payload);  // "obj(N)"
+  }
+
+  std::vector<std::atomic<uint64_t>> shadow(kHotSet);
+  std::atomic<uint64_t> reads{0}, commits{0}, aborts{0}, rejected{0};
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_sessions);
+  for (size_t sidx = 0; sidx < num_sessions; ++sidx) {
+    threads.emplace_back([&, sidx] {
+      auto s = MustV(client.Connect(), "connect");
+      Rng rng(991 * (sidx + 1));
+      for (int op = 0; op < kOpsPerSession; ++op) {
+        const size_t j = rng.Uniform(kHotSet);
+        if (rng.Uniform(100) < static_cast<uint64_t>(kReadPercent)) {
+          server::Response r =
+              CallAdmitted(&client, s, "get " + objs[j] + ".v", &rejected);
+          Die(r.ok() ? Status::OK() : Status::Internal(r.payload), "get");
+          reads.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Increment transaction, retried on clean aborts.
+        for (;;) {
+          server::Response b = CallAdmitted(&client, s, "begin", &rejected);
+          Die(b.ok() ? Status::OK() : Status::Internal(b.payload), "begin");
+          server::Response w = CallAdmitted(
+              &client, s, "set " + objs[j] + ".v = v + 1", &rejected);
+          if (w.aborted()) {
+            aborts.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          Die(w.ok() ? Status::OK() : Status::Internal(w.payload), "set");
+          server::Response c = CallAdmitted(&client, s, "commit", &rejected);
+          if (c.aborted()) {
+            aborts.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          Die(c.ok() ? Status::OK() : Status::Internal(c.payload), "commit");
+          shadow[j].fetch_add(1, std::memory_order_relaxed);
+          commits.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      Die(client.Disconnect(s), "disconnect");
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  res.reads = reads.load();
+  res.commits = commits.load();
+  res.aborts = aborts.load();
+  res.rejected = rejected.load();
+  res.statements = exec.stats().statements_executed.load();
+  res.p50_us = exec.stats().LatencyQuantileUs(0.5);
+  res.p99_us = exec.stats().LatencyQuantileUs(0.99);
+
+  // Lost-update audit: final values must equal the shadow counts.
+  for (int j = 0; j < kHotSet; ++j) {
+    auto r = client.Call(setup, "get " + objs[j] + ".v");
+    Die(r.ok() ? Status::OK() : Status::Internal(r.payload), "audit get");
+    uint64_t got = std::strtoull(r.payload.c_str(), nullptr, 10);
+    uint64_t want = shadow[j].load();
+    if (got != want) res.lost_updates += (want > got) ? want - got : got - want;
+  }
+  exec.Shutdown();
+  return res;
+}
+
+}  // namespace
+}  // namespace cactis::bench
+
+int main() {
+  using namespace cactis::bench;
+  std::printf(
+      "E12: service-layer throughput, %d ops/session (%d%% reads, %d%%\n"
+      "read-modify-write transactions) over a hot set of %d instances\n\n",
+      kOpsPerSession, kReadPercent, 100 - kReadPercent, kHotSet);
+
+  BenchReport report("server");
+  report.SetConfig("experiment", "E12");
+  report.SetConfig("ops_per_session", kOpsPerSession);
+  report.SetConfig("read_percent", kReadPercent);
+  report.SetConfig("hot_set", kHotSet);
+
+  Table table({"workers", "sessions", "stmt/s", "reads", "commits",
+               "aborts", "rejected", "p50 us", "p99 us", "lost"});
+  uint64_t total_lost = 0;
+  for (size_t workers : {1, 2, 4, 8}) {
+    for (size_t sessions : {4, 16}) {
+      RunResult r = Run(workers, sessions);
+      total_lost += r.lost_updates;
+      double per_s = static_cast<double>(r.statements) / r.wall_s;
+      table.AddRow({Num(workers), Num(sessions), Num(per_s), Num(r.reads),
+                    Num(r.commits), Num(r.aborts), Num(r.rejected),
+                    Num(r.p50_us), Num(r.p99_us), Num(r.lost_updates)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: throughput holds as the worker pool grows (statements\n"
+      "serialize on the single-threaded core, so workers buy pipelining of\n"
+      "parse/queue, not parallel execution); aborts rise with sessions\n"
+      "because more transactions interleave on the hot set; `lost` must be\n"
+      "0 everywhere — timestamp ordering turns every racy update into a\n"
+      "clean abort, never a silent clobber.\n");
+  report.AddTable("sweep", table);
+  report.SetCounter("lost_updates", total_lost);
+  report.Write();
+  return total_lost == 0 ? 0 : 1;
+}

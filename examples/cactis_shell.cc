@@ -1,0 +1,182 @@
+// cactis_shell: an interactive console over the multi-session service
+// layer. Every line goes through the full server path — LoopbackTransport
+// -> admission control -> bounded queue -> worker pool -> timestamp-
+// ordered transactions — exactly as a network client would.
+//
+//   $ ./cactis_shell            # runs a scripted two-session isolation demo
+//   $ ./cactis_shell -i         # interactive (reads statements from stdin)
+//
+// Interactive mode keeps several sessions open at once; `\1`, `\2`, ...
+// switch between them, so conflicting transactions can be interleaved by
+// hand and watched abort:
+//
+//   cactis[1]> begin
+//   cactis[1]> \2
+//   cactis[2]> begin
+//   cactis[2]> get obj(1).v            -- newer txn reads
+//   cactis[2]> \1
+//   cactis[1]> set obj(1).v = 5        -- older txn writes: ABORTED
+//
+// Statement grammar: see src/server/statement.h. Extra shell commands:
+//   \1 ... \9     switch to (opening if needed) session N
+//   schema ... end schema    load data-language declarations
+//   stats         server + database metrics snapshot
+//   help | quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/executor.h"
+#include "server/transport.h"
+
+namespace {
+
+using cactis::SessionId;
+using cactis::core::Database;
+using cactis::server::Executor;
+using cactis::server::LoopbackTransport;
+using cactis::server::Response;
+using cactis::server::ResponseStatusToString;
+using cactis::server::ServerOptions;
+
+const char* kDemoSchema = R"(
+  object class task is
+    attributes
+      label : string;
+      effort : int;
+  end object;
+)";
+
+class Shell {
+ public:
+  Shell() : exec_(&db_, MakeOptions()), client_(&exec_) {
+    exec_.Start();
+  }
+  ~Shell() { exec_.Shutdown(); }
+
+  SessionId SessionFor(size_t n) {
+    while (sessions_.size() <= n) {
+      sessions_.push_back(*client_.Connect());
+    }
+    return sessions_[n];
+  }
+
+  /// Sends one request batch on session `n` and prints the response.
+  void Send(size_t n, const std::string& text) {
+    Response r = client_.Call(SessionFor(n), text);
+    if (r.ok()) {
+      if (!r.payload.empty()) std::printf("%s\n", r.payload.c_str());
+    } else {
+      std::printf("[%s] %s\n",
+                  std::string(ResponseStatusToString(r.status)).c_str(),
+                  r.payload.c_str());
+    }
+  }
+
+  bool Execute(size_t* current, const std::string& line, std::istream& in) {
+    if (line.empty() || line[0] == '#') return true;
+    if (line == "quit" || line == "exit") return false;
+    if (line == "help") {
+      std::printf(
+          "statements: begin commit abort | create C [as N] | delete T |\n"
+          "  set T.A = expr | get/peek T.A | connect/disconnect T.P to T.P\n"
+          "  select C where pred | instances C | members S | fetch [N]\n"
+          "shell: \\1..\\9 switch session, schema...end schema, stats,\n"
+          "  help, quit. Batches: statements joined with ';'.\n");
+      return true;
+    }
+    if (line[0] == '\\' && line.size() == 2 && isdigit(line[1])) {
+      *current = static_cast<size_t>(line[1] - '1');
+      SessionFor(*current);
+      return true;
+    }
+    if (line == "schema") {
+      std::string source, next;
+      while (std::getline(in, next) && next != "end schema") {
+        source += next;
+        source += '\n';
+      }
+      auto s = exec_.LoadSchema(source);
+      std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      return true;
+    }
+    if (line == "stats") {
+      std::printf("%s\n", exec_.SnapshotMetrics().c_str());
+      return true;
+    }
+    Send(*current, line);
+    return true;
+  }
+
+  Executor* exec() { return &exec_; }
+
+ private:
+  static ServerOptions MakeOptions() {
+    ServerOptions o;
+    o.num_workers = 2;
+    return o;
+  }
+
+  Database db_;
+  Executor exec_;
+  LoopbackTransport client_;
+  std::vector<SessionId> sessions_;
+};
+
+// Scripted demo: two sessions interleave on one object; the older
+// transaction's write aborts cleanly instead of clobbering the newer
+// transaction's read.
+void RunDemo(Shell* shell) {
+  std::printf("== two-session isolation demo ==\n");
+  auto s = shell->exec()->LoadSchema(kDemoSchema);
+  if (!s.ok()) {
+    std::printf("schema: %s\n", s.ToString().c_str());
+    return;
+  }
+  struct Step {
+    size_t session;
+    const char* text;
+  };
+  const Step steps[] = {
+      {0, "create task as t1"},
+      {0, "set t1.label = \"write paper\"; set t1.effort = 3"},
+      {0, "begin"},                 // session 1: older timestamp
+      {1, "begin"},                 // session 2: newer timestamp
+      {1, "get obj(1).effort"},     // newer reads -> read ts moves up
+      {0, "set obj(1).effort = 9"}, // older writes -> timestamp conflict
+      {1, "commit"},
+      {0, "begin; set obj(1).effort = 9; commit"},  // retry succeeds
+      {0, "get obj(1).effort"},
+  };
+  for (const auto& step : steps) {
+    std::printf("cactis[%zu]> %s\n", step.session + 1, step.text);
+    shell->Send(step.session, step.text);
+  }
+  std::printf(
+      "\nThe conflicting write surfaced as a clean abort; the retry —\n"
+      "with a fresh, newer timestamp — committed. Run with -i to drive\n"
+      "the sessions yourself.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  const bool interactive = argc > 1 && std::string(argv[1]) == "-i";
+  if (!interactive) {
+    RunDemo(&shell);
+    return 0;
+  }
+  std::printf("cactis service-layer shell; 'help' for help.\n");
+  size_t current = 0;
+  std::string line;
+  for (;;) {
+    std::printf("cactis[%zu]> ", current + 1);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Execute(&current, line, std::cin)) break;
+  }
+  return 0;
+}

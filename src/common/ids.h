@@ -54,6 +54,8 @@ using TxnId = internal::TaggedId<struct TxnIdTag>;
 using VersionId = internal::TaggedId<struct VersionIdTag>;
 /// A predicate-defined subtype.
 using SubtypeId = internal::TaggedId<struct SubtypeIdTag>;
+/// A client session of the service layer (src/server).
+using SessionId = internal::TaggedId<struct SessionIdTag>;
 
 /// A (instance, attribute) pair: one attribute *instance*, i.e. one node of
 /// the runtime attribute dependency graph.

@@ -13,6 +13,7 @@ namespace cactis::core {
 
 Transaction::~Transaction() {
   if (open_) {
+    CACTIS_SERIAL_GUARD(db_->serial_guard_);
     (void)db_->RollbackTxn(this);
     open_ = false;
     aborted_ = true;
@@ -20,24 +21,38 @@ Transaction::~Transaction() {
 }
 
 Result<InstanceId> Transaction::Create(const std::string& class_name) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
   return db_->OpCreate(this, class_name);
 }
-Status Transaction::Delete(InstanceId id) { return db_->OpDelete(this, id); }
+Status Transaction::Delete(InstanceId id) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
+  return db_->OpDelete(this, id);
+}
 Status Transaction::Set(InstanceId id, const std::string& attr, Value value) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
   return db_->OpSet(this, id, attr, std::move(value));
 }
 Result<Value> Transaction::Get(InstanceId id, const std::string& attr) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
   return db_->OpGet(this, id, attr);
 }
 Result<EdgeId> Transaction::Connect(InstanceId a, const std::string& a_port,
                                     InstanceId b, const std::string& b_port) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
   return db_->OpConnect(this, a, a_port, b, b_port);
 }
 Status Transaction::Disconnect(EdgeId edge) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
   return db_->OpDisconnect(this, edge);
 }
-Status Transaction::Commit() { return db_->OpCommit(this); }
-Status Transaction::Undo() { return db_->OpUndo(this); }
+Status Transaction::Commit() {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
+  return db_->OpCommit(this);
+}
+Status Transaction::Undo() {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
+  return db_->OpUndo(this);
+}
 
 // --- Construction ----------------------------------------------------------
 
@@ -119,6 +134,7 @@ Database::~Database() = default;
 // --- Schema ----------------------------------------------------------------
 
 Status Database::LoadSchema(std::string_view source) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   return schema::LoadSchema(&catalog_, source).status();
 }
 
@@ -180,6 +196,7 @@ Result<SubtypeId> Database::DefineSubtype(const std::string& subtype_name,
 // --- Transactions ----------------------------------------------------------
 
 std::unique_ptr<Transaction> Database::Begin() {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   TxnId id(++next_txn_);
   uint64_t ts = tsm_.BeginTransaction();
   txn_begun_->Increment();
@@ -429,6 +446,7 @@ Status Database::OpUndo(Transaction* t) {
 // --- Auto-commit conveniences ------------------------------------------------
 
 Result<InstanceId> Database::CreateDetached(const std::string& class_name) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   const schema::ObjectClass* cls = catalog_.FindClass(class_name);
   if (cls == nullptr) {
     return Status::NotFound("unknown object class '" + class_name + "'");
@@ -441,6 +459,7 @@ Result<InstanceId> Database::CreateDetached(const std::string& class_name) {
 }
 
 Result<InstanceId> Database::Create(const std::string& class_name) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_ASSIGN_OR_RETURN(InstanceId id, t->Create(class_name));
   CACTIS_RETURN_IF_ERROR(t->Commit());
@@ -448,18 +467,21 @@ Result<InstanceId> Database::Create(const std::string& class_name) {
 }
 
 Status Database::Delete(InstanceId id) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_RETURN_IF_ERROR(t->Delete(id));
   return t->Commit();
 }
 
 Status Database::Set(InstanceId id, const std::string& attr, Value value) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_RETURN_IF_ERROR(t->Set(id, attr, std::move(value)));
   return t->Commit();
 }
 
 Result<Value> Database::Get(InstanceId id, const std::string& attr) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_ASSIGN_OR_RETURN(Value v, t->Get(id, attr));
   CACTIS_RETURN_IF_ERROR(t->Commit());
@@ -467,6 +489,7 @@ Result<Value> Database::Get(InstanceId id, const std::string& attr) {
 }
 
 Result<Value> Database::Peek(InstanceId id, const std::string& attr) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_ASSIGN_OR_RETURN(Value v,
                           OpGet(t.get(), id, attr, /*subscribe=*/false));
@@ -476,6 +499,7 @@ Result<Value> Database::Peek(InstanceId id, const std::string& attr) {
 
 Result<EdgeId> Database::Connect(InstanceId a, const std::string& a_port,
                                  InstanceId b, const std::string& b_port) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_ASSIGN_OR_RETURN(EdgeId e, t->Connect(a, a_port, b, b_port));
   CACTIS_RETURN_IF_ERROR(t->Commit());
@@ -483,6 +507,7 @@ Result<EdgeId> Database::Connect(InstanceId a, const std::string& a_port,
 }
 
 Status Database::Disconnect(EdgeId edge) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   auto t = Begin();
   CACTIS_RETURN_IF_ERROR(t->Disconnect(edge));
   return t->Commit();
@@ -789,6 +814,7 @@ Status Database::UndoLastInternal() {
 }
 
 Status Database::UndoLast() {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   CACTIS_RETURN_IF_ERROR(UndoLastInternal());
   // Meta-actions are journaled after they succeed: a crash in between
   // loses at most the meta-action itself, never committed data.
@@ -796,6 +822,7 @@ Status Database::UndoLast() {
 }
 
 Result<VersionId> Database::CreateVersion(const std::string& name) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   CACTIS_ASSIGN_OR_RETURN(VersionId id, versions_.CreateVersion(name));
   CACTIS_RETURN_IF_ERROR(JournalEvent(txn::WalEvent::Version(name)));
   return id;
@@ -862,6 +889,7 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
 
 Result<std::vector<InstanceId>> Database::InstancesOf(
     const std::string& class_name) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   CACTIS_ASSIGN_OR_RETURN(ClassId id, catalog_.ClassIdOf(class_name));
   const std::set<InstanceId>& set = instances_by_class_[id];
   return std::vector<InstanceId>(set.begin(), set.end());
@@ -869,6 +897,7 @@ Result<std::vector<InstanceId>> Database::InstancesOf(
 
 Result<std::vector<InstanceId>> Database::MembersOfSubtype(
     const std::string& name) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   const schema::SubtypeDef* sub = catalog_.FindSubtype(name);
   if (sub == nullptr) {
     return Status::NotFound("unknown subtype '" + name + "'");
@@ -887,6 +916,7 @@ Result<std::vector<InstanceId>> Database::MembersOfSubtype(
 
 Result<std::vector<InstanceId>> Database::SelectWhere(
     const std::string& class_name, const std::string& predicate_source) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   const schema::ObjectClass* cls = catalog_.FindClass(class_name);
   if (cls == nullptr) {
     return Status::NotFound("unknown object class '" + class_name + "'");

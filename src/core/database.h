@@ -12,6 +12,17 @@
 // Database-level convenience methods run one-operation auto-commit
 // transactions.
 //
+// THREADING: Database and everything below it (ObjectCache, BufferPool,
+// EvalEngine, ...) are single-threaded. The paper's multi-user
+// concurrency is timestamp ordering over *interleaved* operations, not
+// parallel ones; concurrent clients go through the service layer
+// (src/server), whose Executor serializes statements behind one mutex.
+// The public entry points carry a ThreadSerialGuard that aborts with a
+// diagnostic if two threads ever enter at once — including
+// SnapshotMetrics(), which reads live counters and is NOT safe to call
+// concurrently with operations (use server::Executor::SnapshotMetrics()
+// when a server is running).
+//
 // Usage:
 //
 //   cactis::core::Database db;
@@ -35,6 +46,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/thread_guard.h"
 #include "common/value.h"
 #include "core/eval_engine.h"
 #include "core/instance.h"
@@ -293,7 +305,10 @@ class Database {
   /// buffer pool, eval engine, scheduler, concurrency control, WAL —
   /// plus database-level gauges and the registry-owned transaction
   /// instruments. Schema documented in DESIGN.md ("Observability").
-  std::string SnapshotMetrics() const { return metrics_.SnapshotJson(); }
+  std::string SnapshotMetrics() const {
+    CACTIS_SERIAL_GUARD(serial_guard_);
+    return metrics_.SnapshotJson();
+  }
 
   /// The metrics registry (for registering extra sources/instruments).
   obs::MetricsRegistry* metrics() { return &metrics_; }
@@ -463,6 +478,9 @@ class Database {
   void NoteTxnAborted(TxnId id);
 
   DatabaseOptions options_;
+  // Detects unsynchronized concurrent entry into the single-threaded
+  // core (see the class comment; entry points in database.cc).
+  mutable ThreadSerialGuard serial_guard_;
   // Declared before the storage stack: components hold pointers into the
   // registry and trace sink, so these must outlive them.
   obs::MetricsRegistry metrics_;

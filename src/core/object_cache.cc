@@ -5,6 +5,7 @@
 namespace cactis::core {
 
 Result<Instance*> ObjectCache::Fetch(InstanceId id) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   ++generation_;  // Touch/Get below can fault; prior handles go stale.
   // Touch first: this may evict another block (dropping its cached
   // instances) but guarantees our block is resident afterwards.
@@ -27,6 +28,7 @@ Result<Instance*> ObjectCache::Fetch(InstanceId id) {
 }
 
 Status ObjectCache::WriteThrough(const Instance& inst) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   // Writing through a stale cached copy means the caller held the
   // pointer across a faulting operation — exactly the bug the pointer
   // discipline forbids. (An uncached `inst`, e.g. a caller-owned copy
@@ -48,6 +50,7 @@ Status ObjectCache::WriteThrough(const Instance& inst) {
 }
 
 Status ObjectCache::Insert(Instance inst) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   ++generation_;  // Put below can fault; prior handles go stale.
   InstanceId id = inst.id();
   std::string payload = inst.Serialize();
@@ -62,6 +65,7 @@ Status ObjectCache::Insert(Instance inst) {
 }
 
 Status ObjectCache::Remove(InstanceId id) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   ++generation_;  // Delete below can fault; prior handles go stale.
   auto blk = block_of_.find(id);
   if (blk != block_of_.end()) {

@@ -15,6 +15,11 @@
 // generation it was issued at, and IsFresh() tells whether a handle is
 // still from the current generation. Debug builds assert freshness when a
 // cached copy is written through; tests assert it directly.
+//
+// THREADING: like the rest of the storage stack, the cache is
+// single-threaded — callers (Database, and through it the server
+// executor) serialise all access. A ThreadSerialGuard aborts loudly if
+// two threads ever race into a mutating operation.
 
 #ifndef CACTIS_CORE_OBJECT_CACHE_H_
 #define CACTIS_CORE_OBJECT_CACHE_H_
@@ -23,6 +28,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_guard.h"
 #include "core/instance.h"
 #include "schema/catalog.h"
 #include "storage/buffer_pool.h"
@@ -70,6 +76,7 @@ class ObjectCache : public storage::ResidencyListener {
 
   const schema::Catalog* catalog_;
   storage::RecordStore* store_;
+  mutable ThreadSerialGuard serial_guard_;
   uint64_t generation_ = 0;
   std::unordered_map<InstanceId, std::unique_ptr<Instance>> cache_;
   std::unordered_map<BlockId, std::unordered_set<InstanceId>> by_block_;

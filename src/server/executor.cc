@@ -1,0 +1,646 @@
+#include "server/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "lang/interpreter.h"
+
+namespace cactis::server {
+
+namespace {
+
+/// EvalContext for request expressions (`set obj(7).val = val + 1`,
+/// select predicates are handled by Database::SelectWhere itself).
+/// Attribute reads go through the session's transaction when one is
+/// open, so read-modify-write is atomic under timestamp ordering; the
+/// database serialization mutex is held by the caller.
+class SessionEvalContext : public lang::EvalContext {
+ public:
+  SessionEvalContext(core::Database* db, core::Transaction* txn,
+                     InstanceId self)
+      : db_(db), txn_(txn), self_(self) {}
+
+  Result<Value> GetLocalAttr(const std::string& name) override {
+    return txn_ != nullptr ? txn_->Get(self_, name) : db_->Get(self_, name);
+  }
+
+  bool HasLocalAttr(const std::string& name) const override {
+    auto cls = db_->ClassOf(self_);
+    if (!cls.ok()) return false;
+    const schema::ObjectClass* oc = db_->catalog()->GetClass(*cls);
+    return oc != nullptr && oc->FindAttr(name) != nullptr;
+  }
+
+  bool HasPort(const std::string& name) const override {
+    auto cls = db_->ClassOf(self_);
+    if (!cls.ok()) return false;
+    const schema::ObjectClass* oc = db_->catalog()->GetClass(*cls);
+    return oc != nullptr && oc->FindPort(name) != nullptr;
+  }
+
+  Result<std::vector<Neighbor>> GetNeighbors(
+      const std::string& port) override {
+    (void)port;
+    return Status::InvalidArgument(
+        "request expressions cannot traverse relationships; use a derived "
+        "attribute rule");
+  }
+
+  Result<Value> GetRemoteValue(const Neighbor&,
+                               const std::string& name) override {
+    return Status::InvalidArgument("no remote value '" + name +
+                                   "' in request expressions");
+  }
+
+  Status SetLocalAttr(const std::string&, Value) override {
+    return Status::InvalidArgument(
+        "request expressions cannot assign attributes");
+  }
+
+  const lang::BuiltinRegistry& builtins() const override {
+    return *db_->builtins();
+  }
+
+ private:
+  core::Database* const db_;
+  core::Transaction* const txn_;
+  const InstanceId self_;
+};
+
+bool IsAbort(const Status& s) {
+  return s.IsTransactionAborted() || s.IsConflict();
+}
+
+bool IsConflictAbort(const Status& s) {
+  // MaybeAbort wraps the triggering status into the abort message, so a
+  // timestamp-ordering conflict reads "... aborted: Conflict: ...".
+  return s.IsConflict() ||
+         (s.IsTransactionAborted() &&
+          s.message().find("Conflict") != std::string::npos);
+}
+
+}  // namespace
+
+std::string_view ResponseStatusToString(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kError:
+      return "error";
+    case ResponseStatus::kAborted:
+      return "aborted";
+    case ResponseStatus::kRejected:
+      return "rejected";
+    case ResponseStatus::kNoSession:
+      return "no-session";
+  }
+  return "unknown";
+}
+
+double ServerStats::LatencyQuantileUs(double q) const {
+  uint64_t total = latency_count.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    cumulative += latency_buckets[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // Bucket 0 holds sample 0; bucket i >= 1 holds [2^(i-1), 2^i).
+      // Report the upper bound.
+      return i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << i);
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
+}
+
+void ServerStats::ExportTo(obs::MetricsGroup* g) const {
+  auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  g->AddCounter("requests_submitted", load(requests_submitted));
+  g->AddCounter("requests_rejected", load(requests_rejected));
+  g->AddCounter("requests_completed", load(requests_completed));
+  g->AddCounter("statements_executed", load(statements_executed));
+  g->AddCounter("statement_errors", load(statement_errors));
+  g->AddCounter("txn_conflicts", load(txn_conflicts));
+  g->AddCounter("txn_aborts", load(txn_aborts));
+  g->AddCounter("sessions_opened", load(sessions_opened));
+  g->AddCounter("sessions_closed", load(sessions_closed));
+  g->AddCounter("sessions_expired", load(sessions_expired));
+  g->AddCounter("queue_depth_peak", load(queue_depth_peak));
+  g->AddGauge("queue_depth", static_cast<double>(load(queue_depth)));
+  g->AddCounter("statement_latency_count", load(latency_count));
+  g->AddCounter("statement_latency_sum_us", load(latency_sum_us));
+  g->AddGauge("statement_latency_p50_us", LatencyQuantileUs(0.5));
+  g->AddGauge("statement_latency_p99_us", LatencyQuantileUs(0.99));
+}
+
+Executor::Executor(core::Database* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      sessions_(options_.session_timeout_ms) {
+  // Snapshots run through Executor::SnapshotMetrics() (statement mutex),
+  // so reading these atomics plus the session table is safe.
+  db_->metrics()->RegisterSource("server", [this](obs::MetricsGroup* g) {
+    stats_.ExportTo(g);
+    g->AddGauge("active_sessions",
+                static_cast<double>(sessions_.active_count()));
+    g->AddGauge("num_workers", static_cast<double>(options_.num_workers));
+  });
+}
+
+Executor::~Executor() {
+  Shutdown();
+  db_->metrics()->UnregisterSource("server");
+}
+
+uint64_t Executor::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t Executor::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Executor::Start() {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Executor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+
+  // Reject everything still queued: nothing half-executes at shutdown.
+  std::deque<Task> leftover;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    leftover.swap(queue_);
+    stats_.queue_depth.store(0, std::memory_order_relaxed);
+  }
+  for (auto& task : leftover) {
+    Response r;
+    r.status = ResponseStatus::kRejected;
+    r.payload = "server shutting down";
+    stats_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(std::move(r));
+  }
+
+  // Expire every session; open transactions roll back.
+  DisposeSessions(sessions_.TakeAll(), /*expired=*/false);
+}
+
+Result<SessionId> Executor::OpenSession() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_) return Status::InvalidArgument("server shutting down");
+  }
+  auto s = sessions_.Open(NowMs());
+  stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return s->id;
+}
+
+Status Executor::CloseSession(SessionId id) {
+  auto victim = sessions_.Close(id);
+  if (victim == nullptr) {
+    return Status::NotFound("no session " + std::to_string(id.value));
+  }
+  stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::shared_ptr<Session>> dead;
+  dead.push_back(std::move(victim));
+  DisposeSessions(std::move(dead), /*expired=*/false);
+  return Status::OK();
+}
+
+void Executor::DisposeSessions(std::vector<std::shared_ptr<Session>> dead,
+                               bool expired) {
+  if (dead.empty()) return;
+  std::lock_guard<std::mutex> dlk(db_mu_);
+  for (auto& s : dead) {
+    // The session is out of the table and marked closed; nothing else
+    // touches it. Destroying an open transaction rolls it back.
+    s->txn.reset();
+    if (expired) {
+      stats_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Executor::ReapExpiredSessions() {
+  DisposeSessions(sessions_.ReapExpired(NowMs()), /*expired=*/true);
+}
+
+std::future<Response> Executor::Submit(Request request) {
+  stats_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  Task task;
+  task.request = std::move(request);
+  task.enqueue_us = NowUs();
+  std::future<Response> fut = task.promise.get_future();
+  bool rejected = false;
+  const char* reason = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_) {
+      rejected = true;
+      reason = "server shutting down";
+    } else if (queue_.size() >= options_.max_queue_depth) {
+      rejected = true;
+      reason = "request queue full";
+    } else {
+      queue_.push_back(std::move(task));
+      uint64_t depth = queue_.size();
+      stats_.queue_depth.store(depth, std::memory_order_relaxed);
+      uint64_t peak = stats_.queue_depth_peak.load(std::memory_order_relaxed);
+      while (depth > peak &&
+             !stats_.queue_depth_peak.compare_exchange_weak(
+                 peak, depth, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  if (rejected) {
+    stats_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.status = ResponseStatus::kRejected;
+    r.payload = reason;
+    task.promise.set_value(std::move(r));
+  } else {
+    queue_cv_.notify_one();
+  }
+  return fut;
+}
+
+Response Executor::Call(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+bool Executor::RunOne() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+  }
+  Response r = Process(&task);
+  stats_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+  task.promise.set_value(std::move(r));
+  return true;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping; leftovers rejected later
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+    }
+    Response r = Process(&task);
+    stats_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(std::move(r));
+  }
+}
+
+Status Executor::LoadSchema(std::string_view source) {
+  std::lock_guard<std::mutex> dlk(db_mu_);
+  return db_->LoadSchema(source);
+}
+
+std::string Executor::SnapshotMetrics() {
+  std::lock_guard<std::mutex> dlk(db_mu_);
+  return db_->SnapshotMetrics();
+}
+
+Response Executor::Process(Task* task) {
+  const uint64_t picked_up_us = NowUs();
+
+  Response resp;
+  resp.metrics.queue_wait_us = picked_up_us - task->enqueue_us;
+
+  auto session = sessions_.Find(task->request.session);
+  if (session == nullptr) {
+    ReapExpiredSessions();
+    resp.status = ResponseStatus::kNoSession;
+    resp.payload = "unknown or expired session";
+    return resp;
+  }
+  std::lock_guard<std::mutex> slk(session->mu);
+  if (session->closed) {
+    resp.status = ResponseStatus::kNoSession;
+    resp.payload = "session closed";
+    return resp;
+  }
+  // Refresh before reaping: issuing a request *is* activity, so the
+  // requester never counts as idle (the reaper also skips it because its
+  // mutex is held here).
+  session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+  ReapExpiredSessions();
+
+  for (const std::string& text : task->request.statements) {
+    auto parsed = ParseStatement(text);
+    StatementResult result;
+    if (!parsed.ok()) {
+      result.status = parsed.status();
+      stats_.statement_errors.fetch_add(1, std::memory_order_relaxed);
+      resp.statements.push_back(std::move(result));
+      resp.status = ResponseStatus::kError;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> dlk(db_mu_);
+      const uint64_t t0 = NowUs();
+      result = ExecuteStatement(session.get(), &*parsed);
+      const uint64_t dt = NowUs() - t0;
+      resp.metrics.exec_us += dt;
+      stats_.RecordLatencyUs(dt);
+    }
+    ++resp.metrics.statements_run;
+    stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
+    const bool failed = !result.status.ok();
+    const bool abort = IsAbort(result.status);
+    if (failed && !abort) {
+      stats_.statement_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (abort) {
+      stats_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+      if (IsConflictAbort(result.status)) {
+        stats_.txn_conflicts.fetch_add(1, std::memory_order_relaxed);
+        ++session->conflicts;
+      }
+    }
+    resp.statements.push_back(std::move(result));
+    if (failed) {
+      resp.status = abort ? ResponseStatus::kAborted : ResponseStatus::kError;
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < resp.statements.size(); ++i) {
+    if (i > 0) resp.payload += '\n';
+    resp.payload += resp.statements[i].status.ok()
+                        ? resp.statements[i].payload
+                        : resp.statements[i].status.ToString();
+  }
+  resp.metrics.session_ts = session->last_ts;
+  session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+  return resp;
+}
+
+Result<InstanceId> Executor::Resolve(Session* s, const Target& t) {
+  if (t.raw.valid()) return t.raw;
+  auto it = s->bindings.find(t.name);
+  if (it == s->bindings.end()) {
+    return Status::NotFound("unknown name '" + t.name +
+                            "' (bind with: create <class> as " + t.name +
+                            ")");
+  }
+  return it->second;
+}
+
+StatementResult Executor::ExecuteStatement(Session* s, Statement* st) {
+  StatementResult r;
+  core::Transaction* txn = s->txn.get();
+
+  // Collapses the session transaction once an operation aborted it (the
+  // core has already rolled it back; the unique_ptr just holds a husk).
+  auto note_abort = [&](const Status& status) {
+    if (IsAbort(status) && s->txn != nullptr) {
+      s->txn.reset();
+      ++s->aborts;
+    }
+    r.status = status;
+  };
+
+  switch (st->kind) {
+    case StatementKind::kBegin: {
+      if (txn != nullptr) {
+        r.status = Status::AlreadyExists(
+            "transaction already open (commit or abort first)");
+        break;
+      }
+      s->txn = db_->Begin();
+      ++s->txns_begun;
+      s->last_ts = s->txn->ts();
+      r.payload = "ts=" + std::to_string(s->last_ts);
+      break;
+    }
+    case StatementKind::kCommit: {
+      if (txn == nullptr) {
+        r.status = Status::InvalidArgument("no open transaction");
+        break;
+      }
+      Status status = txn->Commit();
+      s->txn.reset();
+      if (status.ok()) {
+        ++s->commits;
+        r.payload = "committed";
+        r.status = status;
+      } else {
+        ++s->aborts;
+        r.status = status;
+      }
+      break;
+    }
+    case StatementKind::kAbort: {
+      if (txn == nullptr) {
+        r.status = Status::InvalidArgument("no open transaction");
+        break;
+      }
+      Status status = txn->Undo();
+      s->txn.reset();
+      ++s->aborts;
+      r.status = status.ok() || status.IsTransactionAborted() ? Status::OK()
+                                                              : status;
+      r.payload = "rolled back";
+      break;
+    }
+    case StatementKind::kCreate: {
+      auto id = txn != nullptr ? txn->Create(st->class_name)
+                               : db_->Create(st->class_name);
+      if (!id.ok()) {
+        note_abort(id.status());
+        break;
+      }
+      if (!st->binding.empty()) s->bindings[st->binding] = *id;
+      r.payload = FormatInstance(*id);
+      break;
+    }
+    case StatementKind::kDelete: {
+      auto id = Resolve(s, st->a);
+      if (!id.ok()) {
+        r.status = id.status();
+        break;
+      }
+      Status status = txn != nullptr ? txn->Delete(*id) : db_->Delete(*id);
+      if (!status.ok()) {
+        note_abort(status);
+        break;
+      }
+      r.payload = "ok";
+      break;
+    }
+    case StatementKind::kSet: {
+      auto id = Resolve(s, st->a);
+      if (!id.ok()) {
+        r.status = id.status();
+        break;
+      }
+      SessionEvalContext ctx(db_, txn, *id);
+      auto value = lang::Interpreter::EvalExpr(*st->expr, &ctx);
+      if (!value.ok()) {
+        note_abort(value.status());
+        break;
+      }
+      Status status = txn != nullptr
+                          ? txn->Set(*id, st->attr_a, std::move(*value))
+                          : db_->Set(*id, st->attr_a, std::move(*value));
+      if (!status.ok()) {
+        note_abort(status);
+        break;
+      }
+      r.payload = "ok";
+      break;
+    }
+    case StatementKind::kGet: {
+      auto id = Resolve(s, st->a);
+      if (!id.ok()) {
+        r.status = id.status();
+        break;
+      }
+      auto v = txn != nullptr ? txn->Get(*id, st->attr_a)
+                              : db_->Get(*id, st->attr_a);
+      if (!v.ok()) {
+        note_abort(v.status());
+        break;
+      }
+      r.payload = v->ToString();
+      break;
+    }
+    case StatementKind::kPeek: {
+      auto id = Resolve(s, st->a);
+      if (!id.ok()) {
+        r.status = id.status();
+        break;
+      }
+      // Peek is an auto-commit, non-marking read regardless of any open
+      // transaction (polling semantics; see Database::Peek).
+      auto v = db_->Peek(*id, st->attr_a);
+      if (!v.ok()) {
+        note_abort(v.status());
+        break;
+      }
+      r.payload = v->ToString();
+      break;
+    }
+    case StatementKind::kConnect: {
+      auto a = Resolve(s, st->a);
+      auto b = Resolve(s, st->b);
+      if (!a.ok() || !b.ok()) {
+        r.status = a.ok() ? b.status() : a.status();
+        break;
+      }
+      auto edge = txn != nullptr
+                      ? txn->Connect(*a, st->attr_a, *b, st->attr_b)
+                      : db_->Connect(*a, st->attr_a, *b, st->attr_b);
+      if (!edge.ok()) {
+        note_abort(edge.status());
+        break;
+      }
+      r.payload = "ok";
+      break;
+    }
+    case StatementKind::kDisconnect: {
+      auto a = Resolve(s, st->a);
+      auto b = Resolve(s, st->b);
+      if (!a.ok() || !b.ok()) {
+        r.status = a.ok() ? b.status() : a.status();
+        break;
+      }
+      auto edges = db_->EdgesOf(*a, st->attr_a);
+      auto neighbors = db_->NeighborsOf(*a, st->attr_a);
+      if (!edges.ok() || !neighbors.ok()) {
+        r.status = edges.ok() ? neighbors.status() : edges.status();
+        break;
+      }
+      EdgeId victim;
+      for (size_t i = 0; i < edges->size() && i < neighbors->size(); ++i) {
+        if ((*neighbors)[i] == *b) {
+          victim = (*edges)[i];
+          break;
+        }
+      }
+      if (!victim.valid()) {
+        r.status = Status::NotFound("no edge between the given ports");
+        break;
+      }
+      Status status =
+          txn != nullptr ? txn->Disconnect(victim) : db_->Disconnect(victim);
+      if (!status.ok()) {
+        note_abort(status);
+        break;
+      }
+      r.payload = "ok";
+      break;
+    }
+    case StatementKind::kSelect:
+    case StatementKind::kInstances:
+    case StatementKind::kMembers: {
+      Result<std::vector<InstanceId>> ids =
+          st->kind == StatementKind::kSelect
+              ? db_->SelectWhere(st->class_name, st->predicate)
+              : st->kind == StatementKind::kInstances
+                    ? db_->InstancesOf(st->class_name)
+                    : db_->MembersOfSubtype(st->class_name);
+      if (!ids.ok()) {
+        note_abort(ids.status());
+        break;
+      }
+      s->cursor = std::move(*ids);
+      s->cursor_pos = 0;
+      r.payload = "count=" + std::to_string(s->cursor.size());
+      break;
+    }
+    case StatementKind::kFetch: {
+      if (s->cursor_pos >= s->cursor.size()) {
+        r.payload = "end";
+        break;
+      }
+      size_t take = std::min(static_cast<size_t>(st->count),
+                             s->cursor.size() - s->cursor_pos);
+      for (size_t i = 0; i < take; ++i) {
+        if (i > 0) r.payload += ' ';
+        r.payload += FormatInstance(s->cursor[s->cursor_pos + i]);
+      }
+      s->cursor_pos += take;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace cactis::server

@@ -1,0 +1,200 @@
+// Executor: the threaded request engine of the multi-session service
+// layer.
+//
+// Architecture (DESIGN.md "Service layer"):
+//
+//   clients -> Submit() -> bounded queue -> worker pool -> Database
+//
+// * Admission control. The queue holds at most max_queue_depth requests.
+//   A Submit() against a full queue completes immediately with
+//   kRejected — backpressure surfaces to the client instead of queueing
+//   unboundedly. Shutdown rejects everything still queued.
+//
+// * Statement batching. One queue slot carries a whole pipeline of
+//   statements; a client round-trips once for
+//   `begin; set obj(7).val = val + 1; commit`.
+//
+// * Concurrency discipline. Workers parse statements in parallel
+//   (parsing is pure), serialize on the session mutex (one batch per
+//   session at a time), and serialize every Database call behind one
+//   statement mutex: the core is single-threaded by design, and the
+//   paper's multi-user concurrency is timestamp ordering over
+//   *interleaved* statements, not parallel ones. A session's explicit
+//   transaction spans many requests, so statements of different sessions
+//   interleave between its operations — exactly the workload the
+//   timestamp concurrency control of src/txn arbitrates. Conflicts
+//   surface as clean kAborted responses; the client retries.
+//
+// * Observability. The executor registers a "server" metrics group with
+//   the database's registry: queue depth gauge, admission rejections,
+//   active sessions, per-statement latency histogram (with p50/p99
+//   gauges). Snapshot through Executor::SnapshotMetrics(), which takes
+//   the statement mutex — Database::SnapshotMetrics() itself is as
+//   single-threaded as the rest of the core.
+
+#ifndef CACTIS_SERVER_EXECUTOR_H_
+#define CACTIS_SERVER_EXECUTOR_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "server/statement.h"
+
+namespace cactis::server {
+
+struct ServerOptions {
+  /// Worker threads. 0 means no threads are started: requests queue and
+  /// are drained manually with RunOne() (deterministic tests).
+  size_t num_workers = 4;
+  /// Admission control: requests queued beyond this are rejected.
+  size_t max_queue_depth = 64;
+  /// Idle sessions past this are expired (open transactions rolled
+  /// back). 0 disables expiry.
+  uint64_t session_timeout_ms = 60'000;
+  /// Millisecond clock for session-idle accounting. Null = steady clock.
+  /// Injectable so expiry tests are deterministic.
+  std::function<uint64_t()> now_ms;
+};
+
+/// Service-layer counters. All fields are atomics: they are written from
+/// client threads (admission) and worker threads (execution) and read by
+/// the metrics exporter without any lock.
+struct ServerStats {
+  std::atomic<uint64_t> requests_submitted{0};
+  std::atomic<uint64_t> requests_rejected{0};
+  std::atomic<uint64_t> requests_completed{0};
+  std::atomic<uint64_t> statements_executed{0};
+  std::atomic<uint64_t> statement_errors{0};
+  std::atomic<uint64_t> txn_conflicts{0};  // aborts from timestamp conflicts
+  std::atomic<uint64_t> txn_aborts{0};     // every abort surfaced to a client
+  std::atomic<uint64_t> sessions_opened{0};
+  std::atomic<uint64_t> sessions_closed{0};
+  std::atomic<uint64_t> sessions_expired{0};
+  std::atomic<uint64_t> queue_depth{0};
+  std::atomic<uint64_t> queue_depth_peak{0};
+
+  /// Per-statement latency, power-of-two microsecond buckets (same
+  /// shape as obs::Histogram, but atomic).
+  static constexpr size_t kLatencyBuckets = 32;
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets{};
+  std::atomic<uint64_t> latency_count{0};
+  std::atomic<uint64_t> latency_sum_us{0};
+
+  void RecordLatencyUs(uint64_t us) {
+    latency_buckets[obs::Histogram::BucketOf(us)].fetch_add(
+        1, std::memory_order_relaxed);
+    latency_count.fetch_add(1, std::memory_order_relaxed);
+    latency_sum_us.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate from the buckets (upper bucket bound), e.g.
+  /// q=0.5 / q=0.99. Returns 0 when empty.
+  double LatencyQuantileUs(double q) const;
+
+  /// Exports into the "server" metrics group (active_sessions and
+  /// num_workers are supplied by the executor).
+  void ExportTo(obs::MetricsGroup* g) const;
+};
+
+class Executor {
+ public:
+  /// `db` must outlive the executor. Load the schema before starting
+  /// workers (or through LoadSchema(), which serializes correctly).
+  Executor(core::Database* db, ServerOptions options);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Starts the worker pool. Idempotent.
+  void Start();
+
+  /// Stops workers, rejects everything still queued, expires every
+  /// session (rolling back open transactions). Idempotent.
+  void Shutdown();
+
+  // --- Session lifecycle --------------------------------------------------
+
+  Result<SessionId> OpenSession();
+  Status CloseSession(SessionId id);
+  size_t session_count() const { return sessions_.active_count(); }
+
+  // --- Requests -----------------------------------------------------------
+
+  /// Admission-controlled asynchronous submit. The future completes with
+  /// kRejected immediately when the queue is full.
+  std::future<Response> Submit(Request request);
+
+  /// Submit + wait.
+  Response Call(Request request);
+
+  /// Pops and executes one queued request on the calling thread.
+  /// Returns false when the queue is empty. For num_workers == 0
+  /// (deterministic tests) — safe alongside workers too.
+  bool RunOne();
+
+  // --- Serialized database access ------------------------------------------
+
+  /// Loads schema under the statement mutex (usable while serving).
+  Status LoadSchema(std::string_view source);
+
+  /// Database::SnapshotMetrics() under the statement mutex.
+  std::string SnapshotMetrics();
+
+  const ServerStats& stats() const { return stats_; }
+  core::Database* db() { return db_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    Request request;
+    std::promise<Response> promise;
+    uint64_t enqueue_us = 0;
+  };
+
+  uint64_t NowMs() const;
+  static uint64_t NowUs();
+
+  void WorkerLoop();
+  Response Process(Task* task);
+  StatementResult ExecuteStatement(Session* s, Statement* st);
+  Result<InstanceId> Resolve(Session* s, const Target& t);
+
+  /// Rolls back and destroys expired/closed sessions' transactions under
+  /// the statement mutex.
+  void DisposeSessions(std::vector<std::shared_ptr<Session>> dead,
+                       bool expired);
+  void ReapExpiredSessions();
+
+  core::Database* db_;
+  ServerOptions options_;
+  SessionManager sessions_;
+  ServerStats stats_;
+
+  /// THE statement mutex: all Database access goes through it.
+  std::mutex db_mu_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace cactis::server
+
+#endif  // CACTIS_SERVER_EXECUTOR_H_

@@ -1,0 +1,77 @@
+// Wire-level types of the multi-session service layer.
+//
+// A Request is a batch of data-language statements bound to one session:
+// one queue slot carries a whole pipeline, so a client can ship
+// `begin; set obj(7).val = val + 1; commit` as a single round trip. A
+// Response reports the batch outcome, per-statement results, and the
+// request's service metrics (queue wait, execution time).
+//
+// Response statuses are the admission-control and isolation contract:
+//   kOk       — every statement executed successfully.
+//   kError    — a statement failed (parse error, unknown name, ...); the
+//               batch stopped there. Session state is otherwise intact.
+//   kAborted  — a statement hit a timestamp-ordering conflict or
+//               constraint violation: the session's transaction rolled
+//               back cleanly. The client should retry the transaction.
+//   kRejected — admission control refused the request (queue full or
+//               server shutting down). Nothing executed; retry later.
+//   kNoSession— the session id is unknown, closed, or expired.
+
+#ifndef CACTIS_SERVER_PROTOCOL_H_
+#define CACTIS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace cactis::server {
+
+enum class ResponseStatus {
+  kOk,
+  kError,
+  kAborted,
+  kRejected,
+  kNoSession,
+};
+
+std::string_view ResponseStatusToString(ResponseStatus s);
+
+/// One batch of statements addressed to a session.
+struct Request {
+  SessionId session;
+  std::vector<std::string> statements;
+};
+
+/// Outcome of one statement of a batch.
+struct StatementResult {
+  Status status;
+  std::string payload;  // e.g. "obj(7)", "42", "count=3", "ok"
+};
+
+/// Service-side measurements for one request.
+struct ResponseMetrics {
+  uint64_t queue_wait_us = 0;  // enqueue -> worker pickup
+  uint64_t exec_us = 0;        // statement execution (db time)
+  uint32_t statements_run = 0; // statements actually executed
+  uint64_t session_ts = 0;     // timestamp of the session's current/last txn
+};
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Per-statement payloads joined with '\n' (convenience for clients
+  /// that do not inspect `statements`).
+  std::string payload;
+  ResponseMetrics metrics;
+  std::vector<StatementResult> statements;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+  bool aborted() const { return status == ResponseStatus::kAborted; }
+  bool rejected() const { return status == ResponseStatus::kRejected; }
+};
+
+}  // namespace cactis::server
+
+#endif  // CACTIS_SERVER_PROTOCOL_H_

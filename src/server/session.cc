@@ -1,0 +1,81 @@
+#include "server/session.h"
+
+namespace cactis::server {
+
+std::shared_ptr<Session> SessionManager::Open(uint64_t now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  SessionId id(++next_id_);
+  auto session = std::make_shared<Session>(id, now_ms);
+  sessions_.emplace(id, session);
+  return session;
+}
+
+std::shared_ptr<Session> SessionManager::Close(SessionId id) {
+  std::shared_ptr<Session> victim;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return nullptr;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Mark closed under the session mutex so an in-flight batch that
+  // acquired the pointer before removal observes it. This may wait for
+  // that batch to finish — closing is rare and the wait is bounded.
+  std::lock_guard<std::mutex> slk(victim->mu);
+  victim->closed = true;
+  return victim;
+}
+
+std::shared_ptr<Session> SessionManager::Find(SessionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::ReapExpired(
+    uint64_t now_ms) {
+  std::vector<std::shared_ptr<Session>> dead;
+  if (timeout_ms_ == 0) return dead;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& s = *it->second;
+    uint64_t last = s.last_active_ms.load(std::memory_order_relaxed);
+    if (now_ms - last < timeout_ms_) {
+      ++it;
+      continue;
+    }
+    // A held mutex means a batch is executing right now: active.
+    std::unique_lock<std::mutex> slk(s.mu, std::try_to_lock);
+    if (!slk.owns_lock()) {
+      ++it;
+      continue;
+    }
+    s.closed = true;
+    dead.push_back(std::move(it->second));
+    it = sessions_.erase(it);
+  }
+  return dead;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::TakeAll() {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all.reserve(sessions_.size());
+    for (auto& [id, s] : sessions_) all.push_back(std::move(s));
+    sessions_.clear();
+  }
+  for (auto& s : all) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    s->closed = true;
+  }
+  return all;
+}
+
+size_t SessionManager::active_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.size();
+}
+
+}  // namespace cactis::server

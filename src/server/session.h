@@ -1,0 +1,111 @@
+// Session: per-client state of the service layer, and its manager.
+//
+// A Session owns what a connected client accumulates between requests:
+//   * an open explicit transaction (`begin` ... `commit`/`abort`) whose
+//     timestamp — issued by the core's TimestampManager — is the
+//     session's identity for timestamp-ordering concurrency control;
+//   * a binding table (`create task as t1` names live instance ids);
+//   * a statement cursor (the id list produced by the last
+//     select/instances/members, consumed by `fetch`);
+//   * isolation bookkeeping: transactions begun / committed / rolled
+//     back, and conflicts observed.
+//
+// The SessionManager creates, looks up and expires sessions. Lookup is
+// guarded by the manager mutex; the per-session mutex serializes the
+// batches of one session (two requests racing on one session execute one
+// after the other). Expiry is cooperative: the executor calls
+// ReapExpired() on its worker threads and disposes the corpses — which
+// may hold open transactions that must roll back — under the database
+// serialization mutex.
+
+#ifndef CACTIS_SERVER_SESSION_H_
+#define CACTIS_SERVER_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "core/database.h"
+
+namespace cactis::server {
+
+struct Session {
+  Session(SessionId sid, uint64_t now_ms)
+      : id(sid), last_active_ms(now_ms) {}
+
+  const SessionId id;
+
+  /// Serializes request batches on this session and protects every field
+  /// below. Lock order: session mutex before the executor's db mutex.
+  std::mutex mu;
+
+  /// Set once the session has been closed or expired; a worker that
+  /// acquired the pointer before removal finds out here.
+  bool closed = false;
+
+  /// Open explicit transaction, if any. Its ts() is the session's
+  /// current concurrency-control timestamp.
+  std::unique_ptr<core::Transaction> txn;
+
+  /// Name -> instance bindings (`create <class> as <name>`).
+  std::unordered_map<std::string, InstanceId> bindings;
+
+  /// Statement cursor: result of the last select/instances/members.
+  std::vector<InstanceId> cursor;
+  size_t cursor_pos = 0;
+
+  // Isolation bookkeeping.
+  uint64_t txns_begun = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;     // explicit `abort` plus consistency aborts
+  uint64_t conflicts = 0;  // aborts caused by timestamp-ordering conflicts
+  uint64_t last_ts = 0;    // timestamp of the current / most recent txn
+
+  /// Last request activity, for timeout expiry. Atomic so the reaper can
+  /// read it without the session mutex.
+  std::atomic<uint64_t> last_active_ms;
+};
+
+class SessionManager {
+ public:
+  /// `timeout_ms` of 0 disables expiry.
+  explicit SessionManager(uint64_t timeout_ms) : timeout_ms_(timeout_ms) {}
+
+  /// Creates a session. Thread-safe.
+  std::shared_ptr<Session> Open(uint64_t now_ms);
+
+  /// Removes the session from the table and returns it (marked closed
+  /// under its own mutex) for the caller to dispose — its transaction, if
+  /// open, must be rolled back under the database mutex. Null when the
+  /// id is unknown.
+  std::shared_ptr<Session> Close(SessionId id);
+
+  /// Looks the session up without expiry side effects. Thread-safe.
+  std::shared_ptr<Session> Find(SessionId id);
+
+  /// Removes every session idle past the timeout and returns the corpses
+  /// for disposal. Sessions whose mutex is currently held (a batch is
+  /// executing) are skipped — they are active by definition.
+  std::vector<std::shared_ptr<Session>> ReapExpired(uint64_t now_ms);
+
+  /// Removes and returns every session (server shutdown). Waits for
+  /// in-flight batches: each session is marked closed under its mutex.
+  std::vector<std::shared_ptr<Session>> TakeAll();
+
+  size_t active_count() const;
+
+ private:
+  const uint64_t timeout_ms_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 0;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace cactis::server
+
+#endif  // CACTIS_SERVER_SESSION_H_

@@ -1,0 +1,97 @@
+// The service layer's request language.
+//
+// Requests are parsed with the existing data-language front-end: the
+// `lang` lexer tokenizes each statement and `lang::Parser` parses every
+// embedded expression (set right-hand sides, select predicates), so
+// literals, arithmetic, builtins and attribute reads all behave exactly
+// as they do in rules.
+//
+// Grammar (keywords case-insensitive, one statement per string; batches
+// are split on top-level ';'):
+//
+//   stmt := "begin"                          open an explicit transaction
+//         | "commit"                         commit it
+//         | "abort" | "undo"                 roll it back
+//         | "create" CLASS ["as" NAME]       create instance, bind NAME
+//         | "delete" target
+//         | "set" target "." ATTR "=" expr   expr may read target's attrs
+//         | "get" target "." ATTR            evaluating, marks important
+//         | "peek" target "." ATTR           non-marking read (auto-commit)
+//         | "connect" target "." PORT "to" target "." PORT
+//         | "disconnect" target "." PORT "to" target "." PORT
+//         | "select" CLASS "where" expr      cursor := matching instances
+//         | "instances" CLASS                cursor := instances of CLASS
+//         | "members" SUBTYPE                cursor := subtype members
+//         | "fetch" [INT]                    next INT ids off the cursor
+//
+//   target := NAME                           session binding (create ... as)
+//           | "obj" "(" INT ")"              raw instance id (shareable
+//                                            across sessions; responses
+//                                            print instances this way)
+//
+// Parsing is pure (no database access): it can run on any worker thread
+// outside the statement serialization mutex.
+
+#ifndef CACTIS_SERVER_STATEMENT_H_
+#define CACTIS_SERVER_STATEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace cactis::server {
+
+enum class StatementKind {
+  kBegin,
+  kCommit,
+  kAbort,
+  kCreate,
+  kDelete,
+  kSet,
+  kGet,
+  kPeek,
+  kConnect,
+  kDisconnect,
+  kSelect,
+  kInstances,
+  kMembers,
+  kFetch,
+};
+
+/// An instance reference: a session-local binding name or a raw id.
+struct Target {
+  std::string name;  // set when the client used a binding
+  InstanceId raw;    // set when the client wrote obj(N)
+  bool empty() const { return name.empty() && !raw.valid(); }
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kBegin;
+  std::string class_name;  // create / select / instances / members
+  std::string binding;     // create ... as NAME
+  Target a, b;             // b used by connect / disconnect
+  std::string attr_a;      // attribute or port on a
+  std::string attr_b;      // port on b
+  lang::ExprPtr expr;      // set RHS
+  std::string predicate;   // select ... where <source>
+  int64_t count = 1;       // fetch N
+};
+
+/// Parses one statement. Pure; thread-safe.
+Result<Statement> ParseStatement(std::string_view text);
+
+/// Splits request text into statements on top-level ';' (quote-aware,
+/// `--` comments stripped). Empty statements are dropped.
+std::vector<std::string> SplitStatements(std::string_view text);
+
+/// Renders an instance id the way targets are written: "obj(N)".
+std::string FormatInstance(InstanceId id);
+
+}  // namespace cactis::server
+
+#endif  // CACTIS_SERVER_STATEMENT_H_

@@ -1,0 +1,19 @@
+#include "server/transport.h"
+
+#include "server/statement.h"
+
+namespace cactis::server {
+
+std::future<Response> LoopbackTransport::Submit(SessionId session,
+                                                std::string_view text) {
+  Request req;
+  req.session = session;
+  req.statements = SplitStatements(text);
+  return executor_->Submit(std::move(req));
+}
+
+Response LoopbackTransport::Call(SessionId session, std::string_view text) {
+  return Submit(session, text).get();
+}
+
+}  // namespace cactis::server

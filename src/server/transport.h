@@ -1,0 +1,53 @@
+// LoopbackTransport: the deterministic in-process client API.
+//
+// A transport is what a network front-end would be — connect, submit
+// request text, await a Response — without sockets, so tests, benches
+// and the shell exercise the full service path (admission control,
+// queueing, worker threads, session isolation) hermetically.
+//
+//   cactis::core::Database db;
+//   cactis::server::Executor exec(&db, {.num_workers = 4});
+//   exec.Start();
+//   cactis::server::LoopbackTransport client(&exec);
+//   auto s = *client.Connect();
+//   auto r = client.Call(s, "create task as t1; set t1.effort = 3");
+//
+// Request text is split into statements on top-level ';' / newlines
+// (SplitStatements); one Call is one queue slot, i.e. one batch.
+
+#ifndef CACTIS_SERVER_TRANSPORT_H_
+#define CACTIS_SERVER_TRANSPORT_H_
+
+#include <future>
+#include <string_view>
+
+#include "server/executor.h"
+#include "server/protocol.h"
+
+namespace cactis::server {
+
+class LoopbackTransport {
+ public:
+  explicit LoopbackTransport(Executor* executor) : executor_(executor) {}
+
+  Result<SessionId> Connect() { return executor_->OpenSession(); }
+  Status Disconnect(SessionId session) {
+    return executor_->CloseSession(session);
+  }
+
+  /// Asynchronous submit; the future completes with kRejected
+  /// immediately under backpressure.
+  std::future<Response> Submit(SessionId session, std::string_view text);
+
+  /// Submit + await.
+  Response Call(SessionId session, std::string_view text);
+
+  Executor* executor() { return executor_; }
+
+ private:
+  Executor* executor_;
+};
+
+}  // namespace cactis::server
+
+#endif  // CACTIS_SERVER_TRANSPORT_H_
