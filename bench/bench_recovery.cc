@@ -7,11 +7,25 @@
 // WAL off and on and reports the write amplification, then measures what
 // recovery itself costs: replaying the journal into a fresh database.
 //
-// All quantities are deterministic I/O counters, not wall-clock times.
+// E11b — group commit: the same durability, amortized. Concurrent
+// committers stage their deltas in the WAL's group-commit queue; the
+// flush leader writes everything staged as ONE chained entry. The
+// metric is WAL blocks per committed transaction with 1 worker (commits
+// fully serialized, every batch a singleton) vs 4 workers (commits
+// overlap, batches form) — the ratio is the durability cost the batching
+// saves. Batch formation depends on commit overlap, so unlike E11 the
+// E11b numbers are scheduling-dependent; the accounting invariants
+// (entries == commits, entries >= batches) always hold.
+//
+// All E11 quantities are deterministic I/O counters, not wall-clock.
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "bench_util.h"
+#include "server/executor.h"
+#include "server/transport.h"
 #include "txn/wal.h"
 
 namespace cactis::bench {
@@ -39,6 +53,71 @@ std::unique_ptr<core::Database> RunWorkload(bool wal_on, int txns) {
   }
   Die(db->Flush(), "flush");
   return db;
+}
+
+constexpr const char* kCounterSchema = R"(
+  object class counter is
+    attributes
+      v : int;
+  end object;
+)";
+
+struct GroupCommitResult {
+  uint64_t commits = 0;
+  uint64_t wal_blocks = 0;
+  uint64_t batches = 0;
+  uint64_t batched_entries = 0;
+};
+
+// Disjoint-object increment transactions (no conflicts) through the
+// service layer: every commit stages in the WAL's group-commit queue and
+// waits for durability with no statement lock held. `write_latency_us`
+// models the platter: while the flush leader is on the (slow) disk,
+// other committers stage and ride the next batch.
+GroupCommitResult RunGroupCommit(size_t workers, size_t sessions,
+                                 int txns_each, uint64_t write_latency_us) {
+  core::Database db;
+  Die(db.LoadSchema(kCounterSchema), "schema");
+  db.disk()->set_write_latency_us(write_latency_us);
+  server::ServerOptions opts;
+  opts.num_workers = workers;
+  opts.max_queue_depth = 2 * sessions + 8;
+  server::Executor exec(&db, opts);
+  exec.Start();
+  server::LoopbackTransport client(&exec);
+
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    threads.emplace_back([&] {
+      auto s = MustV(client.Connect(), "connect");
+      auto c = client.Call(s, "create counter as mine");
+      Die(c.ok() ? Status::OK() : Status::Internal(c.payload), "create");
+      const std::string obj = c.payload;
+      for (int t = 0; t < txns_each; ++t) {
+        for (;;) {
+          server::Response r =
+              client.Call(s, "begin; set " + obj + ".v = v + 1; commit");
+          if (r.ok()) break;
+          if (!r.rejected() && !r.aborted()) {
+            Die(Status::Internal(r.payload), "txn");
+          }
+          std::this_thread::yield();
+        }
+      }
+      Die(client.Disconnect(s), "disconnect");
+    });
+  }
+  for (auto& th : threads) th.join();
+  exec.Shutdown();
+
+  GroupCommitResult res;
+  res.commits = db.committed_transactions();
+  const txn::WalStats& ws = db.wal()->stats();
+  res.wal_blocks = ws.blocks_written;
+  res.batches = ws.group_batches;
+  res.batched_entries = ws.group_batched_entries;
+  return res;
 }
 
 }  // namespace
@@ -97,6 +176,41 @@ int main() {
       "\nRecovery replays one journal entry per committed transaction and\n"
       "pays the same per-entry write to its own journal; platter reads of\n"
       "the old log are offline and uncounted by design.\n");
+
+  std::printf(
+      "\nE11b: WAL blocks per committed transaction with and without\n"
+      "commit overlap (8 committer sessions, disjoint objects, 100us\n"
+      "platter write latency)\n\n");
+  Table group({"workers", "commits", "wal blocks", "blocks/txn", "batches",
+               "entries/batch"});
+  double blocks_per_txn_w1 = 0;
+  constexpr uint64_t kPlatterUs = 100;
+  for (size_t workers : {1, 4}) {
+    GroupCommitResult g = RunGroupCommit(workers, /*sessions=*/8,
+                                         /*txns_each=*/50, kPlatterUs);
+    double bpt = static_cast<double>(g.wal_blocks) /
+                 static_cast<double>(g.commits);
+    double epb = g.batches > 0 ? static_cast<double>(g.batched_entries) /
+                                     static_cast<double>(g.batches)
+                               : 0;
+    if (workers == 1) blocks_per_txn_w1 = bpt;
+    group.AddRow({Num(workers), Num(g.commits), Num(g.wal_blocks), Num(bpt),
+                  Num(g.batches), Num(epb)});
+    report.SetCounter("e11b_wal_blocks_w" + std::to_string(workers),
+                      g.wal_blocks);
+    report.SetCounter("e11b_commits_w" + std::to_string(workers), g.commits);
+    report.SetCounter("e11b_batches_w" + std::to_string(workers), g.batches);
+  }
+  group.Print();
+  std::printf(
+      "\nWith 1 worker every commit flushes alone (entries/batch = 1). With\n"
+      "4 workers commits overlap: stagers that arrive while the leader is\n"
+      "on the platter ride the next batch, so entries/batch > 1 and\n"
+      "blocks/txn drops below the 1-worker figure (%0.2f). The win scales\n"
+      "with commit pressure — on a busy server whole queues flush as one\n"
+      "chained write.\n",
+      blocks_per_txn_w1);
+  report.AddTable("e11b_group_commit", group);
 
   report.AddTable("overhead", overhead);
   report.AddTable("recovery", recovery);

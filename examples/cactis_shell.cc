@@ -72,6 +72,11 @@ class Shell {
       std::printf("[%s] %s\n",
                   std::string(ResponseStatusToString(r.status)).c_str(),
                   r.payload.c_str());
+      if (r.status == cactis::server::ResponseStatus::kAborted) {
+        std::printf(
+            "(transaction aborted by a concurrency conflict; its effects "
+            "are rolled back -- retry the statement)\n");
+      }
     }
   }
 

@@ -10,6 +10,7 @@
 #ifndef CACTIS_COMMON_CLOCK_H_
 #define CACTIS_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/value.h"
@@ -17,13 +18,15 @@
 namespace cactis {
 
 /// Monotone logical clock; Tick() is strictly increasing from 1.
+/// Atomic so concurrent read-only statements can stamp auto-commit
+/// reads without holding the exclusive statement lock.
 class LogicalClock {
  public:
-  uint64_t Tick() { return ++now_; }
-  uint64_t now() const { return now_; }
+  uint64_t Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint64_t now() const { return now_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t now_ = 0;
+  std::atomic<uint64_t> now_{0};
 };
 
 /// Deterministic simulated wall clock for the environment layer.

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "lang/interpreter.h"
 #include "lang/parser.h"
 #include "schema/schema_loader.h"
 
@@ -48,6 +49,20 @@ Status Transaction::Disconnect(EdgeId edge) {
 Status Transaction::Commit() {
   CACTIS_SERIAL_GUARD(db_->serial_guard_);
   return db_->OpCommit(this);
+}
+Result<uint64_t> Transaction::StageCommit() {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
+  return db_->CommitStage(this);
+}
+Status Transaction::WaitCommitDurable(uint64_t ticket) {
+  // Deliberately no guard: this blocks on the WAL flush and is called
+  // without the statement lock, concurrent with other statements.
+  if (ticket == 0) return Status::OK();
+  return db_->wal_->WaitDurable(ticket);
+}
+Status Transaction::FinishCommit(uint64_t ticket, Status durable) {
+  CACTIS_SERIAL_GUARD(db_->serial_guard_);
+  return db_->CommitPublish(this, ticket, std::move(durable));
 }
 Status Transaction::Undo() {
   CACTIS_SERIAL_GUARD(db_->serial_guard_);
@@ -409,29 +424,91 @@ Status Database::OpDisconnect(Transaction* t, EdgeId edge) {
 }
 
 Status Database::OpCommit(Transaction* t) {
+  CACTIS_ASSIGN_OR_RETURN(uint64_t ticket, CommitStage(t));
+  // Write-ahead: the delta must be on disk before the commit is
+  // acknowledged. Under the exclusive statement lock this wait is safe —
+  // the flush leader never takes the statement lock.
+  Status durable = ticket == 0 ? Status::OK() : wal_->WaitDurable(ticket);
+  return CommitPublish(t, ticket, std::move(durable));
+}
+
+Result<uint64_t> Database::CommitStage(Transaction* t) {
   CACTIS_RETURN_IF_ERROR(RequireOpen(t));
-  if (!t->delta_.empty()) {
-    // Write-ahead: the delta must be on disk before the commit is
-    // acknowledged. If the journal write fails (crash, I/O error) the
-    // transaction is not committed — and no rollback is attempted either,
-    // since the disk is gone; Recover() will discard the torn entry.
-    Status journaled = JournalEvent(txn::WalEvent::Commit(t->delta_));
-    if (!journaled.ok()) {
-      t->open_ = false;
-      t->aborted_ = true;
-      NoteTxnAborted(t->id_);
-      return journaled;
+  if (t->delta_.empty() || !wal_) {
+    // Nothing to journal: the commit completes right here; ticket 0 tells
+    // the caller there is nothing to wait for.
+    t->open_ = false;
+    txn_committed_->Increment();
+    commit_delta_records_->Record(t->delta_.records.size());
+    trace_.Record(obs::SpanKind::kTxnCommit, t->id_.value,
+                  t->delta_.records.size());
+    if (!t->delta_.empty()) {
+      versions_.Append(std::move(t->delta_));
+      t->delta_ = txn::TransactionDelta{};
+    }
+    return uint64_t{0};
+  }
+  uint64_t ticket = wal_->Stage(txn::WalEvent::Commit(t->delta_));
+  t->open_ = false;
+  pending_commits_.push_back(
+      PendingCommit{ticket, t->id_, std::move(t->delta_)});
+  t->delta_ = txn::TransactionDelta{};
+  return ticket;
+}
+
+Status Database::CommitPublish(Transaction* t, uint64_t ticket,
+                               Status durable) {
+  if (ticket == 0) return durable;
+  if (!durable.ok()) {
+    // The delta never reached disk: the transaction is not committed, and
+    // no rollback is attempted either, since the disk is gone; Recover()
+    // will discard the torn batch. Another session may already have
+    // dropped our pending entry while publishing past it — only count the
+    // abort once.
+    if (DropPendingCommit(ticket)) NoteTxnAborted(t->id_);
+    wal_->ForgetTicket(ticket);
+    t->aborted_ = true;
+    return durable;
+  }
+  PublishDurableUpTo(ticket);
+  return Status::OK();
+}
+
+void Database::PublishDurableUpTo(uint64_t ticket) {
+  while (!pending_commits_.empty() &&
+         pending_commits_.front().ticket <= ticket) {
+    PendingCommit pc = std::move(pending_commits_.front());
+    pending_commits_.pop_front();
+    if (wal_->TicketFailed(pc.ticket)) {
+      // The batch never reached disk. The failure record is the owner's to
+      // clear (its WaitDurable must still observe it), so no ForgetTicket.
+      NoteTxnAborted(pc.txn);
+      continue;
+    }
+    txn_committed_->Increment();
+    commit_delta_records_->Record(pc.delta.records.size());
+    trace_.Record(obs::SpanKind::kTxnCommit, pc.txn.value,
+                  pc.delta.records.size());
+    versions_.Append(std::move(pc.delta));
+  }
+}
+
+bool Database::DropPendingCommit(uint64_t ticket) {
+  for (auto it = pending_commits_.begin(); it != pending_commits_.end();
+       ++it) {
+    if (it->ticket == ticket) {
+      pending_commits_.erase(it);
+      return true;
     }
   }
-  t->open_ = false;
-  txn_committed_->Increment();
-  commit_delta_records_->Record(t->delta_.records.size());
-  trace_.Record(obs::SpanKind::kTxnCommit, t->id_.value,
-                t->delta_.records.size());
-  if (!t->delta_.empty()) {
-    versions_.Append(std::move(t->delta_));
-    t->delta_ = txn::TransactionDelta{};
-  }
+  return false;
+}
+
+Status Database::DrainCommits() {
+  CACTIS_SERIAL_GUARD(serial_guard_);
+  if (!wal_) return Status::OK();
+  wal_->WaitIdle();
+  PublishDurableUpTo(wal_->ResolvedTicket());
   return Status::OK();
 }
 
@@ -527,6 +604,9 @@ Result<InstanceId> Database::DoCreate(txn::TransactionDelta* log,
   Instance inst = Instance::Create(id, cls);
   CACTIS_RETURN_IF_ERROR(cache_.Insert(std::move(inst)));
   instances_by_class_[cls.id()].insert(id);
+  // Pre-create the CC marks entry: shared readers look marks up without
+  // reshaping the map, so every reachable instance must already have one.
+  if (options_.timestamp_cc) tsm_.Ensure(id);
 
   if (log != nullptr) {
     txn::DeltaRecord rec;
@@ -815,6 +895,9 @@ Status Database::UndoLastInternal() {
 
 Status Database::UndoLast() {
   CACTIS_SERIAL_GUARD(serial_guard_);
+  // Version meta-actions read the committed history; publish every commit
+  // whose WAL batch already flushed so "last" means what the user thinks.
+  CACTIS_RETURN_IF_ERROR(DrainCommits());
   CACTIS_RETURN_IF_ERROR(UndoLastInternal());
   // Meta-actions are journaled after they succeed: a crash in between
   // loses at most the meta-action itself, never committed data.
@@ -823,6 +906,7 @@ Status Database::UndoLast() {
 
 Result<VersionId> Database::CreateVersion(const std::string& name) {
   CACTIS_SERIAL_GUARD(serial_guard_);
+  CACTIS_RETURN_IF_ERROR(DrainCommits());
   CACTIS_ASSIGN_OR_RETURN(VersionId id, versions_.CreateVersion(name));
   CACTIS_RETURN_IF_ERROR(JournalEvent(txn::WalEvent::Version(name)));
   return id;
@@ -843,6 +927,7 @@ Status Database::CheckoutPosition(uint64_t target) {
 }
 
 Status Database::CheckoutVersion(const std::string& name) {
+  CACTIS_RETURN_IF_ERROR(DrainCommits());
   CACTIS_ASSIGN_OR_RETURN(uint64_t target, versions_.PositionOf(name));
   CACTIS_RETURN_IF_ERROR(CheckoutPosition(target));
   return JournalEvent(txn::WalEvent::Checkout(target));
@@ -877,6 +962,10 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
         CACTIS_RETURN_IF_ERROR(
             versions_.CreateVersion(event.version_name).status());
         break;
+      case txn::WalEventKind::kBatch:
+        // Batches are containers; ScanPlatter flattens them into their
+        // member events and never yields one.
+        return Status::Corruption("batch container in decoded WAL stream");
     }
     // Re-journal into this database's own log so the recovered state can
     // itself be recovered (recovery is idempotent across platters).
@@ -886,6 +975,239 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
 }
 
 // --- Queries -----------------------------------------------------------------
+
+namespace {
+
+// Sentinel distinguishing "the shared fast path cannot answer from cached
+// state" from a real evaluation error. Rule evaluation never produces an
+// Internal status with this exact message, so the match is unambiguous.
+Status SharedMiss() { return Status::Internal("shared-read fast path miss"); }
+bool IsSharedMiss(const Status& s) {
+  return s.code() == StatusCode::kInternal &&
+         s.message() == "shared-read fast path miss";
+}
+
+// EvalContext over cached state only: answers from cached, up-to-date
+// values and reports SharedMiss() whenever answering would require
+// faulting a block or evaluating a rule. Used by TrySelectWhereShared
+// under the shared statement lock; the exclusive path re-runs a missed
+// query with the full RuleContext.
+class SharedReadContext : public lang::EvalContext {
+ public:
+  SharedReadContext(const schema::Catalog* catalog, ObjectCache* cache,
+                    const Instance* self, const schema::ObjectClass* cls,
+                    const lang::BuiltinRegistry* builtins)
+      : catalog_(catalog),
+        cache_(cache),
+        self_(self),
+        cls_(cls),
+        builtins_(builtins) {}
+
+  Result<Value> GetLocalAttr(const std::string& name) override {
+    size_t idx = cls_->AttrIndexOf(name);
+    if (idx == SIZE_MAX) {
+      return Status::NotFound("class " + cls_->name() +
+                              " has no attribute '" + name + "'");
+    }
+    const AttrSlot& slot = self_->attrs()[idx];
+    if (cls_->attributes()[idx].is_derived() && slot.out_of_date) {
+      return SharedMiss();
+    }
+    return slot.value;
+  }
+
+  bool HasLocalAttr(const std::string& name) const override {
+    return cls_->AttrIndexOf(name) != SIZE_MAX;
+  }
+  bool HasPort(const std::string& name) const override {
+    return cls_->PortIndexOf(name) != SIZE_MAX;
+  }
+
+  Result<std::vector<Neighbor>> GetNeighbors(
+      const std::string& port) override {
+    size_t p = cls_->PortIndexOf(port);
+    if (p == SIZE_MAX) {
+      return Status::NotFound("class " + cls_->name() +
+                              " has no relationship '" + port + "'");
+    }
+    std::vector<Neighbor> out;
+    out.reserve(self_->ports()[p].size());
+    for (const EdgeRecord& e : self_->ports()[p]) {
+      out.push_back(
+          Neighbor{e.peer, static_cast<uint32_t>(p), e.peer_port, e.id});
+    }
+    return out;
+  }
+
+  Result<Value> GetRemoteValue(const Neighbor& neighbor,
+                               const std::string& name) override {
+    // NOTE: deliberately no RecordCrossing — the edge-usage statistics
+    // are exclusive-only, so shared-path crossings go uncounted.
+    const Instance* peer = cache_->PeekCached(neighbor.id);
+    if (peer == nullptr) return SharedMiss();
+    const schema::ObjectClass* peer_cls =
+        catalog_->GetClass(peer->class_id());
+    if (peer_cls == nullptr) {
+      return Status::Internal("instance " +
+                              std::to_string(neighbor.id.value) +
+                              " references unknown class");
+    }
+    size_t idx = peer_cls->ResolveProvidedValue(neighbor.peer_port, name);
+    if (idx == SIZE_MAX) {
+      return Status::NotFound("class " + peer_cls->name() +
+                              " provides no value '" + name +
+                              "' across this relationship");
+    }
+    const AttrSlot& slot = peer->attrs()[idx];
+    if (peer_cls->attributes()[idx].is_derived() && slot.out_of_date) {
+      return SharedMiss();
+    }
+    cache_->NoteSharedTouch(neighbor.id);
+    return slot.value;
+  }
+
+  Status SetLocalAttr(const std::string& name, Value /*value*/) override {
+    return Status::InvalidArgument(
+        "attribute evaluation rules may not assign attributes ('" + name +
+        "'); only recovery actions may");
+  }
+
+  const lang::BuiltinRegistry& builtins() const override {
+    return *builtins_;
+  }
+
+ private:
+  const schema::Catalog* catalog_;
+  ObjectCache* cache_;
+  const Instance* self_;
+  const schema::ObjectClass* cls_;
+  const lang::BuiltinRegistry* builtins_;
+};
+
+}  // namespace
+
+std::optional<Result<Value>> Database::TryGetShared(Transaction* t,
+                                                    InstanceId id,
+                                                    const std::string& attr,
+                                                    bool subscribe) {
+  CACTIS_SHARED_GUARD(serial_guard_);
+  // A closed/aborted transaction needs the exclusive path's error.
+  if (t != nullptr && !t->open()) return std::nullopt;
+  const Instance* inst = cache_.PeekCached(id);
+  if (inst == nullptr) return std::nullopt;
+  const schema::ObjectClass* cls = catalog_.GetClass(inst->class_id());
+  if (cls == nullptr) return std::nullopt;
+  size_t idx = cls->AttrIndexOf(attr);
+  if (idx == SIZE_MAX) {
+    // Definitive answer; the exclusive path reports it before its CC
+    // check too.
+    return Result<Value>(Status::NotFound("class " + cls->name() +
+                                          " has no attribute '" + attr +
+                                          "'"));
+  }
+  const schema::AttributeDef& def = cls->attributes()[idx];
+  const AttrSlot& slot = inst->attrs()[idx];
+  if (def.is_derived()) {
+    if (slot.out_of_date) return std::nullopt;
+    // A Get of an unsubscribed derived attribute subscribes it — a
+    // mutation, so it belongs to the exclusive path.
+    if (subscribe && !slot.subscribed) return std::nullopt;
+  }
+  if (options_.timestamp_cc) {
+    uint64_t ts = t != nullptr ? t->ts() : tsm_.IssueTimestamp();
+    // CC check last: kOk guarantees an engaged return, so the conflict
+    // statistics never double-count against the exclusive retry (which
+    // recounts and aborts the transaction properly).
+    if (tsm_.CheckReadShared(id, ts) != txn::SharedReadCheck::kOk) {
+      return std::nullopt;
+    }
+  }
+  cache_.NoteSharedTouch(id);
+  return Result<Value>(slot.value);
+}
+
+Result<std::vector<InstanceId>> Database::InstancesOfShared(
+    const std::string& class_name) {
+  CACTIS_SHARED_GUARD(serial_guard_);
+  CACTIS_ASSIGN_OR_RETURN(ClassId id, catalog_.ClassIdOf(class_name));
+  // find, not operator[]: the index must not be reshaped under the shared
+  // lock.
+  auto it = instances_by_class_.find(id);
+  if (it == instances_by_class_.end()) return std::vector<InstanceId>{};
+  return std::vector<InstanceId>(it->second.begin(), it->second.end());
+}
+
+std::optional<Result<std::vector<InstanceId>>>
+Database::TryMembersOfSubtypeShared(const std::string& name) {
+  using R = Result<std::vector<InstanceId>>;
+  CACTIS_SHARED_GUARD(serial_guard_);
+  const schema::SubtypeDef* sub = catalog_.FindSubtype(name);
+  if (sub == nullptr) {
+    return R(Status::NotFound("unknown subtype '" + name + "'"));
+  }
+  // The membership sets are current only if every instance's predicate is
+  // up to date; otherwise the exclusive path must re-evaluate them.
+  auto ins = instances_by_class_.find(sub->class_id);
+  if (ins != instances_by_class_.end()) {
+    for (InstanceId id : ins->second) {
+      const Instance* inst = cache_.PeekCached(id);
+      if (inst == nullptr) return std::nullopt;
+      if (inst->attrs()[sub->predicate_attr_index].out_of_date) {
+        return std::nullopt;
+      }
+    }
+  }
+  auto mem = subtype_members_.find(sub->id);
+  if (mem == subtype_members_.end()) return R(std::vector<InstanceId>{});
+  return R(std::vector<InstanceId>(mem->second.begin(), mem->second.end()));
+}
+
+std::optional<Result<std::vector<InstanceId>>> Database::TrySelectWhereShared(
+    const std::string& class_name, const std::string& predicate_source) {
+  using R = Result<std::vector<InstanceId>>;
+  CACTIS_SHARED_GUARD(serial_guard_);
+  const schema::ObjectClass* cls = catalog_.FindClass(class_name);
+  if (cls == nullptr) {
+    return R(Status::NotFound("unknown object class '" + class_name + "'"));
+  }
+  Result<lang::RuleBody> body =
+      lang::Parser::ParseRuleBody(predicate_source);
+  if (!body.ok()) return R(body.status());
+  // Same name validation the exclusive path performs.
+  lang::ClassContext ctx;
+  for (const schema::AttributeDef& a : cls->attributes()) {
+    if (a.kind != schema::AttrKind::kExport) {
+      ctx.attribute_names.insert(a.name);
+    }
+  }
+  for (const schema::PortDef& port : cls->ports()) {
+    ctx.port_names.insert(port.name);
+  }
+  Status analyzed = lang::AnalyzeDependencies(*body, ctx).status();
+  if (!analyzed.ok()) return R(analyzed);
+
+  std::vector<InstanceId> out;
+  auto ins = instances_by_class_.find(cls->id());
+  if (ins != instances_by_class_.end()) {
+    for (InstanceId id : ins->second) {
+      const Instance* inst = cache_.PeekCached(id);
+      if (inst == nullptr) return std::nullopt;
+      SharedReadContext rctx(&catalog_, &cache_, inst, cls, &builtins_);
+      Result<Value> v = lang::Interpreter::EvalRule(*body, &rctx);
+      if (!v.ok()) {
+        if (IsSharedMiss(v.status())) return std::nullopt;
+        // Everything the predicate read was cached and fresh, so the
+        // exclusive path would fail identically: the error is definitive.
+        return R(v.status());
+      }
+      Result<bool> keep = (*v).AsBool();
+      if (!keep.ok()) return R(keep.status());
+      if (*keep) out.push_back(id);
+      cache_.NoteSharedTouch(id);
+    }
+  }
+  return R(std::move(out));
+}
 
 Result<std::vector<InstanceId>> Database::InstancesOf(
     const std::string& class_name) {
@@ -983,6 +1305,9 @@ Result<std::vector<EdgeId>> Database::EdgesOf(InstanceId id,
 // --- Maintenance ---------------------------------------------------------------
 
 Status Database::Reorganize() {
+  // Fold the shared read path's deferred touches into the access counts
+  // before using them for placement.
+  cache_.DrainTouches(&access_counts_);
   cluster::ClusterInput input;
   input.block_capacity = options_.block_size;
   input.access_counts = access_counts_;

@@ -12,15 +12,18 @@
 // Database-level convenience methods run one-operation auto-commit
 // transactions.
 //
-// THREADING: Database and everything below it (ObjectCache, BufferPool,
-// EvalEngine, ...) are single-threaded. The paper's multi-user
-// concurrency is timestamp ordering over *interleaved* operations, not
-// parallel ones; concurrent clients go through the service layer
-// (src/server), whose Executor serializes statements behind one mutex.
-// The public entry points carry a ThreadSerialGuard that aborts with a
-// diagnostic if two threads ever enter at once — including
-// SnapshotMetrics(), which reads live counters and is NOT safe to call
-// concurrently with operations (use server::Executor::SnapshotMetrics()
+// THREADING: mutating entry points are single-threaded — concurrent
+// clients go through the service layer (src/server), whose Executor
+// serializes mutating statements behind the exclusive side of a
+// reader/writer statement lock. Read-only statements may instead run
+// concurrently under the shared side, but only through the explicitly
+// shared entry points (TryGetShared, InstancesOfShared,
+// TrySelectWhereShared, TryMembersOfSubtypeShared): those touch nothing
+// but already-cached, up-to-date state (plus the atomic read_ts marks)
+// and report a miss so the caller can retry under the exclusive lock.
+// Every other entry point — including SnapshotMetrics(), which reads
+// live counters — is exclusive-only; a ThreadSharedGuard aborts with a
+// diagnostic on any violation (use server::Executor::SnapshotMetrics()
 // when a server is running).
 //
 // Usage:
@@ -36,7 +39,9 @@
 #ifndef CACTIS_CORE_DATABASE_H_
 #define CACTIS_CORE_DATABASE_H_
 
+#include <deque>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -141,7 +146,26 @@ class Transaction {
   Status Disconnect(EdgeId edge);
 
   /// Commits; the transaction's delta is appended to the version history.
+  /// Equivalent to StageCommit + WaitCommitDurable + FinishCommit.
   Status Commit();
+
+  // Split-phase commit for the service layer's group-commit path: Stage
+  // under the exclusive statement lock, wait for durability WITHOUT the
+  // lock (so other statements proceed while the WAL flush leader is on
+  // the disk), then finish under the exclusive lock again.
+
+  /// Stages the commit in the WAL's group-commit queue and closes the
+  /// transaction. Returns the WAL ticket, or 0 when no journaling was
+  /// needed (empty delta or WAL disabled) and the commit completed here.
+  Result<uint64_t> StageCommit();
+
+  /// Blocks until ticket's batch is flushed; pass the result to
+  /// FinishCommit. Must NOT be called under the statement lock.
+  Status WaitCommitDurable(uint64_t ticket);
+
+  /// Publishes (or, on flush failure, aborts) the staged commit. Returns
+  /// the overall commit status.
+  Status FinishCommit(uint64_t ticket, Status durable);
 
   /// The Undo meta-action: rolls this transaction back. "This meta-action
   /// allows the user to freely explore the database, knowing that no
@@ -260,6 +284,44 @@ class Database {
   Result<std::vector<InstanceId>> MembersOfSubtype(const std::string& name);
 
   Result<ClassId> ClassOf(InstanceId id);
+
+  // --- Shared (concurrent) read path --------------------------------------
+  //
+  // These entry points may be called from any number of threads holding
+  // the *shared* side of the service layer's statement lock. They answer
+  // only from already-cached, up-to-date state; a disengaged optional
+  // means "fast path miss — retry under the exclusive lock", never an
+  // error. An engaged optional carries exactly the result the exclusive
+  // path would have produced.
+
+  /// Shared-path Get/Peek. `t` may be null (auto-commit read; a fresh
+  /// timestamp is issued for the CC check). `subscribe` distinguishes
+  /// Get (true) from Peek (false); a Get of a not-yet-subscribed derived
+  /// attribute misses, because subscribing mutates the instance.
+  std::optional<Result<Value>> TryGetShared(Transaction* t, InstanceId id,
+                                            const std::string& attr,
+                                            bool subscribe);
+
+  /// Shared-path InstancesOf. Never misses: the class index is only
+  /// reshaped under the exclusive lock.
+  Result<std::vector<InstanceId>> InstancesOfShared(
+      const std::string& class_name);
+
+  /// Shared-path MembersOfSubtype. Misses when any member's predicate is
+  /// out of date (the exclusive path would re-evaluate it).
+  std::optional<Result<std::vector<InstanceId>>> TryMembersOfSubtypeShared(
+      const std::string& name);
+
+  /// Shared-path SelectWhere. Misses when any touched instance is not
+  /// cached or any needed derived value is out of date.
+  std::optional<Result<std::vector<InstanceId>>> TrySelectWhereShared(
+      const std::string& class_name, const std::string& predicate_source);
+
+  /// Publishes every commit whose WAL batch has been flushed. Exclusive
+  /// lock required. Called by the service layer before reading state that
+  /// depends on the committed history (version meta-actions, metrics
+  /// snapshots, shutdown).
+  Status DrainCommits();
 
   /// Ad-hoc query: the instances of `class_name` for which the
   /// data-language boolean expression holds (it may read any attribute,
@@ -412,6 +474,21 @@ class Database {
   Status OpCommit(Transaction* t);
   Status OpUndo(Transaction* t);
 
+  // Split-phase commit (see Transaction::StageCommit). A commit whose
+  // delta must be journaled is staged in the WAL's group-commit queue and
+  // parked in pending_commits_; it is published (version store append +
+  // counters + trace) only once its batch is durable, in ticket order, so
+  // the version history always matches the WAL.
+  Result<uint64_t> CommitStage(Transaction* t);
+  Status CommitPublish(Transaction* t, uint64_t ticket, Status durable);
+  /// Publishes pending commits with ticket <= `ticket`, front to back.
+  /// Entries whose WAL flush failed are dropped and counted as aborts
+  /// (their owner's ForgetTicket happens in CommitPublish).
+  void PublishDurableUpTo(uint64_t ticket);
+  /// Removes the pending entry for `ticket`, if present. Returns whether
+  /// an entry was dropped.
+  bool DropPendingCommit(uint64_t ticket);
+
   /// Core mutators (log + mutate + mark; no importance evaluation, no
   /// abort handling). `log` is null during undo/redo replay.
   Result<InstanceId> DoCreate(txn::TransactionDelta* log,
@@ -477,10 +554,17 @@ class Database {
   /// abort is.
   void NoteTxnAborted(TxnId id);
 
+  struct PendingCommit {
+    uint64_t ticket;
+    TxnId txn;
+    txn::TransactionDelta delta;
+  };
+
   DatabaseOptions options_;
-  // Detects unsynchronized concurrent entry into the single-threaded
-  // core (see the class comment; entry points in database.cc).
-  mutable ThreadSerialGuard serial_guard_;
+  // Detects unsynchronized concurrent entry: exclusive entry points
+  // conflict with everything, shared entry points only with exclusive
+  // ones (see the class comment; entry points in database.cc).
+  mutable ThreadSharedGuard serial_guard_;
   // Declared before the storage stack: components hold pointers into the
   // registry and trace sink, so these must outlive them.
   obs::MetricsRegistry metrics_;
@@ -496,6 +580,8 @@ class Database {
   txn::TimestampManager tsm_;
   txn::VersionStore versions_;
   std::unique_ptr<txn::WriteAheadLog> wal_;
+  // Staged-but-unpublished commits, in WAL ticket order.
+  std::deque<PendingCommit> pending_commits_;
 
   // Registry-owned transaction instruments (see ctor for registration).
   obs::Counter* txn_begun_ = nullptr;

@@ -64,6 +64,29 @@ Status ObjectCache::Insert(Instance inst) {
   return Status::OK();
 }
 
+const Instance* ObjectCache::PeekCached(InstanceId id) const {
+  CACTIS_SHARED_GUARD(serial_guard_);
+  auto it = cache_.find(id);
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
+void ObjectCache::NoteSharedTouch(InstanceId id) {
+  TouchShard& shard =
+      touch_shards_[std::hash<InstanceId>{}(id) % kTouchShards];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  if (shard.touches.size() < kTouchShardCapacity) shard.touches.push_back(id);
+}
+
+void ObjectCache::DrainTouches(
+    std::unordered_map<InstanceId, uint64_t>* counts) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
+  for (TouchShard& shard : touch_shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (InstanceId id : shard.touches) ++(*counts)[id];
+    shard.touches.clear();
+  }
+}
+
 Status ObjectCache::Remove(InstanceId id) {
   CACTIS_SERIAL_GUARD(serial_guard_);
   ++generation_;  // Delete below can fault; prior handles go stale.

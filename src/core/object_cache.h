@@ -16,17 +16,24 @@
 // still from the current generation. Debug builds assert freshness when a
 // cached copy is written through; tests assert it directly.
 //
-// THREADING: like the rest of the storage stack, the cache is
-// single-threaded — callers (Database, and through it the server
-// executor) serialise all access. A ThreadSerialGuard aborts loudly if
-// two threads ever race into a mutating operation.
+// THREADING: mutating operations are exclusive — callers (Database, and
+// through it the server executor) serialise them behind the exclusive
+// statement lock, and a ThreadSharedGuard aborts loudly if two threads
+// ever race into one. The read path is different: statements running
+// under the *shared* statement lock may PeekCached() concurrently. A
+// peek performs no LRU bookkeeping (it would race); instead readers
+// record deferred touches into small sharded buffers (NoteSharedTouch)
+// that the reorganizer drains into the access counts, so hot-set
+// clustering still sees read traffic.
 
 #ifndef CACTIS_CORE_OBJECT_CACHE_H_
 #define CACTIS_CORE_OBJECT_CACHE_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/thread_guard.h"
 #include "core/instance.h"
@@ -54,6 +61,21 @@ class ObjectCache : public storage::ResidencyListener {
   /// Removes the instance from cache and store.
   Status Remove(InstanceId id);
 
+  /// Shared read path: returns the decoded copy if (and only if) it is
+  /// already cached; never faults, never bumps the generation, never
+  /// touches LRU state. Safe from any number of threads holding the
+  /// shared statement lock — the pointer stays valid while that lock is
+  /// held, because every invalidating operation is exclusive.
+  const Instance* PeekCached(InstanceId id) const;
+
+  /// Records a read hit from the shared path for later LRU/clustering
+  /// accounting. Lock-striped; drops the touch if its shard is full.
+  void NoteSharedTouch(InstanceId id);
+
+  /// Drains all deferred touches, adding one count per touch into
+  /// `counts`. Exclusive-lock only (the reorganizer).
+  void DrainTouches(std::unordered_map<InstanceId, uint64_t>* counts);
+
   bool IsCached(InstanceId id) const { return cache_.contains(id); }
 
   /// Current cache generation; bumped by every operation that can fault
@@ -74,13 +96,22 @@ class ObjectCache : public storage::ResidencyListener {
  private:
   void IndexUnderBlock(InstanceId id);
 
+  static constexpr size_t kTouchShards = 8;
+  static constexpr size_t kTouchShardCapacity = 4096;
+
+  struct TouchShard {
+    std::mutex mu;
+    std::vector<InstanceId> touches;
+  };
+
   const schema::Catalog* catalog_;
   storage::RecordStore* store_;
-  mutable ThreadSerialGuard serial_guard_;
+  mutable ThreadSharedGuard serial_guard_;
   uint64_t generation_ = 0;
   std::unordered_map<InstanceId, std::unique_ptr<Instance>> cache_;
   std::unordered_map<BlockId, std::unordered_set<InstanceId>> by_block_;
   std::unordered_map<InstanceId, BlockId> block_of_;
+  mutable TouchShard touch_shards_[kTouchShards];
 };
 
 }  // namespace cactis::core

@@ -71,6 +71,26 @@ bool IsAbort(const Status& s) {
   return s.IsTransactionAborted() || s.IsConflict();
 }
 
+/// Tracks live/peak reader concurrency while a shared-lock statement is
+/// in flight.
+class ReaderScope {
+ public:
+  explicit ReaderScope(ServerStats* stats) : stats_(stats) {
+    uint64_t active =
+        stats_->readers_active.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t peak = stats_->readers_peak.load(std::memory_order_relaxed);
+    while (active > peak && !stats_->readers_peak.compare_exchange_weak(
+                                peak, active, std::memory_order_relaxed)) {
+    }
+  }
+  ~ReaderScope() {
+    stats_->readers_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  ServerStats* const stats_;
+};
+
 bool IsConflictAbort(const Status& s) {
   // MaybeAbort wraps the triggering status into the abort message, so a
   // timestamp-ordering conflict reads "... aborted: Conflict: ...".
@@ -130,10 +150,18 @@ void ServerStats::ExportTo(obs::MetricsGroup* g) const {
   g->AddCounter("sessions_expired", load(sessions_expired));
   g->AddCounter("queue_depth_peak", load(queue_depth_peak));
   g->AddGauge("queue_depth", static_cast<double>(load(queue_depth)));
+  g->AddCounter("shared_lock_acquisitions", load(shared_lock_acquisitions));
+  g->AddCounter("fast_path_reads", load(fast_path_reads));
+  g->AddCounter("fast_path_fallbacks", load(fast_path_fallbacks));
+  g->AddGauge("reader_concurrency", static_cast<double>(load(readers_active)));
+  g->AddCounter("reader_concurrency_peak", load(readers_peak));
   g->AddCounter("statement_latency_count", load(latency_count));
   g->AddCounter("statement_latency_sum_us", load(latency_sum_us));
   g->AddGauge("statement_latency_p50_us", LatencyQuantileUs(0.5));
   g->AddGauge("statement_latency_p99_us", LatencyQuantileUs(0.99));
+  g->AddGauge("statement_latency_p999_us", LatencyQuantileUs(0.999));
+  g->AddGauge("statement_latency_max_us",
+              static_cast<double>(load(latency_max_us)));
 }
 
 Executor::Executor(core::Database* db, ServerOptions options)
@@ -208,6 +236,13 @@ void Executor::Shutdown() {
 
   // Expire every session; open transactions roll back.
   DisposeSessions(sessions_.TakeAll(), /*expired=*/false);
+
+  // Publish any staged commits whose batches flushed (their owners were
+  // already acknowledged) so the final state matches what clients saw.
+  {
+    std::lock_guard<std::shared_mutex> dlk(db_mu_);
+    (void)db_->DrainCommits();
+  }
 }
 
 Result<SessionId> Executor::OpenSession() {
@@ -235,7 +270,7 @@ Status Executor::CloseSession(SessionId id) {
 void Executor::DisposeSessions(std::vector<std::shared_ptr<Session>> dead,
                                bool expired) {
   if (dead.empty()) return;
-  std::lock_guard<std::mutex> dlk(db_mu_);
+  std::lock_guard<std::shared_mutex> dlk(db_mu_);
   for (auto& s : dead) {
     // The session is out of the table and marked closed; nothing else
     // touches it. Destroying an open transaction rolls it back.
@@ -327,12 +362,15 @@ void Executor::WorkerLoop() {
 }
 
 Status Executor::LoadSchema(std::string_view source) {
-  std::lock_guard<std::mutex> dlk(db_mu_);
+  std::lock_guard<std::shared_mutex> dlk(db_mu_);
   return db_->LoadSchema(source);
 }
 
 std::string Executor::SnapshotMetrics() {
-  std::lock_guard<std::mutex> dlk(db_mu_);
+  std::lock_guard<std::shared_mutex> dlk(db_mu_);
+  // Publish every already-durable staged commit first, so the committed-
+  // transaction gauge and WAL counters agree with what clients were told.
+  (void)db_->DrainCommits();
   return db_->SnapshotMetrics();
 }
 
@@ -372,9 +410,17 @@ Response Executor::Process(Task* task) {
       break;
     }
     {
-      std::lock_guard<std::mutex> dlk(db_mu_);
+      // Latency includes the statement-lock wait: that contention is the
+      // very thing the reader/writer split is meant to shrink.
       const uint64_t t0 = NowUs();
-      result = ExecuteStatement(session.get(), &*parsed);
+      if (IsReadOnlyStatement(*parsed)) {
+        result = ExecuteReadStatement(session.get(), &*parsed);
+      } else if (parsed->kind == StatementKind::kCommit) {
+        result = ExecuteCommitStatement(session.get());
+      } else {
+        std::lock_guard<std::shared_mutex> dlk(db_mu_);
+        result = ExecuteStatement(session.get(), &*parsed);
+      }
       const uint64_t dt = NowUs() - t0;
       resp.metrics.exec_us += dt;
       stats_.RecordLatencyUs(dt);
@@ -420,6 +466,150 @@ Result<InstanceId> Executor::Resolve(Session* s, const Target& t) {
                             ")");
   }
   return it->second;
+}
+
+StatementResult Executor::ExecuteReadStatement(Session* s, Statement* st) {
+  // `fetch` reads only session-local cursor state (protected by the
+  // session mutex, which the caller holds): no database, no lock.
+  if (st->kind == StatementKind::kFetch) {
+    StatementResult r;
+    if (s->cursor_pos >= s->cursor.size()) {
+      r.payload = "end";
+      return r;
+    }
+    size_t take = std::min(static_cast<size_t>(st->count),
+                           s->cursor.size() - s->cursor_pos);
+    for (size_t i = 0; i < take; ++i) {
+      if (i > 0) r.payload += ' ';
+      r.payload += FormatInstance(s->cursor[s->cursor_pos + i]);
+    }
+    s->cursor_pos += take;
+    return r;
+  }
+
+  {
+    std::shared_lock<std::shared_mutex> dlk(db_mu_);
+    stats_.shared_lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    ReaderScope readers(&stats_);
+    std::optional<StatementResult> fast = TryExecuteReadShared(s, st);
+    if (fast.has_value()) {
+      stats_.fast_path_reads.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*fast);
+    }
+  }
+  // The cached state could not answer (block not resident, derived value
+  // out of date, unsubscribed, or a CC conflict that must abort
+  // properly): run the full statement exclusively.
+  stats_.fast_path_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::shared_mutex> dlk(db_mu_);
+  return ExecuteStatement(s, st);
+}
+
+std::optional<StatementResult> Executor::TryExecuteReadShared(Session* s,
+                                                              Statement* st) {
+  StatementResult r;
+  switch (st->kind) {
+    case StatementKind::kGet:
+    case StatementKind::kPeek: {
+      auto id = Resolve(s, st->a);
+      if (!id.ok()) {
+        r.status = id.status();
+        return r;
+      }
+      // Peek is an auto-commit read regardless of any open transaction
+      // (same as the exclusive path); Get reads through the session's
+      // transaction when one is open.
+      const bool is_get = st->kind == StatementKind::kGet;
+      core::Transaction* txn = is_get ? s->txn.get() : nullptr;
+      auto v = db_->TryGetShared(txn, *id, st->attr_a, /*subscribe=*/is_get);
+      if (!v.has_value()) return std::nullopt;
+      if (!v->ok()) {
+        // Only definitive errors (e.g. unknown attribute) come back
+        // engaged; conflicts miss instead, so no abort handling here.
+        r.status = v->status();
+        return r;
+      }
+      r.payload = (*v)->ToString();
+      return r;
+    }
+    case StatementKind::kInstances: {
+      auto ids = db_->InstancesOfShared(st->class_name);
+      if (!ids.ok()) {
+        r.status = ids.status();
+        return r;
+      }
+      s->cursor = std::move(*ids);
+      s->cursor_pos = 0;
+      r.payload = "count=" + std::to_string(s->cursor.size());
+      return r;
+    }
+    case StatementKind::kMembers: {
+      auto ids = db_->TryMembersOfSubtypeShared(st->class_name);
+      if (!ids.has_value()) return std::nullopt;
+      if (!ids->ok()) {
+        r.status = ids->status();
+        return r;
+      }
+      s->cursor = std::move(**ids);
+      s->cursor_pos = 0;
+      r.payload = "count=" + std::to_string(s->cursor.size());
+      return r;
+    }
+    case StatementKind::kSelect: {
+      auto ids = db_->TrySelectWhereShared(st->class_name, st->predicate);
+      if (!ids.has_value()) return std::nullopt;
+      if (!ids->ok()) {
+        r.status = ids->status();
+        return r;
+      }
+      s->cursor = std::move(**ids);
+      s->cursor_pos = 0;
+      r.payload = "count=" + std::to_string(s->cursor.size());
+      return r;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+StatementResult Executor::ExecuteCommitStatement(Session* s) {
+  StatementResult r;
+  if (s->txn == nullptr) {
+    r.status = Status::InvalidArgument("no open transaction");
+    return r;
+  }
+  // Phase 1 (exclusive): stage the delta in the WAL's group-commit queue.
+  uint64_t ticket = 0;
+  {
+    std::lock_guard<std::shared_mutex> dlk(db_mu_);
+    auto staged = s->txn->StageCommit();
+    if (!staged.ok()) {
+      s->txn.reset();
+      ++s->aborts;
+      r.status = staged.status();
+      return r;
+    }
+    ticket = *staged;
+  }
+  // Phase 2 (no lock): wait for the batch flush. Other statements — and
+  // other commits, which batch into the same WAL write — run meanwhile.
+  Status durable = s->txn->WaitCommitDurable(ticket);
+  // Phase 3 (exclusive): publish, or record the abort on flush failure.
+  Status status;
+  {
+    std::lock_guard<std::shared_mutex> dlk(db_mu_);
+    status = s->txn->FinishCommit(ticket, std::move(durable));
+  }
+  s->txn.reset();
+  if (status.ok()) {
+    ++s->commits;
+    r.payload = "committed";
+    r.status = status;
+  } else {
+    ++s->aborts;
+    r.status = status;
+  }
+  return r;
 }
 
 StatementResult Executor::ExecuteStatement(Session* s, Statement* st) {

@@ -15,21 +15,35 @@
 //   `begin; set obj(7).val = val + 1; commit`.
 //
 // * Concurrency discipline. Workers parse statements in parallel
-//   (parsing is pure), serialize on the session mutex (one batch per
-//   session at a time), and serialize every Database call behind one
-//   statement mutex: the core is single-threaded by design, and the
-//   paper's multi-user concurrency is timestamp ordering over
-//   *interleaved* statements, not parallel ones. A session's explicit
-//   transaction spans many requests, so statements of different sessions
-//   interleave between its operations — exactly the workload the
-//   timestamp concurrency control of src/txn arbitrates. Conflicts
-//   surface as clean kAborted responses; the client retries.
+//   (parsing is pure) and serialize on the session mutex (one batch per
+//   session at a time). Database access goes through a reader/writer
+//   statement lock: mutating statements hold it exclusively (the
+//   mutation path of the core is single-threaded by design), while
+//   read-only statements (get/peek/select/instances/members) take the
+//   shared side and run concurrently through the Database's shared
+//   fast-path entry points — falling back to the exclusive side when the
+//   fast path cannot answer from cached, up-to-date state. `fetch` only
+//   advances the session cursor and takes no lock at all. The paper's
+//   multi-user concurrency is still timestamp ordering over interleaved
+//   mutations; concurrent readers participate through atomic read-mark
+//   updates. Conflicts surface as clean kAborted responses; the client
+//   retries.
+//
+// * Group commit. `commit` is split-phase: the delta is staged in the
+//   WAL's group-commit queue under the exclusive lock, the durability
+//   wait happens with NO statement lock held (so other statements — and
+//   other commits, which batch into one WAL write — proceed during the
+//   flush), and the commit is published under the exclusive lock once
+//   durable. See DESIGN.md "Group commit".
 //
 // * Observability. The executor registers a "server" metrics group with
 //   the database's registry: queue depth gauge, admission rejections,
-//   active sessions, per-statement latency histogram (with p50/p99
-//   gauges). Snapshot through Executor::SnapshotMetrics(), which takes
-//   the statement mutex — Database::SnapshotMetrics() itself is as
+//   active sessions, per-statement latency histogram (with p50/p99/p999
+//   and max gauges), shared-lock acquisitions, fast-path hit/fallback
+//   counters, and a live/peak reader-concurrency gauge. (WAL batch-size
+//   counters live in the "wal" group.) Snapshot through
+//   Executor::SnapshotMetrics(), which takes the statement lock
+//   exclusively — Database::SnapshotMetrics() itself is as
 //   single-threaded as the rest of the core.
 
 #ifndef CACTIS_SERVER_EXECUTOR_H_
@@ -43,6 +57,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -85,18 +101,30 @@ struct ServerStats {
   std::atomic<uint64_t> queue_depth{0};
   std::atomic<uint64_t> queue_depth_peak{0};
 
+  // Concurrent read path.
+  std::atomic<uint64_t> shared_lock_acquisitions{0};
+  std::atomic<uint64_t> fast_path_reads{0};      // answered under shared lock
+  std::atomic<uint64_t> fast_path_fallbacks{0};  // retried exclusively
+  std::atomic<uint64_t> readers_active{0};       // live gauge
+  std::atomic<uint64_t> readers_peak{0};
+
   /// Per-statement latency, power-of-two microsecond buckets (same
   /// shape as obs::Histogram, but atomic).
   static constexpr size_t kLatencyBuckets = 32;
   std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets{};
   std::atomic<uint64_t> latency_count{0};
   std::atomic<uint64_t> latency_sum_us{0};
+  std::atomic<uint64_t> latency_max_us{0};
 
   void RecordLatencyUs(uint64_t us) {
     latency_buckets[obs::Histogram::BucketOf(us)].fetch_add(
         1, std::memory_order_relaxed);
     latency_count.fetch_add(1, std::memory_order_relaxed);
     latency_sum_us.fetch_add(us, std::memory_order_relaxed);
+    uint64_t prev = latency_max_us.load(std::memory_order_relaxed);
+    while (us > prev && !latency_max_us.compare_exchange_weak(
+                            prev, us, std::memory_order_relaxed)) {
+    }
   }
 
   /// Quantile estimate from the buckets (upper bucket bound), e.g.
@@ -168,7 +196,18 @@ class Executor {
 
   void WorkerLoop();
   Response Process(Task* task);
+  /// Exclusive-lock statement execution (caller holds db_mu_ exclusive).
   StatementResult ExecuteStatement(Session* s, Statement* st);
+  /// Read-only statement: shared lock + fast path, exclusive fallback.
+  /// Takes db_mu_ itself.
+  StatementResult ExecuteReadStatement(Session* s, Statement* st);
+  /// Shared fast path proper (caller holds db_mu_ shared). nullopt means
+  /// the cached state could not answer — retry exclusively.
+  std::optional<StatementResult> TryExecuteReadShared(Session* s,
+                                                      Statement* st);
+  /// Split-phase commit (stage / wait durable / publish). Takes db_mu_
+  /// itself, releasing it around the durability wait.
+  StatementResult ExecuteCommitStatement(Session* s);
   Result<InstanceId> Resolve(Session* s, const Target& t);
 
   /// Rolls back and destroys expired/closed sessions' transactions under
@@ -182,8 +221,10 @@ class Executor {
   SessionManager sessions_;
   ServerStats stats_;
 
-  /// THE statement mutex: all Database access goes through it.
-  std::mutex db_mu_;
+  /// THE statement lock: all Database access goes through it. Mutating
+  /// statements hold it exclusively; read-only statements hold it shared
+  /// and use the Database's shared fast-path entry points.
+  std::shared_mutex db_mu_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -1,5 +1,7 @@
 #include "server/session.h"
 
+#include <algorithm>
+
 namespace cactis::server {
 
 std::shared_ptr<Session> SessionManager::Open(uint64_t now_ms) {
@@ -37,17 +39,30 @@ std::vector<std::shared_ptr<Session>> SessionManager::ReapExpired(
     uint64_t now_ms) {
   std::vector<std::shared_ptr<Session>> dead;
   if (timeout_ms_ == 0) return dead;
+  // Watermark early-out: no session's deadline has arrived, so skip the
+  // table scan (and the manager lock) entirely. This runs on every
+  // request, so it must stay one atomic load in the common case.
+  if (now_ms < next_deadline_ms_.load(std::memory_order_relaxed)) {
+    return dead;
+  }
   std::lock_guard<std::mutex> lk(mu_);
+  // With the table empty the next possible deadline is a full timeout
+  // away (a session opened right now expires no earlier).
+  uint64_t soonest = now_ms + timeout_ms_;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     Session& s = *it->second;
     uint64_t last = s.last_active_ms.load(std::memory_order_relaxed);
     if (now_ms - last < timeout_ms_) {
+      soonest = std::min(soonest, last + timeout_ms_);
       ++it;
       continue;
     }
-    // A held mutex means a batch is executing right now: active.
+    // A held mutex means a batch is executing right now: active. Its
+    // last_active refresh may race this scan, so re-check immediately on
+    // the next call rather than trusting a deadline.
     std::unique_lock<std::mutex> slk(s.mu, std::try_to_lock);
     if (!slk.owns_lock()) {
+      soonest = now_ms;
       ++it;
       continue;
     }
@@ -55,6 +70,7 @@ std::vector<std::shared_ptr<Session>> SessionManager::ReapExpired(
     dead.push_back(std::move(it->second));
     it = sessions_.erase(it);
   }
+  next_deadline_ms_.store(soonest, std::memory_order_relaxed);
   return dead;
 }
 

@@ -91,6 +91,10 @@ class SessionManager {
   /// Removes every session idle past the timeout and returns the corpses
   /// for disposal. Sessions whose mutex is currently held (a batch is
   /// executing) are skipped — they are active by definition.
+  ///
+  /// Cheap on the hot path: a next-deadline watermark makes the common
+  /// call (nothing can have expired yet) a single atomic load with no
+  /// table scan and no manager lock.
   std::vector<std::shared_ptr<Session>> ReapExpired(uint64_t now_ms);
 
   /// Removes and returns every session (server shutdown). Waits for
@@ -104,6 +108,11 @@ class SessionManager {
   mutable std::mutex mu_;
   uint64_t next_id_ = 0;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  /// Earliest time any current session could expire, set by each full
+  /// scan. ReapExpired returns immediately while now < watermark. 0
+  /// (initial) forces the first scan. Conservative by construction:
+  /// activity only pushes real deadlines later, never earlier.
+  std::atomic<uint64_t> next_deadline_ms_{0};
 };
 
 }  // namespace cactis::server

@@ -82,6 +82,25 @@ struct Statement {
   int64_t count = 1;       // fetch N
 };
 
+/// True for statements the executor may run under the *shared* side of
+/// its statement lock: they never mutate database state through the fast
+/// path (get/peek answer only from cached, up-to-date values; fetch only
+/// advances the session cursor). Everything else — including commit,
+/// which has its own split-phase path — requires the exclusive side.
+inline bool IsReadOnlyStatement(const Statement& st) {
+  switch (st.kind) {
+    case StatementKind::kGet:
+    case StatementKind::kPeek:
+    case StatementKind::kSelect:
+    case StatementKind::kInstances:
+    case StatementKind::kMembers:
+    case StatementKind::kFetch:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Parses one statement. Pure; thread-safe.
 Result<Statement> ParseStatement(std::string_view text);
 

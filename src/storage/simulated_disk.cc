@@ -1,5 +1,8 @@
 #include "storage/simulated_disk.h"
 
+#include <chrono>
+#include <thread>
+
 namespace cactis::storage {
 
 namespace {
@@ -14,6 +17,7 @@ void FlipMiddleBit(std::string* content) {
 }  // namespace
 
 BlockId SimulatedDisk::Allocate() {
+  std::lock_guard<std::mutex> lk(mu_);
   // Allocation is directory bookkeeping, not data I/O; it cannot fault.
   // A crashed disk hands back the invalid id, which any subsequent access
   // turns into an IoError.
@@ -31,6 +35,7 @@ BlockId SimulatedDisk::Allocate() {
 }
 
 Status SimulatedDisk::Free(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (crashed_) return CrashedError();
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
@@ -44,6 +49,7 @@ Status SimulatedDisk::Free(BlockId id) {
 }
 
 Result<std::string> SimulatedDisk::Read(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (crashed_) return CrashedError();
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
@@ -82,6 +88,7 @@ Result<std::string> SimulatedDisk::Read(BlockId id) {
 }
 
 Status SimulatedDisk::Write(BlockId id, std::string content) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (crashed_) return CrashedError();
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
@@ -126,10 +133,17 @@ Status SimulatedDisk::Write(BlockId id, std::string content) {
   }
   ++stats_.writes;
   it->second = std::move(content);
+  uint64_t latency = write_latency_us_.load(std::memory_order_relaxed);
+  if (latency != 0) {
+    // One head: sleep under the device mutex, so concurrent callers queue
+    // behind this write exactly as they would on real hardware.
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
   return Status::OK();
 }
 
 Result<std::string> SimulatedDisk::PeekRaw(BlockId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("no such block on platter: " +
@@ -139,6 +153,7 @@ Result<std::string> SimulatedDisk::PeekRaw(BlockId id) const {
 }
 
 Status SimulatedDisk::FlipBitForTesting(BlockId id, size_t bit_index) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("no such block on platter: " +

@@ -16,7 +16,9 @@
 #ifndef CACTIS_STORAGE_SIMULATED_DISK_H_
 #define CACTIS_STORAGE_SIMULATED_DISK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -72,6 +74,13 @@ struct DiskStats {
 /// A block-addressed in-memory store standing in for a disk. Blocks have a
 /// fixed capacity in bytes; the record store enforces it. Reading or
 /// writing a block bumps the corresponding counter.
+///
+/// Block operations are internally serialized by a mutex: a WAL group-
+/// commit flush leader writes log blocks while an exclusive statement may
+/// concurrently do buffer-pool I/O, and the two must not corrupt the
+/// directory. stats()/write_attempts()/read_attempts() return unlocked
+/// references and are only meaningful when the disk is quiescent (every
+/// caller snapshots between statements, after draining pending commits).
 class SimulatedDisk {
  public:
   /// `block_size` is the usable bytes per block.
@@ -96,8 +105,14 @@ class SimulatedDisk {
   /// injection). Content must fit in block_size() bytes.
   Status Write(BlockId id, std::string content);
 
-  bool IsAllocated(BlockId id) const { return blocks_.contains(id); }
-  size_t num_allocated_blocks() const { return blocks_.size(); }
+  bool IsAllocated(BlockId id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return blocks_.contains(id);
+  }
+  size_t num_allocated_blocks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return blocks_.size();
+  }
 
   // --- Fault injection ----------------------------------------------------
 
@@ -125,6 +140,14 @@ class SimulatedDisk {
   uint64_t write_attempts() const { return write_attempts_; }
   uint64_t read_attempts() const { return read_attempts_; }
 
+  /// Models platter seek/transfer time: every successful Write sleeps
+  /// this long while holding the device (one head — concurrent callers
+  /// queue). 0 (the default) keeps the disk instantaneous. Benchmarks use
+  /// this to create realistic commit pressure for WAL group commit.
+  void set_write_latency_us(uint64_t us) {
+    write_latency_us_.store(us, std::memory_order_relaxed);
+  }
+
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
 
@@ -133,6 +156,7 @@ class SimulatedDisk {
     return Status::IoError("simulated disk has crashed (fail-stop)");
   }
 
+  mutable std::mutex mu_;
   size_t block_size_;
   uint64_t next_block_ = 0;
   std::unordered_map<BlockId, std::string> blocks_;
@@ -143,6 +167,7 @@ class SimulatedDisk {
   bool crashed_ = false;
   uint64_t write_attempts_ = 0;
   uint64_t read_attempts_ = 0;
+  std::atomic<uint64_t> write_latency_us_{0};
 };
 
 }  // namespace cactis::storage

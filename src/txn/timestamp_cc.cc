@@ -3,31 +3,56 @@
 namespace cactis::txn {
 
 Status TimestampManager::CheckRead(InstanceId id, uint64_t ts) {
-  ++stats_.reads_checked;
+  stats_.reads_checked.fetch_add(1, std::memory_order_relaxed);
   Marks& m = marks_[id];
-  if (ts < m.write_ts) {
-    ++stats_.read_rejections;
+  if (ts < m.write_ts.load(std::memory_order_relaxed)) {
+    stats_.read_rejections.fetch_add(1, std::memory_order_relaxed);
     return Status::Conflict(
         "read of instance " + std::to_string(id.value) + " by txn ts " +
         std::to_string(ts) + " arrives after write ts " +
-        std::to_string(m.write_ts));
+        std::to_string(m.write_ts.load(std::memory_order_relaxed)));
   }
-  if (ts > m.read_ts) m.read_ts = ts;
+  uint64_t cur = m.read_ts.load(std::memory_order_relaxed);
+  while (ts > cur &&
+         !m.read_ts.compare_exchange_weak(cur, ts,
+                                          std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 
+SharedReadCheck TimestampManager::CheckReadShared(InstanceId id, uint64_t ts) {
+  auto it = marks_.find(id);
+  if (it == marks_.end()) return SharedReadCheck::kUnknownInstance;
+  Marks& m = it->second;
+  if (ts < m.write_ts.load(std::memory_order_relaxed)) {
+    // The exclusive fallback re-runs CheckRead and counts the rejection.
+    return SharedReadCheck::kConflict;
+  }
+  // Atomic max: concurrent readers may race here; whichever loses the CAS
+  // reloads and retries, so the largest reader timestamp always sticks.
+  uint64_t cur = m.read_ts.load(std::memory_order_relaxed);
+  while (ts > cur &&
+         !m.read_ts.compare_exchange_weak(cur, ts,
+                                          std::memory_order_relaxed)) {
+  }
+  stats_.reads_checked.fetch_add(1, std::memory_order_relaxed);
+  return SharedReadCheck::kOk;
+}
+
 Status TimestampManager::CheckWrite(InstanceId id, uint64_t ts) {
-  ++stats_.writes_checked;
+  stats_.writes_checked.fetch_add(1, std::memory_order_relaxed);
   Marks& m = marks_[id];
-  if (ts < m.read_ts || ts < m.write_ts) {
-    ++stats_.write_rejections;
+  const uint64_t read_ts = m.read_ts.load(std::memory_order_relaxed);
+  const uint64_t write_ts = m.write_ts.load(std::memory_order_relaxed);
+  if (ts < read_ts || ts < write_ts) {
+    stats_.write_rejections.fetch_add(1, std::memory_order_relaxed);
     return Status::Conflict(
         "write of instance " + std::to_string(id.value) + " by txn ts " +
         std::to_string(ts) + " conflicts (read ts " +
-        std::to_string(m.read_ts) + ", write ts " +
-        std::to_string(m.write_ts) + ")");
+        std::to_string(read_ts) + ", write ts " + std::to_string(write_ts) +
+        ")");
   }
-  m.write_ts = ts;
+  m.write_ts.store(ts, std::memory_order_relaxed);
   return Status::OK();
 }
 

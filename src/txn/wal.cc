@@ -28,6 +28,8 @@ std::string_view WalEventKindToString(WalEventKind kind) {
       return "checkout";
     case WalEventKind::kVersion:
       return "version";
+    case WalEventKind::kBatch:
+      return "batch";
   }
   return "unknown";
 }
@@ -144,6 +146,10 @@ std::string EncodeEvent(const WalEvent& event) {
     case WalEventKind::kVersion:
       w.PutString(event.version_name);
       break;
+    case WalEventKind::kBatch:
+      // Batch containers are framed directly by WriteBatch (the members
+      // are each EncodeEvent'd); a kBatch WalEvent never exists.
+      break;
   }
   return w.Take();
 }
@@ -168,6 +174,10 @@ Result<WalEvent> DecodeEvent(std::string_view bytes) {
       CACTIS_ASSIGN_OR_RETURN(event.checkout_target, r.GetU64());
       break;
     }
+    case WalEventKind::kBatch:
+      // Unreachable: the kind range check above rejects batch containers
+      // (ScanPlatter unwraps them before DecodeEvent ever runs).
+      return EncodeFailure("batch container passed to DecodeEvent");
     case WalEventKind::kVersion: {
       CACTIS_ASSIGN_OR_RETURN(event.version_name, r.GetString());
       break;
@@ -212,10 +222,100 @@ Status WriteAheadLog::Initialize() {
 }
 
 Status WriteAheadLog::Append(const WalEvent& event) {
+  uint64_t ticket = Stage(event);
+  Status s = WaitDurable(ticket);
+  if (!s.ok()) ForgetTicket(ticket);
+  return s;
+}
+
+uint64_t WriteAheadLog::Stage(const WalEvent& event) {
+  StagedEntry entry;
+  entry.payload = EncodeEvent(event);
+  std::lock_guard<std::mutex> lk(group_mu_);
+  entry.ticket = ++next_ticket_;
+  if (trace_) {
+    // The trace sink is not thread-safe; Stage runs under the exclusive
+    // statement lock, so record here rather than at flush time. The
+    // subject is the ticket (== the platter seq in single-threaded runs).
+    trace_->Record(obs::SpanKind::kWalAppend, entry.ticket,
+                   entry.payload.size());
+  }
+  uint64_t ticket = entry.ticket;
+  staged_.push_back(std::move(entry));
+  return ticket;
+}
+
+Status WriteAheadLog::WaitDurable(uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(group_mu_);
+  for (;;) {
+    auto failed = failed_tickets_.find(ticket);
+    if (failed != failed_tickets_.end()) return failed->second;
+    if (resolved_ticket_ >= ticket) return Status::OK();
+    if (!flush_in_progress_) {
+      if (staged_.empty()) {
+        // Our entry is neither staged, resolved, nor in flight — cannot
+        // happen when Stage/WaitDurable are paired, but never spin.
+        group_cv_.wait(lk);
+        continue;
+      }
+      flush_in_progress_ = true;
+      std::vector<StagedEntry> batch(
+          std::make_move_iterator(staged_.begin()),
+          std::make_move_iterator(staged_.end()));
+      staged_.clear();
+      lk.unlock();
+      Status s = WriteBatch(batch);
+      lk.lock();
+      flush_in_progress_ = false;
+      if (!s.ok()) {
+        for (const StagedEntry& e : batch) failed_tickets_.emplace(e.ticket, s);
+      }
+      resolved_ticket_ = batch.back().ticket;
+      group_cv_.notify_all();
+      continue;
+    }
+    group_cv_.wait(lk);
+  }
+}
+
+bool WriteAheadLog::TicketFailed(uint64_t ticket) {
+  std::lock_guard<std::mutex> lk(group_mu_);
+  return failed_tickets_.contains(ticket);
+}
+
+void WriteAheadLog::ForgetTicket(uint64_t ticket) {
+  std::lock_guard<std::mutex> lk(group_mu_);
+  failed_tickets_.erase(ticket);
+}
+
+void WriteAheadLog::WaitIdle() {
+  std::unique_lock<std::mutex> lk(group_mu_);
+  group_cv_.wait(lk,
+                 [&] { return !flush_in_progress_ && staged_.empty(); });
+}
+
+uint64_t WriteAheadLog::ResolvedTicket() {
+  std::lock_guard<std::mutex> lk(group_mu_);
+  return resolved_ticket_;
+}
+
+Status WriteAheadLog::WriteBatch(const std::vector<StagedEntry>& batch) {
   if (!tail_block_.valid()) {
     return Status::Internal("WAL used before Initialize()");
   }
-  std::string payload = EncodeEvent(event);
+  // A batch of one is written exactly as a classic Append; a larger batch
+  // wraps its members in a kBatch container so the whole group costs one
+  // chained log entry.
+  std::string payload;
+  if (batch.size() == 1) {
+    payload = batch.front().payload;
+  } else {
+    BinaryWriter w;
+    w.PutU8(static_cast<uint8_t>(WalEventKind::kBatch));
+    w.PutU32(static_cast<uint32_t>(batch.size()));
+    for (const StagedEntry& e : batch) w.PutString(e.payload);
+    payload = w.Take();
+  }
   size_t cap = ChunkCapacity();
   size_t chunk_count = payload.empty() ? 1 : (payload.size() + cap - 1) / cap;
 
@@ -247,12 +347,16 @@ Status WriteAheadLog::Append(const WalEvent& event) {
   }
 
   tail_block_ = blocks.back();
-  if (trace_) {
-    trace_->Record(obs::SpanKind::kWalAppend, next_seq_, payload.size());
-  }
   ++next_seq_;
-  ++stats_.entries_appended;
+  stats_.entries_appended += batch.size();
   stats_.bytes_logged += payload.size();
+  ++stats_.group_batches;
+  stats_.group_batched_entries += batch.size();
+  size_t bucket = obs::Histogram::BucketOf(batch.size());
+  if (bucket >= WalStats::kBatchSizeBuckets) {
+    bucket = WalStats::kBatchSizeBuckets - 1;
+  }
+  ++stats_.batch_size_buckets[bucket];
   return Status::OK();
 }
 
@@ -308,9 +412,37 @@ Result<std::vector<WalEvent>> WriteAheadLog::ScanPlatter(
       next = BlockId(*next_value);
     }
     if (!complete) break;
-    Result<WalEvent> event = DecodeEvent(payload);
-    if (!event.ok()) break;  // defensively treat a bad payload as the tail
-    events.push_back(*std::move(event));
+    if (!payload.empty() &&
+        static_cast<uint8_t>(payload[0]) ==
+            static_cast<uint8_t>(WalEventKind::kBatch)) {
+      // Group-commit container: flatten its members in staging order.
+      BinaryReader br(payload);
+      (void)br.GetU8();
+      Result<uint32_t> count = br.GetU32();
+      if (!count.ok()) break;
+      bool batch_ok = true;
+      std::vector<WalEvent> members;
+      members.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        Result<std::string> piece = br.GetString();
+        if (!piece.ok()) {
+          batch_ok = false;
+          break;
+        }
+        Result<WalEvent> member = DecodeEvent(*piece);
+        if (!member.ok()) {
+          batch_ok = false;
+          break;
+        }
+        members.push_back(*std::move(member));
+      }
+      if (!batch_ok || !br.AtEnd()) break;  // bad payload: treat as the tail
+      for (WalEvent& member : members) events.push_back(std::move(member));
+    } else {
+      Result<WalEvent> event = DecodeEvent(payload);
+      if (!event.ok()) break;  // defensively treat a bad payload as the tail
+      events.push_back(*std::move(event));
+    }
     ++expected_seq;
     cursor = next;
   }

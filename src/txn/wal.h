@@ -31,8 +31,12 @@
 #ifndef CACTIS_TXN_WAL_H_
 #define CACTIS_TXN_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -53,6 +57,9 @@ enum class WalEventKind : uint8_t {
   kUndo = 2,      ///< the Undo meta-action popped the last commit
   kCheckout = 3,  ///< history repositioned to `checkout_target`
   kVersion = 4,   ///< the current position was named `version_name`
+  kBatch = 5,     ///< group-commit container: N events in one log entry.
+                  ///< Never carried in a WalEvent — ScanPlatter flattens
+                  ///< batches back into their member events.
 };
 
 std::string_view WalEventKindToString(WalEventKind kind);
@@ -98,14 +105,28 @@ std::string EncodeEvent(const WalEvent& event);
 Result<WalEvent> DecodeEvent(std::string_view bytes);
 
 struct WalStats {
+  static constexpr size_t kBatchSizeBuckets = 16;
+
   uint64_t entries_appended = 0;
   uint64_t blocks_written = 0;  ///< WAL block writes (the E-metric overhead)
   uint64_t bytes_logged = 0;
+  uint64_t group_batches = 0;          ///< flushes (one chained write each)
+  uint64_t group_batched_entries = 0;  ///< events carried by those flushes
+  /// Power-of-two batch-size histogram, same convention as obs::Histogram:
+  /// bucket i >= 1 counts flushes of [2^(i-1), 2^i) entries.
+  uint64_t batch_size_buckets[kBatchSizeBuckets] = {};
 
   void ExportTo(obs::MetricsGroup* g) const {
     g->AddCounter("entries_appended", entries_appended);
     g->AddCounter("blocks_written", blocks_written);
     g->AddCounter("bytes_logged", bytes_logged);
+    g->AddCounter("group_batches", group_batches);
+    g->AddCounter("group_batched_entries", group_batched_entries);
+    for (size_t i = 1; i < kBatchSizeBuckets; ++i) {
+      if (batch_size_buckets[i] == 0) continue;
+      g->AddCounter("batch_size_lt_" + std::to_string(uint64_t{1} << i),
+                    batch_size_buckets[i]);
+    }
   }
 };
 
@@ -126,7 +147,48 @@ class WriteAheadLog {
   /// Journals one event durably: the commit path calls this *before*
   /// acknowledging the transaction. On failure (crash, transient error)
   /// nothing is acknowledged and recovery will discard the partial entry.
+  /// Equivalent to Stage() + WaitDurable() + ForgetTicket-on-failure.
   Status Append(const WalEvent& event);
+
+  // --- Group commit --------------------------------------------------------
+  //
+  // Concurrent committers amortize disk appends: each caller Stages its
+  // event (cheap, returns a ticket), then blocks in WaitDurable. The
+  // first waiter with undurable work elects itself flush leader, drains
+  // the whole staging queue, and writes it as ONE chained log entry (a
+  // kBatch container when more than one event is staged — a batch of one
+  // is byte-identical to a classic Append). Followers sleep on a
+  // condition variable until the leader broadcasts the commit ack.
+  //
+  // Stage must run under the database's exclusive statement lock (it
+  // orders tickets against the in-memory commit order); WaitDurable must
+  // NOT hold that lock, so readers and other writers proceed while the
+  // leader is on the disk. A failed flush records a per-ticket failure
+  // status (queried via TicketFailed, released via ForgetTicket) and the
+  // un-advanced tail means the next flush rewrites the same chain — the
+  // same transient-error retry semantics Append always had.
+
+  /// Encodes and enqueues one event; returns its commit ticket. Tickets
+  /// are issued in WAL order: callers must invoke Stage in the order the
+  /// events must appear on the platter (i.e. under the exclusive lock).
+  uint64_t Stage(const WalEvent& event);
+
+  /// Blocks until the ticket's batch is flushed; returns the flush
+  /// outcome for this ticket. Must be called exactly once per ticket.
+  Status WaitDurable(uint64_t ticket);
+
+  /// True while `ticket` has a recorded flush failure.
+  bool TicketFailed(uint64_t ticket);
+
+  /// Releases the failure record for `ticket` (no-op if none).
+  void ForgetTicket(uint64_t ticket);
+
+  /// Blocks until no flush is running and nothing is staged. Callers
+  /// hold the exclusive statement lock, so no new Stage can race in.
+  void WaitIdle();
+
+  /// Highest ticket whose flush has completed (successfully or not).
+  uint64_t ResolvedTicket();
 
   const WalStats& stats() const { return stats_; }
 
@@ -141,14 +203,32 @@ class WriteAheadLog {
       const storage::SimulatedDisk& platter);
 
  private:
+  struct StagedEntry {
+    uint64_t ticket = 0;
+    std::string payload;  // one encoded WalEvent
+  };
+
   /// Usable payload bytes per chunk block.
   size_t ChunkCapacity() const;
+
+  /// Writes `batch` as one chained log entry. Leader-only (at most one
+  /// caller at a time, enforced by flush_in_progress_); holds no locks,
+  /// so tail_block_/next_seq_/stats_ are leader-private while it runs.
+  Status WriteBatch(const std::vector<StagedEntry>& batch);
 
   storage::SimulatedDisk* disk_;
   BlockId tail_block_;       ///< pre-allocated, never-written next head
   uint64_t next_seq_ = 1;    ///< entry sequence number of the next Append
   WalStats stats_;
   obs::TraceSink* trace_ = nullptr;
+
+  std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  std::deque<StagedEntry> staged_;
+  uint64_t next_ticket_ = 0;      ///< last issued ticket
+  uint64_t resolved_ticket_ = 0;  ///< all tickets <= this have an outcome
+  std::unordered_map<uint64_t, Status> failed_tickets_;
+  bool flush_in_progress_ = false;
 };
 
 }  // namespace cactis::txn

@@ -4,18 +4,28 @@
 // This suite is the TSan target: run it under -DCACTIS_SANITIZE=thread.
 
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "core/instance.h"
+#include "core/object_cache.h"
+#include "schema/schema_loader.h"
 #include "server/executor.h"
 #include "server/statement.h"
 #include "server/transport.h"
+#include "storage/buffer_pool.h"
+#include "storage/record_store.h"
+#include "storage/simulated_disk.h"
+#include "txn/timestamp_cc.h"
 
 namespace cactis::server {
 namespace {
@@ -235,6 +245,273 @@ TEST(ServerConcurrencyTest, AdmissionControlUnderLoadNeverHangs) {
                 exec.stats().requests_rejected.load(),
             exec.stats().requests_submitted.load());
   exec.Shutdown();
+}
+
+// The tentpole property of the concurrent read path: readers running
+// under the shared statement lock must never observe a torn or
+// retrograde value, and their read-timestamp marks must not be lost —
+// a lost read_ts max would let an older writer slip underneath a newer
+// read, which here would show up as a reader observing the counter
+// decrease (the rolled-back increment it should have aborted).
+TEST(ServerConcurrencyTest, ConcurrentReadersSeeMonotonicValues) {
+  core::Database db;
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  ServerOptions opts;
+  opts.num_workers = 6;
+  opts.max_queue_depth = 256;
+  Executor exec(&db, opts);
+  exec.Start();
+  LoopbackTransport client(&exec);
+
+  auto setup = *client.Connect();
+  auto id = MustParseObj(client.Call(setup, "create counter as c").payload);
+  ASSERT_TRUE(client.Call(setup, "set " + FormatInstance(id) + ".v = 0").ok());
+  const std::string obj = FormatInstance(id);
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsEach = 200;
+  constexpr int kIncrements = 15;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      auto s = *client.Connect();
+      int64_t last = -1;
+      for (int i = 0; i < kReadsEach; ++i) {
+        Response r = CallAdmitted(&client, s, "get " + obj + ".v");
+        ASSERT_TRUE(r.ok()) << r.payload;
+        int64_t v = std::stoll(r.payload);
+        EXPECT_GE(v, last) << "reader observed the counter decrease";
+        last = v;
+      }
+      EXPECT_TRUE(client.Disconnect(s).ok());
+    });
+  }
+  threads.emplace_back([&] {
+    auto s = *client.Connect();
+    for (int i = 0; i < kIncrements; ++i) {
+      IncrementUntilCommitted(&client, s, obj);
+    }
+    EXPECT_TRUE(client.Disconnect(s).ok());
+  });
+  for (auto& th : threads) th.join();
+
+  Response final = client.Call(setup, "get " + obj + ".v");
+  ASSERT_TRUE(final.ok()) << final.payload;
+  EXPECT_EQ(final.payload, std::to_string(kIncrements)) << "lost updates";
+  // The shared fast path must actually have answered reads (an intrinsic
+  // attribute of a cached instance hits unless a writer held the lock).
+  EXPECT_GT(exec.stats().fast_path_reads.load(), 0u);
+  EXPECT_GT(exec.stats().shared_lock_acquisitions.load(), 0u);
+  exec.Shutdown();
+}
+
+// Direct stress of the concurrency-control core: concurrent shared read
+// checks on one instance must CAS-max the read mark without losing any
+// update. After N readers with timestamps 1..N, a writer older than the
+// maximum must conflict — if any max was lost, some stale writer would
+// slip through.
+TEST(ServerConcurrencyTest, SharedReadMarksNeverLoseTheMax) {
+  txn::TimestampManager tsm;
+  const InstanceId id(7);
+  tsm.Ensure(id);
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tsm, id, t] {
+      // Interleaved ascending timestamps across threads, so the CAS-max
+      // loop sees genuine contention in both directions.
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t ts = i * kThreads + static_cast<uint64_t>(t) + 1;
+        EXPECT_EQ(tsm.CheckReadShared(id, ts), txn::SharedReadCheck::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const uint64_t max_ts = kPerThread * kThreads;
+  // Any writer older than the newest read must be rejected...
+  EXPECT_TRUE(tsm.CheckWrite(id, max_ts - 1).IsConflict());
+  EXPECT_TRUE(tsm.CheckWrite(id, 1).IsConflict());
+  // ...and a newer writer accepted.
+  EXPECT_TRUE(tsm.CheckWrite(id, max_ts + 1).ok());
+}
+
+// ObjectCache's shared read path: concurrent PeekCached hits (plus
+// deferred touch recording) from many threads must be clean, and the
+// drained touch counts must equal what the readers recorded.
+TEST(ServerConcurrencyTest, ObjectCacheConcurrentPeekStress) {
+  storage::SimulatedDisk disk(4096);
+  storage::BufferPool pool(&disk, 64);
+  storage::RecordStore store(&disk, &pool);
+  schema::Catalog catalog;
+  ASSERT_TRUE(schema::LoadSchema(&catalog, kSchema).ok());
+  const schema::ObjectClass* cls = catalog.FindClass("counter");
+  ASSERT_NE(cls, nullptr);
+
+  core::ObjectCache cache(&catalog, &store);
+  pool.AddListener(&cache);
+  constexpr uint64_t kInstances = 16;
+  for (uint64_t i = 1; i <= kInstances; ++i) {
+    ASSERT_TRUE(
+        cache.Insert(core::Instance::Create(InstanceId(i), *cls)).ok());
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPeeksEach = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kPeeksEach; ++i) {
+        InstanceId id(static_cast<uint64_t>((i + t) % kInstances) + 1);
+        const core::Instance* inst = cache.PeekCached(id);
+        ASSERT_NE(inst, nullptr);
+        EXPECT_EQ(inst->id(), id);
+        cache.NoteSharedTouch(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::unordered_map<InstanceId, uint64_t> counts;
+  cache.DrainTouches(&counts);
+  uint64_t total = 0;
+  for (const auto& [id, n] : counts) total += n;
+  // Shards drop touches only past 4096 per shard; 16k touches over 8
+  // shards stays under that, so nothing may be lost.
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPeeksEach);
+}
+
+// Idle-session reaping (next-deadline watermark) must work while reader
+// threads are holding the shared statement lock: the reaper disposes
+// corpses under the exclusive lock and must interleave cleanly.
+TEST(ServerConcurrencyTest, ReapsIdleSessionsWhileReadersRun) {
+  core::Database db;
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  std::atomic<uint64_t> fake_now_ms{1000};
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.session_timeout_ms = 500;
+  opts.now_ms = [&fake_now_ms] {
+    return fake_now_ms.load(std::memory_order_relaxed);
+  };
+  Executor exec(&db, opts);
+  exec.Start();
+  LoopbackTransport client(&exec);
+
+  auto setup = *client.Connect();
+  auto id = MustParseObj(client.Call(setup, "create counter as c").payload);
+  const std::string obj = FormatInstance(id);
+
+  // Sessions that go idle (one holds an open transaction that must roll
+  // back on expiry).
+  constexpr int kIdle = 5;
+  std::vector<SessionId> idle;
+  for (int i = 0; i < kIdle; ++i) {
+    auto s = *client.Connect();
+    client.Call(s, i == 0 ? "begin" : "instances counter");
+    idle.push_back(s);
+  }
+
+  std::atomic<bool> expired{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      auto s = *client.Connect();
+      // Keep reading (shared lock traffic) until the reaper has fired,
+      // plus a bounded tail so the test cannot hang. The clock jump can
+      // expire a reader's own session between its requests — that's
+      // correct behavior, so just reconnect.
+      for (int i = 0; i < 3000 && !expired.load(); ++i) {
+        Response r = CallAdmitted(&client, s, "get " + obj + ".v");
+        if (r.status == ResponseStatus::kNoSession) s = *client.Connect();
+      }
+      client.Disconnect(s);
+    });
+  }
+
+  // Let the readers spin, then advance past the timeout: the next
+  // request's reap pass collects every idle session.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fake_now_ms.store(2000, std::memory_order_relaxed);
+  while (exec.stats().sessions_expired.load() <
+         static_cast<uint64_t>(kIdle)) {
+    Response r = client.Call(setup, "get " + obj + ".v");
+    ASSERT_NE(r.status, ResponseStatus::kRejected) << r.payload;
+  }
+  expired.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_GE(exec.stats().sessions_expired.load(),
+            static_cast<uint64_t>(kIdle));
+  for (SessionId s : idle) {
+    EXPECT_EQ(client.Call(s, "instances counter").status,
+              ResponseStatus::kNoSession);
+  }
+  exec.Shutdown();
+}
+
+// Group commit end to end: concurrent committers must all be
+// acknowledged durably, and the WAL must report batches (the whole point
+// is fewer, larger writes under concurrency).
+TEST(ServerConcurrencyTest, ConcurrentCommitsGroupIntoBatches) {
+  core::Database db;
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  ServerOptions opts;
+  opts.num_workers = 6;
+  opts.max_queue_depth = 256;
+  Executor exec(&db, opts);
+  exec.Start();
+  LoopbackTransport client(&exec);
+
+  constexpr int kThreads = 6;
+  constexpr int kCommitsEach = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&client] {
+      auto s = *client.Connect();
+      auto r = CallAdmitted(&client, s, "create counter as mine");
+      ASSERT_TRUE(r.ok()) << r.payload;
+      const std::string obj = FormatInstance(MustParseObj(r.payload));
+      Response z = CallAdmitted(&client, s, "set " + obj + ".v = 0");
+      ASSERT_TRUE(z.ok()) << z.payload;
+      // Disjoint objects: no conflicts, so every commit succeeds — the
+      // interesting contention is purely in the WAL's group-commit queue.
+      for (int i = 0; i < kCommitsEach; ++i) {
+        Response w = CallAdmitted(
+            &client, s, "begin; set " + obj + ".v = v + 1; commit");
+        ASSERT_TRUE(w.ok()) << w.payload;
+      }
+      Response g = CallAdmitted(&client, s, "get " + obj + ".v");
+      EXPECT_EQ(g.payload, std::to_string(kCommitsEach));
+      EXPECT_TRUE(client.Disconnect(s).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  exec.Shutdown();
+
+  // Every acknowledged commit reached the WAL exactly once (batched or
+  // not), and every one was published to the version history.
+  ASSERT_NE(db.wal(), nullptr);
+  const txn::WalStats& ws = db.wal()->stats();
+  // Per thread: create + initial set + kCommitsEach increments.
+  const uint64_t expected_commits =
+      static_cast<uint64_t>(kThreads) * (kCommitsEach + 2);
+  EXPECT_EQ(db.committed_transactions(), expected_commits);
+  EXPECT_GE(ws.entries_appended, expected_commits);
+  // Group-commit accounting: every staged commit was carried by exactly
+  // one flush, and flushes never outnumber the entries they carried.
+  // (Whether multi-entry batches actually form is scheduling-dependent —
+  // the in-memory flush is so fast that stagers rarely pile up here;
+  // bench_recovery measures the batching win with real commit pressure.)
+  EXPECT_EQ(ws.group_batched_entries, expected_commits);
+  EXPECT_GE(ws.group_batched_entries, ws.group_batches);
+  EXPECT_GT(ws.group_batches, 0u);
 }
 
 }  // namespace

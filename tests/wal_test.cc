@@ -1,6 +1,11 @@
 // Write-ahead log: serialization round trips for every DeltaOp, event
-// framing, append/scan over a disk, chunked entries, and torn-tail
-// truncation.
+// framing, append/scan over a disk, chunked entries, torn-tail
+// truncation, and the group-commit staging queue (batch formation,
+// flattening on scan, per-ticket failure reporting).
+
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -211,6 +216,163 @@ TEST(WalLogTest, ScanRejectsPlatterWithoutWal) {
   BlockId block = junk.Allocate();
   ASSERT_TRUE(junk.Write(block, storage::WrapWithChecksum("not a wal")).ok());
   EXPECT_TRUE(WriteAheadLog::ScanPlatter(junk).status().IsNotFound());
+}
+
+// A Stage+WaitDurable with nobody else staged is a batch of one, which
+// must be indistinguishable from the classic Append path — same platter
+// layout, same scan, same block/byte accounting.
+TEST(WalGroupCommitTest, SingletonBatchMatchesClassicAppend) {
+  storage::SimulatedDisk a(4096);
+  storage::SimulatedDisk b(4096);
+  WriteAheadLog wal_a(&a);
+  WriteAheadLog wal_b(&b);
+  ASSERT_TRUE(wal_a.Initialize().ok());
+  ASSERT_TRUE(wal_b.Initialize().ok());
+
+  const WalEvent events[] = {WalEvent::Commit(DeltaWithEveryOp()),
+                             WalEvent::Version("v1"), WalEvent::Undo()};
+  for (const WalEvent& e : events) {
+    ASSERT_TRUE(wal_a.Append(e).ok());
+    uint64_t t = wal_b.Stage(e);
+    ASSERT_TRUE(wal_b.WaitDurable(t).ok());
+  }
+
+  EXPECT_EQ(wal_a.stats().blocks_written, wal_b.stats().blocks_written);
+  EXPECT_EQ(wal_a.stats().bytes_logged, wal_b.stats().bytes_logged);
+  auto ea = WriteAheadLog::ScanPlatter(a);
+  auto eb = WriteAheadLog::ScanPlatter(b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  ASSERT_EQ(ea->size(), 3u);
+  ASSERT_EQ(eb->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*ea)[i].kind, (*eb)[i].kind);
+  }
+}
+
+// Pre-staging several events with nobody waiting, then calling the first
+// WaitDurable, must drain the whole queue as ONE chained write — and the
+// kBatch container must be invisible to recovery (the scan flattens it
+// back into the staged events, in ticket order).
+TEST(WalGroupCommitTest, StagedBacklogFlushesAsOneBatch) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+
+  constexpr int kStaged = 5;
+  uint64_t tickets[kStaged];
+  for (int i = 0; i < kStaged; ++i) {
+    tickets[i] = wal.Stage(WalEvent::Version("v" + std::to_string(i)));
+  }
+  // Any waiter elects itself leader and flushes everything staged.
+  ASSERT_TRUE(wal.WaitDurable(tickets[kStaged - 1]).ok());
+  for (int i = 0; i < kStaged - 1; ++i) {
+    ASSERT_TRUE(wal.WaitDurable(tickets[i]).ok());
+  }
+  EXPECT_EQ(wal.ResolvedTicket(), tickets[kStaged - 1]);
+
+  const WalStats& ws = wal.stats();
+  EXPECT_EQ(ws.entries_appended, static_cast<uint64_t>(kStaged));
+  EXPECT_EQ(ws.group_batches, 1u);
+  EXPECT_EQ(ws.group_batched_entries, static_cast<uint64_t>(kStaged));
+  // Power-of-two histogram: a 5-entry flush lands in bucket [4, 8).
+  EXPECT_EQ(ws.batch_size_buckets[3], 1u);
+
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), static_cast<size_t>(kStaged));
+  for (int i = 0; i < kStaged; ++i) {
+    EXPECT_EQ((*events)[i].kind, WalEventKind::kVersion);
+    EXPECT_EQ((*events)[i].version_name, "v" + std::to_string(i));
+  }
+}
+
+// Classic appends and multi-entry batches interleave in one log; the
+// scan yields one flat, ordered stream.
+TEST(WalGroupCommitTest, BatchesAndAppendsInterleaveInScan) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+
+  ASSERT_TRUE(wal.Append(WalEvent::Version("first")).ok());
+  uint64_t t1 = wal.Stage(WalEvent::Version("batched-a"));
+  uint64_t t2 = wal.Stage(WalEvent::Version("batched-b"));
+  ASSERT_TRUE(wal.WaitDurable(t2).ok());
+  ASSERT_TRUE(wal.WaitDurable(t1).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Checkout(2)).ok());
+
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 4u);
+  EXPECT_EQ((*events)[0].version_name, "first");
+  EXPECT_EQ((*events)[1].version_name, "batched-a");
+  EXPECT_EQ((*events)[2].version_name, "batched-b");
+  EXPECT_EQ((*events)[3].kind, WalEventKind::kCheckout);
+}
+
+// A failed flush must be reported to the ticket's owner (and only
+// released by the owner), must not advance the tail, and must leave the
+// log appendable once the transient fault clears.
+TEST(WalGroupCommitTest, FailedFlushReportsPerTicketAndStaysAppendable) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("keep")).ok());
+
+  storage::ScriptedFaults faults;
+  faults.transient_write_error_at =
+      static_cast<int64_t>(disk.write_attempts());
+  disk.set_fault_policy(&faults);
+
+  uint64_t t = wal.Stage(WalEvent::Version("hiccup"));
+  EXPECT_FALSE(wal.WaitDurable(t).ok());
+  // The failure record survives until the owner releases it...
+  EXPECT_TRUE(wal.TicketFailed(t));
+  wal.ForgetTicket(t);
+  EXPECT_FALSE(wal.TicketFailed(t));
+
+  // ...and the un-advanced tail means the next append rewrites the same
+  // chain position: the log stays consistent, the failed entry is gone.
+  ASSERT_TRUE(wal.Append(WalEvent::Version("after")).ok());
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].version_name, "keep");
+  EXPECT_EQ((*events)[1].version_name, "after");
+}
+
+// Concurrency stress over the staging queue: many threads race Stage +
+// WaitDurable; leader election and the commit-ack broadcast must lose
+// nothing. (TSan target.)
+TEST(WalGroupCommitTest, ConcurrentStagersAllBecomeDurable) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kEventsEach = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, t] {
+      for (int i = 0; i < kEventsEach; ++i) {
+        uint64_t ticket = wal.Stage(WalEvent::Version(
+            std::to_string(t) + ":" + std::to_string(i)));
+        ASSERT_TRUE(wal.WaitDurable(ticket).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  wal.WaitIdle();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kThreads) * kEventsEach;
+  EXPECT_EQ(wal.stats().entries_appended, kTotal);
+  EXPECT_EQ(wal.stats().group_batched_entries, kTotal);
+  EXPECT_LE(wal.stats().group_batches, kTotal);
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), static_cast<size_t>(kTotal));
 }
 
 }  // namespace
