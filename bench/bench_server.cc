@@ -23,13 +23,20 @@
 // must be 0; the process exits nonzero otherwise).
 //
 // Env knobs (for the CI perf-smoke job):
-//   CACTIS_BENCH_SMOKE=1   run a reduced-size E13 only
-//   CACTIS_BENCH_OPS=N     override ops per session
+//   CACTIS_BENCH_SMOKE=1     run a reduced-size E13 only
+//   CACTIS_BENCH_OPS=N       override ops per session
+//   CACTIS_BENCH_TRACE=1     enable request tracing and report coverage
+//                            (every event should carry a trace id)
+//   CACTIS_BENCH_SLOW_US=N   slow-statement log threshold (default 1000;
+//                            the 4-worker E13 log is dumped next to the
+//                            bench JSON as slow_statements_w4.json)
 
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "bench_util.h"
@@ -66,6 +73,9 @@ struct RunResult {
   double p999_us = 0;
   uint64_t max_us = 0;
   uint64_t lost_updates = 0;
+  std::string slow_log_json;     // drained worst statements of the run
+  uint64_t trace_events = 0;     // with CACTIS_BENCH_TRACE=1
+  uint64_t trace_traced = 0;     // events carrying a non-zero trace id
 
   double stmt_per_s() const {
     return wall_s > 0 ? static_cast<double>(statements) / wall_s : 0;
@@ -83,14 +93,23 @@ server::Response CallAdmitted(server::LoopbackTransport* client,
   }
 }
 
+int EnvInt(const char* name, int fallback);
+
 RunResult Run(size_t workers, size_t num_sessions, int ops_per_session,
               int read_percent) {
-  core::Database db;
+  core::DatabaseOptions db_opts;
+  db_opts.enable_tracing = EnvInt("CACTIS_BENCH_TRACE", 0) != 0;
+  db_opts.trace_capacity = 1 << 16;
+  core::Database db(db_opts);
   Die(db.LoadSchema(kServerSchema), "schema");
 
   server::ServerOptions opts;
   opts.num_workers = workers;
   opts.max_queue_depth = 2 * num_sessions + 8;
+  // Only genuinely slow statements pay the log's mutex, so the threshold
+  // keeps the hot path unperturbed while still catching the tail.
+  opts.slow_statement_us =
+      static_cast<uint64_t>(EnvInt("CACTIS_BENCH_SLOW_US", 1000));
   server::Executor exec(&db, opts);
   exec.Start();
   server::LoopbackTransport client(&exec);
@@ -175,6 +194,14 @@ RunResult Run(size_t workers, size_t num_sessions, int ops_per_session,
     uint64_t got = std::strtoull(r.payload.c_str(), nullptr, 10);
     uint64_t want = shadow[j].load();
     if (got != want) res.lost_updates += (want > got) ? want - got : got - want;
+  }
+  res.slow_log_json = exec.DrainSlowLogJson();
+  if (db_opts.enable_tracing) {
+    // All clients joined and the queue is drained: the ring is quiescent.
+    for (const obs::TraceEvent& e : db.trace()->events()) {
+      ++res.trace_events;
+      if (e.trace_id != 0) ++res.trace_traced;
+    }
   }
   exec.Shutdown();
   if (db.wal() != nullptr) {
@@ -264,6 +291,21 @@ int main() {
     if (workers == 4) {
       report.SetCounter("e13_speedup_x100_w4",
                         static_cast<uint64_t>(speedup * 100));
+      if (r.trace_events > 0) {
+        report.SetCounter("e13_trace_events_w4", r.trace_events);
+        report.SetCounter("e13_trace_traced_w4", r.trace_traced);
+      }
+      // Dump the run's worst statements next to the bench JSON (the CI
+      // perf-smoke job uploads it as an artifact).
+      const char* dir = std::getenv("CACTIS_BENCH_DIR");
+      std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                         "slow_statements_w4.json";
+      if (FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fputs(r.slow_log_json.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("slow-statement log (4 workers) -> %s\n", path.c_str());
+      }
     }
   }
   t13.Print();

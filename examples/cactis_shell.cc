@@ -17,14 +17,19 @@
 //   cactis[2]> \1
 //   cactis[1]> set obj(1).v = 5        -- older txn writes: ABORTED
 //
-// Statement grammar: see src/server/statement.h. Extra shell commands:
+// Statement grammar: see src/server/statement.h — including the
+// `profile <stmt>` and `explain <stmt>` observability forms. Extra
+// shell commands:
 //   \1 ... \9     switch to (opening if needed) session N
+//   \profile on|off   prefix every statement with `profile `
+//   \slow         drain the slow-statement log (worst first)
+//   \metrics      server + database metrics snapshot (alias: stats)
 //   schema ... end schema    load data-language declarations
-//   stats         server + database metrics snapshot
 //   help | quit
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -65,7 +70,17 @@ class Shell {
 
   /// Sends one request batch on session `n` and prints the response.
   void Send(size_t n, const std::string& text) {
-    Response r = client_.Call(SessionFor(n), text);
+    std::string request = text;
+    if (profile_all_) {
+      // `\profile on` mode: wrap every statement of the batch.
+      request = "profile " + request;
+      size_t pos = 0;
+      while ((pos = request.find(';', pos)) != std::string::npos) {
+        request.insert(pos + 1, " profile");
+        pos += 9;
+      }
+    }
+    Response r = client_.Call(SessionFor(n), request);
     if (r.ok()) {
       if (!r.payload.empty()) std::printf("%s\n", r.payload.c_str());
     } else {
@@ -88,8 +103,19 @@ class Shell {
           "statements: begin commit abort | create C [as N] | delete T |\n"
           "  set T.A = expr | get/peek T.A | connect/disconnect T.P to T.P\n"
           "  select C where pred | instances C | members S | fetch [N]\n"
-          "shell: \\1..\\9 switch session, schema...end schema, stats,\n"
-          "  help, quit. Batches: statements joined with ';'.\n");
+          "  profile <stmt> | explain <stmt>\n"
+          "shell: \\1..\\9 switch session, \\profile on|off, \\slow,\n"
+          "  \\metrics (alias: stats), schema...end schema, help, quit.\n"
+          "  Batches: statements joined with ';'.\n");
+      return true;
+    }
+    if (line == "\\profile on" || line == "\\profile off") {
+      profile_all_ = line.back() == 'n';
+      std::printf("profile mode %s\n", profile_all_ ? "on" : "off");
+      return true;
+    }
+    if (line == "\\slow") {
+      std::printf("%s\n", exec_.DrainSlowLogJson().c_str());
       return true;
     }
     if (line[0] == '\\' && line.size() == 2 && isdigit(line[1])) {
@@ -107,7 +133,7 @@ class Shell {
       std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
       return true;
     }
-    if (line == "stats") {
+    if (line == "stats" || line == "\\metrics") {
       std::printf("%s\n", exec_.SnapshotMetrics().c_str());
       return true;
     }
@@ -121,6 +147,9 @@ class Shell {
   static ServerOptions MakeOptions() {
     ServerOptions o;
     o.num_workers = 2;
+    // Log every statement so `\slow` always has something to show; a real
+    // deployment would keep the default 10ms threshold.
+    o.slow_statement_us = 0;
     return o;
   }
 
@@ -128,6 +157,7 @@ class Shell {
   Executor exec_;
   LoopbackTransport client_;
   std::vector<SessionId> sessions_;
+  bool profile_all_ = false;
 };
 
 // Scripted demo: two sessions interleave on one object; the older
@@ -165,6 +195,36 @@ void RunDemo(Shell* shell) {
       "the sessions yourself.\n");
 }
 
+// Scripted demo: the request-scoped observability surface. `profile`
+// returns the statement's cost breakdown, `explain` its access plan,
+// and `\slow` drains the worst statements seen so far.
+void RunObservabilityDemo(Shell* shell) {
+  std::printf("\n== observability demo ==\n");
+  struct Step {
+    size_t session;
+    const char* text;
+  };
+  const Step steps[] = {
+      {0, "explain get obj(1).effort"},
+      {0, "profile get obj(1).effort"},
+      {0, "profile begin; profile set obj(1).effort = 4; profile commit"},
+  };
+  size_t current = 0;
+  for (const auto& step : steps) {
+    std::printf("cactis[%zu]> %s\n", step.session + 1, step.text);
+    shell->Send(step.session, step.text);
+  }
+  std::istringstream no_input;
+  for (const char* cmd : {"\\slow", "\\metrics"}) {
+    std::printf("cactis[1]> %s\n", cmd);
+    shell->Execute(&current, cmd, no_input);
+  }
+  std::printf(
+      "\n`profile` attributes every block read, cache hit, WAL byte and\n"
+      "lock wait to the statement that caused it; `\\slow` drains the\n"
+      "bounded worst-statements log (worst first).\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +232,7 @@ int main(int argc, char** argv) {
   const bool interactive = argc > 1 && std::string(argv[1]) == "-i";
   if (!interactive) {
     RunDemo(&shell);
+    RunObservabilityDemo(&shell);
     return 0;
   }
   std::printf("cactis service-layer shell; 'help' for help.\n");

@@ -136,6 +136,10 @@ Database::Database(DatabaseOptions options)
     g->AddGauge("committed_transactions",
                 static_cast<double>(versions_.end()));
     g->AddGauge("delta_bytes", static_cast<double>(delta_bytes()));
+    // The trace ring drops oldest events silently once full; surface the
+    // loss so a drained trace is never mistaken for a complete one.
+    g->AddCounter("trace_events_total", trace_.total_recorded());
+    g->AddCounter("trace_dropped_events", trace_.dropped());
   });
 
   txn_begun_ = metrics_.GetCounter("txn.begun");
@@ -1440,6 +1444,57 @@ Status Database::InvalidateAttribute(InstanceId id, const std::string& attr) {
   CACTIS_RETURN_IF_ERROR(
       engine_->MarkAttribute(AttrSite{id, static_cast<uint32_t>(idx)}));
   return engine_->EvaluateImportant(nullptr);
+}
+
+Result<Database::AttrExplainInfo> Database::ExplainAttr(
+    InstanceId id, const std::string& attr) {
+  CACTIS_SERIAL_GUARD(serial_guard_);
+  if (!store_.Contains(id)) {
+    return Status::NotFound("no instance " + std::to_string(id.value));
+  }
+  AttrExplainInfo info;
+  // Capture residency *before* decoding: FetchInstance on a cold
+  // instance faults the block in, and the point of the flags is what a
+  // statement would have found.
+  info.resident = store_.IsInstanceResident(id);
+  info.cached = cache_.IsCached(id);
+  auto block = store_.BlockOf(id);
+  if (block.ok()) info.block = block->value;
+  CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+  CACTIS_ASSIGN_OR_RETURN(const schema::ObjectClass* cls,
+                          ClassOfInstancePtr(id));
+  const schema::AttributeDef* def = cls->FindAttr(attr);
+  if (def == nullptr) {
+    return Status::NotFound("class " + cls->name() + " has no attribute '" +
+                            attr + "'");
+  }
+  info.class_name = cls->name();
+  info.attr_kind = def->is_constraint            ? "constraint"
+                   : def->kind == schema::AttrKind::kIntrinsic ? "intrinsic"
+                   : def->kind == schema::AttrKind::kExport    ? "export"
+                                                               : "derived";
+  if (def->index < inst->attrs().size()) {
+    const AttrSlot& slot = inst->attrs()[def->index];
+    info.out_of_date = slot.out_of_date;
+    info.subscribed = slot.subscribed;
+  }
+  for (const lang::Dependency& d : def->deps) {
+    switch (d.kind) {
+      case lang::Dependency::Kind::kLocal:
+        info.depends_on.push_back(d.name);
+        break;
+      case lang::Dependency::Kind::kRemote:
+        info.depends_on.push_back(d.port + "." + d.name);
+        break;
+      case lang::Dependency::Kind::kStructural:
+        info.depends_on.push_back("structure(" + d.port + ")");
+        break;
+    }
+  }
+  for (size_t dep : cls->LocalDependents(def->index)) {
+    info.dependents.push_back(cls->attributes()[dep].name);
+  }
+  return info;
 }
 
 // --- Shared helpers ------------------------------------------------------------

@@ -410,6 +410,29 @@ class Database {
   /// depends on had changed outside the database's view.
   Status InvalidateAttribute(InstanceId id, const std::string& attr);
 
+  // --- Introspection (service layer `explain`) ----------------------------
+
+  /// What touching one attribute would involve, read from catalog and
+  /// cache state. No *logical* side effects: no marks, no importance
+  /// subscription, no evaluation, no concurrency-control interaction —
+  /// though inspecting a cold instance faults its block in (a plain
+  /// read), so `resident`/`cached` report the state found on entry.
+  struct AttrExplainInfo {
+    std::string class_name;
+    std::string attr_kind;  // "intrinsic" | "derived" | "export" |
+                            // "constraint"
+    uint64_t block = 0;     // disk block holding the instance record
+    bool resident = false;  // that block was in the buffer pool on entry
+    bool cached = false;    // a decoded copy was in the object cache
+    bool out_of_date = false;  // derived: evaluation pending
+    bool subscribed = false;   // sticky importance from a previous get
+    /// Rule dependencies, as "attr", "port.value" or "structure(port)".
+    std::vector<std::string> depends_on;
+    /// Local attributes that a write here would mark out of date.
+    std::vector<std::string> dependents;
+  };
+  Result<AttrExplainInfo> ExplainAttr(InstanceId id, const std::string& attr);
+
   // --- Distribution hooks (src/dist; paper section 5) ---------------------
 
   /// Creates an instance without establishing its constraints or subtype

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/database.h"
+#include "obs/request_context.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -524,6 +525,7 @@ Result<Value> EvalEngine::ExecuteRule(const AttrSite& site, Transaction* txn) {
                             SiteName(db_, site));
   }
   ++stats_.rule_evaluations;
+  if (auto* c = obs::RequestScope::CurrentCost()) ++c->attrs_reevaluated;
   // Mirror instances (distribution layer): the owning site supplies the
   // value instead of the local rule.
   auto mirror = db_->mirror_resolvers_.find(site.instance);

@@ -61,6 +61,7 @@ std::string MetricsRegistry::SnapshotJson() const {
     w.Key(group).BeginObject();
     for (const auto& [name, value] : g.counters()) w.Key(name).Uint(value);
     for (const auto& [name, value] : g.gauges()) w.Key(name).Double(value);
+    for (const auto& [name, value] : g.json_values()) w.Key(name).Raw(value);
     w.EndObject();
   }
   w.EndObject();

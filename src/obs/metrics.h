@@ -105,6 +105,13 @@ class MetricsGroup {
   void AddGauge(std::string name, double value) {
     gauges_.emplace_back(std::move(name), value);
   }
+  /// A pre-serialised JSON value spliced verbatim into the group (the
+  /// caller vouches for validity). For structured exports that are
+  /// neither counter nor gauge — e.g. the server's slow-statement log
+  /// and per-session accounting arrays.
+  void AddJson(std::string name, std::string json) {
+    json_.emplace_back(std::move(name), std::move(json));
+  }
 
   const std::vector<std::pair<std::string, uint64_t>>& counters() const {
     return counters_;
@@ -112,10 +119,15 @@ class MetricsGroup {
   const std::vector<std::pair<std::string, double>>& gauges() const {
     return gauges_;
   }
+  const std::vector<std::pair<std::string, std::string>>& json_values()
+      const {
+    return json_;
+  }
 
  private:
   std::vector<std::pair<std::string, uint64_t>> counters_;
   std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, std::string>> json_;
 };
 
 class MetricsRegistry {

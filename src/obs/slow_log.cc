@@ -1,0 +1,93 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+
+namespace cactis::obs {
+
+void SlowStatementLog::MaybeRecord(const RequestContext& ctx,
+                                   std::string_view text, uint64_t latency_us,
+                                   const StatementCost& cost) {
+  if (capacity_ == 0 || latency_us < threshold_us_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++total_logged_;
+  if (entries_.size() >= capacity_) {
+    // Displace the fastest retained entry, if this one beats it. The log
+    // is small (tens of entries), so a linear min scan beats heap
+    // bookkeeping.
+    auto fastest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const SlowStatementEntry& a, const SlowStatementEntry& b) {
+          return a.latency_us < b.latency_us;
+        });
+    if (latency_us <= fastest->latency_us) return;
+    entries_.erase(fastest);
+  }
+  SlowStatementEntry e;
+  e.trace_id = ctx.trace_id;
+  e.session_id = ctx.session_id;
+  e.statement_seq = ctx.statement_seq;
+  e.text = std::string(text);
+  e.latency_us = latency_us;
+  e.cost = cost;
+  entries_.push_back(std::move(e));
+}
+
+std::vector<SlowStatementEntry> SlowStatementLog::Snapshot() const {
+  std::vector<SlowStatementEntry> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowStatementEntry& a, const SlowStatementEntry& b) {
+              return a.latency_us > b.latency_us;
+            });
+  return out;
+}
+
+std::vector<SlowStatementEntry> SlowStatementLog::Drain() {
+  std::vector<SlowStatementEntry> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.swap(entries_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowStatementEntry& a, const SlowStatementEntry& b) {
+              return a.latency_us > b.latency_us;
+            });
+  return out;
+}
+
+uint64_t SlowStatementLog::total_logged() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_logged_;
+}
+
+size_t SlowStatementLog::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+std::string SlowStatementLog::ToJson(
+    const std::vector<SlowStatementEntry>& entries) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const SlowStatementEntry& e : entries) {
+    w.BeginObject();
+    w.Key("trace_id").Uint(e.trace_id);
+    w.Key("session").Uint(e.session_id);
+    w.Key("seq").Uint(e.statement_seq);
+    w.Key("stmt").String(e.text);
+    w.Key("latency_us").Uint(e.latency_us);
+    w.Key("cost").BeginObject();
+    e.cost.WriteFields(&w);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace cactis::obs

@@ -1,0 +1,87 @@
+#ifndef CACTIS_OBS_SLOW_LOG_H_
+#define CACTIS_OBS_SLOW_LOG_H_
+
+// Bounded in-memory slow-statement log.
+//
+// Keeps the N worst statements by latency among those at or above a
+// threshold, each with its full StatementCost breakdown. Worker threads
+// record concurrently (one mutex acquisition per *slow* statement — the
+// common fast statement pays a single uncontended atomic threshold load
+// and no lock), and the log drains through Database::SnapshotMetrics()
+// (the executor splices it into the "server" group) or the shell's
+// `\slow` command.
+//
+// Semantics:
+//  * threshold_us — statements faster than this are never logged.
+//    0 logs everything (useful in tests and when hunting tail latency).
+//  * capacity — at most this many entries are retained; once full, a new
+//    entry must beat the current fastest retained entry to displace it.
+//    0 disables the log entirely.
+//  * Drain() empties the log and returns the entries worst-first;
+//    total_logged() keeps counting across drains.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/request_context.h"
+
+namespace cactis::obs {
+
+struct SlowStatementEntry {
+  uint64_t trace_id = 0;
+  uint64_t session_id = 0;
+  uint64_t statement_seq = 0;
+  std::string text;        // statement source, as submitted
+  uint64_t latency_us = 0; // lock wait + execution
+  StatementCost cost;
+};
+
+class SlowStatementLog {
+ public:
+  SlowStatementLog(size_t capacity, uint64_t threshold_us)
+      : capacity_(capacity), threshold_us_(threshold_us) {}
+
+  SlowStatementLog(const SlowStatementLog&) = delete;
+  SlowStatementLog& operator=(const SlowStatementLog&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t threshold_us() const { return threshold_us_; }
+
+  /// Records the statement if it qualifies. Thread-safe.
+  void MaybeRecord(const RequestContext& ctx, std::string_view text,
+                   uint64_t latency_us, const StatementCost& cost);
+
+  /// Entries worst-first, without clearing. Thread-safe.
+  std::vector<SlowStatementEntry> Snapshot() const;
+
+  /// Entries worst-first, clearing the log. total_logged() is unchanged.
+  std::vector<SlowStatementEntry> Drain();
+
+  /// Statements ever logged (admitted past the threshold), including
+  /// entries since displaced or drained.
+  uint64_t total_logged() const;
+
+  size_t size() const;
+
+  /// JSON array of entries, worst-first:
+  ///   [{"trace_id":n,"session":n,"seq":n,"stmt":"...","latency_us":n,
+  ///     "cost":{...}},...]
+  static std::string ToJson(const std::vector<SlowStatementEntry>& entries);
+  std::string SnapshotJson() const { return ToJson(Snapshot()); }
+  std::string DrainJson() { return ToJson(Drain()); }
+
+ private:
+  const size_t capacity_;
+  const uint64_t threshold_us_;
+
+  mutable std::mutex mu_;
+  std::vector<SlowStatementEntry> entries_;  // unordered; sorted on read
+  uint64_t total_logged_ = 0;
+};
+
+}  // namespace cactis::obs
+
+#endif  // CACTIS_OBS_SLOW_LOG_H_

@@ -45,6 +45,7 @@ std::string TraceSink::ToJson() const {
     w.Key("kind").String(SpanKindName(e.kind));
     w.Key("subject").Uint(e.subject);
     w.Key("detail").Uint(e.detail);
+    w.Key("trace").Uint(e.trace_id);
     w.EndObject();
   }
   w.EndArray();

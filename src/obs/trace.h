@@ -25,6 +25,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/request_context.h"
+
 namespace cactis::obs {
 
 enum class SpanKind : uint8_t {
@@ -48,6 +50,10 @@ struct TraceEvent {
   uint64_t seq = 0;  // sink-assigned, monotonic across drops
   uint64_t subject = 0;
   uint64_t detail = 0;
+  /// Request identity: RequestScope::CurrentTraceId() of the recording
+  /// thread at Record() time. 0 when no statement was in flight (e.g.
+  /// direct library use outside the service layer, session disposal).
+  uint64_t trace_id = 0;
 };
 
 class TraceSink {
@@ -64,13 +70,19 @@ class TraceSink {
   bool enabled() const { return enabled_; }
   size_t capacity() const { return capacity_; }
 
+  // NOT thread-safe: every Record() site runs under the service layer's
+  // exclusive statement lock (or in single-threaded library use), which
+  // also means the recording thread's RequestScope identifies the
+  // statement the event belongs to. The trace_id lookup happens after
+  // the enabled check, preserving the one-branch disabled discipline.
   void Record(SpanKind kind, uint64_t subject, uint64_t detail = 0) {
     if (!enabled_) return;
     if (events_.size() == capacity_) {
       events_.pop_front();
       ++dropped_;
     }
-    events_.push_back(TraceEvent{kind, next_seq_++, subject, detail});
+    events_.push_back(TraceEvent{kind, next_seq_++, subject, detail,
+                                 RequestScope::CurrentTraceId()});
   }
 
   const std::deque<TraceEvent>& events() const { return events_; }
@@ -85,7 +97,8 @@ class TraceSink {
   }
 
   // {"capacity":n,"total":n,"dropped":n,
-  //  "events":[{"seq":n,"kind":"block_fetch","subject":n,"detail":n},...]}
+  //  "events":[{"seq":n,"kind":"block_fetch","subject":n,"detail":n,
+  //             "trace":n},...]}
   std::string ToJson() const;
 
  private:

@@ -1,5 +1,7 @@
 #include "sched/scheduler.h"
 
+#include "obs/request_context.h"
+
 namespace cactis::sched {
 
 std::string_view SchedulingPolicyToString(SchedulingPolicy p) {
@@ -21,6 +23,7 @@ ChunkScheduler::ChunkScheduler(storage::RecordStore* store,
     : store_(store), policy_(policy) {}
 
 void ChunkScheduler::Schedule(Chunk chunk) {
+  if (auto* c = obs::RequestScope::CurrentCost()) ++c->chunks_scheduled;
   uint64_t seq = ++next_seq_;
   auto owned = std::make_unique<Chunk>(std::move(chunk));
 

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "lang/interpreter.h"
+#include "obs/json_writer.h"
+#include "schema/catalog.h"
 
 namespace cactis::server {
 
@@ -99,6 +101,51 @@ bool IsConflictAbort(const Status& s) {
           s.message().find("Conflict") != std::string::npos);
 }
 
+std::string_view StatementKindName(StatementKind k) {
+  switch (k) {
+    case StatementKind::kBegin:
+      return "begin";
+    case StatementKind::kCommit:
+      return "commit";
+    case StatementKind::kAbort:
+      return "abort";
+    case StatementKind::kCreate:
+      return "create";
+    case StatementKind::kDelete:
+      return "delete";
+    case StatementKind::kSet:
+      return "set";
+    case StatementKind::kGet:
+      return "get";
+    case StatementKind::kPeek:
+      return "peek";
+    case StatementKind::kConnect:
+      return "connect";
+    case StatementKind::kDisconnect:
+      return "disconnect";
+    case StatementKind::kSelect:
+      return "select";
+    case StatementKind::kInstances:
+      return "instances";
+    case StatementKind::kMembers:
+      return "members";
+    case StatementKind::kFetch:
+      return "fetch";
+  }
+  return "unknown";
+}
+
+/// Charges the calling statement for time spent waiting on a lock.
+void ChargeLockWait(bool shared, uint64_t us) {
+  if (auto* c = obs::RequestScope::CurrentCost()) {
+    if (shared) {
+      c->lock_wait_shared_us += us;
+    } else {
+      c->lock_wait_excl_us += us;
+    }
+  }
+}
+
 }  // namespace
 
 std::string_view ResponseStatusToString(ResponseStatus s) {
@@ -155,6 +202,18 @@ void ServerStats::ExportTo(obs::MetricsGroup* g) const {
   g->AddCounter("fast_path_fallbacks", load(fast_path_fallbacks));
   g->AddGauge("reader_concurrency", static_cast<double>(load(readers_active)));
   g->AddCounter("reader_concurrency_peak", load(readers_peak));
+  g->AddCounter("cost_blocks_read", load(cost_blocks_read));
+  g->AddCounter("cost_blocks_written", load(cost_blocks_written));
+  g->AddCounter("cost_cache_hits", load(cost_cache_hits));
+  g->AddCounter("cost_cache_misses", load(cost_cache_misses));
+  g->AddCounter("cost_attrs_reevaluated", load(cost_attrs_reevaluated));
+  g->AddCounter("cost_chunks_scheduled", load(cost_chunks_scheduled));
+  g->AddCounter("cost_wal_bytes", load(cost_wal_bytes));
+  g->AddCounter("cost_lock_wait_shared_us", load(cost_lock_wait_shared_us));
+  g->AddCounter("cost_lock_wait_excl_us", load(cost_lock_wait_excl_us));
+  g->AddCounter("profile_statements", load(profile_statements));
+  g->AddCounter("explain_statements", load(explain_statements));
+  g->AddCounter("slow_statements", load(slow_statements));
   g->AddCounter("statement_latency_count", load(latency_count));
   g->AddCounter("statement_latency_sum_us", load(latency_sum_us));
   g->AddGauge("statement_latency_p50_us", LatencyQuantileUs(0.5));
@@ -167,14 +226,45 @@ void ServerStats::ExportTo(obs::MetricsGroup* g) const {
 Executor::Executor(core::Database* db, ServerOptions options)
     : db_(db),
       options_(std::move(options)),
-      sessions_(options_.session_timeout_ms) {
+      sessions_(options_.session_timeout_ms),
+      slow_log_(options_.slow_log_capacity, options_.slow_statement_us) {
   // Snapshots run through Executor::SnapshotMetrics() (statement mutex),
-  // so reading these atomics plus the session table is safe.
+  // so reading these atomics plus the session table is safe. Everything
+  // exported here is internally synchronized regardless (stats_ and
+  // session accounting are atomics, the slow log has its own mutex), so
+  // the export also tolerates concurrent statement execution — see the
+  // snapshot-under-load test.
   db_->metrics()->RegisterSource("server", [this](obs::MetricsGroup* g) {
     stats_.ExportTo(g);
     g->AddGauge("active_sessions",
                 static_cast<double>(sessions_.active_count()));
     g->AddGauge("num_workers", static_cast<double>(options_.num_workers));
+    g->AddCounter("slow_statements_logged", slow_log_.total_logged());
+    g->AddJson("slow_statements", slow_log_.SnapshotJson());
+    obs::JsonWriter w;
+    w.BeginArray();
+    sessions_.ForEach([&w](const Session& s) {
+      auto load = [](const std::atomic<uint64_t>& a) {
+        return a.load(std::memory_order_relaxed);
+      };
+      w.BeginObject();
+      w.Key("session").Uint(s.id.value);
+      w.Key("statements").Uint(load(s.acct.statements));
+      w.Key("blocks_read").Uint(load(s.acct.blocks_read));
+      w.Key("blocks_written").Uint(load(s.acct.blocks_written));
+      w.Key("cache_hits").Uint(load(s.acct.cache_hits));
+      w.Key("cache_misses").Uint(load(s.acct.cache_misses));
+      w.Key("attrs_reevaluated").Uint(load(s.acct.attrs_reevaluated));
+      w.Key("chunks_scheduled").Uint(load(s.acct.chunks_scheduled));
+      w.Key("wal_bytes").Uint(load(s.acct.wal_bytes));
+      w.Key("queue_wait_us").Uint(load(s.acct.queue_wait_us));
+      w.Key("lock_wait_shared_us").Uint(load(s.acct.lock_wait_shared_us));
+      w.Key("lock_wait_excl_us").Uint(load(s.acct.lock_wait_excl_us));
+      w.Key("exec_us").Uint(load(s.acct.exec_us));
+      w.EndObject();
+    });
+    w.EndArray();
+    g->AddJson("per_session", w.str());
   });
 }
 
@@ -399,6 +489,7 @@ Response Executor::Process(Task* task) {
   session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
   ReapExpiredSessions();
 
+  bool first_statement = true;
   for (const std::string& text : task->request.statements) {
     auto parsed = ParseStatement(text);
     StatementResult result;
@@ -410,20 +501,76 @@ Response Executor::Process(Task* task) {
       break;
     }
     {
+      // Request-scoped observability: mint this statement's identity and
+      // install it thread-locally. Every instrumented subsystem below
+      // (disk, buffer pool, eval engine, scheduler, WAL) attributes work
+      // to it through RequestScope — trace events carry the trace id and
+      // the cost accumulator collects the resource breakdown.
+      obs::RequestContext ctx;
+      ctx.trace_id =
+          next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      ctx.session_id = session->id.value;
+      ctx.statement_seq = ++session->statement_seq;
+      obs::StatementCost cost;
+      // The request waited in the queue once; charge its first statement.
+      if (first_statement) cost.queue_wait_us = resp.metrics.queue_wait_us;
+      first_statement = false;
+      obs::RequestScope scope(ctx, &cost);
+
+      const bool is_profile =
+          parsed->modifier == StatementModifier::kProfile;
+
       // Latency includes the statement-lock wait: that contention is the
       // very thing the reader/writer split is meant to shrink.
       const uint64_t t0 = NowUs();
-      if (IsReadOnlyStatement(*parsed)) {
+      if (parsed->modifier == StatementModifier::kExplain) {
+        const uint64_t lk0 = NowUs();
+        std::lock_guard<std::shared_mutex> dlk(db_mu_);
+        cost.lock_wait_excl_us += NowUs() - lk0;
+        result = ExecuteExplain(session.get(), *parsed);
+        stats_.explain_statements.fetch_add(1, std::memory_order_relaxed);
+      } else if (IsReadOnlyStatement(*parsed)) {
         result = ExecuteReadStatement(session.get(), &*parsed);
       } else if (parsed->kind == StatementKind::kCommit) {
         result = ExecuteCommitStatement(session.get());
       } else {
+        const uint64_t lk0 = NowUs();
         std::lock_guard<std::shared_mutex> dlk(db_mu_);
+        cost.lock_wait_excl_us += NowUs() - lk0;
         result = ExecuteStatement(session.get(), &*parsed);
       }
       const uint64_t dt = NowUs() - t0;
+      cost.exec_us = dt;
       resp.metrics.exec_us += dt;
       stats_.RecordLatencyUs(dt);
+
+      // Fold the statement's cost into the aggregates and, when it
+      // qualifies, the slow-statement log.
+      stats_.AccumulateCost(cost);
+      session->acct.Add(cost);
+      if (options_.slow_log_capacity > 0 && dt >= options_.slow_statement_us) {
+        stats_.slow_statements.fetch_add(1, std::memory_order_relaxed);
+      }
+      slow_log_.MaybeRecord(ctx, text, dt, cost);
+
+      if (is_profile) {
+        stats_.profile_statements.fetch_add(1, std::memory_order_relaxed);
+        // `profile` replaces the payload with the result + cost JSON.
+        obs::JsonWriter w;
+        w.BeginObject();
+        w.Key("trace_id").Uint(ctx.trace_id);
+        w.Key("session").Uint(ctx.session_id);
+        w.Key("seq").Uint(ctx.statement_seq);
+        w.Key("status").String(result.status.ok() ? "ok"
+                                                  : result.status.ToString());
+        w.Key("result").String(result.payload);
+        w.Key("cost");
+        w.BeginObject();
+        cost.WriteFields(&w);
+        w.EndObject();
+        w.EndObject();
+        result.payload = w.str();
+      }
     }
     ++resp.metrics.statements_run;
     stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
@@ -488,12 +635,15 @@ StatementResult Executor::ExecuteReadStatement(Session* s, Statement* st) {
   }
 
   {
+    const uint64_t lk0 = NowUs();
     std::shared_lock<std::shared_mutex> dlk(db_mu_);
+    ChargeLockWait(/*shared=*/true, NowUs() - lk0);
     stats_.shared_lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
     ReaderScope readers(&stats_);
     std::optional<StatementResult> fast = TryExecuteReadShared(s, st);
     if (fast.has_value()) {
       stats_.fast_path_reads.fetch_add(1, std::memory_order_relaxed);
+      if (auto* c = obs::RequestScope::CurrentCost()) c->shared_path = true;
       return std::move(*fast);
     }
   }
@@ -501,7 +651,9 @@ StatementResult Executor::ExecuteReadStatement(Session* s, Statement* st) {
   // out of date, unsubscribed, or a CC conflict that must abort
   // properly): run the full statement exclusively.
   stats_.fast_path_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t lk0 = NowUs();
   std::lock_guard<std::shared_mutex> dlk(db_mu_);
+  ChargeLockWait(/*shared=*/false, NowUs() - lk0);
   return ExecuteStatement(s, st);
 }
 
@@ -581,7 +733,9 @@ StatementResult Executor::ExecuteCommitStatement(Session* s) {
   // Phase 1 (exclusive): stage the delta in the WAL's group-commit queue.
   uint64_t ticket = 0;
   {
+    const uint64_t lk0 = NowUs();
     std::lock_guard<std::shared_mutex> dlk(db_mu_);
+    ChargeLockWait(/*shared=*/false, NowUs() - lk0);
     auto staged = s->txn->StageCommit();
     if (!staged.ok()) {
       s->txn.reset();
@@ -597,7 +751,9 @@ StatementResult Executor::ExecuteCommitStatement(Session* s) {
   // Phase 3 (exclusive): publish, or record the abort on flush failure.
   Status status;
   {
+    const uint64_t lk0 = NowUs();
     std::lock_guard<std::shared_mutex> dlk(db_mu_);
+    ChargeLockWait(/*shared=*/false, NowUs() - lk0);
     status = s->txn->FinishCommit(ticket, std::move(durable));
   }
   s->txn.reset();
@@ -609,6 +765,98 @@ StatementResult Executor::ExecuteCommitStatement(Session* s) {
     ++s->aborts;
     r.status = status;
   }
+  return r;
+}
+
+StatementResult Executor::ExecuteExplain(Session* s, const Statement& st) {
+  StatementResult r;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("explain").String(StatementKindName(st.kind));
+
+  switch (st.kind) {
+    case StatementKind::kGet:
+    case StatementKind::kPeek:
+    case StatementKind::kSet: {
+      auto id = Resolve(s, st.a);
+      if (!id.ok()) {
+        r.status = id.status();
+        return r;
+      }
+      auto info = db_->ExplainAttr(*id, st.attr_a);
+      if (!info.ok()) {
+        r.status = info.status();
+        return r;
+      }
+      w.Key("target").String(FormatInstance(*id));
+      w.Key("attr").String(st.attr_a);
+      w.Key("class").String(info->class_name);
+      w.Key("attr_kind").String(info->attr_kind);
+      w.Key("block").Uint(info->block);
+      w.Key("resident").Bool(info->resident);
+      w.Key("cached").Bool(info->cached);
+      w.Key("out_of_date").Bool(info->out_of_date);
+      w.Key("subscribed").Bool(info->subscribed);
+      w.Key("depends_on");
+      w.BeginArray();
+      for (const auto& d : info->depends_on) w.String(d);
+      w.EndArray();
+      w.Key("dependents");
+      w.BeginArray();
+      for (const auto& d : info->dependents) w.String(d);
+      w.EndArray();
+      w.Key("policy").String(
+          sched::SchedulingPolicyToString(db_->options().policy));
+      // Plan hint: what executing this statement would actually do.
+      std::string action;
+      if (st.kind == StatementKind::kSet) {
+        action = "assign";
+        if (!info->dependents.empty()) {
+          action += "; invalidate " + std::to_string(info->dependents.size()) +
+                    " dependent attribute(s)";
+        }
+      } else if (!info->resident) {
+        action = "fault block " + std::to_string(info->block) +
+                 " from disk, then " +
+                 (info->out_of_date ? std::string("re-evaluate via rule")
+                                    : std::string("read stored value"));
+      } else if (info->out_of_date) {
+        action = "re-evaluate via rule (value out of date)";
+      } else {
+        action = "read cached value";
+      }
+      w.Key("action").String(action);
+      break;
+    }
+    case StatementKind::kSelect:
+    case StatementKind::kInstances:
+    case StatementKind::kMembers: {
+      w.Key("class").String(st.class_name);
+      if (st.kind == StatementKind::kSelect) {
+        w.Key("predicate").String(st.predicate);
+      }
+      w.Key("action").String(st.kind == StatementKind::kMembers
+                                 ? "enumerate subtype members"
+                                 : "scan instances of class");
+      break;
+    }
+    case StatementKind::kCreate: {
+      w.Key("class").String(st.class_name);
+      if (!st.binding.empty()) w.Key("binding").String(st.binding);
+      w.Key("action").String("allocate instance; initialize attributes");
+      break;
+    }
+    default: {
+      // begin/commit/abort/fetch/delete/connect/disconnect: nothing
+      // plan-shaped to report beyond session state.
+      w.Key("txn_open").Bool(s->txn != nullptr);
+      w.Key("action").String("session/transaction operation");
+      break;
+    }
+  }
+
+  w.EndObject();
+  r.payload = w.str();
   return r;
 }
 

@@ -64,6 +64,8 @@
 
 #include "core/database.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/slow_log.h"
 #include "server/protocol.h"
 #include "server/session.h"
 #include "server/statement.h"
@@ -82,6 +84,13 @@ struct ServerOptions {
   /// Millisecond clock for session-idle accounting. Null = steady clock.
   /// Injectable so expiry tests are deterministic.
   std::function<uint64_t()> now_ms;
+  /// Slow-statement log threshold: statements whose latency (lock wait +
+  /// execution) reaches this are candidates for the log. 0 logs every
+  /// statement (tests, tail-latency hunts).
+  uint64_t slow_statement_us = 10'000;
+  /// Slow-statement log capacity (the N worst by latency are retained).
+  /// 0 disables the log.
+  size_t slow_log_capacity = 32;
 };
 
 /// Service-layer counters. All fields are atomics: they are written from
@@ -107,6 +116,37 @@ struct ServerStats {
   std::atomic<uint64_t> fast_path_fallbacks{0};  // retried exclusively
   std::atomic<uint64_t> readers_active{0};       // live gauge
   std::atomic<uint64_t> readers_peak{0};
+
+  // Request-scoped cost attribution, aggregated over every statement
+  // (per-session splits live in Session::acct; the worst offenders in
+  // the slow-statement log).
+  std::atomic<uint64_t> cost_blocks_read{0};
+  std::atomic<uint64_t> cost_blocks_written{0};
+  std::atomic<uint64_t> cost_cache_hits{0};
+  std::atomic<uint64_t> cost_cache_misses{0};
+  std::atomic<uint64_t> cost_attrs_reevaluated{0};
+  std::atomic<uint64_t> cost_chunks_scheduled{0};
+  std::atomic<uint64_t> cost_wal_bytes{0};
+  std::atomic<uint64_t> cost_lock_wait_shared_us{0};
+  std::atomic<uint64_t> cost_lock_wait_excl_us{0};
+  std::atomic<uint64_t> profile_statements{0};  // `profile ...` executed
+  std::atomic<uint64_t> explain_statements{0};  // `explain ...` executed
+  std::atomic<uint64_t> slow_statements{0};     // admitted past threshold
+
+  void AccumulateCost(const obs::StatementCost& c) {
+    auto add = [](std::atomic<uint64_t>& a, uint64_t v) {
+      if (v != 0) a.fetch_add(v, std::memory_order_relaxed);
+    };
+    add(cost_blocks_read, c.blocks_read);
+    add(cost_blocks_written, c.blocks_written);
+    add(cost_cache_hits, c.cache_hits);
+    add(cost_cache_misses, c.cache_misses);
+    add(cost_attrs_reevaluated, c.attrs_reevaluated);
+    add(cost_chunks_scheduled, c.chunks_scheduled);
+    add(cost_wal_bytes, c.wal_bytes);
+    add(cost_lock_wait_shared_us, c.lock_wait_shared_us);
+    add(cost_lock_wait_excl_us, c.lock_wait_excl_us);
+  }
 
   /// Per-statement latency, power-of-two microsecond buckets (same
   /// shape as obs::Histogram, but atomic).
@@ -180,6 +220,14 @@ class Executor {
   /// Database::SnapshotMetrics() under the statement mutex.
   std::string SnapshotMetrics();
 
+  // --- Slow-statement log ---------------------------------------------------
+
+  /// JSON array of the retained slow statements, worst-first.
+  std::string SnapshotSlowLogJson() const { return slow_log_.SnapshotJson(); }
+  /// Same, but empties the log (shell `\slow`, CI artifact dumps).
+  std::string DrainSlowLogJson() { return slow_log_.DrainJson(); }
+  const obs::SlowStatementLog& slow_log() const { return slow_log_; }
+
   const ServerStats& stats() const { return stats_; }
   core::Database* db() { return db_; }
   const ServerOptions& options() const { return options_; }
@@ -208,6 +256,10 @@ class Executor {
   /// Split-phase commit (stage / wait durable / publish). Takes db_mu_
   /// itself, releasing it around the durability wait.
   StatementResult ExecuteCommitStatement(Session* s);
+  /// `explain <stmt>`: reports the plan (residency, dependency edges,
+  /// scheduling policy) without executing the statement's side effects.
+  /// Caller holds db_mu_ exclusive.
+  StatementResult ExecuteExplain(Session* s, const Statement& st);
   Result<InstanceId> Resolve(Session* s, const Target& t);
 
   /// Rolls back and destroys expired/closed sessions' transactions under
@@ -220,6 +272,11 @@ class Executor {
   ServerOptions options_;
   SessionManager sessions_;
   ServerStats stats_;
+  /// The N worst statements by latency (see ServerOptions). Internally
+  /// synchronized; drained via DrainSlowLogJson() or the metrics export.
+  obs::SlowStatementLog slow_log_;
+  /// Monotonic trace-id mint: every statement gets a fresh non-zero id.
+  std::atomic<uint64_t> next_trace_id_{0};
 
   /// THE statement lock: all Database access goes through it. Mutating
   /// statements hold it exclusively; read-only statements hold it shared

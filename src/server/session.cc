@@ -94,4 +94,17 @@ size_t SessionManager::active_count() const {
   return sessions_.size();
 }
 
+void SessionManager::ForEach(
+    const std::function<void(const Session&)>& fn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<const Session*> ordered;
+  ordered.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) ordered.push_back(s.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Session* a, const Session* b) {
+              return a->id.value < b->id.value;
+            });
+  for (const Session* s : ordered) fn(*s);
+}
+
 }  // namespace cactis::server

@@ -22,6 +22,7 @@
 #define CACTIS_SERVER_SESSION_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,8 +32,46 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "core/database.h"
+#include "obs/request_context.h"
 
 namespace cactis::server {
+
+/// Cumulative per-session resource accounting, folded in after every
+/// statement. All fields are relaxed atomics: workers add while the
+/// metrics exporter reads without the session mutex. Exposed in the
+/// "server" metrics group as a per_session JSON array.
+struct SessionAccounting {
+  std::atomic<uint64_t> statements{0};
+  std::atomic<uint64_t> blocks_read{0};
+  std::atomic<uint64_t> blocks_written{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> attrs_reevaluated{0};
+  std::atomic<uint64_t> chunks_scheduled{0};
+  std::atomic<uint64_t> wal_bytes{0};
+  std::atomic<uint64_t> queue_wait_us{0};
+  std::atomic<uint64_t> lock_wait_shared_us{0};
+  std::atomic<uint64_t> lock_wait_excl_us{0};
+  std::atomic<uint64_t> exec_us{0};
+
+  void Add(const obs::StatementCost& c) {
+    auto add = [](std::atomic<uint64_t>& a, uint64_t v) {
+      if (v != 0) a.fetch_add(v, std::memory_order_relaxed);
+    };
+    statements.fetch_add(1, std::memory_order_relaxed);
+    add(blocks_read, c.blocks_read);
+    add(blocks_written, c.blocks_written);
+    add(cache_hits, c.cache_hits);
+    add(cache_misses, c.cache_misses);
+    add(attrs_reevaluated, c.attrs_reevaluated);
+    add(chunks_scheduled, c.chunks_scheduled);
+    add(wal_bytes, c.wal_bytes);
+    add(queue_wait_us, c.queue_wait_us);
+    add(lock_wait_shared_us, c.lock_wait_shared_us);
+    add(lock_wait_excl_us, c.lock_wait_excl_us);
+    add(exec_us, c.exec_us);
+  }
+};
 
 struct Session {
   Session(SessionId sid, uint64_t now_ms)
@@ -65,6 +104,14 @@ struct Session {
   uint64_t aborts = 0;     // explicit `abort` plus consistency aborts
   uint64_t conflicts = 0;  // aborts caused by timestamp-ordering conflicts
   uint64_t last_ts = 0;    // timestamp of the current / most recent txn
+
+  /// Statements executed on this session, feeding RequestContext's
+  /// statement_seq (protected by the session mutex like the fields
+  /// above).
+  uint64_t statement_seq = 0;
+
+  /// Cumulative cost accounting (atomics; see SessionAccounting).
+  SessionAccounting acct;
 
   /// Last request activity, for timeout expiry. Atomic so the reaper can
   /// read it without the session mutex.
@@ -102,6 +149,12 @@ class SessionManager {
   std::vector<std::shared_ptr<Session>> TakeAll();
 
   size_t active_count() const;
+
+  /// Visits every live session under the manager mutex, in ascending id
+  /// order (deterministic exports). `fn` must not call back into the
+  /// manager and should only read atomic session fields — it runs while
+  /// workers may be executing on those sessions.
+  void ForEach(const std::function<void(const Session&)>& fn) const;
 
  private:
   const uint64_t timeout_ms_;

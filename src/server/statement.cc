@@ -146,6 +146,24 @@ Result<Statement> ParseStatement(std::string_view text) {
 
   Statement st;
 
+  // Observability modifiers wrap a whole statement. Strip the verb off
+  // the *raw text* and re-parse the remainder, because several statement
+  // forms (set RHS, select predicates) re-scan their own raw text.
+  if (c.Peek().type == TokenType::kIdentifier &&
+      (c.Peek().text == "profile" || c.Peek().text == "explain")) {
+    const bool is_profile = c.Peek().text == "profile";
+    size_t start = text.find_first_not_of(" \t\r\n");
+    auto inner = ParseStatement(text.substr(start + 7));  // both verbs: 7 chars
+    if (!inner.ok()) return inner.status();
+    if (inner->modifier != StatementModifier::kNone) {
+      return Status::ParseError(
+          "profile/explain cannot wrap another profile/explain");
+    }
+    inner->modifier = is_profile ? StatementModifier::kProfile
+                                 : StatementModifier::kExplain;
+    return inner;
+  }
+
   // Transaction control verbs. `begin` is a lang keyword; the rest are
   // plain identifiers.
   if (c.MatchType(TokenType::kKwBegin)) {

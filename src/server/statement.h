@@ -9,7 +9,9 @@
 // Grammar (keywords case-insensitive, one statement per string; batches
 // are split on top-level ';'):
 //
-//   stmt := "begin"                          open an explicit transaction
+//   stmt := "profile" stmt                   run stmt, return its cost JSON
+//         | "explain" stmt                   report the plan, no execution
+//         | "begin"                          open an explicit transaction
 //         | "commit"                         commit it
 //         | "abort" | "undo"                 roll it back
 //         | "create" CLASS ["as" NAME]       create instance, bind NAME
@@ -70,7 +72,20 @@ struct Target {
   bool empty() const { return name.empty() && !raw.valid(); }
 };
 
+/// Observability wrapper on a statement. `profile` executes the wrapped
+/// statement normally and replaces the payload with a JSON document
+/// carrying the result plus the statement's StatementCost breakdown.
+/// `explain` does not execute at all: it reports how the statement
+/// *would* run (attribute kinds, residency, dependents, scheduling
+/// policy) from catalog and cache state, with no side effects.
+enum class StatementModifier {
+  kNone,
+  kProfile,
+  kExplain,
+};
+
 struct Statement {
+  StatementModifier modifier = StatementModifier::kNone;
   StatementKind kind = StatementKind::kBegin;
   std::string class_name;  // create / select / instances / members
   std::string binding;     // create ... as NAME
@@ -88,6 +103,11 @@ struct Statement {
 /// advances the session cursor). Everything else — including commit,
 /// which has its own split-phase path — requires the exclusive side.
 inline bool IsReadOnlyStatement(const Statement& st) {
+  // `explain` inspects catalog and cache state that the shared entry
+  // points do not cover; it runs (briefly) under the exclusive side.
+  // `profile` follows its wrapped statement's routing, so profiled reads
+  // exercise — and measure — the real concurrent read path.
+  if (st.modifier == StatementModifier::kExplain) return false;
   switch (st.kind) {
     case StatementKind::kGet:
     case StatementKind::kPeek:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/request_context.h"
+
 namespace cactis::storage {
 
 BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity)
@@ -19,10 +21,12 @@ Result<BlockImage*> BufferPool::Fetch(BlockId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.hits;
+    if (auto* c = obs::RequestScope::CurrentCost()) ++c->cache_hits;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return &it->second.image;
   }
   ++stats_.misses;
+  if (auto* c = obs::RequestScope::CurrentCost()) ++c->cache_misses;
   while (frames_.size() >= capacity_) {
     CACTIS_RETURN_IF_ERROR(EvictOne());
   }

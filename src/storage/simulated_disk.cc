@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/request_context.h"
+
 namespace cactis::storage {
 
 namespace {
@@ -75,6 +77,7 @@ Result<std::string> SimulatedDisk::Read(BlockId id) {
       // was not. Checksum verification upstream catches it.
       ++stats_.bit_flips;
       ++stats_.reads;
+      if (auto* c = obs::RequestScope::CurrentCost()) ++c->blocks_read;
       std::string copy = it->second;
       FlipMiddleBit(&copy);
       return copy;
@@ -84,6 +87,7 @@ Result<std::string> SimulatedDisk::Read(BlockId id) {
       break;
   }
   ++stats_.reads;
+  if (auto* c = obs::RequestScope::CurrentCost()) ++c->blocks_read;
   return it->second;
 }
 
@@ -132,6 +136,7 @@ Status SimulatedDisk::Write(BlockId id, std::string content) {
       break;
   }
   ++stats_.writes;
+  if (auto* c = obs::RequestScope::CurrentCost()) ++c->blocks_written;
   it->second = std::move(content);
   uint64_t latency = write_latency_us_.load(std::memory_order_relaxed);
   if (latency != 0) {

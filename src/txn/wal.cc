@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/request_context.h"
 #include "storage/checksum.h"
 
 namespace cactis::txn {
@@ -231,6 +232,12 @@ Status WriteAheadLog::Append(const WalEvent& event) {
 uint64_t WriteAheadLog::Stage(const WalEvent& event) {
   StagedEntry entry;
   entry.payload = EncodeEvent(event);
+  // Charged to the staging statement: the flush may be performed later by
+  // another ticket's leader, but these bytes exist because of this
+  // commit.
+  if (auto* c = obs::RequestScope::CurrentCost()) {
+    c->wal_bytes += entry.payload.size();
+  }
   std::lock_guard<std::mutex> lk(group_mu_);
   entry.ticket = ++next_ticket_;
   if (trace_) {

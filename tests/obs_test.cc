@@ -320,6 +320,27 @@ TEST(TraceSinkTest, JsonRoundTripShape) {
   EXPECT_NE(json.find("\"kind\":\"txn_begin\""), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"compute_chunk\""), std::string::npos);
   EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+  // Every event carries its request attribution (0 outside a statement).
+  EXPECT_NE(json.find("\"trace\":0"), std::string::npos);
+}
+
+TEST(TraceSinkTest, EventsStampTheCurrentRequestContext) {
+  TraceSink sink(16);
+  sink.set_enabled(true);
+  sink.Record(SpanKind::kBlockFetch, 1);
+  {
+    RequestContext ctx;
+    ctx.trace_id = 42;
+    StatementCost cost;
+    RequestScope scope(ctx, &cost);
+    sink.Record(SpanKind::kBlockFetch, 2);
+  }
+  sink.Record(SpanKind::kBlockFetch, 3);
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[0].trace_id, 0u);
+  EXPECT_EQ(sink.events()[1].trace_id, 42u);
+  EXPECT_EQ(sink.events()[2].trace_id, 0u);  // scope restored on exit
+  EXPECT_NE(sink.ToJson().find("\"trace\":42"), std::string::npos);
 }
 
 TEST(TraceSinkTest, EveryKindHasAName) {
@@ -374,6 +395,44 @@ TEST(DatabaseObservabilityTest, MetricsCanBeDisabledAtConstruction) {
   EXPECT_TRUE(JsonChecker::Valid(json)) << json;
   EXPECT_NE(json.find("\"enabled\":false"), std::string::npos);
   EXPECT_NE(json.find("\"txn.begun\":0"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GroupsSpliceRawJsonValues) {
+  MetricsRegistry registry(true);
+  registry.RegisterSource("svc", [](MetricsGroup* g) {
+    g->AddCounter("n", 3);
+    g->AddJson("nested", R"([{"k":1},{"k":2}])");
+  });
+  std::string json = registry.SnapshotJson();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"nested\":[{\"k\":1},{\"k\":2}]"), std::string::npos)
+      << json;
+  registry.UnregisterSource("svc");
+}
+
+TEST(DatabaseObservabilityTest, ExportsTraceRingCountersIncludingDrops) {
+  core::DatabaseOptions opts;
+  opts.enable_tracing = true;
+  opts.trace_capacity = 4;  // tiny ring: force drops
+  core::Database db(opts);
+  ASSERT_TRUE(db.LoadSchema("object class c is attributes a : int; end object;")
+                  .ok());
+  auto id = db.Create("c");
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.Set(*id, "a", Value::Int(i)).ok());
+  }
+  ASSERT_GT(db.trace()->dropped(), 0u);
+
+  std::string json = db.SnapshotMetrics();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"trace_events_total\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_dropped_events\":"), std::string::npos) << json;
+  // The exported drop counter matches the sink's.
+  const std::string key = "\"trace_dropped_events\":";
+  uint64_t exported =
+      std::stoull(json.substr(json.find(key) + key.size()));
+  EXPECT_EQ(exported, db.trace()->dropped());
 }
 
 TEST(DatabaseObservabilityTest, TracingCapturesTxnAndBlockEvents) {

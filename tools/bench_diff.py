@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Compare fresh bench JSON against committed baselines and gate on regressions.
+
+Usage:
+    tools/bench_diff.py --baseline tools/bench_baselines --fresh perf-artifacts \
+        [--threshold 0.25] [--raw]
+
+Reads BENCH_server.json and BENCH_recovery.json from both directories and
+fails (exit 1) when:
+
+  * lost_updates != 0 in the fresh server bench (hard gate, no threshold);
+  * a gated metric regressed by more than --threshold (default 25%).
+
+Gated metrics are chosen to be machine-independent so the gate is
+meaningful across CI hosts:
+
+  server   e13_speedup_x100_w4      4-worker/1-worker read scaling ratio
+  recovery e11b blocks-per-commit   WAL blocks / committed txn (w1, w4)
+  recovery e11b entries-per-batch   group-commit batching efficiency (w4)
+
+Raw throughput counters (e13_stmt_per_s_w*) are wall-clock and therefore
+hardware-dependent: they are compared only when the fresh and baseline
+reports come from hosts with the same CPU count, or always under --raw.
+Skipped comparisons are reported, never silently dropped.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+class Gate:
+    """One metric comparison: fresh vs baseline with a relative threshold."""
+
+    def __init__(self, name, baseline, fresh, threshold, higher_is_better=True):
+        self.name = name
+        self.baseline = baseline
+        self.fresh = fresh
+        self.threshold = threshold
+        self.higher_is_better = higher_is_better
+
+    @property
+    def change(self):
+        if self.baseline == 0:
+            return 0.0
+        return (self.fresh - self.baseline) / self.baseline
+
+    @property
+    def ok(self):
+        if self.higher_is_better:
+            return self.fresh >= self.baseline * (1.0 - self.threshold)
+        return self.fresh <= self.baseline * (1.0 + self.threshold)
+
+    def row(self):
+        direction = "higher-better" if self.higher_is_better else "lower-better"
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"  {self.name:<32} baseline={self.baseline:<12.4g} "
+            f"fresh={self.fresh:<12.4g} change={self.change:+7.1%} "
+            f"[{direction}] {verdict}"
+        )
+
+
+def load(directory, name):
+    path = os.path.join(directory, name)
+    if not os.path.exists(path):
+        return None, path
+    with open(path) as f:
+        return json.load(f), path
+
+
+def counter(doc, key):
+    return doc.get("counters", {}).get(key)
+
+
+def server_gates(base, fresh, threshold, raw, notes):
+    gates = []
+    b, f = counter(base, "e13_speedup_x100_w4"), counter(fresh, "e13_speedup_x100_w4")
+    if b is not None and f is not None:
+        gates.append(Gate("e13_speedup_x100_w4", b, f, threshold))
+    else:
+        notes.append("e13_speedup_x100_w4 missing from server report; skipped")
+
+    base_cpus = base.get("config", {}).get("host_cpus")
+    fresh_cpus = fresh.get("config", {}).get("host_cpus")
+    comparable = raw or (base_cpus is not None and base_cpus == fresh_cpus)
+    for w in (1, 2, 4, 8):
+        key = f"e13_stmt_per_s_w{w}"
+        b, f = counter(base, key), counter(fresh, key)
+        if b is None or f is None:
+            continue
+        if comparable:
+            gates.append(Gate(key, b, f, threshold))
+        else:
+            notes.append(
+                f"{key}: wall-clock metric skipped (baseline host_cpus="
+                f"{base_cpus}, fresh={fresh_cpus}; pass --raw to force)"
+            )
+    return gates
+
+
+def recovery_gates(base, fresh, threshold, notes):
+    gates = []
+    for w in (1, 4):
+        bb = counter(base, f"e11b_wal_blocks_w{w}")
+        bc = counter(base, f"e11b_commits_w{w}")
+        fb = counter(fresh, f"e11b_wal_blocks_w{w}")
+        fc = counter(fresh, f"e11b_commits_w{w}")
+        if None in (bb, bc, fb, fc) or bc == 0 or fc == 0:
+            notes.append(f"e11b w{w} counters incomplete; blocks/commit skipped")
+            continue
+        gates.append(
+            Gate(
+                f"e11b_wal_blocks_per_commit_w{w}",
+                bb / bc,
+                fb / fc,
+                threshold,
+                higher_is_better=False,
+            )
+        )
+    # Batching efficiency only matters where commits overlap (w4).
+    bc = counter(base, "e11b_commits_w4")
+    bt = counter(base, "e11b_batches_w4")
+    fc = counter(fresh, "e11b_commits_w4")
+    ft = counter(fresh, "e11b_batches_w4")
+    if None in (bc, bt, fc, ft) or bt == 0 or ft == 0:
+        notes.append("e11b w4 batch counters incomplete; entries/batch skipped")
+    else:
+        gates.append(Gate("e11b_entries_per_batch_w4", bc / bt, fc / ft, threshold))
+    return gates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="directory of committed baselines")
+    ap.add_argument("--fresh", required=True, help="directory of freshly produced bench JSON")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="maximum tolerated relative regression (default 0.25)")
+    ap.add_argument("--raw", action="store_true",
+                    help="compare wall-clock throughput even across differing hosts")
+    args = ap.parse_args()
+
+    failures = []
+    notes = []
+    gates = []
+
+    fresh_server, fresh_server_path = load(args.fresh, "BENCH_server.json")
+    base_server, base_server_path = load(args.baseline, "BENCH_server.json")
+    if fresh_server is None:
+        failures.append(f"missing fresh server report: {fresh_server_path}")
+    else:
+        lost = counter(fresh_server, "lost_updates")
+        if lost is None:
+            failures.append("fresh server report has no lost_updates counter")
+        elif lost != 0:
+            failures.append(f"lost_updates = {lost} (must be 0)")
+        if base_server is None:
+            failures.append(f"missing committed baseline: {base_server_path}")
+        else:
+            gates += server_gates(base_server, fresh_server, args.threshold,
+                                  args.raw, notes)
+
+    fresh_rec, fresh_rec_path = load(args.fresh, "BENCH_recovery.json")
+    base_rec, base_rec_path = load(args.baseline, "BENCH_recovery.json")
+    if fresh_rec is None:
+        failures.append(f"missing fresh recovery report: {fresh_rec_path}")
+    elif base_rec is None:
+        failures.append(f"missing committed baseline: {base_rec_path}")
+    else:
+        gates += recovery_gates(base_rec, fresh_rec, args.threshold, notes)
+
+    print(f"bench_diff: threshold {args.threshold:.0%}")
+    for g in gates:
+        print(g.row())
+        if not g.ok:
+            failures.append(
+                f"{g.name} regressed {g.change:+.1%} "
+                f"(baseline {g.baseline:.4g}, fresh {g.fresh:.4g})"
+            )
+    for n in notes:
+        print(f"  note: {n}")
+
+    if failures:
+        print("\nbench_diff FAILED:")
+        for f in failures:
+            print(f"  * {f}")
+        return 1
+    print("\nbench_diff OK: no gated metric regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
