@@ -1,0 +1,291 @@
+// Experiment E14 — fault tolerance under chaos.
+//
+// Concurrent sessions drive read-modify-write transactions through the
+// full service path while a seeded fault schedule injects transient
+// write storms, torn writes and terminal crashes into the disk. After
+// each round the platter is recovered into a fresh database and audited
+// against the acked-commit ledger. The reported quantities are
+// *invariant counters*, deterministic and machine-independent:
+//
+//   lost_acked_commits  — increments acked kOk but missing after
+//                         recovery. MUST be 0.
+//   phantom_updates     — recovered counter values exceeding the acked
+//                         ledger (an un-acked commit leaked). MUST be 0.
+//   failed_recoveries   — platters that would not recover. MUST be 0.
+//
+// A separate storm scenario measures the degraded read-only mode: how
+// many mutations a persistent transient storm refuses, that reads keep
+// serving throughout, and that one health probe restores read-write.
+//
+// The bench exits non-zero on any invariant violation, so CI can run it
+// as a smoke gate (CACTIS_BENCH_SMOKE=1 shrinks the round count).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/executor.h"
+#include "server/transport.h"
+#include "storage/fault_policy.h"
+
+namespace cactis::bench {
+namespace {
+
+constexpr const char* kCounterSchema = R"(
+  object class counter is
+    attributes
+      n : int;
+  end object;
+)";
+
+constexpr int kCounters = 4;
+constexpr int kWriters = 3;
+constexpr int kOpsPerWriter = 8;
+constexpr int kAttemptsPerOp = 3;
+
+core::DatabaseOptions ChaosDbOptions() {
+  core::DatabaseOptions opts;
+  opts.block_size = 256;
+  opts.buffer_capacity = 2;
+  return opts;
+}
+
+server::ServerOptions ChaosServerOptions() {
+  server::ServerOptions o;
+  o.num_workers = 3;
+  o.degraded_probe_interval_ms = 0;  // probed explicitly, rounds stay exact
+  return o;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+struct RoundOutcome {
+  uint64_t attempts = 0;
+  uint64_t acked = 0;
+  uint64_t recovered = 0;
+  uint64_t lost = 0;     // acked but missing after recovery
+  uint64_t phantom = 0;  // recovered beyond the acked ledger
+  bool recovery_ok = false;
+  bool degraded = false;
+  uint64_t salvaged_bytes = 0;
+  std::string terminal;
+};
+
+RoundOutcome RunRound(uint64_t seed, bool terminal_fault, bool torn) {
+  core::Database db(ChaosDbOptions());
+  Die(db.LoadSchema(kCounterSchema), "schema");
+  server::Executor exec(&db, ChaosServerOptions());
+  exec.Start();
+  server::LoopbackTransport client(&exec);
+
+  {
+    // Counters exist before faults start: always durable.
+    auto setup = MustV(client.Connect(), "connect");
+    for (int c = 1; c <= kCounters; ++c) {
+      server::Response r = client.Call(setup, "create counter");
+      Die(r.ok() ? Status::OK() : Status::Internal(r.payload), "create");
+      r = client.Call(setup, "set obj(" + std::to_string(c) + ").n = 0");
+      Die(r.ok() ? Status::OK() : Status::Internal(r.payload), "set");
+    }
+  }
+  const int64_t terminal_at =
+      terminal_fault ? static_cast<int64_t>(25 + (seed * 17) % 150) : -1;
+  storage::ChaosSchedule chaos(seed, /*p_transient=*/0.04, terminal_at, torn);
+  db.disk()->set_fault_policy(&chaos);
+
+  std::vector<std::atomic<uint64_t>> acked(kCounters);
+  for (auto& a : acked) a.store(0);
+  std::atomic<uint64_t> attempts{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto session = MustV(client.Connect(), "connect");
+      uint64_t rng = seed * 6364136223846793005ULL + w + 1;
+      for (int op = 0; op < kOpsPerWriter; ++op) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int c = static_cast<int>((rng >> 33) % kCounters) + 1;
+        const std::string stmt = "begin; set obj(" + std::to_string(c) +
+                                 ").n = n + 1; commit";
+        for (int attempt = 0; attempt < kAttemptsPerOp; ++attempt) {
+          attempts.fetch_add(1);
+          server::Response r = client.Call(session, stmt);
+          if (r.ok()) {
+            acked[c - 1].fetch_add(1);
+            break;
+          }
+          if (!r.aborted()) break;  // storage gone / degraded: move on
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  RoundOutcome out;
+  out.attempts = attempts.load();
+  out.degraded = exec.degraded();
+  out.terminal = terminal_at < 0 ? "none" : (torn ? "torn" : "crash");
+  exec.Shutdown();
+
+  core::Database recovered(ChaosDbOptions());
+  Die(recovered.LoadSchema(kCounterSchema), "schema");
+  Status rs = recovered.Recover(*db.disk());
+  out.recovery_ok = rs.ok();
+  if (rs.ok()) {
+    out.salvaged_bytes = recovered.wal()->stats().salvaged_tail_bytes;
+    for (int c = 0; c < kCounters; ++c) {
+      const uint64_t want = acked[c].load();
+      out.acked += want;
+      auto v = recovered.Peek(InstanceId(static_cast<uint64_t>(c + 1)), "n");
+      const uint64_t got =
+          v.ok() ? static_cast<uint64_t>(v->AsInt().value_or(0)) : 0;
+      out.recovered += got;
+      if (got < want) out.lost += want - got;
+      if (got > want) out.phantom += got - want;
+    }
+  }
+  return out;
+}
+
+struct StormOutcome {
+  uint64_t rejected = 0;
+  uint64_t reads_served = 0;
+  uint64_t probes_to_restore = 0;
+  bool restored = false;
+  bool reads_ok = true;
+};
+
+/// A persistent transient storm: the server must degrade to read-only,
+/// refuse mutations fast, keep serving reads, and restore on the first
+/// probe after the storm passes.
+StormOutcome RunStorm() {
+  core::Database db(ChaosDbOptions());
+  Die(db.LoadSchema(kCounterSchema), "schema");
+  server::Executor exec(&db, ChaosServerOptions());
+  exec.Start();
+  server::LoopbackTransport client(&exec);
+  auto s = MustV(client.Connect(), "connect");
+  Die(client.Call(s, "create counter").ok() ? Status::OK()
+                                            : Status::Internal("create"),
+      "create");
+  Die(client.Call(s, "set obj(1).n = 7").ok() ? Status::OK()
+                                              : Status::Internal("set"),
+      "set");
+
+  storage::TransientStorm storm;
+  db.disk()->set_fault_policy(&storm);
+  storm.storming.store(true);
+
+  StormOutcome out;
+  (void)client.Call(s, "set obj(1).n = 8");  // burns the retry budget
+  for (int i = 0; i < 16; ++i) {
+    server::Response r = client.Call(s, "set obj(1).n = 9");
+    if (r.unavailable()) ++out.rejected;
+    server::Response v = client.Call(s, "peek obj(1).n");
+    if (v.ok() && v.payload == "7") {
+      ++out.reads_served;
+    } else {
+      out.reads_ok = false;
+    }
+  }
+  // A probe under the storm must fail and leave the server degraded.
+  if (exec.ProbeOnce()) out.reads_ok = false;
+  ++out.probes_to_restore;
+  // Storm passes: the next probe restores read-write.
+  storm.storming.store(false);
+  ++out.probes_to_restore;
+  out.restored = exec.ProbeOnce() && !exec.degraded();
+  if (out.restored) {
+    out.restored = client.Call(s, "set obj(1).n = 8").ok();
+  }
+  exec.Shutdown();
+  return out;
+}
+
+}  // namespace
+}  // namespace cactis::bench
+
+int main() {
+  using namespace cactis::bench;
+  const bool smoke = EnvInt("CACTIS_BENCH_SMOKE", 0) != 0;
+  const int rounds = EnvInt("CACTIS_BENCH_ROUNDS", smoke ? 8 : 24);
+
+  std::printf(
+      "E14: chaos — concurrent sessions under fault storms, torn writes\n"
+      "and crashes; recovery audited against the acked-commit ledger\n\n");
+
+  BenchReport report("chaos");
+  report.SetConfig("experiment", "E14");
+  report.SetConfig("smoke", smoke);
+  report.SetConfig("rounds", static_cast<uint64_t>(rounds));
+  report.SetConfig("writers", kWriters);
+  report.SetConfig("ops_per_writer", kOpsPerWriter);
+
+  Table table({"seed", "terminal", "attempts", "acked", "recovered", "lost",
+               "phantom", "degraded", "salvaged bytes"});
+  uint64_t lost = 0, phantom = 0, failed_recoveries = 0;
+  uint64_t total_acked = 0, total_attempts = 0, degraded_rounds = 0;
+  uint64_t salvaged = 0;
+  for (int i = 0; i < rounds; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(i);
+    // Every 5th round is fault-noise only; the rest end in a terminal
+    // crash (even seeds) or torn write (odd seeds).
+    RoundOutcome r = RunRound(seed, /*terminal_fault=*/i % 5 != 0,
+                              /*torn=*/i % 2 == 1);
+    table.AddRow({Num(seed), r.terminal, Num(r.attempts), Num(r.acked),
+                  Num(r.recovered), Num(r.lost), Num(r.phantom),
+                  r.degraded ? "yes" : "no", Num(r.salvaged_bytes)});
+    lost += r.lost;
+    phantom += r.phantom;
+    if (!r.recovery_ok) ++failed_recoveries;
+    total_acked += r.acked;
+    total_attempts += r.attempts;
+    if (r.degraded) ++degraded_rounds;
+    salvaged += r.salvaged_bytes;
+  }
+  table.Print();
+
+  std::printf("\nDegraded read-only mode under a persistent storm:\n");
+  StormOutcome storm = RunStorm();
+  std::printf(
+      "  mutations refused fast: %llu; reads served mid-storm: %llu;\n"
+      "  restored by probe after storm: %s\n",
+      static_cast<unsigned long long>(storm.rejected),
+      static_cast<unsigned long long>(storm.reads_served),
+      storm.restored ? "yes" : "NO");
+
+  report.AddTable("e14_rounds", table);
+  report.SetCounter("e14_rounds", static_cast<uint64_t>(rounds));
+  report.SetCounter("e14_attempts", total_attempts);
+  report.SetCounter("e14_acked_commits", total_acked);
+  report.SetCounter("e14_lost_acked_commits", lost);
+  report.SetCounter("e14_phantom_updates", phantom);
+  report.SetCounter("e14_failed_recoveries", failed_recoveries);
+  report.SetCounter("e14_degraded_rounds", degraded_rounds);
+  report.SetCounter("e14_salvaged_tail_bytes", salvaged);
+  report.SetCounter("e14_storm_rejected", storm.rejected);
+  report.SetCounter("e14_storm_reads_served", storm.reads_served);
+  report.SetCounter("e14_storm_restored", storm.restored ? 1 : 0);
+  report.Write();
+
+  const bool violated = lost != 0 || phantom != 0 || failed_recoveries != 0 ||
+                        !storm.restored || !storm.reads_ok ||
+                        storm.reads_served == 0;
+  std::printf(
+      "\n%d rounds: %llu acked commits, %llu lost, %llu phantom, "
+      "%llu failed recoveries — %s\n",
+      rounds, static_cast<unsigned long long>(total_acked),
+      static_cast<unsigned long long>(lost),
+      static_cast<unsigned long long>(phantom),
+      static_cast<unsigned long long>(failed_recoveries),
+      violated ? "INVARIANT VIOLATED" : "all invariants hold");
+  return violated ? 1 : 0;
+}

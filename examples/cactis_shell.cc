@@ -24,6 +24,7 @@
 //   \profile on|off   prefix every statement with `profile `
 //   \slow         drain the slow-statement log (worst first)
 //   \metrics      server + database metrics snapshot (alias: stats)
+//   \health       degraded/read-only state + probe counters (lock-free)
 //   schema ... end schema    load data-language declarations
 //   help | quit
 
@@ -105,7 +106,8 @@ class Shell {
           "  select C where pred | instances C | members S | fetch [N]\n"
           "  profile <stmt> | explain <stmt>\n"
           "shell: \\1..\\9 switch session, \\profile on|off, \\slow,\n"
-          "  \\metrics (alias: stats), schema...end schema, help, quit.\n"
+          "  \\metrics (alias: stats), \\health, schema...end schema,\n"
+          "  help, quit.\n"
           "  Batches: statements joined with ';'.\n");
       return true;
     }
@@ -116,6 +118,10 @@ class Shell {
     }
     if (line == "\\slow") {
       std::printf("%s\n", exec_.DrainSlowLogJson().c_str());
+      return true;
+    }
+    if (line == "\\health") {
+      std::printf("%s\n", exec_.HealthJson().c_str());
       return true;
     }
     if (line[0] == '\\' && line.size() == 2 && isdigit(line[1])) {

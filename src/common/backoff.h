@@ -1,0 +1,107 @@
+// Bounded exponential backoff with deterministic jitter, shared by every
+// layer that retries transient faults (buffer pool reads/writes, WAL
+// flushes, distributed fetch RPCs).
+//
+// The policy is a plain value so call sites can embed per-layer defaults
+// and tests can shrink the budget to microseconds. Jitter uses the
+// repo's deterministic Rng (seeded per Backoff instance), so a given
+// seed produces the same delay sequence on every platform — retry tests
+// stay exactly reproducible.
+//
+// Sleeping is injectable: real call sites pass nothing and get
+// std::this_thread::sleep_for; simulated layers (the in-process network)
+// pass a recorder so backoff time is *counted* without being *spent*.
+
+#ifndef CACTIS_COMMON_BACKOFF_H_
+#define CACTIS_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace cactis {
+
+/// Retry budget and delay shape for one class of transient fault.
+/// Delay before retry k (1-based) is
+///   min(max_us, base_us * multiplier^(k-1)) * U[0.5, 1.0)
+/// — "decorrelated-ish" jitter: storms of independent retriers spread
+/// out instead of thundering in lockstep.
+struct BackoffPolicy {
+  /// Total attempts allowed (first try + retries). 1 disables retry.
+  int max_attempts = 4;
+  /// Delay before the first retry, microseconds.
+  uint64_t base_us = 50;
+  /// Ceiling on any single delay, microseconds.
+  uint64_t max_us = 2000;
+  /// Exponential growth factor between consecutive retries.
+  double multiplier = 2.0;
+  /// Seed for the jitter stream (deterministic per instance).
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// One retry loop's state. Usage:
+///
+///   Backoff backoff(policy);
+///   for (;;) {
+///     Status s = TryTheThing();
+///     if (!IsTransientFault(s) || !backoff.ShouldRetry()) return s;
+///   }
+///
+/// ShouldRetry() returns false once the attempt budget is spent;
+/// otherwise it sleeps the next jittered delay and returns true.
+class Backoff {
+ public:
+  using SleepFn = std::function<void(uint64_t micros)>;
+
+  explicit Backoff(const BackoffPolicy& policy, SleepFn sleep = nullptr)
+      : policy_(policy), rng_(policy.jitter_seed), sleep_(std::move(sleep)) {}
+
+  /// Consumes one retry from the budget. False means give up (the
+  /// budget is exhausted); true means the delay has been slept and the
+  /// caller should try again.
+  bool ShouldRetry() {
+    if (retries_ + 1 >= policy_.max_attempts) return false;
+    uint64_t delay = NextDelayUs();
+    slept_us_ += delay;
+    if (delay > 0) {
+      if (sleep_) {
+        sleep_(delay);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+    }
+    ++retries_;
+    return true;
+  }
+
+  /// Retries consumed so far.
+  int retries() const { return retries_; }
+
+  /// Total backoff delay accumulated (whether really slept or only
+  /// counted by an injected recorder), microseconds.
+  uint64_t slept_us() const { return slept_us_; }
+
+ private:
+  uint64_t NextDelayUs() {
+    double raw = static_cast<double>(policy_.base_us);
+    for (int i = 0; i < retries_; ++i) raw *= policy_.multiplier;
+    raw = std::min(raw, static_cast<double>(policy_.max_us));
+    // Jitter into [0.5, 1.0) of the exponential target.
+    double jittered = raw * (0.5 + 0.5 * rng_.UniformReal());
+    return static_cast<uint64_t>(jittered);
+  }
+
+  BackoffPolicy policy_;
+  Rng rng_;
+  SleepFn sleep_;
+  int retries_ = 0;
+  uint64_t slept_us_ = 0;
+};
+
+}  // namespace cactis
+
+#endif  // CACTIS_COMMON_BACKOFF_H_

@@ -1,0 +1,58 @@
+// Shared fault taxonomy: every storage-facing layer (buffer pool, WAL,
+// executor) classifies a failed Status the same way, so retry and
+// degradation decisions are consistent across the stack.
+//
+//   transient  — the operation may succeed if simply retried
+//                (kUnavailable: injected transient disk error, busy).
+//   permanent  — the device has fail-stopped or the operation can never
+//                succeed (kIoError: crashed disk, lost RPC budget).
+//   corruption — the data at rest is wrong (kCorruption: checksum
+//                mismatch, torn frame). Retrying re-reads the same bad
+//                bytes; the only honest responses are salvage or refusal.
+//
+// Layers retry transient faults with common/backoff.h, surface permanent
+// faults upward (the executor degrades to read-only), and never retry
+// corruption.
+
+#ifndef CACTIS_COMMON_ERROR_TAXONOMY_H_
+#define CACTIS_COMMON_ERROR_TAXONOMY_H_
+
+#include "common/status.h"
+
+namespace cactis {
+
+enum class FaultClass {
+  kNone,        ///< not a fault (OK, or a logical error like NotFound)
+  kTransient,   ///< retriable: back off and try again
+  kPermanent,   ///< fail-stop: stop trying, degrade or surface
+  kCorruption,  ///< bad bytes at rest: salvage or refuse, never retry
+};
+
+inline FaultClass ClassifyFault(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+      return FaultClass::kTransient;
+    case StatusCode::kCorruption:
+      return FaultClass::kCorruption;
+    case StatusCode::kIoError:
+      return FaultClass::kPermanent;
+    default:
+      return FaultClass::kNone;
+  }
+}
+
+inline bool IsTransientFault(const Status& s) {
+  return ClassifyFault(s) == FaultClass::kTransient;
+}
+
+/// True for fault classes that mean the storage stack cannot currently
+/// accept mutations (the executor's degrade trigger): a permanent
+/// device failure, or a transient fault that survived its retry budget.
+inline bool IsStorageFault(const Status& s) {
+  FaultClass c = ClassifyFault(s);
+  return c == FaultClass::kTransient || c == FaultClass::kPermanent;
+}
+
+}  // namespace cactis
+
+#endif  // CACTIS_COMMON_ERROR_TAXONOMY_H_

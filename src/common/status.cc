@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Conflict";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kCorruption:
       return "Corruption";
     case StatusCode::kParseError:

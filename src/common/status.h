@@ -41,8 +41,13 @@ enum class StatusCode : int {
   /// Timestamp-ordering conflict: the operation arrived too late.
   kConflict,
   /// The simulated disk / record store failed (out of space, bad block id,
-  /// injected fault, simulated crash).
+  /// simulated crash). A permanent fault: retrying does not help.
   kIoError,
+  /// A transient storage/network fault: the operation may well succeed if
+  /// simply retried (injected transient disk error, momentary overload,
+  /// or a service in degraded read-only mode refusing mutations).
+  /// Layers retry these with bounded backoff (common/backoff.h).
+  kUnavailable,
   /// Stored bytes fail their checksum: a torn write or bit rot was
   /// detected. Unlike kIoError, retrying cannot help; the block must be
   /// recovered from the write-ahead log.
@@ -100,6 +105,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
@@ -133,6 +141,7 @@ class Status {
   }
   bool IsConflict() const { return code() == StatusCode::kConflict; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
 

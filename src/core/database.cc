@@ -98,6 +98,12 @@ Database::Database(DatabaseOptions options)
       options_.enable_wal = false;
     } else {
       wal_->set_trace_sink(&trace_);
+      // Reserve the checkpoint slot blocks immediately (allocate-only, no
+      // writes): they must land at the conventional addresses right after
+      // the WAL's blocks, and a fresh platter carries no checkpoint until
+      // the first Checkpoint() call.
+      ckpt_ = std::make_unique<txn::CheckpointStore>(&disk_);
+      if (!ckpt_->AllocateSlots().ok()) ckpt_.reset();
     }
   }
 
@@ -125,6 +131,15 @@ Database::Database(DatabaseOptions options)
     } else {
       g->AddGauge("enabled", 0);
       txn::WalStats{}.ExportTo(g);
+    }
+  });
+  metrics_.RegisterSource("checkpoint", [this](obs::MetricsGroup* g) {
+    if (ckpt_ != nullptr) {
+      g->AddGauge("enabled", 1);
+      ckpt_->stats().ExportTo(g);
+    } else {
+      g->AddGauge("enabled", 0);
+      txn::CheckpointStats{}.ExportTo(g);
     }
   });
   metrics_.RegisterSource("database", [this](obs::MetricsGroup* g) {
@@ -260,6 +275,7 @@ Status Database::RollbackTxn(Transaction* t) {
   // Every abort path funnels through here (consistency aborts, explicit
   // Undo, destructor rollback of an open transaction).
   NoteTxnAborted(t->id_);
+  ReleaseCcWrites(t);
   return ApplyUndo(t->delta_);
 }
 
@@ -281,6 +297,9 @@ Result<InstanceId> Database::OpCreate(Transaction* t,
   }
   CACTIS_ASSIGN_OR_RETURN(InstanceId id,
                           DoCreate(&t->delta_, *cls, InstanceId()));
+  // Register the creator as the instance's pending writer: another
+  // transaction must not write it and journal ahead of the create entry.
+  CACTIS_RETURN_IF_ERROR(CheckWrite(t, id));
   // Establish the new instance's constraints and subtype predicates.
   for (size_t idx : cls->constraint_attrs()) {
     engine_->QueueImportant(AttrSite{id, static_cast<uint32_t>(idx)});
@@ -442,6 +461,7 @@ Result<uint64_t> Database::CommitStage(Transaction* t) {
     // Nothing to journal: the commit completes right here; ticket 0 tells
     // the caller there is nothing to wait for.
     t->open_ = false;
+    ReleaseCcWrites(t);
     txn_committed_->Increment();
     commit_delta_records_->Record(t->delta_.records.size());
     trace_.Record(obs::SpanKind::kTxnCommit, t->id_.value,
@@ -454,6 +474,10 @@ Result<uint64_t> Database::CommitStage(Transaction* t) {
   }
   uint64_t ticket = wal_->Stage(txn::WalEvent::Commit(t->delta_));
   t->open_ = false;
+  // The WAL ticket is fixed now: any later writer of the same instances
+  // will stage after us, so replay order matches apply order and the
+  // pending-writer marks can be released.
+  ReleaseCcWrites(t);
   pending_commits_.push_back(
       PendingCommit{ticket, t->id_, std::move(t->delta_)});
   t->delta_ = txn::TransactionDelta{};
@@ -464,12 +488,24 @@ Status Database::CommitPublish(Transaction* t, uint64_t ticket,
                                Status durable) {
   if (ticket == 0) return durable;
   if (!durable.ok()) {
-    // The delta never reached disk: the transaction is not committed, and
-    // no rollback is attempted either, since the disk is gone; Recover()
-    // will discard the torn batch. Another session may already have
-    // dropped our pending entry while publishing past it — only count the
-    // abort once.
-    if (DropPendingCommit(ticket)) NoteTxnAborted(t->id_);
+    // The batch never reached disk: every transaction it carried is NOT
+    // committed. Undo their in-memory effects — newest first, so
+    // overlapping writes restore correctly — because the server keeps
+    // serving reads from this state in degraded mode and may resume
+    // committing after a health probe, so it must reflect only durable
+    // commits. The WAL wedges itself after a failed flush (no later
+    // batch lands on the platter until the probe clears it), which keeps
+    // this rollback race-free against succeeding commits. The sweep also
+    // rolls back OTHER sessions' entries from the same failed flush;
+    // whoever drops an entry counts its abort, exactly once.
+    auto it = pending_commits_.end();
+    while (it != pending_commits_.begin()) {
+      --it;
+      if (it->ticket != ticket && !wal_->TicketFailed(it->ticket)) continue;
+      NoteTxnAborted(it->txn);
+      (void)ApplyUndo(it->delta);
+      it = pending_commits_.erase(it);
+    }
     wal_->ForgetTicket(ticket);
     t->aborted_ = true;
     return durable;
@@ -484,9 +520,13 @@ void Database::PublishDurableUpTo(uint64_t ticket) {
     PendingCommit pc = std::move(pending_commits_.front());
     pending_commits_.pop_front();
     if (wal_->TicketFailed(pc.ticket)) {
-      // The batch never reached disk. The failure record is the owner's to
-      // clear (its WaitDurable must still observe it), so no ForgetTicket.
+      // The batch never reached disk: not committed — undo its in-memory
+      // effects, as CommitPublish does (the owner has not observed the
+      // failure yet; whoever drops the entry rolls it back). The failure
+      // record is the owner's to clear (its WaitDurable must still
+      // observe it), so no ForgetTicket.
       NoteTxnAborted(pc.txn);
+      (void)ApplyUndo(pc.delta);
       continue;
     }
     txn_committed_->Increment();
@@ -495,17 +535,6 @@ void Database::PublishDurableUpTo(uint64_t ticket) {
                   pc.delta.records.size());
     versions_.Append(std::move(pc.delta));
   }
-}
-
-bool Database::DropPendingCommit(uint64_t ticket) {
-  for (auto it = pending_commits_.begin(); it != pending_commits_.end();
-       ++it) {
-    if (it->ticket == ticket) {
-      pending_commits_.erase(it);
-      return true;
-    }
-  }
-  return false;
 }
 
 Status Database::DrainCommits() {
@@ -937,6 +966,105 @@ Status Database::CheckoutVersion(const std::string& name) {
   return JournalEvent(txn::WalEvent::Checkout(target));
 }
 
+// --- Checkpointing -----------------------------------------------------------
+
+Status Database::Checkpoint() {
+  CACTIS_SERIAL_GUARD(serial_guard_);
+  if (!wal_ || !ckpt_) {
+    return Status::InvalidArgument(
+        "checkpointing requires the write-ahead log");
+  }
+  // Publish every durable commit first: the image must cover exactly the
+  // acknowledged history, and the WAL must be idle so the resume point
+  // (tail block + next seq) is stable.
+  CACTIS_RETURN_IF_ERROR(DrainCommits());
+  CACTIS_ASSIGN_OR_RETURN(txn::CheckpointImage image, BuildCheckpointImage());
+  uint64_t resume_seq = wal_->next_seq();
+  BlockId resume_block = wal_->tail_block();
+  CACTIS_RETURN_IF_ERROR(ckpt_->WriteCheckpoint(
+      txn::EncodeCheckpointImage(image), resume_seq, resume_block));
+  // Only after the new checkpoint is fully committed may the journal
+  // entries it covers be dropped.
+  return wal_->TruncateBefore(resume_seq);
+}
+
+Result<txn::CheckpointImage> Database::BuildCheckpointImage() {
+  txn::CheckpointImage image;
+  image.next_instance = next_instance_;
+  image.next_edge = next_edge_;
+  image.next_txn = next_txn_;
+
+  // Bootstrap delta: recreate every live instance (ascending id, so
+  // forced-id creation is deterministic), restore its intrinsic
+  // attributes, then every edge (ascending edge id). Derived attributes
+  // are deliberately omitted — the load re-derives them, exactly as WAL
+  // replay does.
+  std::vector<std::pair<InstanceId, ClassId>> live;
+  for (const auto& [cls_id, ids] : instances_by_class_) {
+    for (InstanceId id : ids) live.emplace_back(id, cls_id);
+  }
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    return a.first.value < b.first.value;
+  });
+  for (const auto& [id, cls_id] : live) {
+    const schema::ObjectClass* cls = catalog_.GetClass(cls_id);
+    if (cls == nullptr) {
+      return Status::Internal("checkpoint: instance of unknown class");
+    }
+    txn::DeltaRecord create;
+    create.op = txn::DeltaOp::kCreate;
+    create.instance = id;
+    create.class_id = cls_id;
+    image.bootstrap.records.push_back(std::move(create));
+    CACTIS_ASSIGN_OR_RETURN(Instance * inst,
+                            FetchInstance(id, /*count_access=*/false));
+    for (size_t i = 0; i < cls->attributes().size(); ++i) {
+      if (cls->attributes()[i].is_derived()) continue;
+      txn::DeltaRecord set;
+      set.op = txn::DeltaOp::kSetAttr;
+      set.instance = id;
+      set.attr_index = i;
+      set.new_value = inst->attrs()[i].value;
+      image.bootstrap.records.push_back(std::move(set));
+    }
+  }
+  std::vector<std::pair<EdgeId, EdgeInfo>> edge_list(edges_.begin(),
+                                                     edges_.end());
+  std::sort(edge_list.begin(), edge_list.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.value < b.first.value;
+            });
+  for (const auto& [edge, info] : edge_list) {
+    txn::DeltaRecord connect;
+    connect.op = txn::DeltaOp::kConnect;
+    connect.edge = edge;
+    connect.instance = info.from;
+    connect.from = info.from;
+    connect.from_port = info.from_port;
+    connect.to = info.to;
+    connect.to_port = info.to_port;
+    image.bootstrap.records.push_back(std::move(connect));
+  }
+
+  image.history = versions_.history();
+  image.position = versions_.position();
+  image.versions = versions_.versions();
+  image.next_version = versions_.next_version();
+  return image;
+}
+
+Status Database::LoadCheckpointImage(const txn::CheckpointImage& image) {
+  CACTIS_RETURN_IF_ERROR(ApplyRedo(image.bootstrap));
+  // Forced ids already bumped the counters; max() guards against an image
+  // whose high-water marks outlive the objects (deleted instances).
+  next_instance_ = std::max(next_instance_, image.next_instance);
+  next_edge_ = std::max(next_edge_, image.next_edge);
+  next_txn_ = std::max(next_txn_, image.next_txn);
+  versions_.Restore(image.history, image.position, image.versions,
+                    image.next_version);
+  return Status::OK();
+}
+
 // --- Crash recovery ----------------------------------------------------------
 
 Status Database::Recover(const storage::SimulatedDisk& platter) {
@@ -945,9 +1073,30 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
         "Recover requires a fresh database: construct, LoadSchema with the "
         "same source, then recover");
   }
-  CACTIS_ASSIGN_OR_RETURN(std::vector<txn::WalEvent> events,
-                          txn::WriteAheadLog::ScanPlatter(platter));
-  for (const txn::WalEvent& event : events) {
+  // Checkpoint-aware: when the platter carries a valid checkpoint, load
+  // its image and replay only the journal tail past its resume point.
+  // Platters without one (fresh, or written before checkpointing existed)
+  // take the legacy full-scan path.
+  uint64_t start_seq = 1;
+  BlockId start_block;
+  bool from_checkpoint = false;
+  Result<txn::CheckpointStore::Loaded> loaded =
+      txn::CheckpointStore::LoadLatest(platter);
+  if (loaded.ok()) {
+    CACTIS_ASSIGN_OR_RETURN(txn::CheckpointImage image,
+                            txn::DecodeCheckpointImage(loaded->image));
+    CACTIS_RETURN_IF_ERROR(LoadCheckpointImage(image));
+    start_seq = loaded->wal_resume_seq;
+    start_block = loaded->wal_resume_block;
+    from_checkpoint = true;
+  } else {
+    CACTIS_ASSIGN_OR_RETURN(start_block,
+                            txn::WriteAheadLog::ReadFirstBlock(platter));
+  }
+  CACTIS_ASSIGN_OR_RETURN(
+      txn::WalScanResult scan,
+      txn::WriteAheadLog::ScanPlatterFrom(platter, start_block, start_seq));
+  for (const txn::WalEvent& event : scan.events) {
     switch (event.kind) {
       case txn::WalEventKind::kCommit: {
         CACTIS_RETURN_IF_ERROR(ApplyRedo(event.delta));
@@ -967,7 +1116,7 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
             versions_.CreateVersion(event.version_name).status());
         break;
       case txn::WalEventKind::kBatch:
-        // Batches are containers; ScanPlatter flattens them into their
+        // Batches are containers; the scan flattens them into their
         // member events and never yields one.
         return Status::Corruption("batch container in decoded WAL stream");
     }
@@ -975,7 +1124,17 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
     // itself be recovered (recovery is idempotent across platters).
     CACTIS_RETURN_IF_ERROR(JournalEvent(event));
   }
-  return Flush();
+  if (wal_ != nullptr && scan.salvaged_tail_bytes != 0) {
+    wal_->NoteSalvagedTailBytes(scan.salvaged_tail_bytes);
+  }
+  CACTIS_RETURN_IF_ERROR(Flush());
+  if (from_checkpoint && wal_ && ckpt_) {
+    // The checkpointed prefix was loaded from the image, not re-journaled:
+    // this database's own WAL holds only the tail. Checkpoint immediately
+    // so the recovered state is itself durable end to end.
+    CACTIS_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
 }
 
 // --- Queries -----------------------------------------------------------------
@@ -1535,7 +1694,16 @@ Status Database::CheckRead(Transaction* t, InstanceId id) {
 
 Status Database::CheckWrite(Transaction* t, InstanceId id) {
   if (t == nullptr || !options_.timestamp_cc) return Status::OK();
-  return tsm_.CheckWrite(id, t->ts_);
+  Status s = tsm_.CheckWrite(id, t->ts_, t->id_.value);
+  if (s.ok()) t->cc_writes_.push_back(id);
+  return s;
+}
+
+void Database::ReleaseCcWrites(Transaction* t) {
+  for (InstanceId id : t->cc_writes_) {
+    tsm_.ReleaseWrite(id, t->id_.value);
+  }
+  t->cc_writes_.clear();
 }
 
 Database::EdgeStatEntry& Database::EdgeStatsFor(EdgeId id) {

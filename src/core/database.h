@@ -65,6 +65,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/record_store.h"
 #include "storage/simulated_disk.h"
+#include "txn/checkpoint.h"
 #include "txn/delta.h"
 #include "txn/timestamp_cc.h"
 #include "txn/version_store.h"
@@ -184,6 +185,11 @@ class Transaction {
   bool open_ = true;
   bool aborted_ = false;
   txn::TransactionDelta delta_;
+  // Instances this transaction passed CheckWrite for; their pending-
+  // writer marks are released when the commit stages or the txn rolls
+  // back. Kept here (not derived from delta_) so release is exactly
+  // symmetric with the CC checks even when an op fails after the check.
+  std::vector<InstanceId> cc_writes_;
 };
 
 class Database {
@@ -261,6 +267,14 @@ class Database {
   /// WAL, so the recovered database is itself durable.
   Status Recover(const storage::SimulatedDisk& platter);
 
+  /// Writes a checkpoint: a consistent snapshot of the whole database to
+  /// the reserved platter region (txn/checkpoint.h), then truncates the
+  /// WAL past the checkpoint LSN. Recovery afterwards is load-image +
+  /// replay-tail, O(WAL tail) instead of O(history). Crash-safe: a crash
+  /// at any write during checkpointing recovers to either the previous or
+  /// the new checkpoint, never garbage. Requires the WAL; exclusive lock.
+  Status Checkpoint();
+
   /// Number of transactions in the committed history (the crash-point
   /// harness compares this against its commit oracle).
   uint64_t committed_transactions() const { return versions_.end(); }
@@ -268,6 +282,12 @@ class Database {
   /// The write-ahead log, or null when options.enable_wal is false.
   /// Exposed for the recovery bench (WAL write overhead) and tests.
   const txn::WriteAheadLog* wal() const { return wal_.get(); }
+  /// Mutable WAL access for tests (retry policies, truncation state).
+  txn::WriteAheadLog* mutable_wal() { return wal_.get(); }
+
+  /// The checkpoint store, or null when the WAL is disabled (checkpoints
+  /// are meaningless without a journal to truncate).
+  const txn::CheckpointStore* checkpoint_store() const { return ckpt_.get(); }
 
   /// Bytes retained by all committed deltas (experiment E7).
   size_t delta_bytes() const { return versions_.TotalDeltaBytes(); }
@@ -508,9 +528,6 @@ class Database {
   /// Entries whose WAL flush failed are dropped and counted as aborts
   /// (their owner's ForgetTicket happens in CommitPublish).
   void PublishDurableUpTo(uint64_t ticket);
-  /// Removes the pending entry for `ticket`, if present. Returns whether
-  /// an entry was dropped.
-  bool DropPendingCommit(uint64_t ticket);
 
   /// Core mutators (log + mutate + mark; no importance evaluation, no
   /// abort handling). `log` is null during undo/redo replay.
@@ -537,6 +554,12 @@ class Database {
   Status JournalEvent(const txn::WalEvent& event);
   /// UndoLast without journaling (shared by UndoLast and Recover).
   Status UndoLastInternal();
+  /// Builds the checkpoint image from live state: id counters, a
+  /// bootstrap delta recreating every instance/attribute/edge, and the
+  /// version-store state. Exclusive lock, commits drained, WAL idle.
+  Result<txn::CheckpointImage> BuildCheckpointImage();
+  /// Replays a checkpoint image into this (fresh) database.
+  Status LoadCheckpointImage(const txn::CheckpointImage& image);
   /// Moves history to `target` by undo/redo, without journaling (shared by
   /// CheckoutVersion and Recover).
   Status CheckoutPosition(uint64_t target);
@@ -560,6 +583,9 @@ class Database {
   }
   Status CheckRead(Transaction* t, InstanceId id);
   Status CheckWrite(Transaction* t, InstanceId id);
+  // Drops the txn's pending-writer marks (first-updater-wins) once its
+  // replay order is fixed (commit staged) or moot (rolled back).
+  void ReleaseCcWrites(Transaction* t);
   EdgeStatEntry& EdgeStatsFor(EdgeId id);
   void RecordCrossing(EdgeId id) { ++EdgeStatsFor(id).usage; }
 
@@ -603,6 +629,7 @@ class Database {
   txn::TimestampManager tsm_;
   txn::VersionStore versions_;
   std::unique_ptr<txn::WriteAheadLog> wal_;
+  std::unique_ptr<txn::CheckpointStore> ckpt_;
   // Staged-but-unpublished commits, in WAL ticket order.
   std::deque<PendingCommit> pending_commits_;
 

@@ -1,19 +1,28 @@
 #include "dist/cluster.h"
 
+#include "common/backoff.h"
+
 namespace cactis::dist {
 namespace {
 
 /// One fetch exchange with bounded retransmission: the simulated network
 /// may lose the request/reply pair (NetworkFaults::drop_every_nth_rpc);
 /// the caller retransmits within the retry budget, then gives up with
-/// IoError. The home database read happens only for the exchange that
-/// completes.
+/// IoError. Retransmissions are paced by the shared jittered-exponential
+/// Backoff — with a recorder sleep, so the delay is charged to the
+/// network's rpc_backoff_us counter instead of actually spent (the
+/// network is simulated; wall-clock sleeps would only slow tests).
+/// The home database read happens only for the exchange that completes.
 Result<Value> RpcFetch(Network* net, core::Database* home_db, SiteId from_site,
                        SiteId home_site, InstanceId provider,
                        const std::string& attr) {
+  BackoffPolicy policy;
+  policy.max_attempts = net->faults().max_rpc_retries;
+  Backoff backoff(policy, [net](uint64_t us) { net->NoteRpcBackoff(us); });
   for (int attempt = 0;; ++attempt) {
+    net->NoteRpcAttempt();
     if (net->RpcLost()) {
-      if (attempt + 1 >= net->faults().max_rpc_retries) {
+      if (!backoff.ShouldRetry()) {
         return Status::IoError("fetch of '" + attr + "' from site " +
                                std::to_string(home_site) + " lost after " +
                                std::to_string(attempt + 1) + " attempts");

@@ -60,6 +60,8 @@ struct NetworkStats {
   uint64_t duplicated = 0;   ///< queued messages delivered twice
   uint64_t rpc_lost = 0;     ///< RPC exchanges that never completed
   uint64_t rpc_retries = 0;  ///< retransmissions that did complete
+  uint64_t rpc_attempts = 0;   ///< every exchange tried, lost or not
+  uint64_t rpc_backoff_us = 0; ///< simulated retransmission backoff time
 
   uint64_t CountOf(MessageKind kind) const {
     switch (kind) {
@@ -102,6 +104,14 @@ class Network {
 
   /// Records that a retransmitted RPC finally completed (stats only).
   void NoteRpcRetry() { ++stats_.rpc_retries; }
+
+  /// Records one RPC attempt (first try or retransmission).
+  void NoteRpcAttempt() { ++stats_.rpc_attempts; }
+
+  /// Accumulates retransmission backoff time. The network is simulated,
+  /// so callers *count* the delay through a Backoff recorder instead of
+  /// actually sleeping it.
+  void NoteRpcBackoff(uint64_t us) { stats_.rpc_backoff_us += us; }
 
   /// Delivers every queued message (handlers may enqueue more; runs to
   /// quiescence, with a safety cap).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/error_taxonomy.h"
 #include "lang/interpreter.h"
 #include "obs/json_writer.h"
 #include "schema/catalog.h"
@@ -131,6 +132,8 @@ std::string_view StatementKindName(StatementKind k) {
       return "members";
     case StatementKind::kFetch:
       return "fetch";
+    case StatementKind::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -160,6 +163,8 @@ std::string_view ResponseStatusToString(ResponseStatus s) {
       return "rejected";
     case ResponseStatus::kNoSession:
       return "no-session";
+    case ResponseStatus::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -214,6 +219,11 @@ void ServerStats::ExportTo(obs::MetricsGroup* g) const {
   g->AddCounter("profile_statements", load(profile_statements));
   g->AddCounter("explain_statements", load(explain_statements));
   g->AddCounter("slow_statements", load(slow_statements));
+  g->AddGauge("degraded", static_cast<double>(load(degraded)));
+  g->AddCounter("degraded_entered", load(degraded_entered));
+  g->AddCounter("degraded_exited", load(degraded_exited));
+  g->AddCounter("degraded_probes", load(degraded_probes));
+  g->AddCounter("degraded_rejects", load(degraded_rejects));
   g->AddCounter("statement_latency_count", load(latency_count));
   g->AddCounter("statement_latency_sum_us", load(latency_sum_us));
   g->AddGauge("statement_latency_p50_us", LatencyQuantileUs(0.5));
@@ -296,6 +306,9 @@ void Executor::Start() {
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.degraded_probe_interval_ms > 0) {
+    probe_thread_ = std::thread([this] { ProbeLoop(); });
+  }
 }
 
 void Executor::Shutdown() {
@@ -308,6 +321,12 @@ void Executor::Shutdown() {
   queue_cv_.notify_all();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(probe_mu_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
 
   // Reject everything still queued: nothing half-executes at shutdown.
   std::deque<Task> leftover;
@@ -520,10 +539,32 @@ Response Executor::Process(Task* task) {
       const bool is_profile =
           parsed->modifier == StatementModifier::kProfile;
 
+      // Mutating statements (everything that is neither a read, an
+      // abort — which only releases resources — nor `health`) are
+      // refused while the server is degraded, and flip the server INTO
+      // degraded mode when they die on a storage fault.
+      const bool is_mutation =
+          !IsReadOnlyStatement(*parsed) &&
+          parsed->modifier != StatementModifier::kExplain &&
+          parsed->kind != StatementKind::kAbort &&
+          parsed->kind != StatementKind::kHealth;
+
       // Latency includes the statement-lock wait: that contention is the
       // very thing the reader/writer split is meant to shrink.
       const uint64_t t0 = NowUs();
-      if (parsed->modifier == StatementModifier::kExplain) {
+      if (parsed->kind == StatementKind::kHealth) {
+        // Lock-free by design: health must answer while storage is down.
+        result.payload = HealthJson();
+      } else if (is_mutation && degraded()) {
+        stats_.degraded_rejects.fetch_add(1, std::memory_order_relaxed);
+        std::string reason;
+        {
+          std::lock_guard<std::mutex> lk(degraded_mu_);
+          reason = degraded_reason_;
+        }
+        result.status = Status::Unavailable(
+            "server degraded (read-only): " + reason);
+      } else if (parsed->modifier == StatementModifier::kExplain) {
         const uint64_t lk0 = NowUs();
         std::lock_guard<std::shared_mutex> dlk(db_mu_);
         cost.lock_wait_excl_us += NowUs() - lk0;
@@ -539,6 +580,14 @@ Response Executor::Process(Task* task) {
         cost.lock_wait_excl_us += NowUs() - lk0;
         result = ExecuteStatement(session.get(), &*parsed);
       }
+      // A mutation that died on a storage fault — a transient give-up
+      // (kUnavailable) or a permanent write failure (kIoError) — means
+      // the write path is gone: degrade to read-only rather than let
+      // every subsequent mutation grind through the same retry budget.
+      if (is_mutation && IsStorageFault(result.status)) {
+        EnterDegraded(result.status);
+      }
+
       const uint64_t dt = NowUs() - t0;
       cost.exec_us = dt;
       resp.metrics.exec_us += dt;
@@ -576,7 +625,8 @@ Response Executor::Process(Task* task) {
     stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
     const bool failed = !result.status.ok();
     const bool abort = IsAbort(result.status);
-    if (failed && !abort) {
+    const bool unavailable = result.status.IsUnavailable();
+    if (failed && !abort && !unavailable) {
       stats_.statement_errors.fetch_add(1, std::memory_order_relaxed);
     }
     if (abort) {
@@ -588,7 +638,9 @@ Response Executor::Process(Task* task) {
     }
     resp.statements.push_back(std::move(result));
     if (failed) {
-      resp.status = abort ? ResponseStatus::kAborted : ResponseStatus::kError;
+      resp.status = abort         ? ResponseStatus::kAborted
+                    : unavailable ? ResponseStatus::kUnavailable
+                                  : ResponseStatus::kError;
       break;
     }
   }
@@ -1077,8 +1129,108 @@ StatementResult Executor::ExecuteStatement(Session* s, Statement* st) {
       s->cursor_pos += take;
       break;
     }
+    case StatementKind::kHealth: {
+      // Normally short-circuited lock-free in Process(); kept here so a
+      // direct call still answers.
+      r.payload = HealthJson();
+      break;
+    }
   }
   return r;
+}
+
+// --- Degraded read-only mode -------------------------------------------------
+
+void Executor::EnterDegraded(const Status& cause) {
+  if (degraded_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    degraded_reason_ = cause.ToString();
+    degraded_since_ms_ = NowMs();
+  }
+  stats_.degraded.store(1, std::memory_order_relaxed);
+  stats_.degraded_entered.fetch_add(1, std::memory_order_relaxed);
+  probe_cv_.notify_all();
+}
+
+void Executor::ExitDegraded() {
+  if (!degraded_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    degraded_reason_.clear();
+    degraded_since_ms_ = 0;
+  }
+  stats_.degraded.store(0, std::memory_order_relaxed);
+  stats_.degraded_exited.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Executor::ProbeOnce() {
+  stats_.degraded_probes.fetch_add(1, std::memory_order_relaxed);
+  // Raw scratch-block round trip on the database's disk. This bypasses
+  // the buffer pool and WAL deliberately: the question is whether the
+  // device answers, not whether any cached state is consistent.
+  storage::SimulatedDisk* disk = db_->disk();
+  BlockId scratch = disk->Allocate();
+  if (!scratch.valid()) return false;
+  const std::string payload = "health-probe";
+  bool healthy = disk->Write(scratch, payload).ok();
+  if (healthy) {
+    Result<std::string> back = disk->Read(scratch);
+    healthy = back.ok() && *back == payload;
+  }
+  (void)disk->Free(scratch);
+  if (healthy) {
+    // Storage answers again: un-wedge the WAL (it refuses every flush
+    // after a failed one until told the device is back) and resume
+    // read-write.
+    if (auto* wal = db_->mutable_wal()) wal->ClearWedge();
+    if (degraded()) ExitDegraded();
+  }
+  return healthy;
+}
+
+void Executor::ProbeLoop() {
+  std::unique_lock<std::mutex> lk(probe_mu_);
+  for (;;) {
+    // Parked until the server degrades (or shuts down): a healthy server
+    // pays nothing for the probe thread.
+    probe_cv_.wait(lk, [this] { return probe_stop_ || degraded(); });
+    if (probe_stop_) return;
+    lk.unlock();
+    ProbeOnce();
+    lk.lock();
+    if (probe_stop_) return;
+    if (degraded()) {
+      probe_cv_.wait_for(
+          lk, std::chrono::milliseconds(options_.degraded_probe_interval_ms),
+          [this] { return probe_stop_; });
+    }
+  }
+}
+
+std::string Executor::HealthJson() {
+  auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  obs::JsonWriter w;
+  w.BeginObject();
+  const bool deg = degraded();
+  w.Key("status").String(deg ? "degraded" : "ok");
+  w.Key("degraded").Bool(deg);
+  {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    w.Key("reason").String(degraded_reason_);
+    w.Key("degraded_since_ms").Uint(degraded_since_ms_);
+  }
+  w.Key("degraded_entered").Uint(load(stats_.degraded_entered));
+  w.Key("degraded_exited").Uint(load(stats_.degraded_exited));
+  w.Key("probes").Uint(load(stats_.degraded_probes));
+  w.Key("rejected_mutations").Uint(load(stats_.degraded_rejects));
+  w.Key("active_sessions").Uint(sessions_.active_count());
+  w.Key("queue_depth").Uint(load(stats_.queue_depth));
+  w.Key("workers").Uint(options_.num_workers);
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace cactis::server

@@ -36,6 +36,17 @@
 //   flush), and the commit is published under the exclusive lock once
 //   durable. See DESIGN.md "Group commit".
 //
+// * Graceful degradation. A mutating statement that fails with a storage
+//   fault (a WAL append or block write that survived its retry budget)
+//   flips the executor into degraded READ-ONLY mode: further mutations
+//   are refused immediately with kUnavailable, while reads — which serve
+//   from the buffer pool and caches — keep running. A background probe
+//   thread retests the storage layer (scratch-block write/read) every
+//   degraded_probe_interval_ms and restores read-write automatically
+//   once the disk answers again. The `health` statement and shell
+//   `\health` report the state lock-free; metrics carry a
+//   server.degraded gauge plus entered/exited/probe/reject counters.
+//
 // * Observability. The executor registers a "server" metrics group with
 //   the database's registry: queue depth gauge, admission rejections,
 //   active sessions, per-statement latency histogram (with p50/p99/p999
@@ -91,6 +102,11 @@ struct ServerOptions {
   /// Slow-statement log capacity (the N worst by latency are retained).
   /// 0 disables the log.
   size_t slow_log_capacity = 32;
+  /// How often the background health probe re-tests the storage layer
+  /// while the server is degraded (a scratch-block write/read round
+  /// trip). 0 disables the probe thread: degraded mode then only exits
+  /// through an explicit ProbeOnce() call (deterministic tests).
+  uint64_t degraded_probe_interval_ms = 25;
 };
 
 /// Service-layer counters. All fields are atomics: they are written from
@@ -132,6 +148,13 @@ struct ServerStats {
   std::atomic<uint64_t> profile_statements{0};  // `profile ...` executed
   std::atomic<uint64_t> explain_statements{0};  // `explain ...` executed
   std::atomic<uint64_t> slow_statements{0};     // admitted past threshold
+
+  // Degraded read-only mode (persistent storage failure).
+  std::atomic<uint64_t> degraded{0};            // gauge: 1 while degraded
+  std::atomic<uint64_t> degraded_entered{0};
+  std::atomic<uint64_t> degraded_exited{0};
+  std::atomic<uint64_t> degraded_probes{0};     // health probes attempted
+  std::atomic<uint64_t> degraded_rejects{0};    // mutations refused
 
   void AccumulateCost(const obs::StatementCost& c) {
     auto add = [](std::atomic<uint64_t>& a, uint64_t v) {
@@ -220,6 +243,24 @@ class Executor {
   /// Database::SnapshotMetrics() under the statement mutex.
   std::string SnapshotMetrics();
 
+  // --- Degraded read-only mode ----------------------------------------------
+
+  /// True while the server refuses mutations after a persistent storage
+  /// failure (a WAL append or block write that survived its retry
+  /// budget). Reads keep serving throughout.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
+  /// Probes the storage layer once: allocate a scratch block, write,
+  /// read back, free. On success while degraded, flips back to
+  /// read-write. Returns true when the probe succeeded. Thread-safe;
+  /// called by the background probe thread and directly by tests.
+  bool ProbeOnce();
+
+  /// The `health` statement / shell `\health` payload: degraded state,
+  /// reason, probe counters. Lock-free — answers even when storage is
+  /// down and workers are wedged on it.
+  std::string HealthJson();
+
   // --- Slow-statement log ---------------------------------------------------
 
   /// JSON array of the retained slow statements, worst-first.
@@ -268,6 +309,13 @@ class Executor {
                        bool expired);
   void ReapExpiredSessions();
 
+  /// Flips into degraded read-only mode (idempotent; records the cause
+  /// and wakes the probe thread).
+  void EnterDegraded(const Status& cause);
+  /// Storage is healthy again: resume read-write.
+  void ExitDegraded();
+  void ProbeLoop();
+
   core::Database* db_;
   ServerOptions options_;
   SessionManager sessions_;
@@ -291,6 +339,21 @@ class Executor {
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool shut_down_ = false;
+
+  // Degraded read-only mode. The flag is the routing hot path (one
+  // relaxed-ish load per mutating statement); reason/since sit behind
+  // their own mutex and are only touched on transitions and `health`.
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_mu_;
+  std::string degraded_reason_;
+  uint64_t degraded_since_ms_ = 0;
+
+  // Background probe thread: parked until the server degrades, then
+  // retests storage every degraded_probe_interval_ms.
+  std::thread probe_thread_;
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
 };
 
 }  // namespace cactis::server

@@ -16,6 +16,10 @@
 //   kRejected — admission control refused the request (queue full or
 //               server shutting down). Nothing executed; retry later.
 //   kNoSession— the session id is unknown, closed, or expired.
+//   kUnavailable — the server is in degraded read-only mode after a
+//               persistent storage failure: mutations are refused until a
+//               health probe restores read-write. Reads still serve;
+//               retry the mutation later.
 
 #ifndef CACTIS_SERVER_PROTOCOL_H_
 #define CACTIS_SERVER_PROTOCOL_H_
@@ -35,6 +39,7 @@ enum class ResponseStatus {
   kAborted,
   kRejected,
   kNoSession,
+  kUnavailable,
 };
 
 std::string_view ResponseStatusToString(ResponseStatus s);
@@ -70,6 +75,7 @@ struct Response {
   bool ok() const { return status == ResponseStatus::kOk; }
   bool aborted() const { return status == ResponseStatus::kAborted; }
   bool rejected() const { return status == ResponseStatus::kRejected; }
+  bool unavailable() const { return status == ResponseStatus::kUnavailable; }
 };
 
 }  // namespace cactis::server

@@ -274,6 +274,12 @@ Result<Statement> ParseStatement(std::string_view text) {
     return st;
   }
 
+  if (c.MatchIdent("health")) {
+    st.kind = StatementKind::kHealth;
+    CACTIS_RETURN_IF_ERROR(c.ExpectEnd());
+    return st;
+  }
+
   if (c.MatchIdent("fetch")) {
     st.kind = StatementKind::kFetch;
     st.count = 1;

@@ -25,6 +25,11 @@
 //         | "instances" CLASS                cursor := instances of CLASS
 //         | "members" SUBTYPE                cursor := subtype members
 //         | "fetch" [INT]                    next INT ids off the cursor
+//         | "health"                         server health JSON (degraded
+//                                            state, probe counters); runs
+//                                            lock-free so it answers even
+//                                            while the storage layer is
+//                                            down
 //
 //   target := NAME                           session binding (create ... as)
 //           | "obj" "(" INT ")"              raw instance id (shareable
@@ -63,6 +68,7 @@ enum class StatementKind {
   kInstances,
   kMembers,
   kFetch,
+  kHealth,
 };
 
 /// An instance reference: a session-local binding name or a raw id.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/error_taxonomy.h"
 #include "obs/request_context.h"
 
 namespace cactis::storage {
@@ -30,7 +31,7 @@ Result<BlockImage*> BufferPool::Fetch(BlockId id) {
   while (frames_.size() >= capacity_) {
     CACTIS_RETURN_IF_ERROR(EvictOne());
   }
-  CACTIS_ASSIGN_OR_RETURN(std::string framed, disk_->Read(id));
+  CACTIS_ASSIGN_OR_RETURN(std::string framed, ReadWithRetry(id));
   Result<std::string> bytes = UnwrapChecksum(framed);
   if (!bytes.ok()) {
     return Status::Corruption("block " + std::to_string(id.value) + ": " +
@@ -80,9 +81,38 @@ Status BufferPool::EvictOne() {
 Status BufferPool::WriteBack(BlockId id, Frame* frame) {
   if (!frame->dirty) return Status::OK();
   if (pre_evict_hook_) pre_evict_hook_(id, &frame->image);
-  CACTIS_RETURN_IF_ERROR(disk_->Write(id, WrapWithChecksum(frame->image.Encode())));
+  CACTIS_RETURN_IF_ERROR(
+      WriteWithRetry(id, WrapWithChecksum(frame->image.Encode())));
   frame->dirty = false;
   return Status::OK();
+}
+
+Result<std::string> BufferPool::ReadWithRetry(BlockId id) {
+  Result<std::string> r = disk_->Read(id);
+  if (r.ok() || !IsTransientFault(r.status())) return r;
+  Backoff backoff(retry_policy_);
+  while (backoff.ShouldRetry()) {
+    ++stats_.retries;
+    r = disk_->Read(id);
+    if (r.ok() || !IsTransientFault(r.status())) break;
+  }
+  stats_.backoff_us += backoff.slept_us();
+  if (!r.ok() && IsTransientFault(r.status())) ++stats_.give_ups;
+  return r;
+}
+
+Status BufferPool::WriteWithRetry(BlockId id, const std::string& framed) {
+  Status s = disk_->Write(id, framed);
+  if (s.ok() || !IsTransientFault(s)) return s;
+  Backoff backoff(retry_policy_);
+  while (backoff.ShouldRetry()) {
+    ++stats_.retries;
+    s = disk_->Write(id, framed);
+    if (s.ok() || !IsTransientFault(s)) break;
+  }
+  stats_.backoff_us += backoff.slept_us();
+  if (!s.ok() && IsTransientFault(s)) ++stats_.give_ups;
+  return s;
 }
 
 Status BufferPool::FlushAll() {

@@ -17,6 +17,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/backoff.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -43,12 +44,18 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t discards = 0;
+  uint64_t retries = 0;     ///< transient disk faults retried
+  uint64_t give_ups = 0;    ///< retry budgets exhausted
+  uint64_t backoff_us = 0;  ///< total time slept in retry backoff
 
   void ExportTo(obs::MetricsGroup* g) const {
     g->AddCounter("hits", hits);
     g->AddCounter("misses", misses);
     g->AddCounter("evictions", evictions);
     g->AddCounter("discards", discards);
+    g->AddCounter("retries", retries);
+    g->AddCounter("give_ups", give_ups);
+    g->AddCounter("backoff_us", backoff_us);
   }
 };
 
@@ -116,6 +123,11 @@ class BufferPool {
   /// Optional span tracer; records block fetch/evict/discard events.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Retry budget for transient disk faults (flaky reads/writes classified
+  /// kTransient by the error taxonomy). Permanent and corruption faults
+  /// are never retried.
+  void set_retry_policy(BackoffPolicy policy) { retry_policy_ = policy; }
+
   size_t capacity() const { return capacity_; }
   size_t resident_blocks() const { return frames_.size(); }
   const BufferPoolStats& stats() const { return stats_; }
@@ -130,10 +142,13 @@ class BufferPool {
 
   Status EvictOne();
   Status WriteBack(BlockId id, Frame* frame);
+  Result<std::string> ReadWithRetry(BlockId id);
+  Status WriteWithRetry(BlockId id, const std::string& framed);
 
   SimulatedDisk* disk_;
   size_t capacity_;
   Status init_status_;
+  BackoffPolicy retry_policy_;
   obs::TraceSink* trace_ = nullptr;
   std::unordered_map<BlockId, Frame> frames_;
   std::list<BlockId> lru_;  // front = most recently used

@@ -11,17 +11,20 @@
 #ifndef CACTIS_STORAGE_FAULT_POLICY_H_
 #define CACTIS_STORAGE_FAULT_POLICY_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/ids.h"
+#include "common/rng.h"
 
 namespace cactis::storage {
 
 /// What happens to one disk operation.
 enum class FaultKind : uint8_t {
   kNone = 0,
-  /// The operation fails with kIoError but the disk stays usable and the
-  /// platter is unchanged (a retriable bus hiccup).
+  /// The operation fails with kUnavailable but the disk stays usable and
+  /// the platter is unchanged (a retriable bus hiccup). Layers retry
+  /// these with bounded backoff (common/backoff.h).
   kTransient,
   /// Fail-stop: the operation fails, nothing is persisted, and every
   /// subsequent operation fails too (power loss). The platter keeps
@@ -77,6 +80,68 @@ class ScriptedFaults : public FaultPolicy {
     if (i == corrupt_read_at) return FaultKind::kBitFlip;
     return FaultKind::kNone;
   }
+};
+
+/// A switchable transient-error storm for the chaos harness: while
+/// `storming` is set, every write (and, when `affect_reads` is set, every
+/// read) suffers a transient fault. The knobs are atomics so a driver
+/// thread can open and close the storm while worker threads hammer the
+/// disk — the policy itself is consulted under the device mutex, but the
+/// driver flips the switch from outside it.
+class TransientStorm : public FaultPolicy {
+ public:
+  std::atomic<bool> storming{false};
+  std::atomic<bool> affect_reads{false};
+
+  FaultKind OnWrite(BlockId /*id*/, uint64_t /*op_index*/) override {
+    return storming.load(std::memory_order_relaxed) ? FaultKind::kTransient
+                                                    : FaultKind::kNone;
+  }
+  FaultKind OnRead(BlockId /*id*/, uint64_t /*op_index*/) override {
+    return (storming.load(std::memory_order_relaxed) &&
+            affect_reads.load(std::memory_order_relaxed))
+               ? FaultKind::kTransient
+               : FaultKind::kNone;
+  }
+};
+
+/// Seeded random fault mix for chaos rounds: each write independently
+/// suffers a transient hiccup with probability `p_transient`, and one
+/// write chosen by the schedule ends the round with a crash or torn
+/// write. The Rng is consulted only under the device mutex (the disk
+/// serializes OnWrite calls), so no extra locking is needed; the
+/// terminal fault index is fixed at construction so a given seed is
+/// exactly reproducible.
+class ChaosSchedule : public FaultPolicy {
+ public:
+  /// `terminal_at` = write attempt index of the round-ending fault
+  /// (-1: the round ends without a crash); `terminal_torn` chooses a
+  /// torn write over a clean crash.
+  ChaosSchedule(uint64_t seed, double p_transient, int64_t terminal_at,
+                bool terminal_torn)
+      : rng_(seed),
+        p_transient_(p_transient),
+        terminal_at_(terminal_at),
+        terminal_torn_(terminal_torn) {}
+
+  FaultKind OnWrite(BlockId /*id*/, uint64_t op_index) override {
+    if (static_cast<int64_t>(op_index) == terminal_at_) {
+      return terminal_torn_ ? FaultKind::kTornWrite : FaultKind::kCrash;
+    }
+    if (p_transient_ > 0 && rng_.Bernoulli(p_transient_)) {
+      return FaultKind::kTransient;
+    }
+    return FaultKind::kNone;
+  }
+  FaultKind OnRead(BlockId /*id*/, uint64_t /*op_index*/) override {
+    return FaultKind::kNone;
+  }
+
+ private:
+  Rng rng_;
+  double p_transient_;
+  int64_t terminal_at_;
+  bool terminal_torn_;
 };
 
 }  // namespace cactis::storage

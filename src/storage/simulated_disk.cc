@@ -70,8 +70,8 @@ Result<std::string> SimulatedDisk::Read(BlockId id) {
       return CrashedError();
     case FaultKind::kTransient:
       ++stats_.transient_errors;
-      return Status::IoError("injected transient read error on block " +
-                             std::to_string(id.value));
+      return Status::Unavailable("injected transient read error on block " +
+                                 std::to_string(id.value));
     case FaultKind::kBitFlip: {
       // Corrupt the returned copy only: the platter is fine, the transfer
       // was not. Checksum verification upstream catches it.
@@ -126,8 +126,8 @@ Status SimulatedDisk::Write(BlockId id, std::string content) {
       return CrashedError();
     case FaultKind::kTransient:
       ++stats_.transient_errors;
-      return Status::IoError("injected transient write error on block " +
-                             std::to_string(id.value));
+      return Status::Unavailable("injected transient write error on block " +
+                                 std::to_string(id.value));
     case FaultKind::kBitFlip:
       FlipMiddleBit(&content);
       ++stats_.bit_flips;

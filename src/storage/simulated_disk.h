@@ -109,6 +109,16 @@ class SimulatedDisk {
     std::lock_guard<std::mutex> lk(mu_);
     return blocks_.contains(id);
   }
+  /// Snapshot of every currently allocated block id (unordered). Offline
+  /// salvage sweeps use this to look for orphaned WAL chunks past a
+  /// damaged tail; it works on a crashed disk, like PeekRaw().
+  std::vector<BlockId> AllocatedBlocks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<BlockId> ids;
+    ids.reserve(blocks_.size());
+    for (const auto& [id, content] : blocks_) ids.push_back(id);
+    return ids;
+  }
   size_t num_allocated_blocks() const {
     std::lock_guard<std::mutex> lk(mu_);
     return blocks_.size();

@@ -39,9 +39,22 @@ SharedReadCheck TimestampManager::CheckReadShared(InstanceId id, uint64_t ts) {
   return SharedReadCheck::kOk;
 }
 
-Status TimestampManager::CheckWrite(InstanceId id, uint64_t ts) {
+Status TimestampManager::CheckWrite(InstanceId id, uint64_t ts,
+                                    uint64_t txn) {
   stats_.writes_checked.fetch_add(1, std::memory_order_relaxed);
   Marks& m = marks_[id];
+  if (m.pending_txn != 0 && m.pending_txn != txn) {
+    // First-updater-wins: another transaction wrote this instance and has
+    // not staged or rolled back yet. Admitting a second writer now could
+    // let it commit first, putting its WAL entry *before* the first
+    // writer's — replay would then finish on the older value.
+    stats_.write_rejections.fetch_add(1, std::memory_order_relaxed);
+    stats_.dirty_write_rejections.fetch_add(1, std::memory_order_relaxed);
+    return Status::Conflict(
+        "write of instance " + std::to_string(id.value) + " by txn " +
+        std::to_string(txn) + ": txn " + std::to_string(m.pending_txn) +
+        " holds an uncommitted write");
+  }
   const uint64_t read_ts = m.read_ts.load(std::memory_order_relaxed);
   const uint64_t write_ts = m.write_ts.load(std::memory_order_relaxed);
   if (ts < read_ts || ts < write_ts) {
@@ -53,7 +66,15 @@ Status TimestampManager::CheckWrite(InstanceId id, uint64_t ts) {
         ")");
   }
   m.write_ts.store(ts, std::memory_order_relaxed);
+  m.pending_txn = txn;
   return Status::OK();
+}
+
+void TimestampManager::ReleaseWrite(InstanceId id, uint64_t txn) {
+  auto it = marks_.find(id);
+  if (it != marks_.end() && it->second.pending_txn == txn) {
+    it->second.pending_txn = 0;
+  }
 }
 
 }  // namespace cactis::txn

@@ -13,6 +13,18 @@
 // its delta. (The classic Thomas write rule is deliberately not applied:
 // derived-attribute propagation makes "ignore the write" unsound.)
 //
+// On top of basic TO, writes enforce a first-updater-wins rule: while a
+// transaction has written an instance and is still open and *unstaged*
+// (no WAL ticket yet), any other transaction's write to that instance is
+// rejected. Without this, in-memory updates (applied eagerly at
+// statement time) and WAL tickets (assigned at commit time) can order
+// two writers oppositely; replaying the journal's absolute-value deltas
+// in ticket order would then resurrect the older value after a crash —
+// a lost acked update. Once the first writer stages, its ticket is
+// fixed, so any later writer stages later and replay order matches
+// apply order. The pending mark is released when the writer stages,
+// commits without journaling, or rolls back.
+//
 // Thread model: a successful read is still a metadata *write* (it raises
 // read_ts), so concurrent read-only statements running under the shared
 // statement lock must not lose each other's updates — a lost read_ts max
@@ -44,12 +56,14 @@ struct ConcurrencyStats {
   std::atomic<uint64_t> writes_checked{0};
   std::atomic<uint64_t> read_rejections{0};
   std::atomic<uint64_t> write_rejections{0};
+  std::atomic<uint64_t> dirty_write_rejections{0};
 
   void ExportTo(obs::MetricsGroup* g) const {
     g->AddCounter("reads_checked", reads_checked.load());
     g->AddCounter("writes_checked", writes_checked.load());
     g->AddCounter("read_rejections", read_rejections.load());
     g->AddCounter("write_rejections", write_rejections.load());
+    g->AddCounter("dirty_write_rejections", dirty_write_rejections.load());
   }
 };
 
@@ -80,8 +94,15 @@ class TimestampManager {
   /// the stats), so only kOk is counted here.
   SharedReadCheck CheckReadShared(InstanceId id, uint64_t ts);
 
-  /// Validates and records a write. Exclusive-lock only.
-  Status CheckWrite(InstanceId id, uint64_t ts);
+  /// Validates and records a write by transaction `txn` (first-updater-
+  /// wins: rejects while another open, unstaged transaction holds a
+  /// pending write on `id`). Exclusive-lock only.
+  Status CheckWrite(InstanceId id, uint64_t ts, uint64_t txn);
+
+  /// Drops `txn`'s pending-writer mark on `id`, admitting later writers.
+  /// Called when the transaction stages its commit (WAL ticket fixed),
+  /// commits without journaling, or rolls back. Exclusive-lock only.
+  void ReleaseWrite(InstanceId id, uint64_t txn);
 
   /// Ensures `id` has a marks entry so the shared read path never misses
   /// it. Called at instance creation, under the exclusive lock.
@@ -96,12 +117,18 @@ class TimestampManager {
     stats_.writes_checked.store(0);
     stats_.read_rejections.store(0);
     stats_.write_rejections.store(0);
+    stats_.dirty_write_rejections.store(0);
   }
 
  private:
   struct Marks {
     std::atomic<uint64_t> read_ts{0};
     std::atomic<uint64_t> write_ts{0};
+    // Transaction currently holding an unstaged write on this instance
+    // (0 = none). Only touched under the exclusive statement lock, like
+    // the map's shape, so a plain field suffices; the shared read path
+    // never looks at it.
+    uint64_t pending_txn = 0;
   };
 
   LogicalClock clock_;

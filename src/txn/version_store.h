@@ -61,6 +61,27 @@ class VersionStore {
 
   std::vector<std::string> VersionNames() const;
 
+  // --- Checkpoint snapshot/restore ----------------------------------------
+  //
+  // A checkpoint image must carry the whole version facility: the retained
+  // history (tail meta-actions and post-recovery checkouts walk it), the
+  // position marker, and the name table. The accessors expose the state
+  // for encoding; Restore() replaces it wholesale on a fresh store during
+  // recovery.
+
+  const std::vector<TransactionDelta>& history() const { return history_; }
+  const std::map<std::string, uint64_t>& versions() const { return versions_; }
+  uint64_t next_version() const { return next_version_; }
+
+  void Restore(std::vector<TransactionDelta> history, uint64_t position,
+               std::map<std::string, uint64_t> versions,
+               uint64_t next_version) {
+    history_ = std::move(history);
+    position_ = position;
+    versions_ = std::move(versions);
+    next_version_ = next_version;
+  }
+
  private:
   std::vector<TransactionDelta> history_;
   uint64_t position_ = 0;  // number of applied deltas

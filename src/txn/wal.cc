@@ -1,20 +1,38 @@
 #include "txn/wal.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "common/error_taxonomy.h"
 #include "obs/request_context.h"
 #include "storage/checksum.h"
 
 namespace cactis::txn {
 namespace {
 
-// Fixed bytes of a chunk header: entry seq (8) + chunk index (4) +
-// chunk count (4) + next block (8) + payload length prefix (4).
-constexpr size_t kChunkHeaderBytes = 28;
+// Fixed bytes of a chunk header: chunk magic (4) + entry seq (8) +
+// chunk index (4) + chunk count (4) + next block (8) + payload length
+// prefix (4).
+constexpr size_t kChunkHeaderBytes = 32;
 
 Status EncodeFailure(std::string what) {
   return Status::Corruption("WAL " + std::move(what));
+}
+
+/// Parses a raw platter block as a sealed WAL chunk and returns its entry
+/// sequence number; nullopt for anything that is not a well-formed chunk
+/// (data blocks, checkpoint blocks, torn frames). Used by the salvage
+/// sweep to look for sealed entries beyond a damaged block.
+std::optional<uint64_t> SealedChunkSeq(const std::string& raw) {
+  Result<std::string> content = storage::UnwrapChecksum(raw);
+  if (!content.ok() || content->empty()) return std::nullopt;
+  BinaryReader r(*content);
+  Result<uint32_t> magic = r.GetU32();
+  if (!magic.ok() || *magic != WriteAheadLog::kChunkMagic) return std::nullopt;
+  Result<uint64_t> seq = r.GetU64();
+  if (!seq.ok()) return std::nullopt;
+  return *seq;
 }
 
 }  // namespace
@@ -217,8 +235,34 @@ Status WriteAheadLog::Initialize() {
   w.PutU64(kMagic);
   w.PutU64(tail_block_.value);
   CACTIS_RETURN_IF_ERROR(
-      disk_->Write(super, storage::WrapWithChecksum(w.data())));
+      WriteWithRetry(super, storage::WrapWithChecksum(w.data())));
   ++stats_.blocks_written;
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteWithRetry(BlockId id, const std::string& framed) {
+  Status s = disk_->Write(id, framed);
+  if (s.ok() || !IsTransientFault(s)) return s;
+  Backoff backoff(retry_policy_);
+  while (backoff.ShouldRetry()) {
+    ++stats_.retries;
+    s = disk_->Write(id, framed);
+    if (s.ok() || !IsTransientFault(s)) break;
+  }
+  stats_.backoff_us += backoff.slept_us();
+  if (!s.ok() && IsTransientFault(s)) ++stats_.give_ups;
+  return s;
+}
+
+Status WriteAheadLog::TruncateBefore(uint64_t before_seq) {
+  while (!entry_blocks_.empty() && entry_blocks_.front().first < before_seq) {
+    for (BlockId b : entry_blocks_.front().second) {
+      CACTIS_RETURN_IF_ERROR(disk_->Free(b));
+      ++stats_.truncated_blocks;
+    }
+    ++stats_.truncated_entries;
+    entry_blocks_.pop_front();
+  }
   return Status::OK();
 }
 
@@ -270,11 +314,24 @@ Status WriteAheadLog::WaitDurable(uint64_t ticket) {
           std::make_move_iterator(staged_.begin()),
           std::make_move_iterator(staged_.end()));
       staged_.clear();
+      if (wedged_) {
+        // A previous flush gave up and its batches are still being rolled
+        // back: refuse fast, without touching the disk. (Mutating stats_
+        // is safe here: flush_in_progress_ keeps every other leader out.)
+        Status s = Status::Unavailable("wal wedged after failed flush");
+        ++stats_.wedged_flushes;
+        for (const StagedEntry& e : batch) failed_tickets_.emplace(e.ticket, s);
+        resolved_ticket_ = batch.back().ticket;
+        flush_in_progress_ = false;
+        group_cv_.notify_all();
+        continue;
+      }
       lk.unlock();
       Status s = WriteBatch(batch);
       lk.lock();
       flush_in_progress_ = false;
       if (!s.ok()) {
+        wedged_ = true;
         for (const StagedEntry& e : batch) failed_tickets_.emplace(e.ticket, s);
       }
       resolved_ticket_ = batch.back().ticket;
@@ -293,6 +350,16 @@ bool WriteAheadLog::TicketFailed(uint64_t ticket) {
 void WriteAheadLog::ForgetTicket(uint64_t ticket) {
   std::lock_guard<std::mutex> lk(group_mu_);
   failed_tickets_.erase(ticket);
+}
+
+bool WriteAheadLog::wedged() {
+  std::lock_guard<std::mutex> lk(group_mu_);
+  return wedged_;
+}
+
+void WriteAheadLog::ClearWedge() {
+  std::lock_guard<std::mutex> lk(group_mu_);
+  wedged_ = false;
 }
 
 void WriteAheadLog::WaitIdle() {
@@ -343,16 +410,19 @@ Status WriteAheadLog::WriteBatch(const std::vector<StagedEntry>& batch) {
     size_t piece_len =
         payload.size() > offset ? std::min(cap, payload.size() - offset) : 0;
     BinaryWriter w;
+    w.PutU32(kChunkMagic);
     w.PutU64(next_seq_);
     w.PutU32(static_cast<uint32_t>(i));
     w.PutU32(static_cast<uint32_t>(chunk_count));
     w.PutU64(blocks[i + 1].value);
     w.PutString(std::string_view(payload).substr(offset, piece_len));
     CACTIS_RETURN_IF_ERROR(
-        disk_->Write(blocks[i], storage::WrapWithChecksum(w.data())));
+        WriteWithRetry(blocks[i], storage::WrapWithChecksum(w.data())));
     ++stats_.blocks_written;
   }
 
+  entry_blocks_.emplace_back(
+      next_seq_, std::vector<BlockId>(blocks.begin(), blocks.end() - 1));
   tail_block_ = blocks.back();
   ++next_seq_;
   stats_.entries_appended += batch.size();
@@ -367,7 +437,7 @@ Status WriteAheadLog::WriteBatch(const std::vector<StagedEntry>& batch) {
   return Status::OK();
 }
 
-Result<std::vector<WalEvent>> WriteAheadLog::ScanPlatter(
+Result<BlockId> WriteAheadLog::ReadFirstBlock(
     const storage::SimulatedDisk& platter) {
   Result<std::string> super = platter.PeekRaw(BlockId(kSuperblockId));
   if (!super.ok()) return Status::NotFound("platter has no WAL superblock");
@@ -381,10 +451,28 @@ Result<std::vector<WalEvent>> WriteAheadLog::ScanPlatter(
     return Status::NotFound("platter carries no WAL magic");
   }
   CACTIS_ASSIGN_OR_RETURN(uint64_t first_block, sr.GetU64());
+  return BlockId(first_block);
+}
 
-  std::vector<WalEvent> events;
-  uint64_t expected_seq = 1;
-  BlockId cursor(first_block);
+Result<std::vector<WalEvent>> WriteAheadLog::ScanPlatter(
+    const storage::SimulatedDisk& platter) {
+  CACTIS_ASSIGN_OR_RETURN(BlockId first, ReadFirstBlock(platter));
+  CACTIS_ASSIGN_OR_RETURN(WalScanResult scan,
+                          ScanPlatterFrom(platter, first, 1));
+  return std::move(scan.events);
+}
+
+Result<WalScanResult> WriteAheadLog::ScanPlatterFrom(
+    const storage::SimulatedDisk& platter, BlockId start_block,
+    uint64_t start_seq) {
+  WalScanResult result;
+  uint64_t expected_seq = start_seq;
+  BlockId cursor = start_block;
+  // Set when the chain stops at a block that carries bytes but fails
+  // verification (torn or bit-rotted) — as opposed to the clean end, the
+  // pre-allocated, never-written tail block.
+  bool damaged_stop = false;
+  uint64_t damaged_bytes = 0;
   for (;;) {
     // Assemble one entry; any irregularity means we hit the unsealed tail.
     std::string payload;
@@ -394,66 +482,115 @@ Result<std::vector<WalEvent>> WriteAheadLog::ScanPlatter(
     for (uint32_t chunk = 0; chunk < chunk_count; ++chunk) {
       Result<std::string> raw = platter.PeekRaw(next);
       if (!raw.ok() || raw->empty()) {
+        // Clean end of the chain. A partially assembled payload means the
+        // append was cut mid-entry; its sealed prefix chunks are discarded
+        // tail bytes like any other salvage.
         complete = false;
+        if (!payload.empty()) damaged_stop = true;
+        damaged_bytes += payload.size();
         break;
       }
       Result<std::string> content = storage::UnwrapChecksum(*raw);
-      if (!content.ok() || content->empty()) {
-        complete = false;  // torn or corrupt tail block
-        break;
-      }
-      BinaryReader r(*content);
+      BinaryReader r(content.ok() ? std::string_view(*content)
+                                  : std::string_view());
+      Result<uint32_t> chunk_magic = r.GetU32();
       Result<uint64_t> seq = r.GetU64();
       Result<uint32_t> index = r.GetU32();
       Result<uint32_t> count = r.GetU32();
       Result<uint64_t> next_value = r.GetU64();
       Result<std::string> piece = r.GetString();
-      if (!seq.ok() || !index.ok() || !count.ok() || !next_value.ok() ||
-          !piece.ok() || *seq != expected_seq || *index != chunk ||
-          *count == 0 || (chunk > 0 && *count != chunk_count)) {
+      if (!content.ok() || content->empty() || !chunk_magic.ok() ||
+          *chunk_magic != kChunkMagic || !seq.ok() || !index.ok() ||
+          !count.ok() || !next_value.ok() || !piece.ok() ||
+          *seq != expected_seq || *index != chunk || *count == 0 ||
+          (chunk > 0 && *count != chunk_count)) {
         complete = false;
+        damaged_stop = true;
+        damaged_bytes += raw->size() + payload.size();
         break;
       }
       if (chunk == 0) chunk_count = *count;
       payload += *piece;
       next = BlockId(*next_value);
     }
-    if (!complete) break;
-    if (!payload.empty() &&
-        static_cast<uint8_t>(payload[0]) ==
-            static_cast<uint8_t>(WalEventKind::kBatch)) {
-      // Group-commit container: flatten its members in staging order.
-      BinaryReader br(payload);
-      (void)br.GetU8();
-      Result<uint32_t> count = br.GetU32();
-      if (!count.ok()) break;
-      bool batch_ok = true;
-      std::vector<WalEvent> members;
-      members.reserve(*count);
-      for (uint32_t i = 0; i < *count; ++i) {
-        Result<std::string> piece = br.GetString();
-        if (!piece.ok()) {
-          batch_ok = false;
-          break;
+    if (complete) {
+      // The entry's bytes are sound; a payload that still fails to decode
+      // is damage too (it can only be an encoder torn mid-batch).
+      bool decoded = true;
+      if (!payload.empty() &&
+          static_cast<uint8_t>(payload[0]) ==
+              static_cast<uint8_t>(WalEventKind::kBatch)) {
+        // Group-commit container: flatten its members in staging order.
+        BinaryReader br(payload);
+        (void)br.GetU8();
+        Result<uint32_t> count = br.GetU32();
+        std::vector<WalEvent> members;
+        if (count.ok()) {
+          members.reserve(*count);
+          for (uint32_t i = 0; i < *count && decoded; ++i) {
+            Result<std::string> piece = br.GetString();
+            if (!piece.ok()) {
+              decoded = false;
+              break;
+            }
+            Result<WalEvent> member = DecodeEvent(*piece);
+            if (!member.ok()) {
+              decoded = false;
+              break;
+            }
+            members.push_back(*std::move(member));
+          }
+          if (decoded && !br.AtEnd()) decoded = false;
+        } else {
+          decoded = false;
         }
-        Result<WalEvent> member = DecodeEvent(*piece);
-        if (!member.ok()) {
-          batch_ok = false;
-          break;
+        if (decoded) {
+          for (WalEvent& member : members) {
+            result.events.push_back(std::move(member));
+          }
         }
-        members.push_back(*std::move(member));
+      } else {
+        Result<WalEvent> event = DecodeEvent(payload);
+        if (event.ok()) {
+          result.events.push_back(*std::move(event));
+        } else {
+          decoded = false;
+        }
       }
-      if (!batch_ok || !br.AtEnd()) break;  // bad payload: treat as the tail
-      for (WalEvent& member : members) events.push_back(std::move(member));
-    } else {
-      Result<WalEvent> event = DecodeEvent(payload);
-      if (!event.ok()) break;  // defensively treat a bad payload as the tail
-      events.push_back(*std::move(event));
+      if (!decoded) {
+        complete = false;
+        damaged_stop = true;
+        damaged_bytes += payload.size();
+      }
     }
+    if (!complete) break;
     ++expected_seq;
     cursor = next;
   }
-  return events;
+
+  if (damaged_stop) {
+    // The chain stopped at damage. If any *sealed* chunk with a later
+    // sequence number exists anywhere on the platter, entries beyond the
+    // damage were durable — and durable entries are acknowledged commits,
+    // because the log seals entries strictly in order. Losing one is
+    // unrecoverable corruption. Otherwise the damage is the unsealed tail
+    // (a torn append, or bit rot on the very last record — which is
+    // indistinguishable from a torn append and dropped the same way).
+    for (BlockId b : platter.AllocatedBlocks()) {
+      Result<std::string> raw = platter.PeekRaw(b);
+      if (!raw.ok()) continue;
+      std::optional<uint64_t> seq = SealedChunkSeq(*raw);
+      if (seq.has_value() && *seq > expected_seq) {
+        return Status::Corruption(
+            "WAL damaged at entry " + std::to_string(expected_seq) +
+            " but sealed entry " + std::to_string(*seq) +
+            " lies beyond it: an acknowledged commit would be lost");
+      }
+    }
+    result.salvaged_tail_bytes += damaged_bytes;
+  }
+  result.next_seq = expected_seq;
+  return result;
 }
 
 }  // namespace cactis::txn

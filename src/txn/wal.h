@@ -16,8 +16,9 @@
 //   superblock (the first block the WAL allocates; block 1 of a fresh
 //   database):  [crc32][magic u64][first-entry block id u64]
 //
-//   entry chunk: [crc32][entry seq u64][chunk index u32][chunk count u32]
-//                [next block id u64][payload piece (length-prefixed)]
+//   entry chunk: [crc32][chunk magic u32][entry seq u64][chunk index u32]
+//                [chunk count u32][next block id u64]
+//                [payload piece (length-prefixed)]
 //
 // An entry's payload (one serialized WalEvent) is split across as many
 // chunks as needed; each chunk, including the last, names the block the
@@ -26,7 +27,23 @@
 // only ever hit the *unsealed* tail of the log — committed entries are
 // never rewritten and therefore never at risk. Recovery walks the chain
 // until it meets an empty block (clean end), a checksum failure (torn
-// tail), or a sequence discontinuity, and truncates there.
+// tail), or a sequence discontinuity, and truncates there. The chunk
+// magic lets an offline *salvage sweep* tell WAL chunks apart from data
+// blocks: when the chain stops at a damaged block, the sweep looks for
+// sealed chunks with a later sequence number anywhere on the platter —
+// finding one proves the damage sits *before* the durable tail (real
+// corruption, recovery must fail); finding none means the damage is the
+// unsealed tail itself, which is safely discarded and reported as
+// wal.salvaged_tail_bytes.
+//
+// Checkpointing (txn/checkpoint.h) truncates the log: TruncateBefore()
+// frees the blocks of every entry older than the checkpoint LSN, so the
+// log holds only the tail that recovery actually replays.
+//
+// Transient disk faults (kUnavailable) are retried in place with bounded
+// exponential backoff: rewriting the same chunk block after a transient
+// error is safe because the platter was untouched. Retries, give-ups and
+// backoff time are surfaced through WalStats.
 
 #ifndef CACTIS_TXN_WAL_H_
 #define CACTIS_TXN_WAL_H_
@@ -39,6 +56,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/result.h"
 #include "common/serial.h"
 #include "common/status.h"
@@ -112,6 +130,13 @@ struct WalStats {
   uint64_t bytes_logged = 0;
   uint64_t group_batches = 0;          ///< flushes (one chained write each)
   uint64_t group_batched_entries = 0;  ///< events carried by those flushes
+  uint64_t retries = 0;        ///< transient write faults retried in place
+  uint64_t give_ups = 0;       ///< retry budgets exhausted (flush failed)
+  uint64_t backoff_us = 0;     ///< total time slept between retries
+  uint64_t wedged_flushes = 0; ///< flushes refused while the log was wedged
+  uint64_t truncated_entries = 0;  ///< entries dropped by TruncateBefore
+  uint64_t truncated_blocks = 0;   ///< blocks freed by TruncateBefore
+  uint64_t salvaged_tail_bytes = 0;  ///< damaged tail bytes discarded by scan
   /// Power-of-two batch-size histogram, same convention as obs::Histogram:
   /// bucket i >= 1 counts flushes of [2^(i-1), 2^i) entries.
   uint64_t batch_size_buckets[kBatchSizeBuckets] = {};
@@ -122,6 +147,13 @@ struct WalStats {
     g->AddCounter("bytes_logged", bytes_logged);
     g->AddCounter("group_batches", group_batches);
     g->AddCounter("group_batched_entries", group_batched_entries);
+    g->AddCounter("retries", retries);
+    g->AddCounter("give_ups", give_ups);
+    g->AddCounter("backoff_us", backoff_us);
+    g->AddCounter("wedged_flushes", wedged_flushes);
+    g->AddCounter("truncated_entries", truncated_entries);
+    g->AddCounter("truncated_blocks", truncated_blocks);
+    g->AddCounter("salvaged_tail_bytes", salvaged_tail_bytes);
     for (size_t i = 1; i < kBatchSizeBuckets; ++i) {
       if (batch_size_buckets[i] == 0) continue;
       g->AddCounter("batch_size_lt_" + std::to_string(uint64_t{1} << i),
@@ -130,11 +162,23 @@ struct WalStats {
   }
 };
 
+/// Result of an offline platter scan: the replayable events, the sequence
+/// number the log's next entry would carry, and how many bytes of damaged
+/// unsealed tail (torn or bit-rotted last entry) were discarded.
+struct WalScanResult {
+  std::vector<WalEvent> events;
+  uint64_t next_seq = 1;
+  uint64_t salvaged_tail_bytes = 0;
+};
+
 class WriteAheadLog {
  public:
   /// The WAL must be created before anything else touches the disk so its
   /// superblock lands at a well-known address for recovery.
   static constexpr uint64_t kMagic = 0x434143544957414CULL;  // "CACTIWAL"
+  /// Leading u32 of every entry chunk; distinguishes WAL chunks from data
+  /// and checkpoint blocks during salvage sweeps.
+  static constexpr uint32_t kChunkMagic = 0x57414C43;  // "CLAW"
   static constexpr uint64_t kSuperblockId = 1;
 
   explicit WriteAheadLog(storage::SimulatedDisk* disk) : disk_(disk) {}
@@ -183,6 +227,14 @@ class WriteAheadLog {
   /// Releases the failure record for `ticket` (no-op if none).
   void ForgetTicket(uint64_t ticket);
 
+  /// True after a flush exhausted its retry budget. A wedged log fails
+  /// every subsequent flush fast (no disk attempt) until ClearWedge():
+  /// letting a later batch land while the failed ones are still being
+  /// rolled back in memory would diverge the in-memory state from the
+  /// platter. The health probe clears the wedge once storage answers.
+  bool wedged();
+  void ClearWedge();
+
   /// Blocks until no flush is running and nothing is staged. Callers
   /// hold the exclusive statement lock, so no new Stage can race in.
   void WaitIdle();
@@ -191,6 +243,30 @@ class WriteAheadLog {
   uint64_t ResolvedTicket();
 
   const WalStats& stats() const { return stats_; }
+
+  /// The block the next entry's first chunk will land in (pre-allocated,
+  /// never yet written) and the sequence number it will carry. Together
+  /// they are the resume point a checkpoint records. Callers hold the
+  /// exclusive statement lock with the log idle.
+  BlockId tail_block() const { return tail_block_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Frees the blocks of every sealed entry with seq < `before_seq`
+  /// (checkpoint truncation: those entries are covered by the checkpoint
+  /// image and will never be replayed). Counted in WalStats. Caller holds
+  /// the exclusive statement lock and has called WaitIdle(), so no flush
+  /// leader is touching the chain.
+  Status TruncateBefore(uint64_t before_seq);
+
+  /// Bounded-backoff policy for transient write faults. Replaceable so
+  /// tests can shrink (or zero) the budget.
+  void set_retry_policy(BackoffPolicy policy) { retry_policy_ = policy; }
+
+  /// Recovery credit: records tail bytes a platter scan had to discard so
+  /// the loss shows up in this (recovered) database's metrics.
+  void NoteSalvagedTailBytes(uint64_t bytes) {
+    stats_.salvaged_tail_bytes += bytes;
+  }
 
   /// Optional span tracer; records one wal_append event per entry.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
@@ -201,6 +277,20 @@ class WriteAheadLog {
   /// the platter carries no WAL superblock.
   static Result<std::vector<WalEvent>> ScanPlatter(
       const storage::SimulatedDisk& platter);
+
+  /// Reads the superblock of a platter and returns the first entry block.
+  /// NotFound if the platter carries no WAL.
+  static Result<BlockId> ReadFirstBlock(const storage::SimulatedDisk& platter);
+
+  /// Scan from an explicit resume point (checkpoint-aware recovery): walks
+  /// the chain starting at `start_block`, expecting `start_seq` first.
+  /// When the chain stops at a damaged block, a salvage sweep over every
+  /// allocated block decides between a discardable unsealed tail (scan
+  /// succeeds, salvaged_tail_bytes > 0) and damage before the durable tail
+  /// (kCorruption: an acked commit would be lost).
+  static Result<WalScanResult> ScanPlatterFrom(
+      const storage::SimulatedDisk& platter, BlockId start_block,
+      uint64_t start_seq);
 
  private:
   struct StagedEntry {
@@ -216,10 +306,20 @@ class WriteAheadLog {
   /// so tail_block_/next_seq_/stats_ are leader-private while it runs.
   Status WriteBatch(const std::vector<StagedEntry>& batch);
 
+  /// Writes one framed block, retrying transient faults with bounded
+  /// backoff (rewriting is safe: a transient fault leaves the platter
+  /// unchanged). Runs leader-private, like WriteBatch.
+  Status WriteWithRetry(BlockId id, const std::string& framed);
+
   storage::SimulatedDisk* disk_;
   BlockId tail_block_;       ///< pre-allocated, never-written next head
   uint64_t next_seq_ = 1;    ///< entry sequence number of the next Append
   WalStats stats_;
+  BackoffPolicy retry_policy_;
+  /// Chunk blocks of each sealed entry, oldest first, for TruncateBefore.
+  /// Leader-private (appended by WriteBatch, drained by TruncateBefore
+  /// under the exclusive lock with the log idle).
+  std::deque<std::pair<uint64_t, std::vector<BlockId>>> entry_blocks_;
   obs::TraceSink* trace_ = nullptr;
 
   std::mutex group_mu_;
@@ -229,6 +329,7 @@ class WriteAheadLog {
   uint64_t resolved_ticket_ = 0;  ///< all tickets <= this have an outcome
   std::unordered_map<uint64_t, Status> failed_tickets_;
   bool flush_in_progress_ = false;
+  bool wedged_ = false;  ///< set on flush give-up, cleared by ClearWedge()
 };
 
 }  // namespace cactis::txn

@@ -1,0 +1,277 @@
+// Chaos harness: concurrent sessions hammer the full service path while
+// a scripted fault policy injects transient-error storms, torn writes
+// and terminal crashes into the disk. The invariants, per ISSUE/E14:
+//
+//   * zero lost acked commits — every increment whose commit response
+//     was kOk is present after recovery from the surviving platter;
+//   * zero lost updates — a recovered counter equals exactly its acked
+//     increment count (no phantom or duplicated commits either);
+//   * no deadlock — every client call completes (the test terminates);
+//   * serves-or-degrades — the server answers every request with a
+//     clean response (possibly kUnavailable/kError) and never crashes.
+//
+// Schedules are seeded and deterministic (ChaosSchedule), so a failing
+// round reproduces exactly from its seed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "server/executor.h"
+#include "server/transport.h"
+#include "storage/fault_policy.h"
+
+namespace cactis::server {
+namespace {
+
+using core::Database;
+using core::DatabaseOptions;
+
+const char* kSchema = R"(
+  object class counter is
+    attributes
+      n : int;
+  end object;
+)";
+
+constexpr int kCounters = 3;
+constexpr int kWriters = 3;
+constexpr int kOpsPerWriter = 6;
+constexpr int kAttemptsPerOp = 3;
+
+DatabaseOptions SmallOptions() {
+  DatabaseOptions opts;
+  opts.block_size = 256;     // plenty of writes for faults to land on
+  opts.buffer_capacity = 2;  // evictions mid-workload
+  return opts;
+}
+
+ServerOptions ChaosServerOptions() {
+  ServerOptions o;
+  o.num_workers = 3;
+  o.degraded_probe_interval_ms = 0;  // probe manually; keep rounds exact
+  return o;
+}
+
+/// One chaos round: set up counters, unleash writers under the given
+/// fault policy, then recover from the surviving platter and check the
+/// acked-commit ledger. `acked[c]` counts kOk increment responses for
+/// counter c+1.
+struct RoundResult {
+  std::vector<uint64_t> acked;
+  uint64_t attempts = 0;
+  bool server_degraded = false;
+};
+
+RoundResult RunRound(Database* db, storage::FaultPolicy* policy,
+                     uint64_t seed) {
+  Executor exec(db, ChaosServerOptions());
+  exec.Start();
+  LoopbackTransport client(&exec);
+
+  {
+    // Setup runs before the fault policy is installed: the counters
+    // themselves are always durable.
+    SessionId setup = *client.Connect();
+    for (int c = 1; c <= kCounters; ++c) {
+      Response r = client.Call(setup, "create counter");
+      EXPECT_TRUE(r.ok()) << r.payload;
+      r = client.Call(setup, "set obj(" + std::to_string(c) + ").n = 0");
+      EXPECT_TRUE(r.ok()) << r.payload;
+    }
+  }
+  // Quiescent: workers are parked on the queue, no disk traffic.
+  db->disk()->set_fault_policy(policy);
+
+  RoundResult result;
+  result.acked.assign(kCounters, 0);
+  std::vector<std::atomic<uint64_t>> acked(kCounters);
+  for (auto& a : acked) a.store(0);
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<bool> stop_reader{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      SessionId session = *client.Connect();
+      uint64_t rng = seed * 6364136223846793005ULL + w + 1;
+      for (int op = 0; op < kOpsPerWriter; ++op) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int c = static_cast<int>((rng >> 33) % kCounters) + 1;
+        const std::string stmt = "begin; set obj(" + std::to_string(c) +
+                                 ").n = n + 1; commit";
+        for (int attempt = 0; attempt < kAttemptsPerOp; ++attempt) {
+          attempts.fetch_add(1);
+          Response r = client.Call(session, stmt);
+          if (r.ok()) {
+            acked[c - 1].fetch_add(1);
+            break;
+          }
+          // Aborts (timestamp conflicts) are worth retrying; storage
+          // failures and degraded-mode refusals are not going away
+          // within this round — move on, bounded.
+          if (!r.aborted()) break;
+        }
+      }
+    });
+  }
+  // A reader polls values and `health` throughout: reads must keep being
+  // *answered* (ok or a clean error once the disk is gone) — the serves-
+  // or-degrades invariant is that nothing wedges or crashes.
+  std::thread reader([&] {
+    SessionId session = *client.Connect();
+    int c = 1;
+    while (!stop_reader.load()) {
+      Response v = client.Call(session, "peek obj(" + std::to_string(c) +
+                                            ").n");
+      (void)v;
+      Response h = client.Call(session, "health");
+      EXPECT_FALSE(h.payload.empty());
+      c = c % kCounters + 1;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  stop_reader.store(true);
+  reader.join();
+  result.server_degraded = exec.degraded();
+  exec.Shutdown();
+
+  for (int c = 0; c < kCounters; ++c) result.acked[c] = acked[c].load();
+  result.attempts = attempts.load();
+  return result;
+}
+
+/// Recovers from `platter` and checks the ledger: counter c holds
+/// exactly its acked increment count.
+void VerifyRecovered(const storage::SimulatedDisk& platter,
+                     const RoundResult& round, uint64_t seed) {
+  Database recovered(SmallOptions());
+  ASSERT_TRUE(recovered.LoadSchema(kSchema).ok());
+  Status rs = recovered.Recover(platter);
+  ASSERT_TRUE(rs.ok()) << "seed " << seed << ": " << rs.ToString();
+  for (int c = 0; c < kCounters; ++c) {
+    auto v = recovered.Peek(InstanceId(static_cast<uint64_t>(c + 1)), "n");
+    ASSERT_TRUE(v.ok()) << "seed " << seed << " counter " << (c + 1) << ": "
+                        << v.status().ToString();
+    EXPECT_EQ(*v, Value::Int(static_cast<int64_t>(round.acked[c])))
+        << "seed " << seed << " counter " << (c + 1) << ": acked "
+        << round.acked[c] << " increments, recovered " << v->ToString();
+  }
+}
+
+// >= 20 randomized schedules: random transient hiccups on every round,
+// and on most rounds a terminal crash or torn write mid-workload. Every
+// acked commit must survive recovery exactly once.
+TEST(ChaosTest, RandomizedSchedulesLoseNoAckedCommits) {
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // Seeds 0, 5, 10, ... run without a terminal fault (pure transient
+    // noise); the rest crash or tear at a seed-dependent write index.
+    const bool terminal = seed % 5 != 0;
+    const int64_t terminal_at =
+        terminal ? static_cast<int64_t>(20 + (seed * 13) % 140) : -1;
+    storage::ChaosSchedule chaos(seed, /*p_transient=*/0.04, terminal_at,
+                                 /*terminal_torn=*/seed % 2 == 1);
+    Database db(SmallOptions());
+    ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+    RoundResult round = RunRound(&db, &chaos, seed);
+    ASSERT_GT(round.attempts, 0u);
+    VerifyRecovered(*db.disk(), round, seed);
+  }
+}
+
+// A persistent transient storm must flip the server into degraded
+// read-only mode: mutations refuse with kUnavailable, reads and
+// `health` keep serving, and once the storm passes a probe restores
+// read-write without a restart.
+TEST(ChaosTest, TransientStormDegradesToReadOnlyThenRecovers) {
+  Database db(SmallOptions());
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  Executor exec(&db, ChaosServerOptions());
+  exec.Start();
+  LoopbackTransport client(&exec);
+  SessionId s = *client.Connect();
+  ASSERT_TRUE(client.Call(s, "create counter").ok());
+  ASSERT_TRUE(client.Call(s, "set obj(1).n = 1").ok());
+
+  storage::TransientStorm storm;
+  db.disk()->set_fault_policy(&storm);
+  storm.storming.store(true);
+
+  // The first mutation burns the WAL retry budget, fails, and degrades
+  // the server.
+  Response r = client.Call(s, "set obj(1).n = 2");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(exec.degraded());
+  EXPECT_GE(exec.stats().degraded_entered.load(), 1u);
+
+  // Mutations now refuse fast with kUnavailable; reads still serve.
+  r = client.Call(s, "set obj(1).n = 3");
+  EXPECT_TRUE(r.unavailable()) << ResponseStatusToString(r.status);
+  EXPECT_GE(exec.stats().degraded_rejects.load(), 1u);
+  r = client.Call(s, "peek obj(1).n");
+  EXPECT_TRUE(r.ok()) << r.payload;
+  EXPECT_EQ(r.payload, "1");
+  r = client.Call(s, "health");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.payload.find("\"degraded\":true"), std::string::npos)
+      << r.payload;
+
+  // While the storm lasts, probes fail and the server stays degraded.
+  EXPECT_FALSE(exec.ProbeOnce());
+  EXPECT_TRUE(exec.degraded());
+
+  // Storm passes: one successful probe restores read-write.
+  storm.storming.store(false);
+  EXPECT_TRUE(exec.ProbeOnce());
+  EXPECT_FALSE(exec.degraded());
+  EXPECT_GE(exec.stats().degraded_exited.load(), 1u);
+  r = client.Call(s, "set obj(1).n = 4");
+  EXPECT_TRUE(r.ok()) << r.payload;
+  r = client.Call(s, "peek obj(1).n");
+  EXPECT_EQ(r.payload, "4");
+  r = client.Call(s, "health");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.payload.find("\"degraded\":false"), std::string::npos)
+      << r.payload;
+  exec.Shutdown();
+}
+
+// Same, but hands-off: the background probe thread notices the storm has
+// passed and restores read-write within its interval.
+TEST(ChaosTest, BackgroundProbeAutoRestoresReadWrite) {
+  Database db(SmallOptions());
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  ServerOptions options = ChaosServerOptions();
+  options.degraded_probe_interval_ms = 2;
+  Executor exec(&db, options);
+  exec.Start();
+  LoopbackTransport client(&exec);
+  SessionId s = *client.Connect();
+  ASSERT_TRUE(client.Call(s, "create counter").ok());
+
+  storage::TransientStorm storm;
+  db.disk()->set_fault_policy(&storm);
+  storm.storming.store(true);
+  EXPECT_FALSE(client.Call(s, "set obj(1).n = 1").ok());
+  EXPECT_TRUE(exec.degraded());
+
+  storm.storming.store(false);
+  for (int i = 0; i < 1000 && exec.degraded(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(exec.degraded());
+  EXPECT_GE(exec.stats().degraded_probes.load(), 1u);
+  EXPECT_TRUE(client.Call(s, "set obj(1).n = 1").ok());
+  exec.Shutdown();
+}
+
+}  // namespace
+}  // namespace cactis::server

@@ -1,0 +1,304 @@
+// Checkpointing: image codec round trip, bounded-tail recovery after
+// Checkpoint(), generation swap across repeated checkpoints, and the
+// crash-at-every-write sweep over the checkpoint protocol itself — a
+// crash at ANY write during checkpointing must leave the platter
+// recoverable to the full committed state (the double-buffered slots
+// guarantee the old checkpoint survives until the new one is sealed).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "core/database.h"
+#include "storage/fault_policy.h"
+#include "txn/checkpoint.h"
+
+namespace cactis::core {
+namespace {
+
+const char* kSchema = R"(
+  object class cell is
+    relationships
+      prev : chain multi socket;
+      next : chain multi plug;
+    attributes
+      base : int;
+      acc  : int;
+    rules
+      acc = begin
+        t : int;
+        t = base;
+        for each p related to prev do
+          t = t + p.acc;
+        end;
+        return t;
+      end;
+  end object;
+)";
+
+DatabaseOptions SmallOptions() {
+  DatabaseOptions opts;
+  opts.block_size = 256;
+  opts.buffer_capacity = 2;
+  return opts;
+}
+
+const InstanceId kA{1}, kB{2}, kC{3};
+
+/// Same milestone workload as the crash-recovery harness: commits,
+/// version meta-actions, an undo, a history truncation, a delete.
+std::vector<std::function<Status(Database&)>> WorkloadSteps() {
+  return {
+      [](Database& db) -> Status {
+        auto t = db.Begin();
+        CACTIS_ASSIGN_OR_RETURN(InstanceId a, t->Create("cell"));
+        CACTIS_RETURN_IF_ERROR(t->Set(a, "base", Value::Int(1)));
+        return t->Commit();
+      },
+      [](Database& db) -> Status {
+        auto t = db.Begin();
+        CACTIS_ASSIGN_OR_RETURN(InstanceId b, t->Create("cell"));
+        CACTIS_RETURN_IF_ERROR(t->Set(b, "base", Value::Int(2)));
+        CACTIS_RETURN_IF_ERROR(t->Connect(b, "prev", kA, "next").status());
+        return t->Commit();
+      },
+      [](Database& db) { return db.CreateVersion("v1").status(); },
+      [](Database& db) { return db.Set(kA, "base", Value::Int(10)); },
+      [](Database& db) { return db.UndoLast(); },
+      [](Database& db) -> Status {
+        auto t = db.Begin();
+        CACTIS_ASSIGN_OR_RETURN(InstanceId c, t->Create("cell"));
+        CACTIS_RETURN_IF_ERROR(t->Set(c, "base", Value::Int(3)));
+        CACTIS_RETURN_IF_ERROR(t->Connect(c, "prev", kB, "next").status());
+        return t->Commit();
+      },
+      [](Database& db) { return db.CreateVersion("v2").status(); },
+      [](Database& db) { return db.CheckoutVersion("v1"); },
+      [](Database& db) { return db.Set(kB, "base", Value::Int(20)); },
+      [](Database& db) { return db.Delete(kA); },
+  };
+}
+
+std::string Snapshot(Database* db) {
+  std::ostringstream out;
+  out << "commits=" << db->committed_transactions() << "\n";
+  out << "versions=";
+  for (const std::string& name : db->VersionNames()) out << name << ",";
+  out << "\n";
+  auto cells = db->InstancesOf("cell");
+  if (!cells.ok()) return "InstancesOf failed: " + cells.status().ToString();
+  for (InstanceId id : *cells) {
+    out << "cell " << id.value;
+    for (const char* attr : {"base", "acc"}) {
+      auto v = db->Peek(id, attr);
+      out << " " << attr << "=";
+      if (v.ok()) {
+        out << v->ToString();
+      } else {
+        out << "<" << v.status().ToString() << ">";
+      }
+    }
+    for (const char* port : {"prev", "next"}) {
+      auto neighbors = db->NeighborsOf(id, port);
+      out << " " << port << "=[";
+      if (neighbors.ok()) {
+        for (InstanceId n : *neighbors) out << n.value << ",";
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+/// Runs `steps` workload steps, checkpointing after each index listed in
+/// `checkpoint_after` (1-based step counts).
+void RunWorkload(Database* db, size_t steps,
+                 const std::vector<size_t>& checkpoint_after = {}) {
+  auto workload = WorkloadSteps();
+  for (size_t i = 0; i < steps && i < workload.size(); ++i) {
+    Status s = workload[i](*db);
+    ASSERT_TRUE(s.ok()) << "step " << i << ": " << s.ToString();
+    for (size_t mark : checkpoint_after) {
+      if (mark == i + 1) {
+        Status cs = db->Checkpoint();
+        ASSERT_TRUE(cs.ok()) << "checkpoint after step " << mark << ": "
+                             << cs.ToString();
+      }
+    }
+  }
+}
+
+std::string ReferenceSnapshot(size_t steps) {
+  Database db(SmallOptions());
+  EXPECT_TRUE(db.LoadSchema(kSchema).ok());
+  RunWorkload(&db, steps);
+  return Snapshot(&db);
+}
+
+TEST(CheckpointImageTest, CodecRoundTrips) {
+  txn::CheckpointImage image;
+  image.next_instance = 7;
+  image.next_edge = 3;
+  image.next_txn = 19;
+  txn::DeltaRecord create;
+  create.op = txn::DeltaOp::kCreate;
+  create.instance = InstanceId(1);
+  create.class_id = ClassId(2);
+  image.bootstrap.records.push_back(create);
+  txn::TransactionDelta hist;
+  hist.txn = TxnId(5);
+  hist.commit_seq = 1;
+  image.history.push_back(hist);
+  image.position = 1;
+  image.versions["v1"] = 1;
+  image.next_version = 2;
+
+  auto decoded = txn::DecodeCheckpointImage(txn::EncodeCheckpointImage(image));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->next_instance, 7u);
+  EXPECT_EQ(decoded->next_edge, 3u);
+  EXPECT_EQ(decoded->next_txn, 19u);
+  ASSERT_EQ(decoded->bootstrap.records.size(), 1u);
+  EXPECT_EQ(decoded->bootstrap.records[0].op, txn::DeltaOp::kCreate);
+  ASSERT_EQ(decoded->history.size(), 1u);
+  EXPECT_EQ(decoded->history[0].txn, TxnId(5));
+  EXPECT_EQ(decoded->position, 1u);
+  EXPECT_EQ(decoded->versions.at("v1"), 1u);
+  EXPECT_EQ(decoded->next_version, 2u);
+
+  // Trailing garbage and wrong magic are rejected, not decoded.
+  std::string bytes = txn::EncodeCheckpointImage(image);
+  EXPECT_FALSE(txn::DecodeCheckpointImage(bytes + "x").ok());
+  bytes[0] ^= 0x01;
+  EXPECT_FALSE(txn::DecodeCheckpointImage(bytes).ok());
+}
+
+TEST(CheckpointTest, CheckpointThenRecoverReproducesState) {
+  Database db(SmallOptions());
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  RunWorkload(&db, WorkloadSteps().size(), /*checkpoint_after=*/{6});
+  ASSERT_NE(db.checkpoint_store(), nullptr);
+  EXPECT_EQ(db.checkpoint_store()->stats().checkpoints_written, 1u);
+  EXPECT_GT(db.wal()->stats().truncated_entries, 0u);
+
+  Database recovered(SmallOptions());
+  ASSERT_TRUE(recovered.LoadSchema(kSchema).ok());
+  Status rs = recovered.Recover(*db.disk());
+  ASSERT_TRUE(rs.ok()) << rs.ToString();
+  EXPECT_EQ(Snapshot(&recovered), Snapshot(&db));
+}
+
+// THE point of checkpointing: recovery replays only the WAL tail past
+// the checkpoint, not the whole history. The re-journaled entry count is
+// machine-independent: exactly one WAL event per post-checkpoint step.
+TEST(CheckpointTest, RecoveryReplaysOnlyTheTail) {
+  Database db(SmallOptions());
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  RunWorkload(&db, WorkloadSteps().size(), /*checkpoint_after=*/{6});
+
+  Database recovered(SmallOptions());
+  ASSERT_TRUE(recovered.LoadSchema(kSchema).ok());
+  ASSERT_TRUE(recovered.Recover(*db.disk()).ok());
+  EXPECT_EQ(Snapshot(&recovered), ReferenceSnapshot(WorkloadSteps().size()));
+
+  // 10 steps ran, the checkpoint covered the first 6: recovery replayed
+  // (and re-journaled) exactly the 4 tail events.
+  EXPECT_EQ(recovered.wal()->stats().entries_appended, 4u);
+}
+
+// Repeated checkpoints alternate slots; recovery uses the newest.
+TEST(CheckpointTest, SecondCheckpointSupersedesFirst) {
+  Database db(SmallOptions());
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  RunWorkload(&db, WorkloadSteps().size(), /*checkpoint_after=*/{5, 8});
+  EXPECT_EQ(db.checkpoint_store()->stats().checkpoints_written, 2u);
+
+  Database recovered(SmallOptions());
+  ASSERT_TRUE(recovered.LoadSchema(kSchema).ok());
+  ASSERT_TRUE(recovered.Recover(*db.disk()).ok());
+  EXPECT_EQ(Snapshot(&recovered), ReferenceSnapshot(WorkloadSteps().size()));
+  // Steps 9 and 10 are the only tail past the second checkpoint.
+  EXPECT_EQ(recovered.wal()->stats().entries_appended, 2u);
+}
+
+// An idle checkpoint (nothing new since the last one) and a checkpoint
+// on a WAL-less database both behave sanely.
+TEST(CheckpointTest, EdgeCases) {
+  Database db(SmallOptions());
+  ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+  RunWorkload(&db, 3);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_TRUE(db.Checkpoint().ok());  // idle: nothing to truncate
+  EXPECT_EQ(db.checkpoint_store()->stats().checkpoints_written, 2u);
+
+  Database recovered(SmallOptions());
+  ASSERT_TRUE(recovered.LoadSchema(kSchema).ok());
+  ASSERT_TRUE(recovered.Recover(*db.disk()).ok());
+  EXPECT_EQ(Snapshot(&recovered), ReferenceSnapshot(3));
+
+  DatabaseOptions no_wal = SmallOptions();
+  no_wal.enable_wal = false;
+  Database off(no_wal);
+  ASSERT_TRUE(off.LoadSchema(kSchema).ok());
+  EXPECT_FALSE(off.Checkpoint().ok());
+}
+
+/// Crash-at-every-write sweep over one Checkpoint() call: run the
+/// workload prefix, maybe checkpoint once cleanly (so the sweep also
+/// covers the grandparent-chain-free path of the SECOND checkpoint),
+/// then crash the next Checkpoint() at write index k for every k. The
+/// platter must always recover to the full committed state: either the
+/// old checkpoint (plus WAL tail) or the new one is intact — never
+/// garbage.
+void SweepCheckpointCrashes(bool prior_checkpoint) {
+  const std::vector<size_t> prior =
+      prior_checkpoint ? std::vector<size_t>{4} : std::vector<size_t>{};
+
+  // Baseline: how many writes does the swept Checkpoint() issue?
+  uint64_t ckpt_writes = 0;
+  std::string want;
+  {
+    Database db(SmallOptions());
+    ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+    RunWorkload(&db, WorkloadSteps().size(), prior);
+    uint64_t before = db.disk()->write_attempts();
+    ASSERT_TRUE(db.Checkpoint().ok());
+    ckpt_writes = db.disk()->write_attempts() - before;
+    want = Snapshot(&db);
+  }
+  ASSERT_GT(ckpt_writes, 1u);
+
+  for (uint64_t k = 0; k < ckpt_writes; ++k) {
+    SCOPED_TRACE("crash at checkpoint write " + std::to_string(k) +
+                 (prior_checkpoint ? " (second checkpoint)" : ""));
+    Database db(SmallOptions());
+    ASSERT_TRUE(db.LoadSchema(kSchema).ok());
+    RunWorkload(&db, WorkloadSteps().size(), prior);
+    storage::ScriptedFaults faults;
+    faults.crash_after_writes =
+        static_cast<int64_t>(db.disk()->write_attempts() + k);
+    db.disk()->set_fault_policy(&faults);
+    EXPECT_FALSE(db.Checkpoint().ok());
+    EXPECT_TRUE(db.disk()->crashed());
+
+    Database recovered(SmallOptions());
+    ASSERT_TRUE(recovered.LoadSchema(kSchema).ok());
+    Status rs = recovered.Recover(*db.disk());
+    ASSERT_TRUE(rs.ok()) << rs.ToString();
+    EXPECT_EQ(Snapshot(&recovered), want);
+  }
+}
+
+TEST(CheckpointTest, CrashAtEveryWriteDuringFirstCheckpointIsSafe) {
+  SweepCheckpointCrashes(/*prior_checkpoint=*/false);
+}
+
+TEST(CheckpointTest, CrashAtEveryWriteDuringSecondCheckpointIsSafe) {
+  SweepCheckpointCrashes(/*prior_checkpoint=*/true);
+}
+
+}  // namespace
+}  // namespace cactis::core

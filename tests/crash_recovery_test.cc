@@ -252,5 +252,66 @@ TEST(CrashRecoveryTest, CrashAtEveryWriteIndexRecoversACommittedPrefix) {
   }
 }
 
+/// Double-fault sweep: the RECOVERING database's own disk crashes at
+/// every write index during Recover(). The source platter is read-only
+/// to Recover, so no matter where the recovering side dies, a second
+/// recovery from the original platter must still reproduce the
+/// single-recovery state — a crash mid-recovery loses nothing.
+void DoubleFaultSweep(const storage::SimulatedDisk& platter) {
+  Database ref(SmallOptions());
+  ASSERT_TRUE(ref.LoadSchema(kSchema).ok());
+  ASSERT_TRUE(ref.Recover(platter).ok());
+  const std::string want = Snapshot(&ref);
+  // How many writes does a clean recovery issue on its own disk?
+  const uint64_t recovery_writes = ref.disk()->write_attempts();
+  ASSERT_GT(recovery_writes, 1u);
+
+  for (uint64_t k = 0; k < recovery_writes; ++k) {
+    SCOPED_TRACE("crash at recovery write " + std::to_string(k));
+    Database victim(SmallOptions());
+    storage::ScriptedFaults faults;
+    faults.crash_after_writes = static_cast<int64_t>(k);
+    victim.disk()->set_fault_policy(&faults);
+    ASSERT_TRUE(victim.LoadSchema(kSchema).ok());
+    Status rs = victim.Recover(platter);
+    if (!rs.ok()) {
+      EXPECT_TRUE(victim.disk()->crashed()) << rs.ToString();
+    } else if (!victim.disk()->crashed()) {
+      // Crash index unreachable (constructor writes predate the policy):
+      // the recovery ran clean and must match the reference.
+      EXPECT_EQ(Snapshot(&victim), want);
+    }
+
+    // The double fault: recover AGAIN, from the untouched original.
+    Database again(SmallOptions());
+    ASSERT_TRUE(again.LoadSchema(kSchema).ok());
+    Status rs2 = again.Recover(platter);
+    ASSERT_TRUE(rs2.ok()) << rs2.ToString();
+    EXPECT_EQ(Snapshot(&again), want);
+  }
+}
+
+TEST(CrashRecoveryTest, CrashDuringRecoveryThenRecoverAgainMatches) {
+  Database original(SmallOptions());
+  ASSERT_TRUE(original.LoadSchema(kSchema).ok());
+  for (auto& step : WorkloadSteps()) ASSERT_TRUE(step(original).ok());
+  DoubleFaultSweep(*original.disk());
+}
+
+TEST(CrashRecoveryTest, CrashDuringCheckpointedRecoveryThenRecoverAgainMatches) {
+  // With a mid-workload checkpoint the recovery path is load-image +
+  // replay-tail + self-checkpoint — more writes, all swept.
+  Database original(SmallOptions());
+  ASSERT_TRUE(original.LoadSchema(kSchema).ok());
+  auto workload = WorkloadSteps();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_TRUE(workload[i](original).ok());
+    if (i + 1 == 6) {
+      ASSERT_TRUE(original.Checkpoint().ok());
+    }
+  }
+  DoubleFaultSweep(*original.disk());
+}
+
 }  // namespace
 }  // namespace cactis::core

@@ -40,7 +40,7 @@ TEST(FaultInjectionTest, TransientWriteErrorIsRetriable) {
   BlockId block = disk.Allocate();
   ASSERT_TRUE(disk.Write(block, "first").ok());
   Status s = disk.Write(block, "second");
-  EXPECT_TRUE(s.IsIoError());
+  EXPECT_TRUE(s.IsUnavailable());
   EXPECT_FALSE(disk.crashed());
   EXPECT_EQ(disk.stats().transient_errors, 1u);
   // The platter kept the pre-error content; a retry succeeds.
@@ -114,7 +114,7 @@ TEST(FaultInjectionTest, ReadFaultsLeaveThePlatterIntact) {
   faults.corrupt_read_at = 1;
   disk.set_fault_policy(&faults);
 
-  EXPECT_TRUE(disk.Read(block).status().IsIoError());  // transient
+  EXPECT_TRUE(disk.Read(block).status().IsUnavailable());  // transient
   auto corrupted = disk.Read(block);                   // bit flip in transit
   ASSERT_TRUE(corrupted.ok());
   EXPECT_NE(*corrupted, "stable");

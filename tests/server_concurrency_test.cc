@@ -335,10 +335,10 @@ TEST(ServerConcurrencyTest, SharedReadMarksNeverLoseTheMax) {
 
   const uint64_t max_ts = kPerThread * kThreads;
   // Any writer older than the newest read must be rejected...
-  EXPECT_TRUE(tsm.CheckWrite(id, max_ts - 1).IsConflict());
-  EXPECT_TRUE(tsm.CheckWrite(id, 1).IsConflict());
+  EXPECT_TRUE(tsm.CheckWrite(id, max_ts - 1, 1).IsConflict());
+  EXPECT_TRUE(tsm.CheckWrite(id, 1, 2).IsConflict());
   // ...and a newer writer accepted.
-  EXPECT_TRUE(tsm.CheckWrite(id, max_ts + 1).ok());
+  EXPECT_TRUE(tsm.CheckWrite(id, max_ts + 1, 3).ok());
 }
 
 // ObjectCache's shared read path: concurrent PeekCached hits (plus

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/backoff.h"
+#include "common/error_taxonomy.h"
 #include "common/result.h"
 
 namespace cactis {
@@ -33,6 +35,7 @@ TEST(StatusTest, AllFactoriesProduceTheirCode) {
             StatusCode::kTransactionAborted);
   EXPECT_EQ(Status::Conflict("").code(), StatusCode::kConflict);
   EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
@@ -78,6 +81,66 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string(1000, 'x'));
   std::string s = std::move(r).value();
   EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(ErrorTaxonomyTest, ClassifiesEveryFaultClass) {
+  EXPECT_EQ(ClassifyFault(Status::OK()), FaultClass::kNone);
+  EXPECT_EQ(ClassifyFault(Status::NotFound("x")), FaultClass::kNone);
+  EXPECT_EQ(ClassifyFault(Status::Unavailable("x")), FaultClass::kTransient);
+  EXPECT_EQ(ClassifyFault(Status::IoError("x")), FaultClass::kPermanent);
+  EXPECT_EQ(ClassifyFault(Status::Corruption("x")), FaultClass::kCorruption);
+
+  EXPECT_TRUE(IsTransientFault(Status::Unavailable("x")));
+  EXPECT_FALSE(IsTransientFault(Status::IoError("x")));
+  EXPECT_TRUE(IsStorageFault(Status::Unavailable("x")));
+  EXPECT_TRUE(IsStorageFault(Status::IoError("x")));
+  EXPECT_FALSE(IsStorageFault(Status::Corruption("x")));
+  EXPECT_FALSE(IsStorageFault(Status::Conflict("x")));
+}
+
+TEST(BackoffTest, BudgetAndDelaysAreDeterministic) {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_us = 100;
+  policy.max_us = 250;
+  policy.multiplier = 2.0;
+  policy.jitter_seed = 7;
+
+  std::vector<uint64_t> slept;
+  auto recorder = [&slept](uint64_t us) { slept.push_back(us); };
+
+  Backoff b(policy, recorder);
+  EXPECT_TRUE(b.ShouldRetry());   // retry 1
+  EXPECT_TRUE(b.ShouldRetry());   // retry 2
+  EXPECT_TRUE(b.ShouldRetry());   // retry 3 — budget now spent
+  EXPECT_FALSE(b.ShouldRetry());  // 4 attempts total: give up
+  EXPECT_EQ(b.retries(), 3);
+  ASSERT_EQ(slept.size(), 3u);
+  // Jitter keeps each delay in [half, full) of the exponential target,
+  // clamped at max_us.
+  EXPECT_GE(slept[0], 50u);
+  EXPECT_LT(slept[0], 100u);
+  EXPECT_GE(slept[1], 100u);
+  EXPECT_LT(slept[1], 200u);
+  EXPECT_GE(slept[2], 125u);  // target clamped to 250
+  EXPECT_LT(slept[2], 250u);
+  EXPECT_EQ(b.slept_us(), slept[0] + slept[1] + slept[2]);
+
+  // Same policy, same seed: the identical delay sequence.
+  std::vector<uint64_t> again;
+  Backoff b2(policy, [&again](uint64_t us) { again.push_back(us); });
+  while (b2.ShouldRetry()) {
+  }
+  EXPECT_EQ(again, slept);
+}
+
+TEST(BackoffTest, SingleAttemptPolicyNeverRetries) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  Backoff b(policy, [](uint64_t) { FAIL() << "must not sleep"; });
+  EXPECT_FALSE(b.ShouldRetry());
+  EXPECT_EQ(b.retries(), 0);
+  EXPECT_EQ(b.slept_us(), 0u);
 }
 
 }  // namespace

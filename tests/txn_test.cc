@@ -181,15 +181,25 @@ TEST(TimestampManagerTest, UnitRules) {
   ASSERT_GT(t2, t1);
   InstanceId x(1);
   EXPECT_TRUE(tsm.CheckRead(x, t2).ok());
-  EXPECT_TRUE(tsm.CheckWrite(x, t2).ok());
+  EXPECT_TRUE(tsm.CheckWrite(x, t2, 2).ok());
+  // The same transaction may write x again while its commit is pending.
+  EXPECT_TRUE(tsm.CheckWrite(x, t2, 2).ok());
   // Older transaction can no longer read or write x.
   EXPECT_TRUE(tsm.CheckRead(x, t1).IsConflict());
-  EXPECT_TRUE(tsm.CheckWrite(x, t1).IsConflict());
+  EXPECT_TRUE(tsm.CheckWrite(x, t1, 1).IsConflict());
   EXPECT_EQ(tsm.stats().read_rejections, 1u);
   EXPECT_EQ(tsm.stats().write_rejections, 1u);
-  // Forgotten instances reset.
+  // First-updater-wins: even a newer transaction is rejected while txn
+  // 2's write on x is unstaged...
+  uint64_t t3 = tsm.BeginTransaction();
+  EXPECT_TRUE(tsm.CheckWrite(x, t3, 3).IsConflict());
+  EXPECT_EQ(tsm.stats().dirty_write_rejections, 2u);
+  // ...and admitted once the pending write is released.
+  tsm.ReleaseWrite(x, 2);
+  EXPECT_TRUE(tsm.CheckWrite(x, t3, 3).ok());
+  // Forgotten instances reset, including the pending-writer mark.
   tsm.Forget(x);
-  EXPECT_TRUE(tsm.CheckWrite(x, t1).ok());
+  EXPECT_TRUE(tsm.CheckWrite(x, t1, 1).ok());
 }
 
 }  // namespace

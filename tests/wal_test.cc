@@ -1,7 +1,8 @@
 // Write-ahead log: serialization round trips for every DeltaOp, event
 // framing, append/scan over a disk, chunked entries, torn-tail
-// truncation, and the group-commit staging queue (batch formation,
-// flattening on scan, per-ticket failure reporting).
+// truncation and salvage accounting, transient-fault retry, truncation
+// behind a checkpoint, and the group-commit staging queue (batch
+// formation, flattening on scan, per-ticket failure reporting).
 
 #include <string>
 #include <thread>
@@ -9,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/backoff.h"
 #include "storage/checksum.h"
 #include "storage/fault_policy.h"
 #include "storage/simulated_disk.h"
@@ -207,6 +209,113 @@ TEST(WalLogTest, CrashBeforeWriteLosesOnlyTheTailEntry) {
   EXPECT_EQ((*events)[0].kind, WalEventKind::kCheckout);
 }
 
+// A torn tail is SALVAGED, not fatal: the committed prefix survives and
+// the scan reports how many damaged bytes it dropped.
+TEST(WalLogTest, TornTailIsSalvagedWithByteCredit) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v1")).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v2")).ok());
+
+  storage::ScriptedFaults faults;
+  faults.torn_write_at = static_cast<int64_t>(disk.write_attempts());
+  disk.set_fault_policy(&faults);
+  EXPECT_FALSE(wal.Append(WalEvent::Version("torn")).ok());
+
+  auto first = WriteAheadLog::ReadFirstBlock(disk);
+  ASSERT_TRUE(first.ok());
+  auto scan = WriteAheadLog::ScanPlatterFrom(disk, *first, 1);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->events.size(), 2u);
+  EXPECT_EQ(scan->events[1].version_name, "v2");
+  EXPECT_EQ(scan->next_seq, 3u);
+  EXPECT_GT(scan->salvaged_tail_bytes, 0u);
+}
+
+// Bit rot on the LAST entry is indistinguishable from a torn tail (the
+// entry's ack raced the damage): salvage the committed prefix.
+TEST(WalLogTest, BitRotOnLastEntrySalvagesCommittedPrefix) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v1")).ok());
+
+  storage::ScriptedFaults faults;
+  faults.corrupt_write_at = static_cast<int64_t>(disk.write_attempts());
+  disk.set_fault_policy(&faults);
+  // The write "succeeds" — the damage is silent until the scan's
+  // checksum verification.
+  ASSERT_TRUE(wal.Append(WalEvent::Version("rotted")).ok());
+
+  auto first = WriteAheadLog::ReadFirstBlock(disk);
+  ASSERT_TRUE(first.ok());
+  auto scan = WriteAheadLog::ScanPlatterFrom(disk, *first, 1);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->events.size(), 1u);
+  EXPECT_EQ(scan->events[0].version_name, "v1");
+  EXPECT_GT(scan->salvaged_tail_bytes, 0u);
+}
+
+// Damage BEFORE the last durable entry is a different story: sealed
+// entries lie beyond the hole, so dropping the tail would lose an
+// acknowledged commit. That must hard-fail as corruption.
+TEST(WalLogTest, DamageBeforeSealedEntriesIsCorruption) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v1")).ok());
+
+  storage::ScriptedFaults faults;
+  faults.corrupt_write_at = static_cast<int64_t>(disk.write_attempts());
+  disk.set_fault_policy(&faults);
+  ASSERT_TRUE(wal.Append(WalEvent::Version("rotted")).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("v3")).ok());  // sealed beyond
+
+  auto first = WriteAheadLog::ReadFirstBlock(disk);
+  ASSERT_TRUE(first.ok());
+  auto scan = WriteAheadLog::ScanPlatterFrom(disk, *first, 1);
+  EXPECT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+}
+
+// TruncateBefore frees the platter blocks of entries a checkpoint made
+// redundant; the surviving tail still scans from the recorded resume
+// point and the log stays appendable.
+TEST(WalLogTest, TruncateBeforeFreesBlocksAndKeepsTail) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Initialize().ok());
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(
+        wal.Append(WalEvent::Version("old" + std::to_string(i))).ok());
+  }
+  // The checkpoint's WAL resume point: everything before it goes.
+  const BlockId resume_block = wal.tail_block();
+  const uint64_t resume_seq = wal.next_seq();
+  ASSERT_TRUE(wal.Append(WalEvent::Version("tail1")).ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("tail2")).ok());
+
+  const size_t allocated_before = disk.AllocatedBlocks().size();
+  ASSERT_TRUE(wal.TruncateBefore(resume_seq).ok());
+  EXPECT_EQ(wal.stats().truncated_entries, 3u);
+  EXPECT_GE(wal.stats().truncated_blocks, 3u);
+  EXPECT_LT(disk.AllocatedBlocks().size(), allocated_before);
+
+  auto scan = WriteAheadLog::ScanPlatterFrom(disk, resume_block, resume_seq);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->events.size(), 2u);
+  EXPECT_EQ(scan->events[0].version_name, "tail1");
+  EXPECT_EQ(scan->events[1].version_name, "tail2");
+
+  // Truncation is idempotent and the log keeps appending normally.
+  ASSERT_TRUE(wal.TruncateBefore(resume_seq).ok());
+  EXPECT_EQ(wal.stats().truncated_entries, 3u);
+  ASSERT_TRUE(wal.Append(WalEvent::Version("tail3")).ok());
+  auto again = WriteAheadLog::ScanPlatterFrom(disk, resume_block, resume_seq);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->events.size(), 3u);
+}
+
 TEST(WalLogTest, ScanRejectsPlatterWithoutWal) {
   storage::SimulatedDisk empty(512);
   EXPECT_TRUE(WriteAheadLog::ScanPlatter(empty).status().IsNotFound());
@@ -310,14 +419,22 @@ TEST(WalGroupCommitTest, BatchesAndAppendsInterleaveInScan) {
   EXPECT_EQ((*events)[3].kind, WalEventKind::kCheckout);
 }
 
-// A failed flush must be reported to the ticket's owner (and only
-// released by the owner), must not advance the tail, and must leave the
-// log appendable once the transient fault clears.
-TEST(WalGroupCommitTest, FailedFlushReportsPerTicketAndStaysAppendable) {
+/// Shrinks retry delays to microseconds so fault-path tests stay fast.
+BackoffPolicy FastRetry() {
+  BackoffPolicy p;
+  p.base_us = 1;
+  p.max_us = 4;
+  return p;
+}
+
+// A single transient hiccup is absorbed INSIDE the flush: the write is
+// retried with backoff, the ticket still becomes durable, and the retry
+// is visible only in the stats.
+TEST(WalGroupCommitTest, TransientHiccupIsRetriedTransparently) {
   storage::SimulatedDisk disk(4096);
   WriteAheadLog wal(&disk);
+  wal.set_retry_policy(FastRetry());
   ASSERT_TRUE(wal.Initialize().ok());
-  ASSERT_TRUE(wal.Append(WalEvent::Version("keep")).ok());
 
   storage::ScriptedFaults faults;
   faults.transient_write_error_at =
@@ -325,14 +442,54 @@ TEST(WalGroupCommitTest, FailedFlushReportsPerTicketAndStaysAppendable) {
   disk.set_fault_policy(&faults);
 
   uint64_t t = wal.Stage(WalEvent::Version("hiccup"));
+  EXPECT_TRUE(wal.WaitDurable(t).ok());
+  EXPECT_FALSE(wal.TicketFailed(t));
+  EXPECT_GE(wal.stats().retries, 1u);
+  EXPECT_EQ(wal.stats().give_ups, 0u);
+
+  auto events = WriteAheadLog::ScanPlatter(disk);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ((*events)[0].version_name, "hiccup");
+}
+
+// A flush that dies on a *persistent* transient storm (the retry budget
+// is exhausted) must be reported to the ticket's owner (and only
+// released by the owner), must not advance the tail, and must leave the
+// log appendable once the storm clears.
+TEST(WalGroupCommitTest, FailedFlushReportsPerTicketAndStaysAppendable) {
+  storage::SimulatedDisk disk(4096);
+  WriteAheadLog wal(&disk);
+  wal.set_retry_policy(FastRetry());
+  ASSERT_TRUE(wal.Initialize().ok());
+  ASSERT_TRUE(wal.Append(WalEvent::Version("keep")).ok());
+
+  storage::TransientStorm storm;
+  storm.storming.store(true);
+  disk.set_fault_policy(&storm);
+
+  uint64_t t = wal.Stage(WalEvent::Version("hiccup"));
   EXPECT_FALSE(wal.WaitDurable(t).ok());
-  // The failure record survives until the owner releases it...
+  // The storm outlasted the retry budget...
+  EXPECT_GE(wal.stats().give_ups, 1u);
+  // ...and the failure record survives until the owner releases it.
   EXPECT_TRUE(wal.TicketFailed(t));
   wal.ForgetTicket(t);
   EXPECT_FALSE(wal.TicketFailed(t));
 
-  // ...and the un-advanced tail means the next append rewrites the same
-  // chain position: the log stays consistent, the failed entry is gone.
+  // The failed flush wedged the log: even with the storm over, flushes
+  // refuse fast (no disk attempt) until the health probe clears the
+  // wedge — a success interleaved with failed-batch rollback would let
+  // the in-memory state diverge from the platter.
+  storm.storming.store(false);
+  EXPECT_TRUE(wal.wedged());
+  EXPECT_TRUE(wal.Append(WalEvent::Version("refused")).IsUnavailable());
+  EXPECT_GE(wal.stats().wedged_flushes, 1u);
+
+  // Un-wedged, the un-advanced tail means the next append rewrites the
+  // same chain position: the log stays consistent, the failed entries
+  // are gone.
+  wal.ClearWedge();
   ASSERT_TRUE(wal.Append(WalEvent::Version("after")).ok());
   auto events = WriteAheadLog::ScanPlatter(disk);
   ASSERT_TRUE(events.ok()) << events.status().ToString();

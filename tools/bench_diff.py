@@ -9,6 +9,12 @@ Reads BENCH_server.json and BENCH_recovery.json from both directories and
 fails (exit 1) when:
 
   * lost_updates != 0 in the fresh server bench (hard gate, no threshold);
+  * recovery-after-checkpoint replays more than the WAL tail: the fresh
+    recovery bench must report e11c_replayed_entries ==
+    e11c_total_txns - e11c_checkpoint_at exactly (hard gate);
+  * chaos invariants violated in BENCH_chaos.json, when present:
+    e14_lost_acked_commits, e14_phantom_updates and e14_failed_recoveries
+    must all be 0 and e14_storm_restored must be 1 (hard gates);
   * a gated metric regressed by more than --threshold (default 25%).
 
 Gated metrics are chosen to be machine-independent so the gate is
@@ -131,6 +137,39 @@ def recovery_gates(base, fresh, threshold, notes):
     return gates
 
 
+def checkpoint_hard_gate(fresh, failures):
+    """Recovery replay must be O(WAL tail): exactly total - checkpoint_at
+    journal entries replayed. Deterministic event counts, no threshold."""
+    total = counter(fresh, "e11c_total_txns")
+    at = counter(fresh, "e11c_checkpoint_at")
+    replayed = counter(fresh, "e11c_replayed_entries")
+    if None in (total, at, replayed):
+        failures.append("fresh recovery report has no e11c checkpoint counters")
+        return
+    if replayed != total - at:
+        failures.append(
+            f"e11c_replayed_entries = {replayed}: checkpoint at txn {at} of "
+            f"{total} must replay exactly the {total - at}-entry tail"
+        )
+
+
+def chaos_hard_gates(fresh, failures):
+    """E14 invariants are absolute — no baseline, no threshold."""
+    for key in ("e14_lost_acked_commits", "e14_phantom_updates",
+                "e14_failed_recoveries"):
+        v = counter(fresh, key)
+        if v is None:
+            failures.append(f"fresh chaos report has no {key} counter")
+        elif v != 0:
+            failures.append(f"{key} = {v} (must be 0)")
+    restored = counter(fresh, "e14_storm_restored")
+    if restored is None:
+        failures.append("fresh chaos report has no e14_storm_restored counter")
+    elif restored != 1:
+        failures.append("e14_storm_restored = 0: probe failed to restore "
+                        "read-write after the storm")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="directory of committed baselines")
@@ -165,10 +204,18 @@ def main():
     base_rec, base_rec_path = load(args.baseline, "BENCH_recovery.json")
     if fresh_rec is None:
         failures.append(f"missing fresh recovery report: {fresh_rec_path}")
-    elif base_rec is None:
-        failures.append(f"missing committed baseline: {base_rec_path}")
     else:
-        gates += recovery_gates(base_rec, fresh_rec, args.threshold, notes)
+        checkpoint_hard_gate(fresh_rec, failures)
+        if base_rec is None:
+            failures.append(f"missing committed baseline: {base_rec_path}")
+        else:
+            gates += recovery_gates(base_rec, fresh_rec, args.threshold, notes)
+
+    fresh_chaos, _ = load(args.fresh, "BENCH_chaos.json")
+    if fresh_chaos is None:
+        notes.append("no fresh BENCH_chaos.json; E14 invariant gates skipped")
+    else:
+        chaos_hard_gates(fresh_chaos, failures)
 
     print(f"bench_diff: threshold {args.threshold:.0%}")
     for g in gates:
