@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <unordered_set>
 
 #include "lang/interpreter.h"
@@ -151,10 +152,14 @@ Database::Database(DatabaseOptions options)
     g->AddGauge("committed_transactions",
                 static_cast<double>(versions_.end()));
     g->AddGauge("delta_bytes", static_cast<double>(delta_bytes()));
+    g->AddCounter("pruned_deltas", versions_.pruned_deltas());
     // The trace ring drops oldest events silently once full; surface the
     // loss so a drained trace is never mistaken for a complete one.
     g->AddCounter("trace_events_total", trace_.total_recorded());
     g->AddCounter("trace_dropped_events", trace_.dropped());
+  });
+  metrics_.RegisterSource("snapshot", [this](obs::MetricsGroup* g) {
+    snapshots_.ExportTo(g);
   });
 
   txn_begun_ = metrics_.GetCounter("txn.begun");
@@ -169,7 +174,13 @@ Database::~Database() = default;
 
 Status Database::LoadSchema(std::string_view source) {
   CACTIS_SERIAL_GUARD(serial_guard_);
-  return schema::LoadSchema(&catalog_, source).status();
+  CACTIS_RETURN_IF_ERROR(schema::LoadSchema(&catalog_, source).status());
+  // Open a membership chain per class so an empty extent is provable on
+  // the snapshot path ("no members" vs "never tracked").
+  for (const schema::ObjectClass* cls : catalog_.AllClasses()) {
+    snapshots_.EnsureMembership(cls->id());
+  }
+  return Status::OK();
 }
 
 
@@ -467,7 +478,7 @@ Result<uint64_t> Database::CommitStage(Transaction* t) {
     trace_.Record(obs::SpanKind::kTxnCommit, t->id_.value,
                   t->delta_.records.size());
     if (!t->delta_.empty()) {
-      versions_.Append(std::move(t->delta_));
+      AppendCommitted(std::move(t->delta_));
       t->delta_ = txn::TransactionDelta{};
     }
     return uint64_t{0};
@@ -533,8 +544,79 @@ void Database::PublishDurableUpTo(uint64_t ticket) {
     commit_delta_records_->Record(pc.delta.records.size());
     trace_.Record(obs::SpanKind::kTxnCommit, pc.txn.value,
                   pc.delta.records.size());
-    versions_.Append(std::move(pc.delta));
+    AppendCommitted(std::move(pc.delta));
   }
+}
+
+uint64_t Database::AppendCommitted(txn::TransactionDelta delta) {
+  // Appending below the end truncates the redo tail (VersionStore) and
+  // must expire those sequence numbers in the snapshot index too before
+  // they get reissued.
+  if (versions_.position() < versions_.end()) {
+    snapshots_.TruncateAfter(versions_.position());
+  }
+  uint64_t seq = versions_.Append(std::move(delta));
+  IngestDeltaIntoSnapshots(versions_.history().back(), seq);
+  // Release-publish AFTER the chain nodes exist: a snapshot acquired at
+  // `seq` must find every node it implies.
+  snapshots_.SetLatestPublished(seq);
+  MaybePruneVersions();
+  return seq;
+}
+
+void Database::IngestDeltaIntoSnapshots(const txn::TransactionDelta& delta,
+                                        uint64_t seq,
+                                        bool track_membership) {
+  for (const txn::DeltaRecord& r : delta.records) {
+    switch (r.op) {
+      case txn::DeltaOp::kSetAttr:
+        snapshots_.RecordWrite(r.instance, seq, r.attr_index, r.new_value);
+        break;
+      case txn::DeltaOp::kCreate: {
+        // Creation installs the class defaults; same-transaction writes
+        // follow as kSetAttr records and layer on top within `seq`.
+        const schema::ObjectClass* cls = catalog_.GetClass(r.class_id);
+        if (cls == nullptr) break;  // unknown class: reads will fall back
+        snapshots_.RecordCreate(r.instance, seq, r.class_id,
+                                IntrinsicDefaults(*cls), track_membership);
+        break;
+      }
+      case txn::DeltaOp::kDelete:
+        snapshots_.RecordDelete(r.instance, seq, r.class_id,
+                                track_membership);
+        break;
+      case txn::DeltaOp::kConnect:
+      case txn::DeltaOp::kDisconnect:
+        // Relationship structure is not chained: port reads and derived
+        // values always fall back to the locked paths.
+        break;
+    }
+  }
+}
+
+std::vector<std::pair<size_t, Value>> Database::IntrinsicDefaults(
+    const schema::ObjectClass& cls) {
+  Instance fresh = Instance::Create(InstanceId(1), cls);
+  std::vector<std::pair<size_t, Value>> out;
+  const auto& attrs = cls.attributes();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].kind != schema::AttrKind::kIntrinsic) continue;
+    out.emplace_back(i, fresh.attrs()[i].value);
+  }
+  return out;
+}
+
+void Database::MaybePruneVersions() {
+  size_t threshold = options_.version_prune_threshold;
+  if (threshold == 0) return;
+  if (versions_.end() - versions_.base() <= threshold) return;
+  uint64_t slack = options_.version_prune_slack;
+  uint64_t floor = versions_.end() > slack ? versions_.end() - slack : 0;
+  floor = std::min(floor, snapshots_.OldestLiveSnapshot());
+  floor = std::min(floor, versions_.OldestNamedPosition());
+  floor = std::min(floor, versions_.position());
+  if (versions_.PruneTo(floor) == 0) return;
+  snapshots_.Prune(versions_.base());
 }
 
 Status Database::DrainCommits() {
@@ -923,7 +1005,12 @@ Status Database::JournalEvent(const txn::WalEvent& event) {
 
 Status Database::UndoLastInternal() {
   CACTIS_ASSIGN_OR_RETURN(txn::TransactionDelta delta, versions_.PopLast());
-  return ApplyUndo(delta);
+  CACTIS_RETURN_IF_ERROR(ApplyUndo(delta));
+  // The popped sequence number will be reissued by the next commit:
+  // expire it from the snapshot index (epoch bump) before that happens.
+  snapshots_.TruncateAfter(versions_.position());
+  snapshots_.SetLatestPublished(versions_.position());
+  return Status::OK();
 }
 
 Status Database::UndoLast() {
@@ -947,15 +1034,23 @@ Result<VersionId> Database::CreateVersion(const std::string& name) {
 
 Status Database::CheckoutPosition(uint64_t target) {
   if (target < versions_.position()) {
-    for (const txn::TransactionDelta* d : versions_.DeltasToUndo(target)) {
+    CACTIS_ASSIGN_OR_RETURN(std::vector<const txn::TransactionDelta*> deltas,
+                            versions_.DeltasToUndo(target));
+    for (const txn::TransactionDelta* d : deltas) {
       CACTIS_RETURN_IF_ERROR(ApplyUndo(*d));
     }
   } else if (target > versions_.position()) {
-    for (const txn::TransactionDelta* d : versions_.DeltasToRedo(target)) {
+    CACTIS_ASSIGN_OR_RETURN(std::vector<const txn::TransactionDelta*> deltas,
+                            versions_.DeltasToRedo(target));
+    for (const txn::TransactionDelta* d : deltas) {
       CACTIS_RETURN_IF_ERROR(ApplyRedo(*d));
     }
   }
   versions_.SetPosition(target);
+  // Snapshot readers follow the checkout: new snapshots pin the target.
+  // Chain nodes above it stay (they are the redo tail, valid for a later
+  // checkout-forward) — readers at the target simply skip them.
+  snapshots_.SetLatestPublished(target);
   return Status::OK();
 }
 
@@ -1047,6 +1142,7 @@ Result<txn::CheckpointImage> Database::BuildCheckpointImage() {
   }
 
   image.history = versions_.history();
+  image.history_base = versions_.base();
   image.position = versions_.position();
   image.versions = versions_.versions();
   image.next_version = versions_.next_version();
@@ -1060,8 +1156,55 @@ Status Database::LoadCheckpointImage(const txn::CheckpointImage& image) {
   next_instance_ = std::max(next_instance_, image.next_instance);
   next_edge_ = std::max(next_edge_, image.next_edge);
   next_txn_ = std::max(next_txn_, image.next_txn);
-  versions_.Restore(image.history, image.position, image.versions,
-                    image.next_version);
+  versions_.Restore(image.history, image.history_base, image.position,
+                    image.versions, image.next_version);
+
+  // Rebuild the snapshot index. Three layers, pushed in ascending
+  // sequence order so chain walks stay newest-first:
+  //   1. retained pre-position deltas — attribute chains only: class
+  //      extents below the position are unknowable (pre-base creates and
+  //      deletes were pruned), so membership is not tracked here and
+  //      reads below the position miss into the locked paths;
+  //   2. a full intrinsic base per live instance, plus the seeded class
+  //      extents, all AT the position;
+  //   3. the retained redo tail (> position), visible only after a
+  //      checkout-forward republishes a higher sequence.
+  snapshots_.Reset();
+  snapshots_.SetCoverageFloor(image.position);
+  for (const txn::TransactionDelta& d : versions_.history()) {
+    if (d.commit_seq > image.position) break;
+    IngestDeltaIntoSnapshots(d, d.commit_seq, /*track_membership=*/false);
+  }
+  std::unordered_map<InstanceId, std::vector<std::pair<size_t, Value>>>
+      base_attrs;
+  std::unordered_map<InstanceId, ClassId> base_class;
+  std::map<ClassId, std::vector<InstanceId>> extents;
+  for (const txn::DeltaRecord& r : image.bootstrap.records) {
+    if (r.op == txn::DeltaOp::kCreate) {
+      base_class[r.instance] = r.class_id;
+      extents[r.class_id].push_back(r.instance);
+    } else if (r.op == txn::DeltaOp::kSetAttr) {
+      base_attrs[r.instance].emplace_back(r.attr_index, r.new_value);
+    }
+  }
+  for (auto& [id, cls_id] : base_class) {
+    snapshots_.RecordBase(id, image.position, cls_id,
+                          std::move(base_attrs[id]));
+  }
+  for (auto& [cls_id, members] : extents) {
+    std::sort(members.begin(), members.end());
+    snapshots_.SeedMembership(cls_id, image.position, std::move(members));
+  }
+  // Classes with an empty extent at the position are provably empty from
+  // here on (LoadSchema's chains were wiped by the Reset above).
+  for (const schema::ObjectClass* cls : catalog_.AllClasses()) {
+    snapshots_.EnsureMembership(cls->id());
+  }
+  for (const txn::TransactionDelta& d : versions_.history()) {
+    if (d.commit_seq <= image.position) continue;
+    IngestDeltaIntoSnapshots(d, d.commit_seq, /*track_membership=*/true);
+  }
+  snapshots_.SetLatestPublished(image.position);
   return Status::OK();
 }
 
@@ -1102,7 +1245,7 @@ Status Database::Recover(const storage::SimulatedDisk& platter) {
         CACTIS_RETURN_IF_ERROR(ApplyRedo(event.delta));
         txn::TransactionDelta delta = event.delta;
         delta.commit_seq = 0;  // Append reassigns it
-        versions_.Append(std::move(delta));
+        AppendCommitted(std::move(delta));
         break;
       }
       case txn::WalEventKind::kUndo:
@@ -1368,6 +1511,172 @@ std::optional<Result<std::vector<InstanceId>>> Database::TrySelectWhereShared(
       if (*keep) out.push_back(id);
       cache_.NoteSharedTouch(id);
     }
+  }
+  return R(std::move(out));
+}
+
+// --- Snapshot (MVCC) read path ----------------------------------------------
+
+namespace {
+
+// EvalContext over a snapshot of the version chains only. Local intrinsic
+// attributes resolve against the chain; anything else — derived
+// attributes, relationship traversal, remote values — reports
+// SharedMiss() so the caller falls back to a locked path. Connectivity is
+// not chained (kConnect/kDisconnect are skipped at ingest), so ports can
+// never be answered here.
+class SnapshotReadContext : public lang::EvalContext {
+ public:
+  SnapshotReadContext(const txn::SnapshotIndex* index,
+                      const txn::SnapshotIndex::Snapshot* snap, InstanceId id,
+                      const schema::ObjectClass* cls,
+                      const lang::BuiltinRegistry* builtins)
+      : index_(index), snap_(snap), id_(id), cls_(cls), builtins_(builtins) {}
+
+  Result<Value> GetLocalAttr(const std::string& name) override {
+    size_t idx = cls_->AttrIndexOf(name);
+    if (idx == SIZE_MAX) {
+      return Status::NotFound("class " + cls_->name() +
+                              " has no attribute '" + name + "'");
+    }
+    if (cls_->attributes()[idx].is_derived()) return SharedMiss();
+    Value v;
+    if (index_->ReadAttr(*snap_, id_, idx, &v) !=
+        txn::SnapshotIndex::Lookup::kHit) {
+      return SharedMiss();
+    }
+    return v;
+  }
+
+  bool HasLocalAttr(const std::string& name) const override {
+    return cls_->AttrIndexOf(name) != SIZE_MAX;
+  }
+  bool HasPort(const std::string& name) const override {
+    return cls_->PortIndexOf(name) != SIZE_MAX;
+  }
+
+  Result<std::vector<Neighbor>> GetNeighbors(
+      const std::string& port) override {
+    size_t p = cls_->PortIndexOf(port);
+    if (p == SIZE_MAX) {
+      return Status::NotFound("class " + cls_->name() +
+                              " has no relationship '" + port + "'");
+    }
+    return SharedMiss();
+  }
+
+  Result<Value> GetRemoteValue(const Neighbor&, const std::string&) override {
+    return SharedMiss();
+  }
+
+  Status SetLocalAttr(const std::string& name, Value /*value*/) override {
+    return Status::InvalidArgument(
+        "attribute evaluation rules may not assign attributes ('" + name +
+        "'); only recovery actions may");
+  }
+
+  const lang::BuiltinRegistry& builtins() const override {
+    return *builtins_;
+  }
+
+ private:
+  const txn::SnapshotIndex* index_;
+  const txn::SnapshotIndex::Snapshot* snap_;
+  InstanceId id_;
+  const schema::ObjectClass* cls_;
+  const lang::BuiltinRegistry* builtins_;
+};
+
+}  // namespace
+
+std::optional<Result<Value>> Database::TryGetSnapshot(
+    const txn::SnapshotIndex::Snapshot& snap, InstanceId id,
+    const std::string& attr) {
+  // No statement lock, no CC marks: everything below reads immutable
+  // chain nodes (plus the catalog, which the caller pins via the
+  // executor's schema lock).
+  if (!snap.valid()) return std::nullopt;
+  ClassId cls_id;
+  if (snapshots_.ClassAt(snap, id, &cls_id) !=
+      txn::SnapshotIndex::Lookup::kHit) {
+    return std::nullopt;
+  }
+  const schema::ObjectClass* cls = catalog_.GetClass(cls_id);
+  if (cls == nullptr) return std::nullopt;
+  size_t idx = cls->AttrIndexOf(attr);
+  if (idx == SIZE_MAX) {
+    // Same definitive answer every other path gives for an unknown name.
+    return Result<Value>(Status::NotFound("class " + cls->name() +
+                                          " has no attribute '" + attr +
+                                          "'"));
+  }
+  if (cls->attributes()[idx].is_derived()) return std::nullopt;
+  Value v;
+  if (snapshots_.ReadAttr(snap, id, idx, &v) !=
+      txn::SnapshotIndex::Lookup::kHit) {
+    return std::nullopt;
+  }
+  cache_.NoteSharedTouch(id);
+  return Result<Value>(std::move(v));
+}
+
+std::optional<Result<std::vector<InstanceId>>> Database::TryInstancesOfSnapshot(
+    const txn::SnapshotIndex::Snapshot& snap, const std::string& class_name) {
+  using R = Result<std::vector<InstanceId>>;
+  if (!snap.valid()) return std::nullopt;
+  const schema::ObjectClass* cls = catalog_.FindClass(class_name);
+  if (cls == nullptr) {
+    return R(Status::NotFound("unknown object class '" + class_name + "'"));
+  }
+  std::vector<InstanceId> out;
+  if (snapshots_.MembersAt(snap, cls->id(), &out) !=
+      txn::SnapshotIndex::Lookup::kHit) {
+    return std::nullopt;
+  }
+  return R(std::move(out));
+}
+
+std::optional<Result<std::vector<InstanceId>>> Database::TrySelectWhereSnapshot(
+    const txn::SnapshotIndex::Snapshot& snap, const std::string& class_name,
+    const std::string& predicate_source) {
+  using R = Result<std::vector<InstanceId>>;
+  if (!snap.valid()) return std::nullopt;
+  const schema::ObjectClass* cls = catalog_.FindClass(class_name);
+  if (cls == nullptr) {
+    return R(Status::NotFound("unknown object class '" + class_name + "'"));
+  }
+  Result<lang::RuleBody> body =
+      lang::Parser::ParseRuleBody(predicate_source);
+  if (!body.ok()) return R(body.status());
+  lang::ClassContext ctx;
+  for (const schema::AttributeDef& a : cls->attributes()) {
+    if (a.kind != schema::AttrKind::kExport) {
+      ctx.attribute_names.insert(a.name);
+    }
+  }
+  for (const schema::PortDef& port : cls->ports()) {
+    ctx.port_names.insert(port.name);
+  }
+  Status analyzed = lang::AnalyzeDependencies(*body, ctx).status();
+  if (!analyzed.ok()) return R(analyzed);
+
+  std::vector<InstanceId> members;
+  if (snapshots_.MembersAt(snap, cls->id(), &members) !=
+      txn::SnapshotIndex::Lookup::kHit) {
+    return std::nullopt;
+  }
+  std::vector<InstanceId> out;
+  for (InstanceId id : members) {
+    SnapshotReadContext rctx(&snapshots_, &snap, id, cls, &builtins_);
+    Result<Value> v = lang::Interpreter::EvalRule(*body, &rctx);
+    // Unlike the shared path, no snapshot-state evaluation error is
+    // provably identical to the live-state error, so every failure falls
+    // back rather than being reported as definitive.
+    if (!v.ok()) return std::nullopt;
+    Result<bool> keep = (*v).AsBool();
+    if (!keep.ok()) return std::nullopt;
+    if (*keep) out.push_back(id);
+    cache_.NoteSharedTouch(id);
   }
   return R(std::move(out));
 }

@@ -67,6 +67,7 @@
 #include "storage/simulated_disk.h"
 #include "txn/checkpoint.h"
 #include "txn/delta.h"
+#include "txn/snapshot_index.h"
 #include "txn/timestamp_cc.h"
 #include "txn/version_store.h"
 #include "txn/wal.h"
@@ -104,6 +105,15 @@ struct DatabaseOptions {
   bool enable_tracing = false;
   /// Trace ring capacity in events (oldest events drop beyond this).
   size_t trace_capacity = obs::TraceSink::kDefaultCapacity;
+  /// Prune committed deltas (and their snapshot-index versions) once the
+  /// retained history exceeds this many transactions. 0 disables pruning
+  /// (history grows without bound). The pruner never passes the oldest
+  /// live snapshot, the oldest named version, or the current checkout
+  /// position.
+  size_t version_prune_threshold = 1024;
+  /// Recent deltas always retained by a prune: bounds how far Undo can
+  /// walk back after pruning and absorbs the snapshot-acquire race.
+  size_t version_prune_slack = 128;
 };
 
 class Database;
@@ -343,6 +353,44 @@ class Database {
   /// snapshots, shutdown).
   Status DrainCommits();
 
+  // --- MVCC snapshot read path --------------------------------------------
+  //
+  // Unlike the shared path above, these entry points take NO statement
+  // lock at all (neither side) and never touch the timestamp-ordering
+  // marks: they resolve reads against the snapshot index's immutable
+  // per-instance version chains, pinned at the latest published commit
+  // sequence. They may therefore run concurrently with exclusive
+  // mutators. A disengaged optional is a miss — the chain cannot prove
+  // the committed value (derived attribute, unproven instance, pruned
+  // history, expired snapshot) — and the caller falls back to the locked
+  // paths. The caller must pin the schema against concurrent LoadSchema
+  // (the executor's schema_mu_), because these consult the catalog.
+
+  /// Registers a snapshot at the latest published commit. Lock-free;
+  /// invalid (always-miss) when all snapshot slots are busy.
+  txn::SnapshotIndex::Snapshot AcquireSnapshot() {
+    return snapshots_.Acquire();
+  }
+
+  /// Snapshot-path Get/Peek of an intrinsic attribute.
+  std::optional<Result<Value>> TryGetSnapshot(
+      const txn::SnapshotIndex::Snapshot& snap, InstanceId id,
+      const std::string& attr);
+
+  /// Snapshot-path InstancesOf.
+  std::optional<Result<std::vector<InstanceId>>> TryInstancesOfSnapshot(
+      const txn::SnapshotIndex::Snapshot& snap,
+      const std::string& class_name);
+
+  /// Snapshot-path SelectWhere (intrinsic-only predicates; anything
+  /// touching derived state or relationships misses).
+  std::optional<Result<std::vector<InstanceId>>> TrySelectWhereSnapshot(
+      const txn::SnapshotIndex::Snapshot& snap,
+      const std::string& class_name, const std::string& predicate_source);
+
+  /// The snapshot index (tests and metrics).
+  const txn::SnapshotIndex& snapshot_index() const { return snapshots_; }
+
   /// Ad-hoc query: the instances of `class_name` for which the
   /// data-language boolean expression holds (it may read any attribute,
   /// relationship or builtin, like a subtype predicate, but is evaluated
@@ -379,6 +427,9 @@ class Database {
     return scheduler_->stats();
   }
   const txn::ConcurrencyStats& cc_stats() const { return tsm_.stats(); }
+  /// The committed-delta history (positions, pruning counters). White-box
+  /// access for tests and benchmarks.
+  const txn::VersionStore& version_store() const { return versions_; }
   void ResetStats();
 
   // --- Observability ------------------------------------------------------
@@ -564,6 +615,21 @@ class Database {
   /// CheckoutVersion and Recover).
   Status CheckoutPosition(uint64_t target);
 
+  /// Appends a committed delta to the version store AND mirrors it into
+  /// the snapshot index (publishing the new sequence), then prunes old
+  /// history when it outgrew the configured threshold. The single entry
+  /// point for committed history — every former versions_.Append call
+  /// site routes through here so chains never diverge from the log.
+  uint64_t AppendCommitted(txn::TransactionDelta delta);
+  /// Mirrors one committed delta's records into the snapshot index.
+  void IngestDeltaIntoSnapshots(const txn::TransactionDelta& delta,
+                                uint64_t seq, bool track_membership = true);
+  /// Full intrinsic default state of a fresh `cls` instance (kCreate
+  /// chain nodes).
+  static std::vector<std::pair<size_t, Value>> IntrinsicDefaults(
+      const schema::ObjectClass& cls);
+  void MaybePruneVersions();
+
   /// Turns a non-OK status from an operation into a transaction abort when
   /// it reflects a consistency failure (constraint violation or
   /// concurrency conflict).
@@ -628,6 +694,7 @@ class Database {
   std::unique_ptr<EvalEngine> engine_;
   txn::TimestampManager tsm_;
   txn::VersionStore versions_;
+  txn::SnapshotIndex snapshots_;
   std::unique_ptr<txn::WriteAheadLog> wal_;
   std::unique_ptr<txn::CheckpointStore> ckpt_;
   // Staged-but-unpublished commits, in WAL ticket order.

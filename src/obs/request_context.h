@@ -61,6 +61,8 @@ struct StatementCost {
   uint64_t lock_wait_excl_us = 0;    // waiting for the exclusive side
   uint64_t exec_us = 0;              // lock wait + database time
   bool shared_path = false;          // answered on the concurrent read path
+  bool snapshot_path = false;        // answered from an MVCC snapshot,
+                                     // no lock taken at all
 
   void Add(const StatementCost& o) {
     blocks_read += o.blocks_read;
@@ -75,6 +77,7 @@ struct StatementCost {
     lock_wait_excl_us += o.lock_wait_excl_us;
     exec_us += o.exec_us;
     shared_path = shared_path || o.shared_path;
+    snapshot_path = snapshot_path || o.snapshot_path;
   }
 
   /// Writes the cost fields as members of the writer's current object.

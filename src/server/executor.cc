@@ -203,6 +203,8 @@ void ServerStats::ExportTo(obs::MetricsGroup* g) const {
   g->AddCounter("queue_depth_peak", load(queue_depth_peak));
   g->AddGauge("queue_depth", static_cast<double>(load(queue_depth)));
   g->AddCounter("shared_lock_acquisitions", load(shared_lock_acquisitions));
+  g->AddCounter("snapshot_reads", load(snapshot_reads));
+  g->AddCounter("snapshot_fallbacks", load(snapshot_fallbacks));
   g->AddCounter("fast_path_reads", load(fast_path_reads));
   g->AddCounter("fast_path_fallbacks", load(fast_path_fallbacks));
   g->AddGauge("reader_concurrency", static_cast<double>(load(readers_active)));
@@ -471,6 +473,9 @@ void Executor::WorkerLoop() {
 }
 
 Status Executor::LoadSchema(std::string_view source) {
+  // schema_mu_ first (snapshot readers pin the catalog through it
+  // without ever touching db_mu_), then the statement lock.
+  std::lock_guard<std::shared_mutex> slk(schema_mu_);
   std::lock_guard<std::shared_mutex> dlk(db_mu_);
   return db_->LoadSchema(source);
 }
@@ -686,6 +691,21 @@ StatementResult Executor::ExecuteReadStatement(Session* s, Statement* st) {
     return r;
   }
 
+  // MVCC snapshot first: resolve against the version chains with no
+  // statement lock and no timestamp-ordering marks. A snapshot-eligible
+  // statement that misses here is counted in snapshot_fallbacks and
+  // continues into the locked paths below.
+  {
+    std::shared_lock<std::shared_mutex> slk(schema_mu_);
+    ReaderScope readers(&stats_);
+    std::optional<StatementResult> snap = TryExecuteReadSnapshot(s, st);
+    if (snap.has_value()) {
+      stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+      if (auto* c = obs::RequestScope::CurrentCost()) c->snapshot_path = true;
+      return std::move(*snap);
+    }
+  }
+
   {
     const uint64_t lk0 = NowUs();
     std::shared_lock<std::shared_mutex> dlk(db_mu_);
@@ -762,6 +782,74 @@ std::optional<StatementResult> Executor::TryExecuteReadShared(Session* s,
     case StatementKind::kSelect: {
       auto ids = db_->TrySelectWhereShared(st->class_name, st->predicate);
       if (!ids.has_value()) return std::nullopt;
+      if (!ids->ok()) {
+        r.status = ids->status();
+        return r;
+      }
+      s->cursor = std::move(**ids);
+      s->cursor_pos = 0;
+      r.payload = "count=" + std::to_string(s->cursor.size());
+      return r;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<StatementResult> Executor::TryExecuteReadSnapshot(Session* s,
+                                                                Statement* st) {
+  // Eligible: auto-commit reads only. A `get` inside an open transaction
+  // must see the transaction's own uncommitted writes and take part in
+  // concurrency control; `members` needs subtype predicates, which are
+  // derived and never chained. Ineligible statements return nullopt
+  // without counting a snapshot fallback.
+  StatementResult r;
+  // Miss on an eligible statement: record the fallback, then fall
+  // through to the locked paths.
+  auto miss = [this]() -> std::optional<StatementResult> {
+    stats_.snapshot_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  switch (st->kind) {
+    case StatementKind::kGet:
+    case StatementKind::kPeek: {
+      if (st->kind == StatementKind::kGet && s->txn != nullptr) {
+        return std::nullopt;
+      }
+      auto id = Resolve(s, st->a);
+      if (!id.ok()) {
+        r.status = id.status();
+        return r;
+      }
+      txn::SnapshotIndex::Snapshot snap = db_->AcquireSnapshot();
+      auto v = db_->TryGetSnapshot(snap, *id, st->attr_a);
+      if (!v.has_value()) return miss();
+      if (!v->ok()) {
+        // Only definitive errors (unknown attribute) come back engaged.
+        r.status = v->status();
+        return r;
+      }
+      r.payload = (*v)->ToString();
+      return r;
+    }
+    case StatementKind::kInstances: {
+      txn::SnapshotIndex::Snapshot snap = db_->AcquireSnapshot();
+      auto ids = db_->TryInstancesOfSnapshot(snap, st->class_name);
+      if (!ids.has_value()) return miss();
+      if (!ids->ok()) {
+        r.status = ids->status();
+        return r;
+      }
+      s->cursor = std::move(**ids);
+      s->cursor_pos = 0;
+      r.payload = "count=" + std::to_string(s->cursor.size());
+      return r;
+    }
+    case StatementKind::kSelect: {
+      txn::SnapshotIndex::Snapshot snap = db_->AcquireSnapshot();
+      auto ids = db_->TrySelectWhereSnapshot(snap, st->class_name,
+                                             st->predicate);
+      if (!ids.has_value()) return miss();
       if (!ids->ok()) {
         r.status = ids->status();
         return r;

@@ -18,16 +18,20 @@
 //   (parsing is pure) and serialize on the session mutex (one batch per
 //   session at a time). Database access goes through a reader/writer
 //   statement lock: mutating statements hold it exclusively (the
-//   mutation path of the core is single-threaded by design), while
-//   read-only statements (get/peek/select/instances/members) take the
-//   shared side and run concurrently through the Database's shared
-//   fast-path entry points — falling back to the exclusive side when the
-//   fast path cannot answer from cached, up-to-date state. `fetch` only
+//   mutation path of the core is single-threaded by design). Read-only
+//   auto-commit statements (get/peek/select/instances) first try the
+//   MVCC snapshot path: a commit-sequence snapshot resolved against the
+//   Database's per-instance version chains, with NO statement lock and
+//   NO timestamp-ordering marks — a snapshot read can never abort a
+//   writer. Only when the chains cannot prove the answer (derived
+//   attribute, relationship traversal, uncached history) does the read
+//   fall back to the shared statement lock and the cached fast-path
+//   entry points, and from there to the exclusive side. `fetch` only
 //   advances the session cursor and takes no lock at all. The paper's
 //   multi-user concurrency is still timestamp ordering over interleaved
-//   mutations; concurrent readers participate through atomic read-mark
-//   updates. Conflicts surface as clean kAborted responses; the client
-//   retries.
+//   mutations; in-transaction reads participate through atomic
+//   read-mark updates. Conflicts surface as clean kAborted responses;
+//   the client retries.
 //
 // * Group commit. `commit` is split-phase: the delta is staged in the
 //   WAL's group-commit queue under the exclusive lock, the durability
@@ -126,8 +130,14 @@ struct ServerStats {
   std::atomic<uint64_t> queue_depth{0};
   std::atomic<uint64_t> queue_depth_peak{0};
 
-  // Concurrent read path.
+  // Concurrent read path. Every non-fetch read lands in exactly one of
+  // snapshot_reads / fast_path_reads / fast_path_fallbacks;
+  // snapshot_fallbacks additionally counts the snapshot-eligible
+  // statements among the latter two (attempted the lock-free path and
+  // missed into a locked one).
   std::atomic<uint64_t> shared_lock_acquisitions{0};
+  std::atomic<uint64_t> snapshot_reads{0};       // answered lock-free (MVCC)
+  std::atomic<uint64_t> snapshot_fallbacks{0};   // snapshot miss -> locked
   std::atomic<uint64_t> fast_path_reads{0};      // answered under shared lock
   std::atomic<uint64_t> fast_path_fallbacks{0};  // retried exclusively
   std::atomic<uint64_t> readers_active{0};       // live gauge
@@ -294,6 +304,13 @@ class Executor {
   /// the cached state could not answer — retry exclusively.
   std::optional<StatementResult> TryExecuteReadShared(Session* s,
                                                       Statement* st);
+  /// MVCC snapshot path: resolves an auto-commit read against the
+  /// version chains with no statement lock at all (caller holds
+  /// schema_mu_ shared to pin the catalog). nullopt means the chains
+  /// could not prove the answer, or the statement is ineligible (inside
+  /// a transaction, `members`) — fall through to the locked paths.
+  std::optional<StatementResult> TryExecuteReadSnapshot(Session* s,
+                                                        Statement* st);
   /// Split-phase commit (stage / wait durable / publish). Takes db_mu_
   /// itself, releasing it around the durability wait.
   StatementResult ExecuteCommitStatement(Session* s);
@@ -328,8 +345,15 @@ class Executor {
 
   /// THE statement lock: all Database access goes through it. Mutating
   /// statements hold it exclusively; read-only statements hold it shared
-  /// and use the Database's shared fast-path entry points.
+  /// and use the Database's shared fast-path entry points. The MVCC
+  /// snapshot path deliberately does NOT take it.
   std::shared_mutex db_mu_;
+
+  /// Pins the schema catalog for snapshot readers: LoadSchema holds it
+  /// exclusively (before db_mu_ — never acquire them in the other
+  /// order), the snapshot read path holds it shared. Uncontended in
+  /// steady state, so the shared acquisition is a single atomic op.
+  std::shared_mutex schema_mu_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

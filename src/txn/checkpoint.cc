@@ -101,6 +101,7 @@ std::string EncodeCheckpointImage(const CheckpointImage& image) {
   EncodeDelta(image.bootstrap, &w);
   w.PutU32(static_cast<uint32_t>(image.history.size()));
   for (const TransactionDelta& delta : image.history) EncodeDelta(delta, &w);
+  w.PutU64(image.history_base);
   w.PutU64(image.position);
   w.PutU32(static_cast<uint32_t>(image.versions.size()));
   for (const auto& [name, pos] : image.versions) {
@@ -128,6 +129,7 @@ Result<CheckpointImage> DecodeCheckpointImage(std::string_view bytes) {
     CACTIS_ASSIGN_OR_RETURN(TransactionDelta delta, DecodeDelta(&r));
     image.history.push_back(std::move(delta));
   }
+  CACTIS_ASSIGN_OR_RETURN(image.history_base, r.GetU64());
   CACTIS_ASSIGN_OR_RETURN(image.position, r.GetU64());
   CACTIS_ASSIGN_OR_RETURN(uint32_t version_count, r.GetU32());
   for (uint32_t i = 0; i < version_count; ++i) {

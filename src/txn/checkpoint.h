@@ -62,8 +62,11 @@ struct CheckpointImage {
   /// kCreate per live instance (ascending id), kSetAttr per intrinsic
   /// attribute, kConnect per edge (ascending edge id).
   TransactionDelta bootstrap;
-  /// Version facility state, verbatim.
+  /// Version facility state, verbatim. `history_base` is the number of
+  /// pruned leading deltas: the retained history covers the absolute
+  /// positions history_base+1 .. history_base+history.size().
   std::vector<TransactionDelta> history;
+  uint64_t history_base = 0;
   uint64_t position = 0;
   std::map<std::string, uint64_t> versions;
   uint64_t next_version = 0;

@@ -1,0 +1,459 @@
+#include "txn/snapshot_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+namespace cactis::txn {
+
+// --- Snapshot handles --------------------------------------------------------
+
+void SnapshotIndex::Snapshot::Release() {
+  if (index_ != nullptr && slot_ >= 0) {
+    index_->ReleaseSlot(slot_);
+  }
+  index_ = nullptr;
+  slot_ = -1;
+}
+
+SnapshotIndex::Snapshot SnapshotIndex::Acquire() {
+  for (size_t i = 0; i < kMaxSnapshots; ++i) {
+    if (slots_[i].load(std::memory_order_relaxed) != 0) continue;
+    // Read the sequence before claiming: if a prune races past it, the
+    // strict-miss walk turns the stale snapshot into fallbacks, never
+    // into wrong data (and the pruner's retention slack makes the race
+    // practically unhittable).
+    uint64_t seq = latest_published();
+    uint64_t expected = 0;
+    if (slots_[i].compare_exchange_strong(expected, seq + 1,
+                                          std::memory_order_acq_rel)) {
+      return Snapshot(this, static_cast<int>(i), seq,
+                      epoch_.load(std::memory_order_acquire));
+    }
+  }
+  snapshot_acquire_failures_.fetch_add(1, std::memory_order_relaxed);
+  return Snapshot();
+}
+
+void SnapshotIndex::ReleaseSlot(int slot) {
+  slots_[slot].store(0, std::memory_order_release);
+}
+
+uint64_t SnapshotIndex::OldestLiveSnapshot() const {
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i < kMaxSnapshots; ++i) {
+    uint64_t v = slots_[i].load(std::memory_order_acquire);
+    if (v != 0) oldest = std::min(oldest, v - 1);
+  }
+  return oldest;
+}
+
+uint64_t SnapshotIndex::live_snapshots() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < kMaxSnapshots; ++i) {
+    if (slots_[i].load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+// --- Ingest ------------------------------------------------------------------
+
+SnapshotIndex::NodePtr SnapshotIndex::HeadOf(InstanceId id) const {
+  const Stripe& s = StripeFor(id);
+  std::shared_lock lock(s.mu);
+  auto it = s.heads.find(id);
+  return it == s.heads.end() ? nullptr : it->second;
+}
+
+void SnapshotIndex::PushNode(InstanceId id, VersionNode node) {
+  Stripe& s = StripeFor(id);
+  std::unique_lock lock(s.mu);
+  NodePtr& head = s.heads[id];
+  node.prev = head;
+  head = std::make_shared<const VersionNode>(std::move(node));
+  chain_nodes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SnapshotIndex::RecordWrite(InstanceId id, uint64_t seq,
+                                size_t attr_index, Value v) {
+  Stripe& s = StripeFor(id);
+  std::unique_lock lock(s.mu);
+  auto it = s.heads.find(id);
+  // No chain means the creation itself is unproven (pre-index instance or
+  // defensively dropped); reads of it miss, so the write may be dropped
+  // without losing correctness.
+  if (it == s.heads.end()) return;
+  VersionNode node;
+  node.seq = seq;
+  node.kind = NodeKind::kWrite;
+  node.attrs.emplace_back(attr_index, std::move(v));
+  node.prev = it->second;
+  it->second = std::make_shared<const VersionNode>(std::move(node));
+  chain_nodes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SnapshotIndex::RecordCreate(InstanceId id, uint64_t seq, ClassId cls,
+                                 std::vector<std::pair<size_t, Value>>
+                                     intrinsics,
+                                 bool track_membership) {
+  VersionNode node;
+  node.seq = seq;
+  node.kind = NodeKind::kCreate;
+  node.class_id = cls;
+  node.attrs = std::move(intrinsics);
+  PushNode(id, std::move(node));
+  if (track_membership) MutateMembership(cls, seq, id, /*add=*/true);
+}
+
+void SnapshotIndex::RecordBase(InstanceId id, uint64_t seq, ClassId cls,
+                               std::vector<std::pair<size_t, Value>>
+                                   intrinsics) {
+  VersionNode node;
+  node.seq = seq;
+  node.kind = NodeKind::kBase;
+  node.class_id = cls;
+  node.attrs = std::move(intrinsics);
+  PushNode(id, std::move(node));
+}
+
+void SnapshotIndex::RecordDelete(InstanceId id, uint64_t seq, ClassId cls,
+                                 bool track_membership) {
+  Stripe& s = StripeFor(id);
+  {
+    std::unique_lock lock(s.mu);
+    auto it = s.heads.find(id);
+    if (it != s.heads.end()) {
+      VersionNode node;
+      node.seq = seq;
+      node.kind = NodeKind::kDelete;
+      node.prev = it->second;
+      it->second = std::make_shared<const VersionNode>(std::move(node));
+      chain_nodes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (track_membership) MutateMembership(cls, seq, id, /*add=*/false);
+}
+
+void SnapshotIndex::SeedMembership(ClassId cls, uint64_t seq,
+                                   std::vector<InstanceId> members) {
+  std::unique_lock lock(members_mu_);
+  auto node = std::make_shared<MemberNode>();
+  node->seq = seq;
+  node->members =
+      std::make_shared<const std::vector<InstanceId>>(std::move(members));
+  member_heads_[cls] = std::move(node);
+  member_nodes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SnapshotIndex::EnsureMembership(ClassId cls) {
+  std::unique_lock lock(members_mu_);
+  MemberPtr& head = member_heads_[cls];
+  if (head != nullptr) return;
+  auto node = std::make_shared<MemberNode>();
+  node->seq = coverage_floor();
+  node->members = std::make_shared<const std::vector<InstanceId>>();
+  head = std::move(node);
+  member_nodes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SnapshotIndex::MutateMembership(ClassId cls, uint64_t seq, InstanceId id,
+                                     bool add) {
+  std::unique_lock lock(members_mu_);
+  MemberPtr& head = member_heads_[cls];
+  if (head == nullptr) {
+    if (!add) return;
+    // Lazily opened extent: its genesis (provably empty) sits at the
+    // coverage floor, because the index has observed every committed
+    // create since then.
+    auto genesis = std::make_shared<MemberNode>();
+    genesis->seq = coverage_floor();
+    genesis->members = std::make_shared<const std::vector<InstanceId>>();
+    head = std::move(genesis);
+    member_nodes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (head->members == nullptr) return;  // tracking disabled; stays so
+  std::vector<InstanceId> next(*head->members);
+  if (add) {
+    auto pos = std::lower_bound(next.begin(), next.end(), id);
+    if (pos == next.end() || *pos != id) next.insert(pos, id);
+  } else {
+    auto pos = std::lower_bound(next.begin(), next.end(), id);
+    if (pos == next.end() || *pos != id) return;  // nothing to remove
+    next.erase(pos);
+  }
+  auto node = std::make_shared<MemberNode>();
+  node->seq = seq;
+  node->members =
+      next.size() > kMaxChainedMembers
+          ? nullptr  // extent outgrew tracking: disable, readers fall back
+          : std::make_shared<const std::vector<InstanceId>>(std::move(next));
+  node->prev = head;
+  head = std::move(node);
+  member_nodes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- Reader side -------------------------------------------------------------
+
+SnapshotIndex::Lookup SnapshotIndex::ReadAttr(const Snapshot& snap,
+                                              InstanceId id,
+                                              size_t attr_index,
+                                              Value* out) const {
+  if (epoch_.load(std::memory_order_acquire) != snap.epoch()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Lookup::kMiss;
+  }
+  for (NodePtr n = HeadOf(id); n != nullptr; n = n->prev) {
+    if (n->seq > snap.seq()) continue;
+    if (n->kind == NodeKind::kDelete) break;  // gone at S: fall back
+    for (const auto& [idx, v] : n->attrs) {
+      if (idx == attr_index) {
+        *out = v;
+        // Re-check the epoch after the walk: a concurrent history
+        // truncation may have reissued this node's sequence number.
+        if (epoch_.load(std::memory_order_acquire) != snap.epoch()) break;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return Lookup::kHit;
+      }
+    }
+    // A base/create node carries the full intrinsic state: absence there
+    // means the attribute is derived or unknown — unprovable here.
+    if (n->kind != NodeKind::kWrite) break;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return Lookup::kMiss;
+}
+
+SnapshotIndex::Lookup SnapshotIndex::ClassAt(const Snapshot& snap,
+                                             InstanceId id,
+                                             ClassId* out) const {
+  if (epoch_.load(std::memory_order_acquire) != snap.epoch()) {
+    return Lookup::kMiss;
+  }
+  bool newest = true;
+  for (NodePtr n = HeadOf(id); n != nullptr; n = n->prev) {
+    if (n->seq > snap.seq()) continue;
+    if (newest && n->kind == NodeKind::kDelete) break;
+    newest = false;
+    if (n->kind == NodeKind::kBase || n->kind == NodeKind::kCreate) {
+      *out = n->class_id;
+      if (epoch_.load(std::memory_order_acquire) != snap.epoch()) break;
+      return Lookup::kHit;
+    }
+  }
+  return Lookup::kMiss;
+}
+
+SnapshotIndex::Lookup SnapshotIndex::MembersAt(
+    const Snapshot& snap, ClassId cls, std::vector<InstanceId>* out) const {
+  if (epoch_.load(std::memory_order_acquire) != snap.epoch()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Lookup::kMiss;
+  }
+  MemberPtr head = MemberHeadOf(cls);
+  for (MemberPtr n = head; n != nullptr; n = n->prev) {
+    if (n->seq > snap.seq()) continue;
+    if (n->members == nullptr) break;  // tracking disabled at S
+    *out = *n->members;
+    if (epoch_.load(std::memory_order_acquire) != snap.epoch()) break;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return Lookup::kHit;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return Lookup::kMiss;
+}
+
+SnapshotIndex::MemberPtr SnapshotIndex::MemberHeadOf(ClassId cls) const {
+  std::shared_lock lock(members_mu_);
+  auto it = member_heads_.find(cls);
+  return it == member_heads_.end() ? nullptr : it->second;
+}
+
+// --- Maintenance -------------------------------------------------------------
+
+void SnapshotIndex::TruncateAfter(uint64_t position) {
+  // Expire every live snapshot first: the sequence numbers above
+  // `position` are about to be reissued to different commits.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (Stripe& s : stripes_) {
+    std::unique_lock lock(s.mu);
+    for (auto it = s.heads.begin(); it != s.heads.end();) {
+      NodePtr n = it->second;
+      uint64_t dropped = 0;
+      while (n != nullptr && n->seq > position) {
+        n = n->prev;
+        ++dropped;
+      }
+      if (dropped > 0) chain_nodes_.fetch_sub(dropped);
+      if (n == nullptr) {
+        it = s.heads.erase(it);
+      } else {
+        it->second = std::move(n);
+        ++it;
+      }
+    }
+  }
+  std::unique_lock lock(members_mu_);
+  for (auto it = member_heads_.begin(); it != member_heads_.end();) {
+    MemberPtr n = it->second;
+    uint64_t dropped = 0;
+    while (n != nullptr && n->seq > position) {
+      n = n->prev;
+      ++dropped;
+    }
+    if (dropped > 0) member_nodes_.fetch_sub(dropped);
+    if (n == nullptr) {
+      it = member_heads_.erase(it);
+    } else {
+      it->second = std::move(n);
+      ++it;
+    }
+  }
+}
+
+void SnapshotIndex::Prune(uint64_t floor) {
+  if (floor > coverage_floor()) SetCoverageFloor(floor);
+  for (Stripe& s : stripes_) {
+    std::unique_lock lock(s.mu);
+    for (auto it = s.heads.begin(); it != s.heads.end();) {
+      // Split the chain at the floor.
+      std::vector<const VersionNode*> retained;  // newest first, seq > floor
+      NodePtr n = it->second;
+      while (n != nullptr && n->seq > floor) {
+        retained.push_back(n.get());
+        n = n->prev;
+      }
+      // Already a lone base at or below the floor: nothing to fold.
+      if (n == nullptr || (n->prev == nullptr && n->kind != NodeKind::kWrite &&
+                           n->kind != NodeKind::kDelete)) {
+        ++it;
+        continue;
+      }
+      uint64_t old_len = retained.size();
+      for (NodePtr w = n; w != nullptr; w = w->prev) ++old_len;
+
+      // Resolve the full committed state at the floor.
+      bool deleted = n->kind == NodeKind::kDelete;
+      VersionNode fold;
+      fold.seq = floor;
+      fold.kind = NodeKind::kBase;
+      if (!deleted) {
+        for (NodePtr w = n; w != nullptr; w = w->prev) {
+          for (const auto& [idx, v] : w->attrs) {
+            bool seen = false;
+            for (const auto& [have, hv] : fold.attrs) {
+              if (have == idx) {
+                seen = true;
+                break;
+              }
+            }
+            if (!seen) fold.attrs.emplace_back(idx, v);
+          }
+          if (w->kind == NodeKind::kBase || w->kind == NodeKind::kCreate) {
+            fold.class_id = w->class_id;
+            break;
+          }
+        }
+        // A chain whose floor-state has no base/create node cannot prove
+        // its class; drop it entirely (reads fall back).
+        if (!fold.class_id.valid()) deleted = true;
+      }
+
+      if (deleted && retained.empty()) {
+        // Gone at the floor with nothing newer: the id is never reused,
+        // so the whole chain can go.
+        pruned_versions_.fetch_add(old_len, std::memory_order_relaxed);
+        chain_nodes_.fetch_sub(old_len, std::memory_order_relaxed);
+        it = s.heads.erase(it);
+        continue;
+      }
+      if (deleted) {
+        // Defensive: nodes above a floor-deletion should not exist (ids
+        // are never reused); dropping the chain keeps reads safe.
+        pruned_versions_.fetch_add(old_len, std::memory_order_relaxed);
+        chain_nodes_.fetch_sub(old_len, std::memory_order_relaxed);
+        it = s.heads.erase(it);
+        continue;
+      }
+
+      // Rebuild: fold node at the bottom, retained nodes re-linked above
+      // it (nodes are immutable, so re-linking means copying).
+      NodePtr rebuilt = std::make_shared<const VersionNode>(std::move(fold));
+      for (auto r = retained.rbegin(); r != retained.rend(); ++r) {
+        VersionNode copy;
+        copy.seq = (*r)->seq;
+        copy.kind = (*r)->kind;
+        copy.class_id = (*r)->class_id;
+        copy.attrs = (*r)->attrs;
+        copy.prev = std::move(rebuilt);
+        rebuilt = std::make_shared<const VersionNode>(std::move(copy));
+      }
+      uint64_t new_len = retained.size() + 1;
+      pruned_versions_.fetch_add(old_len - new_len,
+                                 std::memory_order_relaxed);
+      chain_nodes_.fetch_sub(old_len - new_len, std::memory_order_relaxed);
+      it->second = std::move(rebuilt);
+      ++it;
+    }
+  }
+
+  std::unique_lock lock(members_mu_);
+  for (auto& [cls, head] : member_heads_) {
+    std::vector<const MemberNode*> retained;
+    MemberPtr n = head;
+    while (n != nullptr && n->seq > floor) {
+      retained.push_back(n.get());
+      n = n->prev;
+    }
+    if (n == nullptr || n->prev == nullptr) continue;
+    uint64_t old_len = retained.size();
+    for (MemberPtr w = n; w != nullptr; w = w->prev) ++old_len;
+
+    auto fold = std::make_shared<MemberNode>();
+    fold->seq = floor;
+    fold->members = n->members;  // state at floor (or disabled marker)
+    MemberPtr rebuilt = std::move(fold);
+    for (auto r = retained.rbegin(); r != retained.rend(); ++r) {
+      auto copy = std::make_shared<MemberNode>();
+      copy->seq = (*r)->seq;
+      copy->members = (*r)->members;
+      copy->prev = std::move(rebuilt);
+      rebuilt = std::move(copy);
+    }
+    uint64_t new_len = retained.size() + 1;
+    member_nodes_.fetch_sub(old_len - new_len, std::memory_order_relaxed);
+    head = std::move(rebuilt);
+  }
+}
+
+void SnapshotIndex::Reset() {
+  for (Stripe& s : stripes_) {
+    std::unique_lock lock(s.mu);
+    s.heads.clear();
+  }
+  {
+    std::unique_lock lock(members_mu_);
+    member_heads_.clear();
+  }
+  chain_nodes_.store(0, std::memory_order_relaxed);
+  member_nodes_.store(0, std::memory_order_relaxed);
+  SetCoverageFloor(0);
+  latest_published_.store(0, std::memory_order_release);
+}
+
+// --- Observability -----------------------------------------------------------
+
+void SnapshotIndex::ExportTo(obs::MetricsGroup* g) const {
+  g->AddCounter("snapshot_hits", hits());
+  g->AddCounter("snapshot_misses", misses());
+  g->AddCounter("pruned_versions", pruned_versions());
+  g->AddCounter("acquire_failures",
+                snapshot_acquire_failures_.load(std::memory_order_relaxed));
+  g->AddCounter("chain_nodes", chain_nodes());
+  g->AddCounter("member_nodes",
+                member_nodes_.load(std::memory_order_relaxed));
+  g->AddCounter("live_snapshots", live_snapshots());
+  g->AddCounter("latest_published", latest_published());
+  g->AddCounter("coverage_floor", coverage_floor());
+}
+
+}  // namespace cactis::txn

@@ -1,11 +1,13 @@
 #include "txn/version_store.h"
 
+#include <limits>
+
 namespace cactis::txn {
 
 uint64_t VersionStore::Append(TransactionDelta delta) {
-  if (position_ < history_.size()) {
+  if (position_ < end()) {
     // Truncate the redo tail and every version naming a truncated point.
-    history_.resize(position_);
+    history_.resize(position_ - base_);
     for (auto it = versions_.begin(); it != versions_.end();) {
       if (it->second > position_) {
         it = versions_.erase(it);
@@ -14,9 +16,9 @@ uint64_t VersionStore::Append(TransactionDelta delta) {
       }
     }
   }
-  delta.commit_seq = history_.size() + 1;
+  delta.commit_seq = end() + 1;
   history_.push_back(std::move(delta));
-  position_ = history_.size();
+  position_ = end();
   return position_;
 }
 
@@ -36,37 +38,51 @@ Result<uint64_t> VersionStore::PositionOf(const std::string& name) const {
   return it->second;
 }
 
-std::vector<const TransactionDelta*> VersionStore::DeltasToUndo(
+Result<std::vector<const TransactionDelta*>> VersionStore::DeltasToUndo(
     uint64_t target) const {
+  if (target < base_ && target < position_) {
+    return Status::OutOfRange(
+        "cannot undo past position " + std::to_string(base_) +
+        ": older deltas were pruned");
+  }
   std::vector<const TransactionDelta*> out;
   for (uint64_t i = position_; i > target; --i) {
-    out.push_back(&history_[i - 1]);
+    out.push_back(&history_[i - 1 - base_]);
   }
   return out;
 }
 
-std::vector<const TransactionDelta*> VersionStore::DeltasToRedo(
+Result<std::vector<const TransactionDelta*>> VersionStore::DeltasToRedo(
     uint64_t target) const {
+  if (position_ < base_) {
+    return Status::OutOfRange(
+        "position below pruned base: cannot redo");
+  }
   std::vector<const TransactionDelta*> out;
-  uint64_t stop = target > history_.size() ? history_.size() : target;
+  uint64_t stop = target > end() ? end() : target;
   for (uint64_t i = position_; i < stop; ++i) {
-    out.push_back(&history_[i]);
+    out.push_back(&history_[i - base_]);
   }
   return out;
 }
 
 Result<TransactionDelta> VersionStore::PopLast() {
   if (history_.empty()) {
+    if (base_ > 0) {
+      return Status::OutOfRange(
+          "the remaining committed history was pruned and cannot be "
+          "undone");
+    }
     return Status::NotFound("no committed transaction to undo");
   }
-  if (position_ != history_.size()) {
+  if (position_ != end()) {
     return Status::InvalidArgument(
         "cannot pop the last transaction while positioned at an old "
         "version; check out the newest state first");
   }
   TransactionDelta delta = std::move(history_.back());
   history_.pop_back();
-  position_ = history_.size();
+  position_ = end();
   for (auto it = versions_.begin(); it != versions_.end();) {
     if (it->second > position_) {
       it = versions_.erase(it);
@@ -75,6 +91,27 @@ Result<TransactionDelta> VersionStore::PopLast() {
     }
   }
   return delta;
+}
+
+uint64_t VersionStore::PruneTo(uint64_t floor) {
+  if (floor > position_) floor = position_;
+  if (floor > end()) floor = end();
+  if (floor <= base_) return 0;
+  uint64_t drop = floor - base_;
+  history_.erase(history_.begin(),
+                 history_.begin() + static_cast<ptrdiff_t>(drop));
+  base_ = floor;
+  pruned_deltas_ += drop;
+  return drop;
+}
+
+uint64_t VersionStore::OldestNamedPosition() const {
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (const auto& [name, pos] : versions_) {
+    (void)name;
+    if (pos < oldest) oldest = pos;
+  }
+  return oldest;
 }
 
 size_t VersionStore::TotalDeltaBytes() const {

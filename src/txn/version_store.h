@@ -11,6 +11,15 @@
 // tail (linear history, like an editor's undo stack). The store only
 // manages bookkeeping; applying a delta to the database is the core
 // layer's job, via the records this class hands back.
+//
+// Pruning: retained history would otherwise grow without bound, so
+// PruneTo(floor) discards the deltas at positions <= floor while keeping
+// every position number ABSOLUTE — `base_` remembers how many were
+// dropped, and position()/end()/commit_seq keep counting from the start
+// of time. The trade-off is bounded undo depth: PopLast and checkouts
+// below the base fail with FailedPrecondition. The database layer picks
+// a floor no newer than the oldest live snapshot, the oldest named
+// version and the current checkout position.
 
 #ifndef CACTIS_TXN_VERSION_STORE_H_
 #define CACTIS_TXN_VERSION_STORE_H_
@@ -40,21 +49,43 @@ class VersionStore {
   Result<uint64_t> PositionOf(const std::string& name) const;
 
   uint64_t position() const { return position_; }
-  uint64_t end() const { return history_.size(); }
+  uint64_t end() const { return base_ + history_.size(); }
+
+  /// First retained position: deltas at positions <= base() are pruned.
+  uint64_t base() const { return base_; }
 
   /// The deltas to undo, newest first, to move from the current position
-  /// back to `target`. Empty when target >= position.
-  std::vector<const TransactionDelta*> DeltasToUndo(uint64_t target) const;
+  /// back to `target`. Empty when target >= position. Fails when the walk
+  /// would cross pruned history (target < base()).
+  Result<std::vector<const TransactionDelta*>> DeltasToUndo(
+      uint64_t target) const;
 
   /// The deltas to redo, oldest first, to move forward to `target`.
-  std::vector<const TransactionDelta*> DeltasToRedo(uint64_t target) const;
+  /// Fails when the current position itself sits below the base (cannot
+  /// happen unless pruning ignored the position floor).
+  Result<std::vector<const TransactionDelta*>> DeltasToRedo(
+      uint64_t target) const;
 
   /// Moves the position marker after the core has applied the deltas.
   void SetPosition(uint64_t position) { position_ = position; }
 
   /// Pops the most recent delta entirely (the Undo meta-action on the last
-  /// committed transaction). Only valid when positioned at the end.
+  /// committed transaction). Only valid when positioned at the end, and
+  /// only while the last delta has not been pruned.
   Result<TransactionDelta> PopLast();
+
+  /// Discards the deltas at positions <= floor. Clamped to the current
+  /// position (never prunes unapplied redo state). Named versions keep
+  /// working as long as the database layer keeps the floor at or below
+  /// the oldest named position. Returns the number of deltas dropped.
+  uint64_t PruneTo(uint64_t floor);
+
+  /// Cumulative number of deltas dropped by PruneTo (metrics).
+  uint64_t pruned_deltas() const { return pruned_deltas_; }
+
+  /// Smallest position a named version refers to, or UINT64_MAX when no
+  /// versions exist. Pruning must not pass this.
+  uint64_t OldestNamedPosition() const;
 
   /// Total bytes held by all retained deltas (experiment E7).
   size_t TotalDeltaBytes() const;
@@ -65,26 +96,29 @@ class VersionStore {
   //
   // A checkpoint image must carry the whole version facility: the retained
   // history (tail meta-actions and post-recovery checkouts walk it), the
-  // position marker, and the name table. The accessors expose the state
-  // for encoding; Restore() replaces it wholesale on a fresh store during
-  // recovery.
+  // base offset of that history, the position marker, and the name table.
+  // The accessors expose the state for encoding; Restore() replaces it
+  // wholesale on a fresh store during recovery.
 
   const std::vector<TransactionDelta>& history() const { return history_; }
   const std::map<std::string, uint64_t>& versions() const { return versions_; }
   uint64_t next_version() const { return next_version_; }
 
-  void Restore(std::vector<TransactionDelta> history, uint64_t position,
-               std::map<std::string, uint64_t> versions,
+  void Restore(std::vector<TransactionDelta> history, uint64_t base,
+               uint64_t position, std::map<std::string, uint64_t> versions,
                uint64_t next_version) {
     history_ = std::move(history);
+    base_ = base;
     position_ = position;
     versions_ = std::move(versions);
     next_version_ = next_version;
   }
 
  private:
-  std::vector<TransactionDelta> history_;
-  uint64_t position_ = 0;  // number of applied deltas
+  std::vector<TransactionDelta> history_;  // positions base_+1 .. end()
+  uint64_t base_ = 0;      // number of pruned (dropped) leading deltas
+  uint64_t position_ = 0;  // number of applied deltas (absolute)
+  uint64_t pruned_deltas_ = 0;
   std::map<std::string, uint64_t> versions_;
   uint64_t next_version_ = 0;
 };

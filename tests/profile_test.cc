@@ -183,18 +183,19 @@ TEST_F(ProfileTest, ProfileColdReadsMoreBlocksThanHot) {
   EXPECT_EQ(v.payload, "2");
 }
 
-TEST_F(ProfileTest, ProfiledReadUsesSharedFastPath) {
+TEST_F(ProfileTest, ProfiledReadUsesSnapshotPath) {
   Init(kCounterSchema);
   auto id = ParseObj(Call("create counter as c").payload);
   const std::string obj = FormatInstance(id);
   ASSERT_TRUE(Call("set " + obj + ".v = 3").ok());
-  // First get subscribes the value; the profiled repeat is answerable
-  // from cache on the shared side.
+  // An auto-commit read of a committed intrinsic attribute resolves on
+  // the lock-free MVCC snapshot path, and the profile says so.
   ASSERT_TRUE(Call("get " + obj + ".v").ok());
   Response r = Call("profile get " + obj + ".v");
   ASSERT_TRUE(r.ok()) << r.payload;
   EXPECT_TRUE(JsonHas(r.payload, "\"result\":\"3\"")) << r.payload;
-  EXPECT_TRUE(JsonHas(r.payload, "\"shared_path\":true")) << r.payload;
+  EXPECT_TRUE(JsonHas(r.payload, "\"snapshot_path\":true")) << r.payload;
+  EXPECT_TRUE(JsonHas(r.payload, "\"shared_path\":false")) << r.payload;
 }
 
 // --- explain ----------------------------------------------------------------

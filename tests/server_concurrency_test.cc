@@ -300,10 +300,14 @@ TEST(ServerConcurrencyTest, ConcurrentReadersSeeMonotonicValues) {
   Response final = client.Call(setup, "get " + obj + ".v");
   ASSERT_TRUE(final.ok()) << final.payload;
   EXPECT_EQ(final.payload, std::to_string(kIncrements)) << "lost updates";
-  // The shared fast path must actually have answered reads (an intrinsic
-  // attribute of a cached instance hits unless a writer held the lock).
-  EXPECT_GT(exec.stats().fast_path_reads.load(), 0u);
-  EXPECT_GT(exec.stats().shared_lock_acquisitions.load(), 0u);
+  // The reads must have been answered off the exclusive path: an
+  // auto-commit get of a committed intrinsic attribute resolves on the
+  // lock-free MVCC snapshot path (or, when the chains cannot answer, on
+  // the shared fast path).
+  EXPECT_GT(exec.stats().snapshot_reads.load() +
+                exec.stats().fast_path_reads.load(),
+            0u);
+  EXPECT_GT(exec.stats().snapshot_reads.load(), 0u);
   exec.Shutdown();
 }
 

@@ -29,12 +29,12 @@ TEST(VersionStoreTest, UndoRedoDeltaLists) {
     d.txn = TxnId(i + 1);
     vs.Append(std::move(d));
   }
-  auto undo = vs.DeltasToUndo(1);
+  auto undo = *vs.DeltasToUndo(1);
   ASSERT_EQ(undo.size(), 2u);
   EXPECT_EQ(undo[0]->txn, TxnId(3));  // newest first
   EXPECT_EQ(undo[1]->txn, TxnId(2));
   vs.SetPosition(1);
-  auto redo = vs.DeltasToRedo(3);
+  auto redo = *vs.DeltasToRedo(3);
   ASSERT_EQ(redo.size(), 2u);
   EXPECT_EQ(redo[0]->txn, TxnId(2));  // oldest first
 }

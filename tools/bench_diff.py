@@ -9,6 +9,9 @@ Reads BENCH_server.json and BENCH_recovery.json from both directories and
 fails (exit 1) when:
 
   * lost_updates != 0 in the fresh server bench (hard gate, no threshold);
+  * readers stall writers: the fresh server bench must report
+    e13_speedup_x100_w8 > 100 — 8-worker read-heavy throughput strictly
+    above 1 worker (hard gate; MVCC snapshot reads make scaling real);
   * recovery-after-checkpoint replays more than the WAL tail: the fresh
     recovery bench must report e11c_replayed_entries ==
     e11c_total_txns - e11c_checkpoint_at exactly (hard gate);
@@ -82,11 +85,12 @@ def counter(doc, key):
 
 def server_gates(base, fresh, threshold, raw, notes):
     gates = []
-    b, f = counter(base, "e13_speedup_x100_w4"), counter(fresh, "e13_speedup_x100_w4")
-    if b is not None and f is not None:
-        gates.append(Gate("e13_speedup_x100_w4", b, f, threshold))
-    else:
-        notes.append("e13_speedup_x100_w4 missing from server report; skipped")
+    for key in ("e13_speedup_x100_w4", "e13_speedup_x100_w8"):
+        b, f = counter(base, key), counter(fresh, key)
+        if b is not None and f is not None:
+            gates.append(Gate(key, b, f, threshold))
+        else:
+            notes.append(f"{key} missing from server report; skipped")
 
     base_cpus = base.get("config", {}).get("host_cpus")
     fresh_cpus = fresh.get("config", {}).get("host_cpus")
@@ -135,6 +139,21 @@ def recovery_gates(base, fresh, threshold, notes):
     else:
         gates.append(Gate("e11b_entries_per_batch_w4", bc / bt, fc / ft, threshold))
     return gates
+
+
+def server_hard_gates(fresh, failures):
+    """Read scaling must be real: 8 read-heavy workers must beat 1 worker
+    outright. Snapshot reads take no lock and raise no read marks, so this
+    holds even on a single-CPU host (pipelining plus zero reader-induced
+    aborts); a value <= 100 means readers are stalling writers again."""
+    w8 = counter(fresh, "e13_speedup_x100_w8")
+    if w8 is None:
+        failures.append("fresh server report has no e13_speedup_x100_w8 counter")
+    elif w8 <= 100:
+        failures.append(
+            f"e13_speedup_x100_w8 = {w8} (must be > 100: 8-worker "
+            "throughput must strictly exceed 1-worker)"
+        )
 
 
 def checkpoint_hard_gate(fresh, failures):
@@ -194,6 +213,7 @@ def main():
             failures.append("fresh server report has no lost_updates counter")
         elif lost != 0:
             failures.append(f"lost_updates = {lost} (must be 0)")
+        server_hard_gates(fresh_server, failures)
         if base_server is None:
             failures.append(f"missing committed baseline: {base_server_path}")
         else:
