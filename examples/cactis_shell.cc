@@ -1,10 +1,12 @@
 // cactis_shell: an interactive console over the multi-session service
-// layer. Every line goes through the full server path — LoopbackTransport
-// -> admission control -> bounded queue -> worker pool -> timestamp-
-// ordered transactions — exactly as a network client would.
+// layer. Every line goes through the full server path — admission
+// control -> bounded queue -> worker pool -> timestamp-ordered
+// transactions — either in-process (loopback) or over real TCP.
 //
-//   $ ./cactis_shell            # runs a scripted two-session isolation demo
-//   $ ./cactis_shell -i         # interactive (reads statements from stdin)
+//   $ ./cactis_shell                       # scripted two-session demo
+//   $ ./cactis_shell -i                    # interactive, in-process
+//   $ ./cactis_shell --serve 7733          # serve the TCP transport
+//   $ ./cactis_shell --connect host:7733   # interactive, over TCP
 //
 // Interactive mode keeps several sessions open at once; `\1`, `\2`, ...
 // switch between them, so conflicting transactions can be interleaved by
@@ -17,33 +19,44 @@
 //   cactis[2]> \1
 //   cactis[1]> set obj(1).v = 5        -- older txn writes: ABORTED
 //
+// Over TCP each shell session is its own connection + server session, so
+// the same interleavings exercise the real wire protocol (see
+// tools/net_demo.sh for a scripted two-process run).
+//
 // Statement grammar: see src/server/statement.h — including the
 // `profile <stmt>` and `explain <stmt>` observability forms. Extra
 // shell commands:
 //   \1 ... \9     switch to (opening if needed) session N
 //   \profile on|off   prefix every statement with `profile `
-//   \slow         drain the slow-statement log (worst first)
+//   \slow         drain the slow-statement log (worst first; local only)
 //   \metrics      server + database metrics snapshot (alias: stats)
-//   \health       degraded/read-only state + probe counters (lock-free)
+//   \health       degraded/read-only state + probe counters
 //   schema ... end schema    load data-language declarations
 //   help | quit
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "net/client.h"
+#include "net/tcp_server.h"
 #include "server/executor.h"
+#include "server/statement.h"
 #include "server/transport.h"
 
 namespace {
 
 using cactis::SessionId;
+using cactis::Status;
 using cactis::core::Database;
 using cactis::server::Executor;
 using cactis::server::LoopbackTransport;
 using cactis::server::Response;
+using cactis::server::ResponseStatus;
 using cactis::server::ResponseStatusToString;
 using cactis::server::ServerOptions;
 
@@ -55,19 +68,126 @@ const char* kDemoSchema = R"(
   end object;
 )";
 
-class Shell {
+/// What the shell needs from either transport.
+struct CallOutcome {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string payload;
+};
+
+class Backend {
  public:
-  Shell() : exec_(&db_, MakeOptions()), client_(&exec_) {
+  virtual ~Backend() = default;
+  virtual CallOutcome Call(size_t session, const std::string& text) = 0;
+  virtual Status LoadSchema(const std::string& source) = 0;
+  virtual std::string Metrics() = 0;
+  virtual std::string Health() = 0;
+  virtual std::string DrainSlow() = 0;
+};
+
+/// In-process: the executor lives in this process, requests go through
+/// LoopbackTransport.
+class LocalBackend : public Backend {
+ public:
+  LocalBackend() : exec_(&db_, MakeOptions()), client_(&exec_) {
     exec_.Start();
   }
-  ~Shell() { exec_.Shutdown(); }
+  ~LocalBackend() override { exec_.Shutdown(); }
+
+  CallOutcome Call(size_t n, const std::string& text) override {
+    Response r = client_.Call(SessionFor(n), text);
+    return {r.status, std::move(r.payload)};
+  }
+  Status LoadSchema(const std::string& source) override {
+    return exec_.LoadSchema(source);
+  }
+  std::string Metrics() override { return exec_.SnapshotMetrics(); }
+  std::string Health() override { return exec_.HealthJson(); }
+  std::string DrainSlow() override { return exec_.DrainSlowLogJson(); }
+
+  Executor* exec() { return &exec_; }
+
+ private:
+  static ServerOptions MakeOptions() {
+    ServerOptions o;
+    o.num_workers = 2;
+    // Log every statement so `\slow` always has something to show; a real
+    // deployment would keep the default 10ms threshold.
+    o.slow_statement_us = 0;
+    return o;
+  }
 
   SessionId SessionFor(size_t n) {
-    while (sessions_.size() <= n) {
-      sessions_.push_back(*client_.Connect());
-    }
+    while (sessions_.size() <= n) sessions_.push_back(*client_.Connect());
     return sessions_[n];
   }
+
+  Database db_;
+  Executor exec_;
+  LoopbackTransport client_;
+  std::vector<SessionId> sessions_;
+};
+
+/// Remote: each shell session is one TCP connection + server session.
+class RemoteBackend : public Backend {
+ public:
+  RemoteBackend(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  CallOutcome Call(size_t n, const std::string& text) override {
+    cactis::net::Client* c = SessionFor(n);
+    if (c == nullptr) return {ResponseStatus::kRejected, "not connected"};
+    auto r = c->Call(cactis::server::SplitStatements(text));
+    if (!r.ok()) {
+      return {ResponseStatus::kRejected, r.status().ToString()};
+    }
+    return {r->status, std::move(r->payload)};
+  }
+  Status LoadSchema(const std::string& source) override {
+    cactis::net::Client* c = SessionFor(0);
+    if (c == nullptr) return Status(cactis::StatusCode::kUnavailable, "not connected");
+    return c->LoadSchema(source);
+  }
+  std::string Metrics() override {
+    cactis::net::Client* c = SessionFor(0);
+    if (c == nullptr) return "not connected";
+    auto r = c->Metrics();
+    return r.ok() ? *r : r.status().ToString();
+  }
+  std::string Health() override {
+    // `health` is a plain statement; ask the server over the wire.
+    return Call(0, "health").payload;
+  }
+  std::string DrainSlow() override {
+    return "(slow-statement log is server-local; not exposed over TCP)";
+  }
+
+ private:
+  cactis::net::Client* SessionFor(size_t n) {
+    while (clients_.size() <= n) {
+      cactis::net::ClientOptions o;
+      o.host = host_;
+      o.port = port_;
+      auto c = std::make_unique<cactis::net::Client>(o);
+      Status s = c->Connect();
+      if (!s.ok()) {
+        std::printf("connect %s:%u failed: %s\n", host_.c_str(), port_,
+                    s.ToString().c_str());
+        return nullptr;
+      }
+      clients_.push_back(std::move(c));
+    }
+    return clients_[n].get();
+  }
+
+  std::string host_;
+  uint16_t port_;
+  std::vector<std::unique_ptr<cactis::net::Client>> clients_;
+};
+
+class Shell {
+ public:
+  explicit Shell(std::unique_ptr<Backend> backend)
+      : backend_(std::move(backend)) {}
 
   /// Sends one request batch on session `n` and prints the response.
   void Send(size_t n, const std::string& text) {
@@ -81,14 +201,14 @@ class Shell {
         pos += 9;
       }
     }
-    Response r = client_.Call(SessionFor(n), request);
-    if (r.ok()) {
+    CallOutcome r = backend_->Call(n, request);
+    if (r.status == ResponseStatus::kOk) {
       if (!r.payload.empty()) std::printf("%s\n", r.payload.c_str());
     } else {
       std::printf("[%s] %s\n",
                   std::string(ResponseStatusToString(r.status)).c_str(),
                   r.payload.c_str());
-      if (r.status == cactis::server::ResponseStatus::kAborted) {
+      if (r.status == ResponseStatus::kAborted) {
         std::printf(
             "(transaction aborted by a concurrency conflict; its effects "
             "are rolled back -- retry the statement)\n");
@@ -117,16 +237,15 @@ class Shell {
       return true;
     }
     if (line == "\\slow") {
-      std::printf("%s\n", exec_.DrainSlowLogJson().c_str());
+      std::printf("%s\n", backend_->DrainSlow().c_str());
       return true;
     }
     if (line == "\\health") {
-      std::printf("%s\n", exec_.HealthJson().c_str());
+      std::printf("%s\n", backend_->Health().c_str());
       return true;
     }
     if (line[0] == '\\' && line.size() == 2 && isdigit(line[1])) {
       *current = static_cast<size_t>(line[1] - '1');
-      SessionFor(*current);
       return true;
     }
     if (line == "schema") {
@@ -135,34 +254,22 @@ class Shell {
         source += next;
         source += '\n';
       }
-      auto s = exec_.LoadSchema(source);
+      auto s = backend_->LoadSchema(source);
       std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
       return true;
     }
     if (line == "stats" || line == "\\metrics") {
-      std::printf("%s\n", exec_.SnapshotMetrics().c_str());
+      std::printf("%s\n", backend_->Metrics().c_str());
       return true;
     }
     Send(*current, line);
     return true;
   }
 
-  Executor* exec() { return &exec_; }
+  Backend* backend() { return backend_.get(); }
 
  private:
-  static ServerOptions MakeOptions() {
-    ServerOptions o;
-    o.num_workers = 2;
-    // Log every statement so `\slow` always has something to show; a real
-    // deployment would keep the default 10ms threshold.
-    o.slow_statement_us = 0;
-    return o;
-  }
-
-  Database db_;
-  Executor exec_;
-  LoopbackTransport client_;
-  std::vector<SessionId> sessions_;
+  std::unique_ptr<Backend> backend_;
   bool profile_all_ = false;
 };
 
@@ -171,7 +278,7 @@ class Shell {
 // transaction's read.
 void RunDemo(Shell* shell) {
   std::printf("== two-session isolation demo ==\n");
-  auto s = shell->exec()->LoadSchema(kDemoSchema);
+  auto s = shell->backend()->LoadSchema(kDemoSchema);
   if (!s.ok()) {
     std::printf("schema: %s\n", s.ToString().c_str());
     return;
@@ -231,11 +338,94 @@ void RunObservabilityDemo(Shell* shell) {
       "bounded worst-statements log (worst first).\n");
 }
 
+/// "host:port" or "port" -> (host, port). Empty host means loopback.
+bool ParseEndpoint(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  std::string p = arg;
+  *host = "127.0.0.1";
+  size_t colon = arg.rfind(':');
+  if (colon != std::string::npos) {
+    *host = arg.substr(0, colon);
+    p = arg.substr(colon + 1);
+  }
+  char* end = nullptr;
+  long v = std::strtol(p.c_str(), &end, 10);
+  if (end == p.c_str() || *end != '\0' || v < 0 || v > 65535) return false;
+  *port = static_cast<uint16_t>(v);
+  return true;
+}
+
+/// --serve: host the TCP transport until SIGINT/SIGTERM.
+int Serve(const std::string& endpoint) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseEndpoint(endpoint, &host, &port)) {
+    std::fprintf(stderr, "bad --serve endpoint: %s\n", endpoint.c_str());
+    return 1;
+  }
+  // Block the shutdown signals before any thread spawns, so every
+  // thread inherits the mask and sigwait() below is the sole receiver.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  Database db;
+  ServerOptions so;
+  so.num_workers = 4;
+  Executor exec(&db, so);
+  exec.Start();
+  cactis::net::TcpServerOptions to;
+  to.host = host;
+  to.port = port;
+  cactis::net::TcpServer server(&exec, to);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("cactis serving on %s:%u\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&set, &sig);
+
+  std::printf("shutting down (signal %d)\n", sig);
+  server.Shutdown();
+  exec.Shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Shell shell;
-  const bool interactive = argc > 1 && std::string(argv[1]) == "-i";
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--serve") {
+    return Serve(args.size() > 1 ? args[1] : "0");
+  }
+
+  std::unique_ptr<Backend> backend;
+  bool interactive = false;
+  if (!args.empty() && args[0] == "--connect") {
+    if (args.size() < 2) {
+      std::fprintf(stderr, "usage: cactis_shell --connect host:port\n");
+      return 1;
+    }
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseEndpoint(args[1], &host, &port)) {
+      std::fprintf(stderr, "bad --connect endpoint: %s\n", args[1].c_str());
+      return 1;
+    }
+    backend = std::make_unique<RemoteBackend>(host, port);
+    interactive = true;  // remote mode reads statements from stdin
+  } else {
+    backend = std::make_unique<LocalBackend>();
+    interactive = !args.empty() && args[0] == "-i";
+  }
+
+  Shell shell(std::move(backend));
   if (!interactive) {
     RunDemo(&shell);
     RunObservabilityDemo(&shell);

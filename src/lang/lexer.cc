@@ -1,6 +1,9 @@
 #include "lang/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <unordered_map>
 
 namespace cactis::lang {
@@ -202,10 +205,20 @@ Result<Token> Lexer::Next() {
     tok.text = number;
     if (is_real) {
       tok.type = TokenType::kRealLiteral;
-      tok.real_value = std::stod(number);
+      errno = 0;
+      tok.real_value = std::strtod(number.c_str(), nullptr);
+      if (errno == ERANGE) {
+        return Status::ParseError("real literal out of range at line " +
+                                  std::to_string(tok.line) + ": " + number);
+      }
     } else {
       tok.type = TokenType::kIntLiteral;
-      tok.int_value = std::stoll(number);
+      auto [ptr, ec] = std::from_chars(
+          number.data(), number.data() + number.size(), tok.int_value);
+      if (ec != std::errc() || ptr != number.data() + number.size()) {
+        return Status::ParseError("integer literal out of range at line " +
+                                  std::to_string(tok.line) + ": " + number);
+      }
     }
     return tok;
   }

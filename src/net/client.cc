@@ -1,0 +1,276 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace cactis::net {
+
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kIoError,
+                std::string(what) + ": " + std::strerror(errno));
+}
+
+Status Timeout(const char* what) {
+  return Status(StatusCode::kUnavailable,
+                std::string(what) + ": timed out");
+}
+
+/// Waits for `events` on fd. deadline_ms == 0 waits forever. Returns
+/// OK when ready, kUnavailable on timeout, kIoError otherwise.
+Status WaitFd(int fd, short events, uint64_t deadline_ms, const char* what) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline_ms != 0) {
+      uint64_t now = NowMs();
+      if (now >= deadline_ms) return Timeout(what);
+      timeout = static_cast<int>(deadline_ms - now);
+    }
+    pollfd pfd{fd, events, 0};
+    int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) {
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        return Status(StatusCode::kIoError,
+                      std::string(what) + ": connection closed");
+      }
+      return Status::OK();
+    }
+    if (n == 0) return Timeout(what);
+    if (errno == EINTR) continue;
+    return Errno(what);
+  }
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect() {
+  if (connected()) return Status::OK();
+  reader_ = FrameReader();
+  session_ = 0;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + options_.host);
+  }
+  uint64_t deadline =
+      options_.connect_timeout_ms ? NowMs() + options_.connect_timeout_ms : 0;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      Status s = Errno("connect");
+      ::close(fd);
+      return s;
+    }
+    Status s = WaitFd(fd, POLLOUT, deadline, "connect");
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      errno = err;
+      return Errno("connect");
+    }
+  }
+  fd_ = fd;
+
+  // Hello handshake: the session token arrives in the kHelloOk header.
+  auto reply = Roundtrip(FrameType::kHello, "");
+  if (!reply.ok()) {
+    Drop();
+    return reply.status();
+  }
+  if (reply->type == FrameType::kError) {
+    auto err = DecodeErrorPayload(reply->payload);
+    Drop();
+    if (err.ok()) return StatusFromWireCode(err->first, err->second);
+    return Status(StatusCode::kInternal, "undecodable hello error");
+  }
+  if (reply->type != FrameType::kHelloOk) {
+    Drop();
+    return Status(StatusCode::kInternal, "unexpected hello reply");
+  }
+  session_ = reply->session;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (!connected()) return;
+  if (session_ != 0) {
+    // Best-effort clean goodbye; any failure still ends with Drop().
+    (void)Roundtrip(FrameType::kGoodbye, "");
+  }
+  Drop();
+}
+
+void Client::Drop() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  session_ = 0;
+  reader_ = FrameReader();
+}
+
+Status Client::SendAll(std::string_view bytes) {
+  uint64_t deadline =
+      options_.request_timeout_ms ? NowMs() + options_.request_timeout_ms : 0;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status s = WaitFd(fd_, POLLOUT, deadline, "send");
+      if (!s.ok()) return s;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::RecvFrame() {
+  uint64_t deadline =
+      options_.request_timeout_ms ? NowMs() + options_.request_timeout_ms : 0;
+  char buf[64 * 1024];
+  for (;;) {
+    if (auto frame = reader_.Next()) return std::move(*frame);
+    if (reader_.poisoned()) {
+      return Status(StatusCode::kCorruption,
+                    "wire stream poisoned: " + reader_.error_message());
+    }
+    Status s = WaitFd(fd_, POLLIN, deadline, "recv");
+    if (!s.ok()) return s;
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      return Status(StatusCode::kIoError, "recv: connection closed by peer");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<Frame> Client::Roundtrip(FrameType type, std::string_view payload) {
+  if (!connected()) {
+    return Status(StatusCode::kUnavailable, "not connected");
+  }
+  Status s = SendAll(EncodeFrame(type, session_, payload));
+  if (!s.ok()) {
+    Drop();
+    return s;
+  }
+  auto reply = RecvFrame();
+  if (!reply.ok()) {
+    Drop();
+    return reply.status();
+  }
+  return reply;
+}
+
+Result<WireResponse> Client::Call(const std::vector<std::string>& statements) {
+  auto reply = Roundtrip(FrameType::kRequest,
+                         EncodeRequestPayload(statements));
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) {
+    auto err = DecodeErrorPayload(reply->payload);
+    Drop();  // the server closes poisoned/protocol-violating connections
+    if (err.ok()) return StatusFromWireCode(err->first, err->second);
+    return Status(StatusCode::kInternal, "undecodable error frame");
+  }
+  if (reply->type != FrameType::kResponse) {
+    Drop();
+    return Status(StatusCode::kInternal, "unexpected reply frame type");
+  }
+  auto resp = DecodeResponsePayload(reply->payload);
+  if (!resp.ok()) {
+    Drop();
+    return resp.status();
+  }
+  return resp;
+}
+
+Result<WireResponse> Client::CallRetry(
+    const std::vector<std::string>& statements) {
+  Backoff backoff(options_.retry);
+  last_retries_ = 0;
+  for (;;) {
+    if (!connected()) {
+      Status s = Connect();
+      if (!s.ok()) {
+        if (!backoff.ShouldRetry()) return s;
+        last_retries_ = backoff.retries();
+        continue;
+      }
+    }
+    auto resp = Call(statements);
+    if (!resp.ok()) {
+      // Connection-level failure: the socket is gone; reconnect (with a
+      // fresh session) and retry within the budget.
+      if (!backoff.ShouldRetry()) return resp.status();
+      last_retries_ = backoff.retries();
+      continue;
+    }
+    if (!resp->retryable()) return resp;
+    if (!backoff.ShouldRetry()) return resp;
+    last_retries_ = backoff.retries();
+  }
+}
+
+Status Client::LoadSchema(std::string_view source) {
+  auto reply = Roundtrip(FrameType::kSchema, source);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kSchemaOk) return Status::OK();
+  if (reply->type == FrameType::kError) {
+    auto err = DecodeErrorPayload(reply->payload);
+    if (err.ok()) return StatusFromWireCode(err->first, err->second);
+  }
+  Drop();
+  return Status(StatusCode::kInternal, "unexpected schema reply");
+}
+
+Result<std::string> Client::Metrics() {
+  auto reply = Roundtrip(FrameType::kMetrics, "");
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kMetricsOk) return std::move(reply->payload);
+  Drop();
+  return Status(StatusCode::kInternal, "unexpected metrics reply");
+}
+
+}  // namespace cactis::net

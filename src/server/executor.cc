@@ -342,7 +342,7 @@ void Executor::Shutdown() {
     r.status = ResponseStatus::kRejected;
     r.payload = "server shutting down";
     stats_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(std::move(r));
+    Complete(&task, std::move(r));
   }
 
   // Expire every session; open transactions roll back.
@@ -378,6 +378,30 @@ Status Executor::CloseSession(SessionId id) {
   return Status::OK();
 }
 
+Status Executor::CloseSessionEager(SessionId id) {
+  bool deferred = false;
+  auto victim = sessions_.EagerClose(id, &deferred);
+  if (victim == nullptr) {
+    return Status::NotFound("no session " + std::to_string(id.value));
+  }
+  stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  if (deferred) {
+    // A batch was executing when the connection died. The worker usually
+    // sees the disconnected flag at batch end and disposes the corpse
+    // itself, but that check can race the flag store — so confirm with a
+    // blocking wait (bounded by one batch; this runs on the network
+    // layer's teardown thread, never on the event loop).
+    std::unique_lock<std::mutex> slk(victim->mu);
+    if (victim->closed) return Status::OK();  // the worker got it
+    victim->closed = true;
+    slk.unlock();
+  }
+  std::vector<std::shared_ptr<Session>> dead;
+  dead.push_back(std::move(victim));
+  DisposeSessions(std::move(dead), /*expired=*/false);
+  return Status::OK();
+}
+
 void Executor::DisposeSessions(std::vector<std::shared_ptr<Session>> dead,
                                bool expired) {
   if (dead.empty()) return;
@@ -396,12 +420,17 @@ void Executor::ReapExpiredSessions() {
   DisposeSessions(sessions_.ReapExpired(NowMs()), /*expired=*/true);
 }
 
-std::future<Response> Executor::Submit(Request request) {
+void Executor::Complete(Task* task, Response r) {
+  if (task->done) {
+    task->done(std::move(r));
+  } else {
+    task->promise.set_value(std::move(r));
+  }
+}
+
+void Executor::Enqueue(Task task) {
   stats_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
-  Task task;
-  task.request = std::move(request);
   task.enqueue_us = NowUs();
-  std::future<Response> fut = task.promise.get_future();
   bool rejected = false;
   const char* reason = nullptr;
   {
@@ -428,11 +457,26 @@ std::future<Response> Executor::Submit(Request request) {
     Response r;
     r.status = ResponseStatus::kRejected;
     r.payload = reason;
-    task.promise.set_value(std::move(r));
+    Complete(&task, std::move(r));
   } else {
     queue_cv_.notify_one();
   }
+}
+
+std::future<Response> Executor::Submit(Request request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<Response> fut = task.promise.get_future();
+  Enqueue(std::move(task));
   return fut;
+}
+
+void Executor::SubmitWithCallback(Request request,
+                                  std::function<void(Response)> done) {
+  Task task;
+  task.request = std::move(request);
+  task.done = std::move(done);
+  Enqueue(std::move(task));
 }
 
 Response Executor::Call(Request request) {
@@ -450,7 +494,7 @@ bool Executor::RunOne() {
   }
   Response r = Process(&task);
   stats_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-  task.promise.set_value(std::move(r));
+  Complete(&task, std::move(r));
   return true;
 }
 
@@ -468,7 +512,7 @@ void Executor::WorkerLoop() {
     }
     Response r = Process(&task);
     stats_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(std::move(r));
+    Complete(&task, std::move(r));
   }
 }
 
@@ -501,7 +545,7 @@ Response Executor::Process(Task* task) {
     resp.payload = "unknown or expired session";
     return resp;
   }
-  std::lock_guard<std::mutex> slk(session->mu);
+  std::unique_lock<std::mutex> slk(session->mu);
   if (session->closed) {
     resp.status = ResponseStatus::kNoSession;
     resp.payload = "session closed";
@@ -658,6 +702,27 @@ Response Executor::Process(Task* task) {
   }
   resp.metrics.session_ts = session->last_ts;
   session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+
+  // Eager close raced this batch: the client's connection died while we
+  // were executing. The manager already removed the session from its
+  // table; roll back its transaction now instead of letting it linger to
+  // idle-timeout. If this load misses a concurrent flag store,
+  // CloseSessionEager's blocking fallback (which waits on the session
+  // mutex we still hold) disposes the corpse instead; `closed` flips
+  // under the mutex on whichever path wins, so it is rolled back exactly
+  // once.
+  bool dispose = false;
+  if (session->disconnected.load(std::memory_order_seq_cst) &&
+      !session->closed) {
+    session->closed = true;
+    dispose = true;
+  }
+  slk.unlock();
+  if (dispose) {
+    std::vector<std::shared_ptr<Session>> dead;
+    dead.push_back(session);
+    DisposeSessions(std::move(dead), /*expired=*/false);
+  }
   return resp;
 }
 

@@ -229,6 +229,16 @@ class Executor {
 
   Result<SessionId> OpenSession();
   Status CloseSession(SessionId id);
+
+  /// Connection-teardown close: removes the session from the table
+  /// immediately and rolls back its open transaction. A batch executing
+  /// right now normally disposes the session itself the moment it
+  /// finishes (see SessionManager::EagerClose); this call then waits at
+  /// most one batch to confirm. The network layer calls it from its
+  /// teardown thread when a client disconnects uncleanly, so an orphaned
+  /// transaction never lingers to idle-timeout.
+  Status CloseSessionEager(SessionId id);
+
   size_t session_count() const { return sessions_.active_count(); }
 
   // --- Requests -----------------------------------------------------------
@@ -236,6 +246,12 @@ class Executor {
   /// Admission-controlled asynchronous submit. The future completes with
   /// kRejected immediately when the queue is full.
   std::future<Response> Submit(Request request);
+
+  /// Callback-style submit for the network layer: `done` is invoked with
+  /// the response — on a worker thread after execution, or inline on the
+  /// calling thread when admission control rejects the request. Exactly
+  /// one invocation, always (shutdown rejects everything still queued).
+  void SubmitWithCallback(Request request, std::function<void(Response)> done);
 
   /// Submit + wait.
   Response Call(Request request);
@@ -287,8 +303,17 @@ class Executor {
   struct Task {
     Request request;
     std::promise<Response> promise;
+    /// Set for callback-style submissions (the network layer): invoked
+    /// with the response instead of fulfilling the promise.
+    std::function<void(Response)> done;
     uint64_t enqueue_us = 0;
   };
+
+  /// Delivers the response through whichever channel the task carries.
+  static void Complete(Task* task, Response r);
+
+  /// Shared admission-control path behind Submit / SubmitWithCallback.
+  void Enqueue(Task task);
 
   uint64_t NowMs() const;
   static uint64_t NowUs();

@@ -87,6 +87,13 @@ struct Session {
   /// acquired the pointer before removal finds out here.
   bool closed = false;
 
+  /// Set (without the session mutex) by the eager-close path when the
+  /// client's connection died while a batch was executing on this
+  /// session. The worker observes it at batch end and disposes the
+  /// corpse itself — rolling back the open transaction immediately
+  /// instead of letting it linger to idle-timeout.
+  std::atomic<bool> disconnected{false};
+
   /// Open explicit transaction, if any. Its ts() is the session's
   /// current concurrency-control timestamp.
   std::unique_ptr<core::Transaction> txn;
@@ -134,6 +141,18 @@ class SessionManager {
 
   /// Looks the session up without expiry side effects. Thread-safe.
   std::shared_ptr<Session> Find(SessionId id);
+
+  /// Eager close for connection teardown: removes the session from the
+  /// table *immediately* (no new batch can find it). If the session is
+  /// idle, it is marked closed and returned with *deferred = false; the
+  /// caller disposes it (rolling back its transaction under the database
+  /// mutex). If a batch is executing right now, the session's
+  /// `disconnected` flag is set and the victim is returned with
+  /// *deferred = true: the worker running the batch disposes the corpse
+  /// the moment it finishes, and the caller must confirm with a bounded
+  /// blocking wait (Executor::CloseSessionEager does). Unknown id:
+  /// nullptr.
+  std::shared_ptr<Session> EagerClose(SessionId id, bool* deferred);
 
   /// Removes every session idle past the timeout and returns the corpses
   /// for disposal. Sessions whose mutex is currently held (a batch is

@@ -85,6 +85,23 @@ TEST(LexerTest, UnterminatedStringFails) {
   EXPECT_FALSE(lexer.Tokenize().ok());
 }
 
+TEST(LexerTest, OverflowingIntLiteralFails) {
+  // Found by fuzz_statement: std::stoll threw std::out_of_range and
+  // took the process down instead of returning a parse error.
+  Lexer lexer("x = 99999999999999999999999999999");
+  auto r = lexer.Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(LexerTest, OverflowingRealLiteralFails) {
+  std::string huge(400, '9');
+  Lexer lexer("x = " + huge + ".5");
+  auto r = lexer.Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
 TEST(LexerTest, UnknownCharacterFails) {
   Lexer lexer("a @ b");
   auto r = lexer.Tokenize();

@@ -18,6 +18,11 @@ fails (exit 1) when:
   * chaos invariants violated in BENCH_chaos.json, when present:
     e14_lost_acked_commits, e14_phantom_updates and e14_failed_recoveries
     must all be 0 and e14_storm_restored must be 1 (hard gates);
+  * soak invariants violated in BENCH_soak.json, when present:
+    lost_updates, session_leaks, op_failures and framing_errors must all
+    be 0, and peak_sessions must reach the configured session count
+    (hard gates; rejects may be nonzero — admission control is expected
+    to fire — but nothing may be silently lost);
   * a gated metric regressed by more than --threshold (default 25%).
 
 Gated metrics are chosen to be machine-independent so the gate is
@@ -172,6 +177,50 @@ def checkpoint_hard_gate(fresh, failures):
         )
 
 
+def soak_hard_gates(fresh, failures):
+    """E15 invariants are absolute — no baseline, no threshold. The soak's
+    rejects counter may be nonzero (admission control working as designed);
+    what must be zero is anything *lost*: updates, sessions, or requests
+    that failed past the retry budget."""
+    for key in ("lost_updates", "session_leaks", "op_failures",
+                "framing_errors"):
+        v = counter(fresh, key)
+        if v is None:
+            failures.append(f"fresh soak report has no {key} counter")
+        elif v != 0:
+            failures.append(f"soak {key} = {v} (must be 0)")
+    peak = counter(fresh, "peak_sessions")
+    want = fresh.get("config", {}).get("sessions")
+    if peak is None or want is None:
+        failures.append("fresh soak report has no peak_sessions/sessions")
+    elif peak < want:
+        failures.append(
+            f"soak peak_sessions = {peak} < configured {want}: the run "
+            "never actually held every session open concurrently"
+        )
+
+
+def soak_gates(base, fresh, threshold, raw, notes):
+    gates = []
+    base_cpus = base.get("config", {}).get("host_cpus")
+    fresh_cpus = fresh.get("config", {}).get("host_cpus")
+    comparable = raw or (base_cpus is not None and base_cpus == fresh_cpus)
+    for key in ("p50_us", "p99_us"):
+        b, f = counter(base, key), counter(fresh, key)
+        if b is None or f is None:
+            notes.append(f"soak {key} missing; skipped")
+            continue
+        if comparable:
+            gates.append(Gate(f"soak_{key}", b, f, threshold,
+                              higher_is_better=False))
+        else:
+            notes.append(
+                f"soak {key}: wall-clock metric skipped (baseline host_cpus="
+                f"{base_cpus}, fresh={fresh_cpus}; pass --raw to force)"
+            )
+    return gates
+
+
 def chaos_hard_gates(fresh, failures):
     """E14 invariants are absolute — no baseline, no threshold."""
     for key in ("e14_lost_acked_commits", "e14_phantom_updates",
@@ -236,6 +285,19 @@ def main():
         notes.append("no fresh BENCH_chaos.json; E14 invariant gates skipped")
     else:
         chaos_hard_gates(fresh_chaos, failures)
+
+    fresh_soak, _ = load(args.fresh, "BENCH_soak.json")
+    base_soak, _ = load(args.baseline, "BENCH_soak.json")
+    if fresh_soak is None:
+        notes.append("no fresh BENCH_soak.json; E15 invariant gates skipped")
+    else:
+        soak_hard_gates(fresh_soak, failures)
+        if base_soak is None:
+            notes.append("no committed BENCH_soak.json baseline; "
+                         "soak latency gates skipped")
+        else:
+            gates += soak_gates(base_soak, fresh_soak, args.threshold,
+                                args.raw, notes)
 
     print(f"bench_diff: threshold {args.threshold:.0%}")
     for g in gates:

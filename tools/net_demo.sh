@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Two-process demo of the TCP transport: one cactis_shell serves, a
+# second connects over loopback, loads schema, runs a transaction, and
+# reads the server's metrics — all over the binary wire protocol.
+#
+#   tools/net_demo.sh [build-dir] [port]
+set -euo pipefail
+
+# Default to a randomized port so a stale listener from an earlier run
+# (or a parallel CI job) can't be mistaken for the server we just spawned.
+BUILD="${1:-build}"
+PORT="${2:-${CACTIS_DEMO_PORT:-$((20000 + RANDOM % 20000))}}"
+SHELL_BIN="$BUILD/examples/cactis_shell"
+
+if [[ ! -x "$SHELL_BIN" ]]; then
+  echo "error: $SHELL_BIN not built (cmake --build $BUILD)" >&2
+  exit 1
+fi
+
+"$SHELL_BIN" --serve "127.0.0.1:$PORT" &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true; wait "$SERVER" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the server prints its banner once bound).
+for _ in $(seq 1 50); do
+  if "$SHELL_BIN" --connect "127.0.0.1:$PORT" </dev/null >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+# If our server died (e.g. bind failure), anything answering on the port
+# is somebody else's process — fail loudly instead of talking to it.
+if ! kill -0 "$SERVER" 2>/dev/null; then
+  echo "net demo FAILED: server exited before accepting connections (port $PORT in use?)" >&2
+  exit 1
+fi
+
+OUT="$("$SHELL_BIN" --connect "127.0.0.1:$PORT" <<'EOF'
+schema
+object class task is
+  attributes
+    label : string;
+    effort : int;
+end object;
+end schema
+create task as t1
+set t1.label = "ship the wire protocol"; set t1.effort = 3
+begin; set obj(1).effort = 9; commit
+get obj(1).effort
+\health
+quit
+EOF
+)"
+echo "$OUT"
+
+# The transaction's committed value must round-trip over TCP.
+if ! grep -Eq '(^|> )9$' <<<"$OUT"; then
+  echo "net demo FAILED: expected committed value 9 in output" >&2
+  exit 1
+fi
+
+if ! kill -TERM "$SERVER" 2>/dev/null; then
+  echo "net demo FAILED: server died mid-demo" >&2
+  exit 1
+fi
+wait "$SERVER" || true
+trap - EXIT
+echo "net demo ok"
