@@ -224,10 +224,10 @@ class Shell {
           "statements: begin commit abort | create C [as N] | delete T |\n"
           "  set T.A = expr | get/peek T.A | connect/disconnect T.P to T.P\n"
           "  select C where pred | instances C | members S | fetch [N]\n"
-          "  profile <stmt> | explain <stmt>\n"
+          "  profile <stmt> | explain <stmt> | reorganize [policy]\n"
           "shell: \\1..\\9 switch session, \\profile on|off, \\slow,\n"
           "  \\metrics (alias: stats), \\health, schema...end schema,\n"
-          "  help, quit.\n"
+          "  \\reorg [greedy_usage|dstc|typegraph], help, quit.\n"
           "  Batches: statements joined with ';'.\n");
       return true;
     }
@@ -242,6 +242,13 @@ class Shell {
     }
     if (line == "\\health") {
       std::printf("%s\n", backend_->Health().c_str());
+      return true;
+    }
+    // \reorg [policy]: sugar for the `reorganize` statement, so the
+    // maintenance verb is reachable without remembering its grammar.
+    if (line == "\\reorg" || line.rfind("\\reorg ", 0) == 0) {
+      std::string stmt = "reorganize" + line.substr(6);
+      Send(*current, stmt);
       return true;
     }
     if (line[0] == '\\' && line.size() == 2 && isdigit(line[1])) {

@@ -1,97 +1,11 @@
 #include "cluster/reorganizer.h"
 
-#include <algorithm>
-#include <map>
-#include <queue>
-#include <set>
+#include "cluster/policy.h"
 
 namespace cactis::cluster {
 
 std::vector<std::pair<InstanceId, int>> GreedyPack(const ClusterInput& input) {
-  std::vector<std::pair<InstanceId, int>> placement;
-  placement.reserve(input.record_sizes.size());
-
-  // Unassigned instances ordered by (access count desc, id asc) for the
-  // outer "most referenced" choice.
-  std::vector<InstanceId> by_refs;
-  by_refs.reserve(input.record_sizes.size());
-  for (const auto& [id, size] : input.record_sizes) {
-    (void)size;
-    by_refs.push_back(id);
-  }
-  auto refs_of = [&](InstanceId id) -> uint64_t {
-    auto it = input.access_counts.find(id);
-    return it == input.access_counts.end() ? 0 : it->second;
-  };
-  std::sort(by_refs.begin(), by_refs.end(),
-            [&](InstanceId a, InstanceId b) {
-              uint64_t ra = refs_of(a), rb = refs_of(b);
-              if (ra != rb) return ra > rb;
-              return a < b;
-            });
-
-  std::set<InstanceId> unassigned(by_refs.begin(), by_refs.end());
-  size_t seed_cursor = 0;
-  int cluster = 0;
-
-  auto size_of = [&](InstanceId id) -> size_t {
-    auto it = input.record_sizes.find(id);
-    size_t payload = it == input.record_sizes.end() ? 0 : it->second;
-    return payload + input.per_record_overhead;
-  };
-
-  while (!unassigned.empty()) {
-    // Outer choice: most referenced unassigned instance.
-    while (seed_cursor < by_refs.size() &&
-           !unassigned.contains(by_refs[seed_cursor])) {
-      ++seed_cursor;
-    }
-    if (seed_cursor >= by_refs.size()) break;  // defensive; cannot happen
-    InstanceId seed = by_refs[seed_cursor];
-
-    size_t used = input.block_header + size_of(seed);
-    unassigned.erase(seed);
-    placement.emplace_back(seed, cluster);
-
-    // Candidate frontier: (usage desc, peer id asc). Lazily validated.
-    struct Cand {
-      uint64_t usage;
-      InstanceId peer;
-      bool operator<(const Cand& o) const {
-        if (usage != o.usage) return usage < o.usage;  // max-heap by usage
-        return peer > o.peer;
-      }
-    };
-    std::priority_queue<Cand> frontier;
-    auto push_neighbors = [&](InstanceId from) {
-      auto adj = input.adjacency.find(from);
-      if (adj == input.adjacency.end()) return;
-      for (const ClusterInput::Neighbor& n : adj->second) {
-        if (unassigned.contains(n.peer)) frontier.push({n.usage, n.peer});
-      }
-    };
-    push_neighbors(seed);
-
-    // Inner loop: pull the highest-usage relationship's instance into the
-    // block until nothing more fits.
-    while (!frontier.empty()) {
-      Cand c = frontier.top();
-      frontier.pop();
-      if (!unassigned.contains(c.peer)) continue;  // stale entry
-      if (used + size_of(c.peer) > input.block_capacity) {
-        // The paper stops when "the block is full"; we skip candidates
-        // that no longer fit and keep trying smaller ones.
-        continue;
-      }
-      used += size_of(c.peer);
-      unassigned.erase(c.peer);
-      placement.emplace_back(c.peer, cluster);
-      push_neighbors(c.peer);
-    }
-    ++cluster;
-  }
-
-  return placement;
+  return GreedyUsagePolicy().Place(input);
 }
 
 }  // namespace cactis::cluster

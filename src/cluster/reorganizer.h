@@ -5,18 +5,10 @@
 // relationship between instances ... We will then periodically reorganize
 // the database on the basis of this information."
 //
-// GreedyPack implements the paper's packing loop verbatim:
-//
-//   Repeat
-//     Choose the most referenced instance ... not yet assigned a block;
-//     Place this instance in a new block;
-//     Repeat
-//       Choose the relationship belonging to some instance assigned to the
-//       block such that (1) it connects to an unassigned instance outside
-//       the block and (2) its total usage count is the highest;
-//       Assign the instance attached to this relationship to the block;
-//     Until the block is full;
-//   Until all instances are assigned blocks.
+// The packing loop itself lives behind the cluster::Policy interface
+// (cluster/policy.h); this header defines the graph view every policy
+// works over, plus the legacy GreedyPack entry point (the paper's greedy
+// usage-count scheme, now GreedyUsagePolicy).
 //
 // The result is a cluster index per instance; storage::RecordStore
 // ApplyPlacement packs same-cluster instances into the same block chain.
@@ -32,16 +24,28 @@
 
 namespace cactis::cluster {
 
-/// The graph view the packer works over. `record_sizes` are encoded record
-/// sizes; `block_capacity` is the usable bytes per block (the packer
-/// accounts the same per-record overhead the record store does).
+/// The graph view the packers work over. `record_sizes` are encoded
+/// record sizes; `block_capacity` is the usable bytes per block (the
+/// packer accounts the same per-record overhead the record store does).
+///
+/// The statistic fields feed different policies:
+///  * `access_counts` / `Neighbor::usage` — raw lifetime counters (the
+///    paper's scheme, GreedyUsagePolicy);
+///  * `decayed_access` / `Neighbor::decayed_usage` — per-observation-
+///    period decayed counters (DstcPolicy); absent entries read as 0;
+///  * `class_of` / `Neighbor::rel` — schema structure (TypeGraphPolicy;
+///    `rel` is the port index the edge leaves through).
 struct ClusterInput {
   struct Neighbor {
     InstanceId peer;
-    uint64_t usage = 0;  // relationship crossing count (both directions)
+    uint64_t usage = 0;        // relationship crossing count (both directions)
+    double decayed_usage = 0;  // decayed crossing count (DSTC statistic)
+    uint32_t rel = 0;          // port index on this side (schema structure)
   };
 
   std::unordered_map<InstanceId, uint64_t> access_counts;
+  std::unordered_map<InstanceId, double> decayed_access;
+  std::unordered_map<InstanceId, uint32_t> class_of;
   std::unordered_map<InstanceId, std::vector<Neighbor>> adjacency;
   std::unordered_map<InstanceId, size_t> record_sizes;
   size_t block_capacity = 4096;
@@ -49,9 +53,10 @@ struct ClusterInput {
   size_t block_header = 4;
 };
 
-/// Runs the greedy packing; returns (instance, cluster index) for every
-/// instance in `input.record_sizes`. Deterministic: ties break on lower
-/// instance id.
+/// Runs the paper's greedy usage-count packing; returns (instance,
+/// cluster index) for every instance in `input.record_sizes`.
+/// Deterministic: ties break on lower instance id. Equivalent to
+/// GreedyUsagePolicy().Place(input); kept as the historical entry point.
 std::vector<std::pair<InstanceId, int>> GreedyPack(const ClusterInput& input);
 
 }  // namespace cactis::cluster

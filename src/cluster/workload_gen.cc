@@ -1,0 +1,94 @@
+#include "cluster/workload_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace cactis::cluster {
+namespace {
+
+void Shuffle(std::vector<int>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng->Uniform(i)]);
+  }
+}
+
+}  // namespace
+
+WorkloadSpec GenerateWorkload(const WorkloadOptions& options) {
+  WorkloadSpec spec;
+  const int n = std::max(1, options.objects);
+  spec.objects = n;
+  Rng rng(options.seed);
+
+  spec.create_order.resize(n);
+  std::iota(spec.create_order.begin(), spec.create_order.end(), 0);
+  Shuffle(&spec.create_order, &rng);
+
+  // Rel 0: a fan_out-ary tree in object order. Object 0 is the global
+  // root; hot sets are index slices, so hot roots own whole subtrees.
+  const int fan_out = std::max(1, options.fan_out);
+  for (int i = 1; i < n; ++i) {
+    spec.edges.push_back({(i - 1) / fan_out, i, 0});
+  }
+
+  // Rel 1: one long random permutation cycle — structurally uncorrelated
+  // with the tree, so a placement good for one is poor for the other.
+  if (n > 1) {
+    std::vector<int> cycle(n);
+    std::iota(cycle.begin(), cycle.end(), 0);
+    Shuffle(&cycle, &rng);
+    for (int k = 0; k < n; ++k) {
+      spec.edges.push_back({cycle[k], cycle[(k + 1) % n], 1});
+    }
+  }
+
+  const int hot = std::max(1, static_cast<int>(options.hot_fraction * n));
+  const int phases = std::max(1, options.phases);
+  auto pick_root = [&](int phase) -> int {
+    if (rng.Bernoulli(options.hot_skew)) {
+      // Disjoint hot slices per phase (wrapping): the hot set *moves*.
+      const int start = (phase * hot) % n;
+      return (start + static_cast<int>(rng.Uniform(hot))) % n;
+    }
+    return static_cast<int>(rng.Uniform(n));
+  };
+  auto make_op = [&](int phase) {
+    WorkloadOp op;
+    op.root = pick_root(phase);
+    op.depth = std::max(1, options.depth);
+    op.rel = options.rotate_rel ? static_cast<uint32_t>(phase % 2) : 0u;
+    op.kind = options.kind;
+    op.write = rng.Bernoulli(options.write_fraction);
+    return op;
+  };
+
+  // Warm ops: phase 0 takes first_phase_fraction of the budget (so raw
+  // lifetime counters stay dominated by the oldest pattern); later
+  // phases split the rest evenly.
+  std::vector<int> per_phase(phases, 0);
+  if (phases == 1) {
+    per_phase[0] = options.warm_ops;
+  } else if (options.warm_ops > 0) {
+    per_phase[0] = static_cast<int>(options.warm_ops *
+                                    options.first_phase_fraction);
+    const int rest = options.warm_ops - per_phase[0];
+    for (int p = 1; p < phases; ++p) {
+      per_phase[p] = rest / (phases - 1);
+    }
+  }
+  for (int p = 0; p < phases; ++p) {
+    for (int k = 0; k < per_phase[p]; ++k) {
+      spec.warm_ops.push_back(make_op(p));
+    }
+    if (p + 1 < phases) spec.phase_breaks.push_back(spec.warm_ops.size());
+  }
+
+  for (int k = 0; k < options.score_ops; ++k) {
+    spec.score_ops.push_back(make_op(phases - 1));
+  }
+  return spec;
+}
+
+}  // namespace cactis::cluster

@@ -1,0 +1,102 @@
+// OCB-inspired synthetic workload generator (Darmont et al.).
+//
+// Clustering policies can only be ranked against workloads, and one
+// synthetic chain walk (the old E5) is not a workload space. In the
+// spirit of the OCB benchmark this generator emits *descriptions* of
+// object graphs and traversal streams with tunable:
+//
+//  * fan-out            — children per internal node of the structural tree;
+//  * hot-set skew       — fraction of roots that are hot, and the
+//                         probability a traversal starts in the hot set;
+//  * traversal depth    — how deep a depth-first closure walks;
+//  * traversal kind     — depth-first closure vs. attribute-pull (wide,
+//                         shallow reads of every neighbour's attributes);
+//  * read/write mix     — fraction of traversals that rewrite their root;
+//  * phases             — the hot set and the traversed relationship
+//                         rotate per phase, modelling workloads whose
+//                         access pattern shifts over the database's life
+//                         (where decayed statistics beat raw counters).
+//
+// A spec is pure data — object indices, edges, op streams — so the
+// generator depends on nothing above the common layer and is unit-
+// testable without a database. The bench harness (bench_clustering, E16)
+// materialises a spec against a core::Database and scores policies on
+// blocks read per traversal.
+//
+// Objects carry two relationship structures over the same instances:
+// rel 0 ("tree") is a fan_out-ary tree in object order, rel 1 ("jump")
+// is a random permutation cycle. Single-phase workloads traverse the
+// tree; with `rotate_rel`, phase p traverses rel p % 2, so raw lifetime
+// counters keep favouring the old structure while decayed counters
+// follow the shift.
+//
+// Everything is deterministic in `seed`.
+
+#ifndef CACTIS_CLUSTER_WORKLOAD_GEN_H_
+#define CACTIS_CLUSTER_WORKLOAD_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cactis::cluster {
+
+enum class TraversalKind {
+  kDepthFirst,  // closure: follow the relationship to `depth` levels
+  kAttrPull,    // wide read: root plus every direct neighbour's attributes
+};
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  int objects = 360;
+  int fan_out = 3;           // tree arity (rel 0)
+  double hot_fraction = 0.1; // fraction of objects forming each phase's hot set
+  double hot_skew = 0.9;     // P(traversal roots in the phase's hot set)
+  int depth = 4;             // depth-first closure depth
+  TraversalKind kind = TraversalKind::kDepthFirst;
+  double write_fraction = 0.0;  // P(op rewrites its root after the walk)
+  int phases = 1;
+  bool rotate_rel = false;   // phase p traverses rel p % 2 (else always rel 0)
+  int warm_ops = 400;        // stats-gathering traversals, split over phases
+  double first_phase_fraction = 0.7;  // 2-phase workloads: share of warm ops
+                                      // in phase 0 (raw counters stay biased
+                                      // toward the old pattern)
+  int score_ops = 150;       // measured traversals (final-phase distribution)
+};
+
+struct WorkloadEdge {
+  int from = 0;
+  int to = 0;
+  uint32_t rel = 0;  // 0 = tree, 1 = jump
+};
+
+struct WorkloadOp {
+  int root = 0;
+  int depth = 1;
+  uint32_t rel = 0;
+  TraversalKind kind = TraversalKind::kDepthFirst;
+  bool write = false;
+};
+
+struct WorkloadSpec {
+  int objects = 0;
+  /// Object indices in creation order, shuffled so natural (insertion-
+  /// order) placement interleaves structurally unrelated instances.
+  std::vector<int> create_order;
+  std::vector<WorkloadEdge> edges;
+  /// Statistics-gathering traversals, executed before reorganisation.
+  std::vector<WorkloadOp> warm_ops;
+  /// Indices into warm_ops where an observation period ends (phase
+  /// boundaries): the harness folds decayed statistics there
+  /// (Database::FoldUsageStatistics). Excludes the end of the final
+  /// phase, which Reorganize() folds itself.
+  std::vector<size_t> phase_breaks;
+  /// Measured traversals, drawn from the final phase's distribution.
+  std::vector<WorkloadOp> score_ops;
+};
+
+WorkloadSpec GenerateWorkload(const WorkloadOptions& options);
+
+}  // namespace cactis::cluster
+
+#endif  // CACTIS_CLUSTER_WORKLOAD_GEN_H_

@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <unordered_set>
@@ -160,6 +161,15 @@ Database::Database(DatabaseOptions options)
   });
   metrics_.RegisterSource("snapshot", [this](obs::MetricsGroup* g) {
     snapshots_.ExportTo(g);
+  });
+  metrics_.RegisterSource("cluster", [this](obs::MetricsGroup* g) {
+    g->AddJson("policy",
+               "\"" +
+                   std::string(cluster::PolicyKindName(
+                       options_.cluster_policy)) +
+                   "\"");
+    g->AddGauge("decay_alpha", options_.cluster_decay_alpha);
+    cluster_stats_.ExportTo(g);
   });
 
   txn_begun_ = metrics_.GetCounter("txn.begun");
@@ -1776,10 +1786,49 @@ Result<std::vector<EdgeId>> Database::EdgesOf(InstanceId id,
 
 // --- Maintenance ---------------------------------------------------------------
 
-Status Database::Reorganize() {
+void Database::FoldUsageStatistics() {
+  CACTIS_SERIAL_GUARD(serial_guard_);
   // Fold the shared read path's deferred touches into the access counts
-  // before using them for placement.
+  // before closing the period over them.
   cache_.DrainTouches(&access_counts_);
+
+  // Each fold closes one observation period: the decayed counters take
+  // the period's raw delta as a new sample, so activity long past decays
+  // away while lifetime counters keep accumulating.
+  uint64_t raw_total = 0;
+  double decayed_total = 0.0;
+  std::vector<InstanceId> live = store_.AllInstances();
+  {
+    // Deleted instances must not pin decay state (or skew the totals).
+    std::unordered_set<InstanceId> alive(live.begin(), live.end());
+    std::erase_if(access_decay_,
+                  [&](const auto& kv) { return !alive.contains(kv.first); });
+  }
+  for (InstanceId id : live) {
+    auto it = access_decay_
+                  .try_emplace(id, AccessDecayEntry(options_.cluster_decay_alpha))
+                  .first;
+    auto raw_it = access_counts_.find(id);
+    const uint64_t raw = raw_it == access_counts_.end() ? 0 : raw_it->second;
+    it->second.decay.Record(static_cast<double>(raw - it->second.at_last_fold));
+    it->second.at_last_fold = raw;
+    raw_total += raw;
+    decayed_total += it->second.decay.value();
+  }
+  for (auto& [edge, stats] : edge_stats_) {
+    stats.usage_decay.Record(
+        static_cast<double>(stats.usage - stats.usage_at_last_fold));
+    stats.usage_at_last_fold = stats.usage;
+  }
+  cluster_stats_.raw_access_total = raw_total;
+  cluster_stats_.decayed_access_total = decayed_total;
+  ++cluster_stats_.stat_folds;
+}
+
+Status Database::Reorganize() {
+  CACTIS_SERIAL_GUARD(serial_guard_);
+  FoldUsageStatistics();
+
   cluster::ClusterInput input;
   input.block_capacity = options_.block_size;
   input.access_counts = access_counts_;
@@ -1788,19 +1837,73 @@ Status Database::Reorganize() {
     CACTIS_ASSIGN_OR_RETURN(std::string payload, store_.Get(id));
     input.record_sizes[id] = payload.size();
     CACTIS_ASSIGN_OR_RETURN(Instance * inst, FetchInstance(id, false));
+    input.class_of[id] = static_cast<uint32_t>(inst->class_id().value);
+    auto decay_it = access_decay_.find(id);
+    if (decay_it != access_decay_.end()) {
+      input.decayed_access[id] = decay_it->second.decay.value();
+    }
     std::vector<cluster::ClusterInput::Neighbor> adj;
-    for (const auto& port : inst->ports()) {
-      for (const EdgeRecord& e : port) {
-        adj.push_back({e.peer, EdgeStatsFor(e.id).usage});
+    for (size_t p = 0; p < inst->ports().size(); ++p) {
+      for (const EdgeRecord& e : inst->ports()[p]) {
+        const EdgeStatEntry& es = EdgeStatsFor(e.id);
+        adj.push_back({e.peer, es.usage, es.usage_decay.value(),
+                       static_cast<uint32_t>(p)});
       }
     }
     input.adjacency[id] = std::move(adj);
   }
 
-  std::vector<std::pair<InstanceId, int>> placement =
-      cluster::GreedyPack(input);
+  std::unique_ptr<cluster::Policy> policy =
+      cluster::MakePolicy(options_.cluster_policy);
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster::Placement placement = policy->Place(input);
+  cluster_stats_.placement_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  const uint64_t reads_before = disk_.stats().reads;
+  const uint64_t writes_before = disk_.stats().writes;
   CACTIS_RETURN_IF_ERROR(store_.ApplyPlacement(placement));
+  cluster_stats_.reorg_blocks_read = disk_.stats().reads - reads_before;
+  cluster_stats_.reorg_blocks_written = disk_.stats().writes - writes_before;
+
+  int max_cluster = -1;
+  size_t payload_bytes = 0;
+  for (const auto& [id, cluster_index] : placement) {
+    max_cluster = std::max(max_cluster, cluster_index);
+    payload_bytes +=
+        input.record_sizes[id] + storage::kRecordOverheadBytes;
+  }
+  cluster_stats_.instances_placed = placement.size();
+  cluster_stats_.clusters_produced = static_cast<uint64_t>(max_cluster + 1);
+  const size_t blocks = store_.block_count();
+  cluster_stats_.blocks_produced = blocks;
+  const size_t usable = pool_.usable_block_bytes();
+  cluster_stats_.fill_factor =
+      blocks == 0 || usable == 0
+          ? 0.0
+          : static_cast<double>(payload_bytes +
+                                blocks * storage::kBlockHeaderBytes) /
+                static_cast<double>(blocks * usable);
+  ++cluster_stats_.reorg_runs;
+
   return RecomputeWorstCaseStats();
+}
+
+void ClusterStats::ExportTo(obs::MetricsGroup* g) const {
+  g->AddCounter("reorg_runs", reorg_runs);
+  g->AddCounter("stat_folds", stat_folds);
+  g->AddGauge("instances_placed", static_cast<double>(instances_placed));
+  g->AddGauge("clusters_produced", static_cast<double>(clusters_produced));
+  g->AddGauge("blocks_produced", static_cast<double>(blocks_produced));
+  g->AddGauge("fill_factor", fill_factor);
+  g->AddGauge("placement_us", static_cast<double>(placement_us));
+  g->AddGauge("reorg_blocks_read", static_cast<double>(reorg_blocks_read));
+  g->AddGauge("reorg_blocks_written",
+              static_cast<double>(reorg_blocks_written));
+  g->AddCounter("raw_access_total", raw_access_total);
+  g->AddGauge("decayed_access_total", decayed_access_total);
 }
 
 Status Database::RecomputeWorstCaseStats() {
@@ -2018,7 +2121,10 @@ void Database::ReleaseCcWrites(Transaction* t) {
 Database::EdgeStatEntry& Database::EdgeStatsFor(EdgeId id) {
   auto it = edge_stats_.find(id);
   if (it == edge_stats_.end()) {
-    it = edge_stats_.emplace(id, EdgeStatEntry(options_.decay_alpha)).first;
+    it = edge_stats_
+             .emplace(id, EdgeStatEntry(options_.decay_alpha,
+                                        options_.cluster_decay_alpha))
+             .first;
   }
   return it->second;
 }

@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/policy.h"
 #include "cluster/reorganizer.h"
 #include "common/clock.h"
 #include "common/ids.h"
@@ -114,6 +115,35 @@ struct DatabaseOptions {
   /// Recent deltas always retained by a prune: bounds how far Undo can
   /// walk back after pruning and absorbs the snapshot-acquire race.
   size_t version_prune_slack = 128;
+  /// Clustering policy Reorganize() packs with (cluster/policy.h).
+  cluster::PolicyKind cluster_policy = cluster::kDefaultPolicy;
+  /// Weight of the newest observation period in the clustering decayed
+  /// counters (the DSTC statistic). High on purpose — the point of the
+  /// decayed policy is that the *recent* access pattern dictates
+  /// placement; at 0.8 one period of silence costs a counter 80% of its
+  /// weight. Distinct from decay_alpha, which smooths I/O estimates and
+  /// wants the opposite bias (stability).
+  double cluster_decay_alpha = 0.8;
+};
+
+/// Counters for the clustering subsystem (metrics group "cluster").
+/// "Last run" fields describe the most recent Reorganize().
+struct ClusterStats {
+  uint64_t reorg_runs = 0;
+  uint64_t stat_folds = 0;            // observation periods closed
+  uint64_t instances_placed = 0;      // last run
+  uint64_t clusters_produced = 0;     // last run
+  uint64_t blocks_produced = 0;       // last run
+  double fill_factor = 0.0;           // last run, 0..1 of usable bytes
+  uint64_t placement_us = 0;          // last run: policy Place() wall time
+  uint64_t reorg_blocks_read = 0;     // last run: ApplyPlacement disk reads
+  uint64_t reorg_blocks_written = 0;  // last run: ApplyPlacement disk writes
+  // Decayed-vs-raw divergence at the last fold: when the decayed total
+  // is far below the raw total, history no longer matches the present
+  // access pattern (the regime where DstcPolicy beats GreedyUsage).
+  uint64_t raw_access_total = 0;
+  double decayed_access_total = 0.0;
+  void ExportTo(obs::MetricsGroup* g) const;
 };
 
 class Database;
@@ -407,13 +437,45 @@ class Database {
   Result<std::vector<EdgeId>> EdgesOf(InstanceId id, const std::string& port);
 
   size_t instance_count() const { return store_.record_count(); }
+  /// Blocks currently holding at least one record (fill-factor metric).
+  size_t block_count() const { return store_.block_count(); }
 
   // --- Maintenance / stats ------------------------------------------------
 
-  /// Usage-based clustering reorganisation (paper 2.3): greedy block
-  /// packing by reference counts, then recomputation of worst-case
-  /// marking statistics and reseeding of the decaying averages.
+  /// Clustering reorganisation (paper 2.3): packs instances into blocks
+  /// with the configured cluster::Policy (options.cluster_policy), then
+  /// recomputes worst-case marking statistics and reseeds the decaying
+  /// averages. Closes the current usage-statistics observation period
+  /// first. Results land in cluster_stats().
   Status Reorganize();
+
+  /// Closes one usage-statistics observation period: folds the raw
+  /// access/crossing counter deltas accumulated since the previous fold
+  /// into the decayed counters (DSTC statistic; cluster_decay_alpha).
+  /// Called by Reorganize(); callable on its own so a workload's phase
+  /// boundaries can be observed without repacking.
+  void FoldUsageStatistics();
+
+  const ClusterStats& cluster_stats() const { return cluster_stats_; }
+  cluster::PolicyKind cluster_policy() const {
+    return options_.cluster_policy;
+  }
+  void set_cluster_policy(cluster::PolicyKind kind) {
+    options_.cluster_policy = kind;
+  }
+
+  /// Records a relationship crossing made by an external traversal engine
+  /// (the environment layer, workload harnesses): clustering statistics
+  /// must see traversals that bypass rule evaluation too.
+  void NoteTraversal(EdgeId edge) {
+    CACTIS_SERIAL_GUARD(serial_guard_);
+    RecordCrossing(edge);
+  }
+
+  /// The decayed crossing counter for `edge` (white-box tests, E16).
+  double EdgeDecayedUsage(EdgeId edge) {
+    return EdgeStatsFor(edge).usage_decay.value();
+  }
 
   /// Writes every dirty block back.
   Status Flush();
@@ -551,7 +613,21 @@ class Database {
     sched::DecayingAverage decay;
     uint64_t usage = 0;        // crossings (clustering statistic)
     double worst_case = 1.0;   // cluster-time marking estimate
-    explicit EdgeStatEntry(double alpha) : decay(alpha, 1.0) {}
+    // DSTC statistic: crossings per observation period, decayed. Folded
+    // from `usage` deltas by FoldUsageStatistics.
+    sched::DecayingAverage usage_decay;
+    uint64_t usage_at_last_fold = 0;
+    EdgeStatEntry(double alpha, double cluster_alpha)
+        : decay(alpha, 1.0), usage_decay(cluster_alpha, 0.0) {}
+  };
+
+  // DSTC statistic per instance: accesses per observation period,
+  // decayed. Folded from access_counts_ deltas by FoldUsageStatistics.
+  struct AccessDecayEntry {
+    sched::DecayingAverage decay;
+    uint64_t at_last_fold = 0;
+    explicit AccessDecayEntry(double cluster_alpha)
+        : decay(cluster_alpha, 0.0) {}
   };
 
   // Operation wrappers: validate txn state, run, abort-on-violation.
@@ -715,6 +791,8 @@ class Database {
   std::unordered_map<SubtypeId, std::set<InstanceId>> subtype_members_;
   std::unordered_map<EdgeId, EdgeStatEntry> edge_stats_;
   std::unordered_map<InstanceId, uint64_t> access_counts_;
+  std::unordered_map<InstanceId, AccessDecayEntry> access_decay_;
+  ClusterStats cluster_stats_;
   std::unordered_map<InstanceId, MirrorResolver> mirror_resolvers_;
   ChangeListener change_listener_;
 };

@@ -134,6 +134,8 @@ std::string_view StatementKindName(StatementKind k) {
       return "fetch";
     case StatementKind::kHealth:
       return "health";
+    case StatementKind::kReorganize:
+      return "reorganize";
   }
   return "unknown";
 }
@@ -1051,6 +1053,23 @@ StatementResult Executor::ExecuteExplain(Session* s, const Statement& st) {
       w.Key("action").String("allocate instance; initialize attributes");
       break;
     }
+    case StatementKind::kReorganize: {
+      // Report the policy that *would* run; `explain` must not mutate the
+      // configured selection.
+      const char* policy =
+          cluster::PolicyKindName(db_->cluster_policy());
+      if (!st.class_name.empty()) {
+        if (auto kind = cluster::PolicyKindFromName(st.class_name)) {
+          policy = cluster::PolicyKindName(*kind);
+        }
+      }
+      w.Key("policy").String(policy);
+      w.Key("instances").Uint(db_->instance_count());
+      w.Key("action").String(
+          "exclusive maintenance: fold usage statistics, repack every "
+          "instance into fresh blocks, recompute worst-case estimates");
+      break;
+    }
     default: {
       // begin/commit/abort/fetch/delete/connect/disconnect: nothing
       // plan-shaped to report beyond session state.
@@ -1286,6 +1305,42 @@ StatementResult Executor::ExecuteStatement(Session* s, Statement* st) {
       // Normally short-circuited lock-free in Process(); kept here so a
       // direct call still answers.
       r.payload = HealthJson();
+      break;
+    }
+    case StatementKind::kReorganize: {
+      if (!st->class_name.empty()) {
+        auto kind = cluster::PolicyKindFromName(st->class_name);
+        if (!kind) {
+          r.status = Status::InvalidArgument(
+              "unknown clustering policy '" + st->class_name +
+              "' (greedy_usage | dstc | typegraph)");
+          break;
+        }
+        db_->set_cluster_policy(*kind);
+      }
+      // Publish every durably-flushed commit first: reorganisation reads
+      // the whole store, so it must see the acknowledged state.
+      Status status = db_->DrainCommits();
+      if (status.ok()) status = db_->Reorganize();
+      if (!status.ok()) {
+        r.status = status;
+        break;
+      }
+      const core::ClusterStats& cs = db_->cluster_stats();
+      obs::JsonWriter w;
+      w.BeginObject();
+      w.Key("policy").String(cluster::PolicyKindName(db_->cluster_policy()));
+      w.Key("reorg_runs").Uint(cs.reorg_runs);
+      w.Key("instances").Uint(cs.instances_placed);
+      w.Key("clusters").Uint(cs.clusters_produced);
+      w.Key("blocks").Uint(cs.blocks_produced);
+      w.Key("fill_factor_pct")
+          .Uint(static_cast<uint64_t>(cs.fill_factor * 100.0 + 0.5));
+      w.Key("placement_us").Uint(cs.placement_us);
+      w.Key("blocks_read").Uint(cs.reorg_blocks_read);
+      w.Key("blocks_written").Uint(cs.reorg_blocks_written);
+      w.EndObject();
+      r.payload = w.str();
       break;
     }
   }

@@ -280,6 +280,17 @@ Result<Statement> ParseStatement(std::string_view text) {
     return st;
   }
 
+  if (c.MatchIdent("reorganize") || c.MatchIdent("reorg")) {
+    st.kind = StatementKind::kReorganize;
+    // Optional clustering-policy name; validated at execution (the parser
+    // stays pure and policy names are not part of the token language).
+    if (c.Peek().type == TokenType::kIdentifier) {
+      st.class_name = c.Advance().text;
+    }
+    CACTIS_RETURN_IF_ERROR(c.ExpectEnd());
+    return st;
+  }
+
   if (c.MatchIdent("fetch")) {
     st.kind = StatementKind::kFetch;
     st.count = 1;

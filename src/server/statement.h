@@ -30,6 +30,16 @@
 //                                            lock-free so it answers even
 //                                            while the storage layer is
 //                                            down
+//         | "reorganize" [POLICY]            clustering reorganisation
+//                                            (paper 2.3) under the
+//                                            exclusive lock; optional
+//                                            POLICY (greedy_usage | dstc
+//                                            | typegraph) selects the
+//                                            cluster::Policy first.
+//                                            Returns a JSON summary
+//                                            (blocks, fill factor, I/O).
+//                                            A mutation: rejected while
+//                                            the server is degraded
 //
 //   target := NAME                           session binding (create ... as)
 //           | "obj" "(" INT ")"              raw instance id (shareable
@@ -69,6 +79,7 @@ enum class StatementKind {
   kMembers,
   kFetch,
   kHealth,
+  kReorganize,
 };
 
 /// An instance reference: a session-local binding name or a raw id.

@@ -16,6 +16,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/backoff.h"
 #include "common/ids.h"
@@ -130,6 +131,14 @@ class BufferPool {
 
   size_t capacity() const { return capacity_; }
   size_t resident_blocks() const { return frames_.size(); }
+  /// Ids of every resident block. Benchmarks use this (with FlushAll +
+  /// Discard) to cold the pool so runs score from identical cache state.
+  std::vector<BlockId> ResidentBlockIds() const {
+    std::vector<BlockId> out;
+    out.reserve(frames_.size());
+    for (const auto& [id, frame] : frames_) out.push_back(id);
+    return out;
+  }
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
 

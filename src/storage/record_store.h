@@ -58,6 +58,8 @@ class RecordStore {
 
   std::vector<InstanceId> AllInstances() const;
   size_t record_count() const { return directory_.size(); }
+  /// Blocks currently holding at least one record (fill-factor metric).
+  size_t block_count() const { return block_population_.size(); }
 
  private:
   /// Writes `payload` into `block` (must fit), updating the directory.

@@ -12,6 +12,7 @@
 #include "server/executor.h"
 #include "server/statement.h"
 #include "server/transport.h"
+#include "storage/fault_policy.h"
 
 namespace cactis::server {
 namespace {
@@ -288,6 +289,102 @@ TEST_F(ServerTest, RequestMetricsReported) {
   ASSERT_EQ(r.status, ResponseStatus::kOk);
   EXPECT_EQ(r.metrics.statements_run, 3u);
   EXPECT_GT(r.metrics.session_ts, 0u);
+}
+
+TEST_F(ServerTest, ReorganizeStatementReportsPlacement) {
+  auto s = *client_->Connect();
+  ASSERT_EQ(Call(s, "create node as a; create node as b; create node as c")
+                .status,
+            ResponseStatus::kOk);
+  ASSERT_EQ(Call(s, "connect a.out to b.in; connect b.out to c.in").status,
+            ResponseStatus::kOk);
+  auto r = Call(s, "reorganize");
+  ASSERT_EQ(r.status, ResponseStatus::kOk) << r.payload;
+  EXPECT_NE(r.payload.find("\"policy\":\"dstc\""), std::string::npos)
+      << r.payload;
+  EXPECT_NE(r.payload.find("\"instances\":3"), std::string::npos)
+      << r.payload;
+  EXPECT_NE(r.payload.find("\"blocks\":"), std::string::npos);
+  EXPECT_NE(r.payload.find("\"fill_factor_pct\":"), std::string::npos);
+  EXPECT_EQ(db_.cluster_stats().reorg_runs, 1u);
+  // The metrics snapshot carries the new cluster group.
+  std::string snap = db_.SnapshotMetrics();
+  EXPECT_NE(snap.find("\"cluster\""), std::string::npos) << snap;
+  EXPECT_NE(snap.find("reorg_runs"), std::string::npos);
+}
+
+TEST_F(ServerTest, ReorganizeSelectsPolicy) {
+  auto s = *client_->Connect();
+  ASSERT_EQ(Call(s, "create leaf").status, ResponseStatus::kOk);
+  auto r = Call(s, "reorganize typegraph");
+  ASSERT_EQ(r.status, ResponseStatus::kOk) << r.payload;
+  EXPECT_NE(r.payload.find("\"policy\":\"typegraph\""), std::string::npos)
+      << r.payload;
+  EXPECT_EQ(db_.cluster_policy(), cluster::PolicyKind::kTypeGraph);
+  // `reorg` is an accepted alias; the selected policy sticks.
+  r = Call(s, "reorg greedy_usage");
+  ASSERT_EQ(r.status, ResponseStatus::kOk) << r.payload;
+  EXPECT_EQ(db_.cluster_policy(), cluster::PolicyKind::kGreedyUsage);
+}
+
+TEST_F(ServerTest, ReorganizeRejectsUnknownPolicy) {
+  auto s = *client_->Connect();
+  auto r = Call(s, "reorganize quicksort");
+  EXPECT_EQ(r.status, ResponseStatus::kError);
+  EXPECT_NE(r.statements[0].status.ToString().find(
+                "unknown clustering policy"),
+            std::string::npos)
+      << r.statements[0].status.ToString();
+  EXPECT_EQ(db_.cluster_stats().reorg_runs, 0u);
+}
+
+TEST_F(ServerTest, ReorganizeRejectedWhileDegraded) {
+  auto s = *client_->Connect();
+  ASSERT_EQ(Call(s, "create leaf as x").status, ResponseStatus::kOk);
+
+  storage::TransientStorm storm;
+  db_.disk()->set_fault_policy(&storm);
+  storm.storming.store(true);
+  EXPECT_NE(Call(s, "set x.v = 1").status, ResponseStatus::kOk);
+  ASSERT_TRUE(exec_->degraded());
+
+  // Reorganize is a mutation: refused fast, nothing repacked.
+  auto r = Call(s, "reorganize");
+  EXPECT_EQ(r.status, ResponseStatus::kUnavailable) << r.payload;
+  EXPECT_EQ(db_.cluster_stats().reorg_runs, 0u);
+
+  // Storm over: a probe restores read-write and reorganize runs.
+  storm.storming.store(false);
+  ASSERT_TRUE(exec_->ProbeOnce());
+  r = Call(s, "reorganize");
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.payload;
+  EXPECT_EQ(db_.cluster_stats().reorg_runs, 1u);
+}
+
+TEST_F(ServerTest, ProfileReorganizeAttributesCost) {
+  auto s = *client_->Connect();
+  ASSERT_EQ(Call(s, "create node as a; create node as b").status,
+            ResponseStatus::kOk);
+  ASSERT_EQ(Call(s, "connect a.out to b.in").status, ResponseStatus::kOk);
+  auto r = Call(s, "profile reorganize");
+  ASSERT_EQ(r.status, ResponseStatus::kOk) << r.payload;
+  // The repack rewrites every record's block under the statement's
+  // RequestScope, so the cost JSON must attribute those writes.
+  EXPECT_NE(r.payload.find("\"cost\""), std::string::npos) << r.payload;
+  EXPECT_EQ(r.payload.find("\"blocks_written\":0,"), std::string::npos)
+      << "reorganize charged no writes: " << r.payload;
+  EXPECT_EQ(db_.cluster_stats().reorg_runs, 1u);
+}
+
+TEST_F(ServerTest, ExplainReorganizeReportsPlanWithoutRunning) {
+  auto s = *client_->Connect();
+  ASSERT_EQ(Call(s, "create leaf").status, ResponseStatus::kOk);
+  auto r = Call(s, "explain reorganize typegraph");
+  ASSERT_EQ(r.status, ResponseStatus::kOk) << r.payload;
+  EXPECT_NE(r.payload.find("typegraph"), std::string::npos) << r.payload;
+  // Explain neither repacks nor changes the configured policy.
+  EXPECT_EQ(db_.cluster_stats().reorg_runs, 0u);
+  EXPECT_EQ(db_.cluster_policy(), cluster::kDefaultPolicy);
 }
 
 TEST_F(ServerTest, ShutdownRejectsQueuedAndExpiresSessions) {

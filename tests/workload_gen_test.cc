@@ -1,0 +1,193 @@
+// Workload generator unit tests: determinism, graph structure (tree +
+// permutation cycle), and the knobs the E16 matrix depends on (hot-set
+// skew, phase rotation, write mix, phase breaks).
+
+#include "cluster/workload_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace cactis::cluster {
+namespace {
+
+WorkloadOptions BaseOptions() {
+  WorkloadOptions o;
+  o.seed = 42;
+  o.objects = 120;
+  o.fan_out = 3;
+  o.warm_ops = 200;
+  o.score_ops = 50;
+  return o;
+}
+
+TEST(WorkloadGenTest, DeterministicInSeed) {
+  WorkloadOptions o = BaseOptions();
+  WorkloadSpec a = GenerateWorkload(o);
+  WorkloadSpec b = GenerateWorkload(o);
+  EXPECT_EQ(a.create_order, b.create_order);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].from, b.edges[i].from);
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to);
+    EXPECT_EQ(a.edges[i].rel, b.edges[i].rel);
+  }
+  ASSERT_EQ(a.warm_ops.size(), b.warm_ops.size());
+  for (size_t i = 0; i < a.warm_ops.size(); ++i) {
+    EXPECT_EQ(a.warm_ops[i].root, b.warm_ops[i].root);
+    EXPECT_EQ(a.warm_ops[i].write, b.warm_ops[i].write);
+  }
+
+  o.seed = 43;  // a different seed must change the stream
+  WorkloadSpec c = GenerateWorkload(o);
+  EXPECT_NE(a.create_order, c.create_order);
+}
+
+TEST(WorkloadGenTest, CreateOrderIsAPermutation) {
+  WorkloadSpec spec = GenerateWorkload(BaseOptions());
+  ASSERT_EQ(spec.create_order.size(), 120u);
+  std::set<int> seen(spec.create_order.begin(), spec.create_order.end());
+  EXPECT_EQ(seen.size(), 120u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 119);
+  // Shuffled: not the identity order.
+  std::vector<int> identity(120);
+  for (int i = 0; i < 120; ++i) identity[i] = i;
+  EXPECT_NE(spec.create_order, identity);
+}
+
+TEST(WorkloadGenTest, TreeEdgesFollowFanOut) {
+  WorkloadSpec spec = GenerateWorkload(BaseOptions());
+  int tree_edges = 0;
+  for (const auto& e : spec.edges) {
+    if (e.rel != 0) continue;
+    ++tree_edges;
+    EXPECT_EQ(e.from, (e.to - 1) / 3) << "child " << e.to;
+  }
+  EXPECT_EQ(tree_edges, 119);  // n-1 edges: every non-root has one parent
+}
+
+TEST(WorkloadGenTest, JumpEdgesFormOnePermutationCycle) {
+  WorkloadSpec spec = GenerateWorkload(BaseOptions());
+  std::set<int> froms, tos;
+  int jump_edges = 0;
+  for (const auto& e : spec.edges) {
+    if (e.rel != 1) continue;
+    ++jump_edges;
+    EXPECT_TRUE(froms.insert(e.from).second);
+    EXPECT_TRUE(tos.insert(e.to).second);
+  }
+  // A permutation cycle: n edges, every object exactly once on each side.
+  EXPECT_EQ(jump_edges, 120);
+  EXPECT_EQ(froms.size(), 120u);
+  EXPECT_EQ(tos.size(), 120u);
+}
+
+TEST(WorkloadGenTest, OpsStayInRange) {
+  WorkloadOptions o = BaseOptions();
+  o.phases = 2;
+  o.rotate_rel = true;
+  o.write_fraction = 0.5;
+  WorkloadSpec spec = GenerateWorkload(o);
+  auto check = [&](const std::vector<WorkloadOp>& ops) {
+    for (const auto& op : ops) {
+      EXPECT_GE(op.root, 0);
+      EXPECT_LT(op.root, 120);
+      EXPECT_GE(op.depth, 1);
+      EXPECT_LE(op.rel, 1u);
+    }
+  };
+  check(spec.warm_ops);
+  check(spec.score_ops);
+}
+
+TEST(WorkloadGenTest, PhaseBreaksSplitWarmOps) {
+  WorkloadOptions o = BaseOptions();
+  o.phases = 2;
+  o.first_phase_fraction = 0.7;
+  WorkloadSpec spec = GenerateWorkload(o);
+  // One break (the final phase is folded by Reorganize, not the harness),
+  // placed after first_phase_fraction of the warm budget.
+  ASSERT_EQ(spec.phase_breaks.size(), 1u);
+  EXPECT_EQ(spec.phase_breaks[0], 140u);  // 200 * 0.7
+  EXPECT_EQ(spec.warm_ops.size(), 200u);
+}
+
+TEST(WorkloadGenTest, RotateRelSwitchesRelationshipPerPhase) {
+  WorkloadOptions o = BaseOptions();
+  o.phases = 2;
+  o.rotate_rel = true;
+  WorkloadSpec spec = GenerateWorkload(o);
+  ASSERT_EQ(spec.phase_breaks.size(), 1u);
+  for (size_t i = 0; i < spec.warm_ops.size(); ++i) {
+    EXPECT_EQ(spec.warm_ops[i].rel, i < spec.phase_breaks[0] ? 0u : 1u);
+  }
+  // Scored ops come from the final phase's distribution.
+  for (const auto& op : spec.score_ops) EXPECT_EQ(op.rel, 1u);
+
+  o.rotate_rel = false;
+  WorkloadSpec fixed = GenerateWorkload(o);
+  for (const auto& op : fixed.warm_ops) EXPECT_EQ(op.rel, 0u);
+}
+
+TEST(WorkloadGenTest, HotSkewConcentratesRoots) {
+  WorkloadOptions o = BaseOptions();
+  o.hot_fraction = 0.1;  // hot slice: 12 objects
+  o.hot_skew = 1.0;      // every root is hot
+  WorkloadSpec spec = GenerateWorkload(o);
+  for (const auto& op : spec.warm_ops) EXPECT_LT(op.root, 12);
+
+  o.hot_skew = 0.0;  // uniform: roots spread far beyond any 10% slice
+  WorkloadSpec uniform = GenerateWorkload(o);
+  std::set<int> roots;
+  for (const auto& op : uniform.warm_ops) roots.insert(op.root);
+  EXPECT_GT(roots.size(), 40u);
+}
+
+TEST(WorkloadGenTest, PhasesMoveTheHotSet) {
+  WorkloadOptions o = BaseOptions();
+  o.phases = 2;
+  o.hot_fraction = 0.1;
+  o.hot_skew = 1.0;
+  WorkloadSpec spec = GenerateWorkload(o);
+  ASSERT_EQ(spec.phase_breaks.size(), 1u);
+  // Phase 0 roots live in [0, 12); phase 1 roots in [12, 24).
+  for (size_t i = 0; i < spec.warm_ops.size(); ++i) {
+    int root = spec.warm_ops[i].root;
+    if (i < spec.phase_breaks[0]) {
+      EXPECT_LT(root, 12);
+    } else {
+      EXPECT_GE(root, 12);
+      EXPECT_LT(root, 24);
+    }
+  }
+}
+
+TEST(WorkloadGenTest, WriteFractionControlsWrites) {
+  WorkloadOptions o = BaseOptions();
+  o.write_fraction = 0.0;
+  for (const auto& op : GenerateWorkload(o).warm_ops) {
+    EXPECT_FALSE(op.write);
+  }
+  o.write_fraction = 1.0;
+  for (const auto& op : GenerateWorkload(o).warm_ops) {
+    EXPECT_TRUE(op.write);
+  }
+}
+
+TEST(WorkloadGenTest, TraversalKindPropagates) {
+  WorkloadOptions o = BaseOptions();
+  o.kind = TraversalKind::kAttrPull;
+  WorkloadSpec spec = GenerateWorkload(o);
+  for (const auto& op : spec.warm_ops) {
+    EXPECT_EQ(op.kind, TraversalKind::kAttrPull);
+  }
+  for (const auto& op : spec.score_ops) {
+    EXPECT_EQ(op.kind, TraversalKind::kAttrPull);
+  }
+}
+
+}  // namespace
+}  // namespace cactis::cluster

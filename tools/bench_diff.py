@@ -23,14 +23,23 @@ fails (exit 1) when:
     be 0, and peak_sessions must reach the configured session count
     (hard gates; rejects may be nonzero — admission control is expected
     to fire — but nothing may be silently lost);
+  * clustering invariants violated in BENCH_clustering.json: on every
+    E16 scenario the default policy must beat unclustered placement
+    (e16_<scenario>_ratio_x100 > 100), and it must strictly beat the
+    paper's raw-counter greedy packer on at least two scenarios
+    (e16_default_wins_vs_greedy >= 2) — both hard gates;
   * a gated metric regressed by more than --threshold (default 25%).
 
 Gated metrics are chosen to be machine-independent so the gate is
 meaningful across CI hosts:
 
-  server   e13_speedup_x100_w4      4-worker/1-worker read scaling ratio
-  recovery e11b blocks-per-commit   WAL blocks / committed txn (w1, w4)
-  recovery e11b entries-per-batch   group-commit batching efficiency (w4)
+  server     e13_speedup_x100_w4     4-worker/1-worker read scaling ratio
+  recovery   e11b blocks-per-commit  WAL blocks / committed txn (w1, w4)
+  recovery   e11b entries-per-batch  group-commit batching efficiency (w4)
+  clustering e16_*_bpt_x100          blocks read per traversal, per
+                                     scenario, for the default policy
+                                     (deterministic: seeded workload,
+                                     simulated disk, cold buffer pool)
 
 Raw throughput counters (e13_stmt_per_s_w*) are wall-clock and therefore
 hardware-dependent: they are compared only when the fresh and baseline
@@ -221,6 +230,64 @@ def soak_gates(base, fresh, threshold, raw, notes):
     return gates
 
 
+CLUSTER_SCENARIOS = ("stable_tree", "shift_dfs", "shift_pull", "cold_uniform")
+
+
+def clustering_hard_gates(fresh, failures):
+    """E16 invariants are deterministic (seeded workload, simulated disk):
+    the default clustering policy must beat no-clustering on EVERY
+    scenario, and must strictly beat the paper's raw-counter greedy packer
+    on at least two (the shifting-workload scenarios, where decayed
+    statistics are the whole point). No baseline, no threshold."""
+    for scen in CLUSTER_SCENARIOS:
+        key = f"e16_{scen}_ratio_x100"
+        v = counter(fresh, key)
+        if v is None:
+            failures.append(f"fresh clustering report has no {key} counter")
+        elif v <= 100:
+            failures.append(
+                f"{key} = {v} (must be > 100: the default policy must beat "
+                "unclustered placement on every scenario)"
+            )
+    wins = counter(fresh, "e16_default_wins_vs_greedy")
+    if wins is None:
+        failures.append(
+            "fresh clustering report has no e16_default_wins_vs_greedy counter"
+        )
+    elif wins < 2:
+        failures.append(
+            f"e16_default_wins_vs_greedy = {wins} (must be >= 2: the default "
+            "policy must strictly beat greedy_usage on the shift scenarios)"
+        )
+
+
+def clustering_gates(base, fresh, threshold, notes):
+    """Baseline-relative gates on the default policy's blocks-per-traversal.
+    The counters are deterministic, so any drift is a real placement
+    change; the smoke flag must match because op-stream sizes differ."""
+    gates = []
+    base_smoke = base.get("config", {}).get("smoke")
+    fresh_smoke = fresh.get("config", {}).get("smoke")
+    if base_smoke != fresh_smoke:
+        notes.append(
+            f"clustering smoke flags differ (baseline={base_smoke}, "
+            f"fresh={fresh_smoke}); bpt baseline gates skipped"
+        )
+        return gates
+    default_policy = fresh.get("config", {}).get("default_policy")
+    if not default_policy:
+        notes.append("clustering report has no default_policy; bpt gates skipped")
+        return gates
+    for scen in CLUSTER_SCENARIOS:
+        key = f"e16_{scen}_{default_policy}_bpt_x100"
+        b, f = counter(base, key), counter(fresh, key)
+        if b is None or f is None:
+            notes.append(f"{key} missing; skipped")
+            continue
+        gates.append(Gate(key, b, f, threshold, higher_is_better=False))
+    return gates
+
+
 def chaos_hard_gates(fresh, failures):
     """E14 invariants are absolute — no baseline, no threshold."""
     for key in ("e14_lost_acked_commits", "e14_phantom_updates",
@@ -279,6 +346,18 @@ def main():
             failures.append(f"missing committed baseline: {base_rec_path}")
         else:
             gates += recovery_gates(base_rec, fresh_rec, args.threshold, notes)
+
+    fresh_clu, fresh_clu_path = load(args.fresh, "BENCH_clustering.json")
+    base_clu, base_clu_path = load(args.baseline, "BENCH_clustering.json")
+    if fresh_clu is None:
+        failures.append(f"missing fresh clustering report: {fresh_clu_path}")
+    else:
+        clustering_hard_gates(fresh_clu, failures)
+        if base_clu is None:
+            failures.append(f"missing committed baseline: {base_clu_path}")
+        else:
+            gates += clustering_gates(base_clu, fresh_clu, args.threshold,
+                                      notes)
 
     fresh_chaos, _ = load(args.fresh, "BENCH_chaos.json")
     if fresh_chaos is None:
