@@ -31,15 +31,28 @@
 //   \slow         drain the slow-statement log (worst first; local only)
 //   \metrics      server + database metrics snapshot (alias: stats)
 //   \health       degraded/read-only state + probe counters
+//   \top [group] [frames]   live telemetry dashboard: polls the
+//                 `metrics history` time-series over the transport and
+//                 renders the windowed summary (rates, gauge ranges,
+//                 interval quantiles) plus active watchdog alerts
+//   \alerts       watchdog alert log (raise/clear history, JSON)
 //   schema ... end schema    load data-language declarations
 //   help | quit
+//
+// `cactis_shell --connect host:port --top [group]` renders ONE dashboard
+// frame and exits — a scriptable health peek at a live server.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/client.h"
@@ -82,6 +95,10 @@ class Backend {
   virtual std::string Metrics() = 0;
   virtual std::string Health() = 0;
   virtual std::string DrainSlow() = 0;
+  /// Time-series window JSON (`metrics history` statement).
+  virtual std::string MetricsHistory(const std::string& group, long n) = 0;
+  /// Watchdog alert log JSON (`alerts` statement).
+  virtual std::string Alerts() = 0;
 };
 
 /// In-process: the executor lives in this process, requests go through
@@ -103,6 +120,10 @@ class LocalBackend : public Backend {
   std::string Metrics() override { return exec_.SnapshotMetrics(); }
   std::string Health() override { return exec_.HealthJson(); }
   std::string DrainSlow() override { return exec_.DrainSlowLogJson(); }
+  std::string MetricsHistory(const std::string& group, long n) override {
+    return exec_.MetricsHistoryJson(group, n < 0 ? 0 : static_cast<size_t>(n));
+  }
+  std::string Alerts() override { return exec_.AlertsJson(); }
 
   Executor* exec() { return &exec_; }
 
@@ -160,6 +181,14 @@ class RemoteBackend : public Backend {
   std::string DrainSlow() override {
     return "(slow-statement log is server-local; not exposed over TCP)";
   }
+  std::string MetricsHistory(const std::string& group, long n) override {
+    // `metrics history` is a plain statement; ask the server over the wire.
+    std::string stmt = "metrics history";
+    if (!group.empty()) stmt += " " + group;
+    if (n > 0) stmt += " " + std::to_string(n);
+    return Call(0, stmt).payload;
+  }
+  std::string Alerts() override { return Call(0, "alerts").payload; }
 
  private:
   cactis::net::Client* SessionFor(size_t n) {
@@ -183,6 +212,108 @@ class RemoteBackend : public Backend {
   uint16_t port_;
   std::vector<std::unique_ptr<cactis::net::Client>> clients_;
 };
+
+// --- `\top` dashboard --------------------------------------------------------
+//
+// The dashboard renders the `metrics history` summary without a JSON
+// parser: the document comes from our own JsonWriter (keys are never
+// escaped, summary entries are flat objects of scalars), so plain
+// string scanning is reliable here — and only here.
+
+double NumberAfter(const std::string& doc, const char* key) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = doc.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(doc.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string StringAfter(const std::string& doc, const char* key) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  size_t pos = doc.find(needle);
+  if (pos == std::string::npos) return "";
+  size_t start = pos + needle.size();
+  size_t end = doc.find('"', start);
+  if (end == std::string::npos) return "";
+  return doc.substr(start, end - start);
+}
+
+/// Renders one dashboard frame from the `metrics history` JSON. With no
+/// group filter, counters that saw no traffic in the window are hidden
+/// so the frame fits a screen; an explicit group shows everything.
+void RenderTopFrame(const std::string& history, const std::string& group) {
+  size_t sum = history.find("\"summary\":{");
+  if (sum == std::string::npos) {
+    std::printf("%s\n", history.c_str());  // not history JSON; show raw
+    return;
+  }
+  const std::string head = history.substr(0, history.find("\"samples\""));
+  std::printf("-- cactis top: %.0f samples x %.0fms%s%s --\n",
+              NumberAfter(head, "count"), NumberAfter(head, "interval_ms"),
+              group.empty() ? "" : ", group ", group.c_str());
+  std::printf("  %-34s %-9s %s\n", "series", "kind", "window");
+  size_t pos = sum + std::strlen("\"summary\":{");
+  size_t hidden = 0;
+  while (pos < history.size() && history[pos] != '}') {
+    if (history[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (history[pos] != '"') break;
+    size_t name_end = history.find('"', pos + 1);
+    if (name_end == std::string::npos) break;
+    const std::string name = history.substr(pos + 1, name_end - pos - 1);
+    size_t obj_start = history.find('{', name_end);
+    size_t obj_end = history.find('}', obj_start);  // flat object: no nesting
+    if (obj_start == std::string::npos || obj_end == std::string::npos) break;
+    const std::string obj =
+        history.substr(obj_start, obj_end - obj_start + 1);
+    pos = obj_end + 1;
+
+    const std::string kind = StringAfter(obj, "kind");
+    char value[96];
+    if (kind == "counter") {
+      const double delta = NumberAfter(obj, "delta");
+      if (group.empty() && delta == 0) {
+        ++hidden;
+        continue;
+      }
+      std::snprintf(value, sizeof(value), "%10.1f/s  delta %.0f",
+                    NumberAfter(obj, "rate_per_s"), delta);
+    } else if (kind == "gauge") {
+      std::snprintf(value, sizeof(value), "%10.2f     [%.2f .. %.2f]",
+                    NumberAfter(obj, "last"), NumberAfter(obj, "min"),
+                    NumberAfter(obj, "max"));
+    } else {
+      std::snprintf(value, sizeof(value), "p50 %-8.0f p99 %.0f",
+                    NumberAfter(obj, "p50"), NumberAfter(obj, "p99"));
+    }
+    std::printf("  %-34s %-9s %s\n", name.c_str(), kind.c_str(), value);
+  }
+  if (hidden > 0) {
+    std::printf("  (%zu idle counters hidden; `\\top <group>` shows all)\n",
+                hidden);
+  }
+}
+
+/// One line of active watchdog alerts under the dashboard.
+void RenderActiveAlerts(const std::string& alerts_json) {
+  size_t pos = alerts_json.find("\"active\":[");
+  if (pos == std::string::npos) return;
+  size_t start = pos + std::strlen("\"active\":[");
+  size_t end = alerts_json.find(']', start);
+  if (end == std::string::npos) return;
+  std::string active = alerts_json.substr(start, end - start);
+  // Strip the JSON quoting for display.
+  std::string rules;
+  for (char c : active) {
+    if (c != '"') rules += c == ',' ? ' ' : c;
+  }
+  if (rules.empty()) {
+    std::printf("  alerts: none\n");
+  } else {
+    std::printf("  alerts: ACTIVE [%s]\n", rules.c_str());
+  }
+}
 
 class Shell {
  public:
@@ -225,8 +356,10 @@ class Shell {
           "  set T.A = expr | get/peek T.A | connect/disconnect T.P to T.P\n"
           "  select C where pred | instances C | members S | fetch [N]\n"
           "  profile <stmt> | explain <stmt> | reorganize [policy]\n"
+          "  metrics history [group] [n] | alerts\n"
           "shell: \\1..\\9 switch session, \\profile on|off, \\slow,\n"
           "  \\metrics (alias: stats), \\health, schema...end schema,\n"
+          "  \\top [group] [frames] (telemetry dashboard), \\alerts,\n"
           "  \\reorg [greedy_usage|dstc|typegraph], help, quit.\n"
           "  Batches: statements joined with ';'.\n");
       return true;
@@ -242,6 +375,28 @@ class Shell {
     }
     if (line == "\\health") {
       std::printf("%s\n", backend_->Health().c_str());
+      return true;
+    }
+    if (line == "\\alerts") {
+      std::printf("%s\n", backend_->Alerts().c_str());
+      return true;
+    }
+    // \top [group] [frames]: live dashboard. Frames default to 3 so a
+    // piped script terminates; interactively, rerun (or raise N) to
+    // keep watching.
+    if (line == "\\top" || line.rfind("\\top ", 0) == 0) {
+      std::string group;
+      long frames = 3;
+      std::istringstream ss(line.substr(4));
+      std::string tok;
+      while (ss >> tok) {
+        if (std::isdigit(static_cast<unsigned char>(tok[0]))) {
+          frames = std::strtol(tok.c_str(), nullptr, 10);
+        } else {
+          group = tok;
+        }
+      }
+      RunTop(group, frames < 1 ? 1 : frames);
       return true;
     }
     // \reorg [policy]: sugar for the `reorganize` statement, so the
@@ -271,6 +426,20 @@ class Shell {
     }
     Send(*current, line);
     return true;
+  }
+
+  /// Polls `metrics history` + `alerts` over the backend's transport and
+  /// redraws the dashboard once per second for `frames` frames.
+  void RunTop(const std::string& group, long frames) {
+    for (long i = 0; i < frames; ++i) {
+      if (i > 0) std::this_thread::sleep_for(std::chrono::seconds(1));
+      if (isatty(STDOUT_FILENO) && frames > 1) {
+        std::printf("\033[H\033[2J");  // clear only on a real terminal
+      }
+      RenderTopFrame(backend_->MetricsHistory(group, 0), group);
+      RenderActiveAlerts(backend_->Alerts());
+      std::fflush(stdout);
+    }
   }
 
   Backend* backend() { return backend_.get(); }
@@ -412,6 +581,23 @@ int main(int argc, char** argv) {
     return Serve(args.size() > 1 ? args[1] : "0");
   }
 
+  // --top [group]: render one dashboard frame and exit (requires
+  // --connect; the point is a scriptable peek at a LIVE server whose
+  // sampler already holds history).
+  bool one_shot_top = false;
+  std::string top_group;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top") {
+      one_shot_top = true;
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        top_group = args[i + 1];
+        args.erase(args.begin() + i + 1);
+      }
+      args.erase(args.begin() + i);
+      break;
+    }
+  }
+
   std::unique_ptr<Backend> backend;
   bool interactive = false;
   if (!args.empty() && args[0] == "--connect") {
@@ -427,12 +613,20 @@ int main(int argc, char** argv) {
     }
     backend = std::make_unique<RemoteBackend>(host, port);
     interactive = true;  // remote mode reads statements from stdin
+  } else if (one_shot_top) {
+    std::fprintf(stderr,
+                 "usage: cactis_shell --connect host:port --top [group]\n");
+    return 1;
   } else {
     backend = std::make_unique<LocalBackend>();
     interactive = !args.empty() && args[0] == "-i";
   }
 
   Shell shell(std::move(backend));
+  if (one_shot_top) {
+    shell.RunTop(top_group, 1);
+    return 0;
+  }
   if (!interactive) {
     RunDemo(&shell);
     RunObservabilityDemo(&shell);

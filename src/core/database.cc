@@ -169,6 +169,7 @@ Database::Database(DatabaseOptions options)
                        options_.cluster_policy)) +
                    "\"");
     g->AddGauge("decay_alpha", options_.cluster_decay_alpha);
+    g->AddCounter("traversal_crossings", traversal_crossings_);
     cluster_stats_.ExportTo(g);
   });
 
@@ -1887,6 +1888,11 @@ Status Database::Reorganize() {
                                 blocks * storage::kBlockHeaderBytes) /
                 static_cast<double>(blocks * usable);
   ++cluster_stats_.reorg_runs;
+  // Epoch origin for drift detection: cumulative I/O and crossings as of
+  // this placement (the rewrite's own reads are behind us, so windows
+  // measured from here describe the workload, not the reorg).
+  cluster_stats_.post_reorg_disk_reads = disk_.stats().reads;
+  cluster_stats_.post_reorg_crossings = traversal_crossings_;
 
   return RecomputeWorstCaseStats();
 }
@@ -1904,6 +1910,8 @@ void ClusterStats::ExportTo(obs::MetricsGroup* g) const {
               static_cast<double>(reorg_blocks_written));
   g->AddCounter("raw_access_total", raw_access_total);
   g->AddGauge("decayed_access_total", decayed_access_total);
+  g->AddCounter("post_reorg_disk_reads", post_reorg_disk_reads);
+  g->AddCounter("post_reorg_crossings", post_reorg_crossings);
 }
 
 Status Database::RecomputeWorstCaseStats() {

@@ -143,6 +143,12 @@ struct ClusterStats {
   // access pattern (the regime where DstcPolicy beats GreedyUsage).
   uint64_t raw_access_total = 0;
   double decayed_access_total = 0.0;
+  // Epoch recorded by Reorganize() at completion (cumulative disk reads
+  // and traversal crossings, the rewrite's own I/O excluded): the origin
+  // the drift watchdog measures its post-reorg blocks/traversal figure
+  // from.
+  uint64_t post_reorg_disk_reads = 0;
+  uint64_t post_reorg_crossings = 0;
   void ExportTo(obs::MetricsGroup* g) const;
 };
 
@@ -729,7 +735,12 @@ class Database {
   // replay order is fixed (commit staged) or moot (rolled back).
   void ReleaseCcWrites(Transaction* t);
   EdgeStatEntry& EdgeStatsFor(EdgeId id);
-  void RecordCrossing(EdgeId id) { ++EdgeStatsFor(id).usage; }
+  void RecordCrossing(EdgeId id) {
+    ++EdgeStatsFor(id).usage;
+    // Cumulative crossing count across all edges: the denominator of the
+    // observed blocks/traversal figure the drift watchdog samples.
+    ++traversal_crossings_;
+  }
 
   Status RecomputeWorstCaseStats();
 
@@ -793,6 +804,9 @@ class Database {
   std::unordered_map<InstanceId, uint64_t> access_counts_;
   std::unordered_map<InstanceId, AccessDecayEntry> access_decay_;
   ClusterStats cluster_stats_;
+  // Lifetime crossings across all edges (exclusive-path only, like the
+  // per-edge usage statistics); exported as cluster.traversal_crossings.
+  uint64_t traversal_crossings_ = 0;
   std::unordered_map<InstanceId, MirrorResolver> mirror_resolvers_;
   ChangeListener change_listener_;
 };

@@ -204,9 +204,23 @@ Result<Frame> Client::Roundtrip(FrameType type, std::string_view payload) {
   return reply;
 }
 
+uint64_t Client::MintTraceId() {
+  // High bit marks client-minted ids (server-minted ones are small
+  // sequential integers), the middle bits fold in the session token so
+  // concurrent clients stay distinct, and the low byte is left clear for
+  // the server's per-statement `+ i` offset within the batch.
+  ++next_call_;
+  return (1ull << 63) | ((session_ & 0x7F'FFFFull) << 40) |
+         ((next_call_ & 0xFFFF'FFFFull) << 8);
+}
+
 Result<WireResponse> Client::Call(const std::vector<std::string>& statements) {
+  RequestPayload request;
+  request.trace_id = MintTraceId();
+  request.statements = statements;
+  last_trace_id_ = request.trace_id;
   auto reply = Roundtrip(FrameType::kRequest,
-                         EncodeRequestPayload(statements));
+                         EncodeRequestPayload(request));
   if (!reply.ok()) return reply.status();
   if (reply->type == FrameType::kError) {
     auto err = DecodeErrorPayload(reply->payload);

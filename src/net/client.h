@@ -90,6 +90,13 @@ class Client {
   /// Retries consumed by the last CallRetry (tests, bench accounting).
   int last_retries() const { return last_retries_; }
 
+  /// Trace id minted for the most recent Call/CallRetry batch. The
+  /// server runs statement i of that batch under `last_trace_id() + i`,
+  /// so a `profile` response's "trace_id" field matches this value —
+  /// clients can correlate their own logs with server-side slow-log and
+  /// trace-sink entries. 0 until the first Call.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   /// Writes one frame and blocks for the peer's reply frame.
   Result<Frame> Roundtrip(FrameType type, std::string_view payload);
@@ -98,12 +105,16 @@ class Client {
   Result<Frame> RecvFrame();
   /// Closes the socket without the goodbye handshake.
   void Drop();
+  /// Mints the next per-batch trace id (see last_trace_id()).
+  uint64_t MintTraceId();
 
   ClientOptions options_;
   int fd_ = -1;
   uint64_t session_ = 0;
   FrameReader reader_;
   int last_retries_ = 0;
+  uint64_t next_call_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace cactis::net

@@ -353,16 +353,17 @@ void TcpServer::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
                           "request token does not match the session");
         return;
       }
-      auto statements = DecodeRequestPayload(frame.payload);
-      if (!statements.ok()) {
+      auto request = DecodeRequestPayload(frame.payload);
+      if (!request.ok()) {
         stats_.framing_errors.fetch_add(1, std::memory_order_relaxed);
         SendErrorAndClose(conn, WireCode::kBadFrame,
-                          statements.status().message());
+                          request.status().message());
         return;
       }
       server::Request req;
       req.session = SessionId(conn->session);
-      req.statements = std::move(*statements);
+      req.statements = std::move(request->statements);
+      req.trace_id = request->trace_id;
       {
         std::lock_guard<std::mutex> lk(inflight_mu_);
         ++inflight_;
@@ -374,10 +375,14 @@ void TcpServer::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
             SendFrame(conn, FrameType::kResponse, token,
                       EncodeResponsePayload(r));
             {
+              // Notify under the lock: Shutdown() may destroy the cv the
+              // instant it observes inflight_ == 0, and it can only make
+              // that observation after this lock is released — which is
+              // strictly after notify_all() has returned.
               std::lock_guard<std::mutex> lk(inflight_mu_);
               --inflight_;
+              inflight_cv_.notify_all();
             }
-            inflight_cv_.notify_all();
           });
       return;
     }

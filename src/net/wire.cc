@@ -438,35 +438,42 @@ std::string EncodeResponsePayload(const server::Response& r) {
   return out;
 }
 
-std::string EncodeRequestPayload(const std::vector<std::string>& statements) {
+std::string EncodeRequestPayload(const RequestPayload& request) {
   std::string out;
-  PutU32(&out, static_cast<uint32_t>(statements.size()));
-  for (const auto& s : statements) {
+  PutU64(&out, request.trace_id);
+  PutU32(&out, static_cast<uint32_t>(request.statements.size()));
+  for (const auto& s : request.statements) {
     PutU32(&out, static_cast<uint32_t>(s.size()));
     out.append(s);
   }
   return out;
 }
 
-Result<std::vector<std::string>> DecodeRequestPayload(
-    std::string_view payload) {
+std::string EncodeRequestPayload(const std::vector<std::string>& statements) {
+  RequestPayload request;
+  request.statements = statements;
+  return EncodeRequestPayload(request);
+}
+
+Result<RequestPayload> DecodeRequestPayload(std::string_view payload) {
   Cursor c(payload);
+  RequestPayload request;
   uint32_t n = 0;
+  if (!c.ReadU64(&request.trace_id)) return BadPayload("truncated trace id");
   if (!c.ReadU32(&n)) return BadPayload("truncated statement count");
   // Each statement entry is at least 4 bytes; bound n before reserving.
   if (n > payload.size() / 4 + 1) return BadPayload("statement count");
-  std::vector<std::string> statements;
-  statements.reserve(n);
+  request.statements.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     uint32_t len = 0;
     std::string s;
     if (!c.ReadU32(&len) || !c.ReadBytes(len, &s)) {
       return BadPayload("truncated statement");
     }
-    statements.push_back(std::move(s));
+    request.statements.push_back(std::move(s));
   }
   if (!c.AtEnd()) return BadPayload("trailing bytes");
-  return statements;
+  return request;
 }
 
 Result<WireResponse> DecodeResponsePayload(std::string_view payload) {

@@ -212,14 +212,28 @@ struct WireResponse {
   bool retryable() const { return IsRetryableWireCode(code); }
 };
 
+/// Decoded kRequest frame payload: the statement batch plus the
+/// client-minted trace id (0 = server mints). The id rides the wire so a
+/// remote `profile` response carries the same trace id the client
+/// logged — the end-to-end correlation handle.
+struct RequestPayload {
+  uint64_t trace_id = 0;
+  std::vector<std::string> statements;
+
+  bool operator==(const RequestPayload& o) const {
+    return trace_id == o.trace_id && statements == o.statements;
+  }
+};
+
 /// Serializes a statement batch into a kRequest frame payload
-/// (length-prefixed so statements may contain any bytes).
+/// (u64 trace id, then length-prefixed statements so they may contain
+/// any bytes).
+std::string EncodeRequestPayload(const RequestPayload& request);
 std::string EncodeRequestPayload(const std::vector<std::string>& statements);
 
 /// Decodes a kRequest frame payload. Malformed bytes yield a Status
 /// (mapped to kBadFrame on the wire).
-Result<std::vector<std::string>> DecodeRequestPayload(
-    std::string_view payload);
+Result<RequestPayload> DecodeRequestPayload(std::string_view payload);
 
 /// Serializes a server::Response into a kResponse frame payload.
 std::string EncodeResponsePayload(const server::Response& r);

@@ -21,11 +21,23 @@
 // The histogram is "histogram-lite": power-of-two buckets (bucket i
 // counts samples with i significant bits) plus count and sum. Enough to
 // see a distribution's shape without per-sample storage.
+//
+// Thread-safety: the registry's own structures (source list, instrument
+// tables) are guarded by an internal mutex, so registering and
+// unregistering sources is safe against a concurrent snapshot — in
+// particular, UnregisterSource() does not return while a snapshot may
+// still be invoking the callback, which makes "unregister, then destroy
+// the state the callback reads" a correct shutdown sequence (the
+// TcpServer does exactly this). Source callbacks therefore must not call
+// back into the registry. Instrument updates are relaxed atomics: cheap,
+// and safe to read from a sampler thread while workers count.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,29 +48,33 @@ class MetricsRegistry;
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
-    if (*enabled_) value_ += n;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
   }
-  uint64_t value() const { return value_; }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  uint64_t value_ = 0;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
   void Set(double v) {
-    if (*enabled_) value_ = v;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
   }
-  double value() const { return value_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  double value_ = 0;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0};
 };
 
 class Histogram {
@@ -66,14 +82,16 @@ class Histogram {
   static constexpr size_t kBuckets = 32;
 
   void Record(uint64_t sample) {
-    if (!*enabled_) return;
-    ++buckets_[BucketOf(sample)];
-    ++count_;
-    sum_ += sample;
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
   }
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
 
   // Bucket 0 holds sample 0; bucket i >= 1 holds samples in
   // [2^(i-1), 2^i). Samples beyond 2^31 collapse into the last bucket.
@@ -88,11 +106,19 @@ class Histogram {
 
  private:
   friend class MetricsRegistry;
-  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  std::array<uint64_t, kBuckets> buckets_{};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// A histogram's exported state: a point-in-time copy a sampler can
+/// diff against an earlier copy to get interval quantiles.
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
 };
 
 // The sink a snapshot source fills in. Entries keep insertion order so
@@ -104,6 +130,9 @@ class MetricsGroup {
   }
   void AddGauge(std::string name, double value) {
     gauges_.emplace_back(std::move(name), value);
+  }
+  void AddHistogram(std::string name, HistogramData data) {
+    histograms_.emplace_back(std::move(name), std::move(data));
   }
   /// A pre-serialised JSON value spliced verbatim into the group (the
   /// caller vouches for validity). For structured exports that are
@@ -119,6 +148,10 @@ class MetricsGroup {
   const std::vector<std::pair<std::string, double>>& gauges() const {
     return gauges_;
   }
+  const std::vector<std::pair<std::string, HistogramData>>& histograms()
+      const {
+    return histograms_;
+  }
   const std::vector<std::pair<std::string, std::string>>& json_values()
       const {
     return json_;
@@ -127,7 +160,17 @@ class MetricsGroup {
  private:
   std::vector<std::pair<std::string, uint64_t>> counters_;
   std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, HistogramData>> histograms_;
   std::vector<std::pair<std::string, std::string>> json_;
+};
+
+/// A full structured snapshot: every source exported into its group,
+/// plus the registry-owned instruments (whose names are already dotted,
+/// e.g. "txn.begun"). This is what the time-series Sampler consumes;
+/// SnapshotJson() is the same data serialised for humans.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, MetricsGroup>> groups;
+  MetricsGroup instruments;
 };
 
 class MetricsRegistry {
@@ -142,11 +185,13 @@ class MetricsRegistry {
   // Enables/disables registry-owned instruments. Snapshot sources are
   // unaffected: their counting lives in subsystem stats structs that
   // predate this registry.
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Registers (or replaces) the snapshot source for `group`. The
-  // callback must outlive the registry or be unregistered first.
+  // callback must outlive its registration. UnregisterSource() blocks
+  // until any in-flight snapshot has finished with the callback, after
+  // which it is guaranteed never to run again.
   void RegisterSource(const std::string& group, SourceFn fn);
   void UnregisterSource(const std::string& group);
 
@@ -156,18 +201,29 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Structured export of every source group plus the registry-owned
+  /// instruments. Callers that need a consistent view across subsystems
+  /// must provide their own serialization (the Executor samples under
+  /// its statement lock).
+  MetricsSnapshot Snapshot() const;
+
   // One JSON document:
   //   {"enabled":bool,
   //    "sources":{<group>:{<counter>:n,...},...},
   //    "counters":{<name>:n,...},
   //    "gauges":{<name>:x,...},
   //    "histograms":{<name>:{"count":n,"sum":n,"buckets":[...]},...}}
-  // Within a source group, exported counters render as integers and
-  // exported gauges as floating-point numbers.
+  // Within a source group, exported counters render as integers,
+  // exported gauges as floating-point numbers, and exported histograms
+  // as {"count","sum","buckets"} objects.
   std::string SnapshotJson() const;
 
  private:
-  bool enabled_;
+  std::atomic<bool> enabled_;
+  // Guards the source list and instrument tables — including while a
+  // snapshot invokes source callbacks, so unregistration synchronises
+  // with snapshots (see class comment).
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, SourceFn>> sources_;
   std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
   std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;

@@ -136,6 +136,10 @@ std::string_view StatementKindName(StatementKind k) {
       return "health";
     case StatementKind::kReorganize:
       return "reorganize";
+    case StatementKind::kMetricsHistory:
+      return "metrics history";
+    case StatementKind::kAlerts:
+      return "alerts";
   }
   return "unknown";
 }
@@ -235,6 +239,16 @@ void ServerStats::ExportTo(obs::MetricsGroup* g) const {
   g->AddGauge("statement_latency_p999_us", LatencyQuantileUs(0.999));
   g->AddGauge("statement_latency_max_us",
               static_cast<double>(load(latency_max_us)));
+  // Full bucket export: the sampler diffs consecutive snapshots of this
+  // histogram into interval p50/p99 (the lifetime quantiles above go
+  // flat the moment the workload shifts; the interval ones do not).
+  obs::HistogramData lat;
+  lat.count = load(latency_count);
+  lat.sum = load(latency_sum_us);
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    lat.buckets[i] = load(latency_buckets[i]);
+  }
+  g->AddHistogram("statement_latency_us", std::move(lat));
 }
 
 Executor::Executor(core::Database* db, ServerOptions options)
@@ -253,6 +267,10 @@ Executor::Executor(core::Database* db, ServerOptions options)
     g->AddGauge("active_sessions",
                 static_cast<double>(sessions_.active_count()));
     g->AddGauge("num_workers", static_cast<double>(options_.num_workers));
+    // Admission limit, so the watchdog's saturation rule needs no
+    // out-of-band configuration.
+    g->AddGauge("max_queue_depth",
+                static_cast<double>(options_.max_queue_depth));
     g->AddCounter("slow_statements_logged", slow_log_.total_logged());
     g->AddJson("slow_statements", slow_log_.SnapshotJson());
     obs::JsonWriter w;
@@ -280,6 +298,25 @@ Executor::Executor(core::Database* db, ServerOptions options)
     w.EndArray();
     g->AddJson("per_session", w.str());
   });
+
+  // Telemetry pipeline: sampler ticks snapshot the registry under the
+  // statement lock (exclusive — the same discipline as
+  // SnapshotMetrics(), so subsystem stats structs are quiescent while
+  // exported) and feed the watchdog. One tick per second by default;
+  // E17 gates the cost at <2% of throughput.
+  watchdog_ = std::make_unique<obs::Watchdog>(options_.watchdog);
+  obs::SamplerOptions sopts;
+  sopts.interval_ms = options_.sampler_interval_ms;
+  sopts.ring_capacity = options_.sampler_ring;
+  sopts.now_ms = options_.now_ms;  // fake clocks flow through
+  sampler_ = std::make_unique<obs::Sampler>(
+      [this] {
+        std::lock_guard<std::shared_mutex> dlk(db_mu_);
+        return db_->metrics()->Snapshot();
+      },
+      std::move(sopts));
+  sampler_->SetObserver(
+      [this](const obs::Sample& s) { watchdog_->Observe(s); });
 }
 
 Executor::~Executor() {
@@ -313,6 +350,7 @@ void Executor::Start() {
   if (options_.degraded_probe_interval_ms > 0) {
     probe_thread_ = std::thread([this] { ProbeLoop(); });
   }
+  sampler_->Start();  // no-op when sampler_interval_ms == 0
 }
 
 void Executor::Shutdown() {
@@ -322,6 +360,9 @@ void Executor::Shutdown() {
     shut_down_ = true;
     stopping_ = true;
   }
+  // Stop the sampler first: its snapshot callback takes db_mu_, and
+  // nothing below should contend with a tick mid-teardown.
+  sampler_->Stop();
   queue_cv_.notify_all();
   for (auto& w : workers_) w.join();
   workers_.clear();
@@ -560,6 +601,7 @@ Response Executor::Process(Task* task) {
   ReapExpiredSessions();
 
   bool first_statement = true;
+  uint64_t stmt_index = 0;
   for (const std::string& text : task->request.statements) {
     auto parsed = ParseStatement(text);
     StatementResult result;
@@ -577,8 +619,15 @@ Response Executor::Process(Task* task) {
       // to it through RequestScope — trace events carry the trace id and
       // the cost accumulator collects the resource breakdown.
       obs::RequestContext ctx;
+      // End-to-end tracing: a wire request carries the trace id the
+      // client minted (statement i of the batch gets id + i), so the id
+      // a remote `profile` returns is the one the client logged. Local
+      // callers leave it 0 and get a server-minted id as before.
       ctx.trace_id =
-          next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+          task->request.trace_id != 0
+              ? task->request.trace_id + stmt_index
+              : next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      ++stmt_index;
       ctx.session_id = session->id.value;
       ctx.statement_seq = ++session->statement_seq;
       obs::StatementCost cost;
@@ -598,7 +647,9 @@ Response Executor::Process(Task* task) {
           !IsReadOnlyStatement(*parsed) &&
           parsed->modifier != StatementModifier::kExplain &&
           parsed->kind != StatementKind::kAbort &&
-          parsed->kind != StatementKind::kHealth;
+          parsed->kind != StatementKind::kHealth &&
+          parsed->kind != StatementKind::kMetricsHistory &&
+          parsed->kind != StatementKind::kAlerts;
 
       // Latency includes the statement-lock wait: that contention is the
       // very thing the reader/writer split is meant to shrink.
@@ -606,6 +657,13 @@ Response Executor::Process(Task* task) {
       if (parsed->kind == StatementKind::kHealth) {
         // Lock-free by design: health must answer while storage is down.
         result.payload = HealthJson();
+      } else if (parsed->kind == StatementKind::kMetricsHistory) {
+        // Also lock-free: reads only the sampler's ring, so history is
+        // inspectable in degraded mode and never blocks on a writer.
+        result.payload = MetricsHistoryJson(
+            parsed->class_name, static_cast<size_t>(parsed->count));
+      } else if (parsed->kind == StatementKind::kAlerts) {
+        result.payload = AlertsJson();
       } else if (is_mutation && degraded()) {
         stats_.degraded_rejects.fetch_add(1, std::memory_order_relaxed);
         std::string reason;
@@ -1305,6 +1363,16 @@ StatementResult Executor::ExecuteStatement(Session* s, Statement* st) {
       // Normally short-circuited lock-free in Process(); kept here so a
       // direct call still answers.
       r.payload = HealthJson();
+      break;
+    }
+    case StatementKind::kMetricsHistory: {
+      // Same: Process() short-circuits these lock-free.
+      r.payload =
+          MetricsHistoryJson(st->class_name, static_cast<size_t>(st->count));
+      break;
+    }
+    case StatementKind::kAlerts: {
+      r.payload = AlertsJson();
       break;
     }
     case StatementKind::kReorganize: {

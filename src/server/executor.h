@@ -80,7 +80,9 @@
 #include "core/database.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
+#include "obs/sampler.h"
 #include "obs/slow_log.h"
+#include "obs/watchdog.h"
 #include "server/protocol.h"
 #include "server/session.h"
 #include "server/statement.h"
@@ -111,6 +113,16 @@ struct ServerOptions {
   /// trip). 0 disables the probe thread: degraded mode then only exits
   /// through an explicit ProbeOnce() call (deterministic tests).
   uint64_t degraded_probe_interval_ms = 25;
+  /// Telemetry sampling tick (obs::Sampler): every interval the metrics
+  /// registry is snapshotted under the statement lock into the
+  /// time-series ring and the watchdog rules run. 0 disables the
+  /// sampler thread; SampleMetricsOnce() still works (deterministic
+  /// tests, benches). The sampler reuses now_ms when set.
+  uint64_t sampler_interval_ms = 1000;
+  /// Time-series ring capacity (samples retained; 2 minutes at 1 Hz).
+  size_t sampler_ring = 120;
+  /// Watchdog rule thresholds / hysteresis (obs/watchdog.h).
+  obs::WatchdogOptions watchdog;
 };
 
 /// Service-layer counters. All fields are atomics: they are written from
@@ -269,6 +281,26 @@ class Executor {
   /// Database::SnapshotMetrics() under the statement mutex.
   std::string SnapshotMetrics();
 
+  // --- Telemetry (sampler + watchdog) ---------------------------------------
+
+  /// Takes one sampler tick synchronously (snapshot under the statement
+  /// mutex, delta conversion, watchdog evaluation). For deterministic
+  /// tests and benches; the background thread does exactly this.
+  void SampleMetricsOnce() { sampler_->SampleOnce(); }
+
+  /// The `metrics history [group] [n]` payload (obs::Sampler schema).
+  /// Lock-free with respect to the database: reads only the sampler
+  /// ring, so it answers in degraded mode and on the snapshot path.
+  std::string MetricsHistoryJson(const std::string& group, size_t n) {
+    return sampler_->HistoryJson(group, n);
+  }
+
+  /// The `alerts` payload (obs::Watchdog schema). Lock-free likewise.
+  std::string AlertsJson() { return watchdog_->AlertsJson(); }
+
+  obs::Sampler* sampler() { return sampler_.get(); }
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
   // --- Degraded read-only mode ----------------------------------------------
 
   /// True while the server refuses mutations after a persistent storage
@@ -365,8 +397,17 @@ class Executor {
   /// The N worst statements by latency (see ServerOptions). Internally
   /// synchronized; drained via DrainSlowLogJson() or the metrics export.
   obs::SlowStatementLog slow_log_;
-  /// Monotonic trace-id mint: every statement gets a fresh non-zero id.
+  /// Monotonic trace-id mint for statements whose request carries no
+  /// client-minted id (local callers). Wire requests propagate the
+  /// client's id instead, so spans join across the socket.
   std::atomic<uint64_t> next_trace_id_{0};
+
+  /// Telemetry pipeline: the sampler periodically snapshots the metrics
+  /// registry (under db_mu_, via its snapshot callback) into the
+  /// time-series ring; the watchdog digests every tick. Both outlive
+  /// the worker pool within this object and are stopped in Shutdown().
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::Sampler> sampler_;
 
   /// THE statement lock: all Database access goes through it. Mutating
   /// statements hold it exclusively; read-only statements hold it shared

@@ -48,6 +48,10 @@ std::string_view ResponseStatusToString(ResponseStatus s);
 struct Request {
   SessionId session;
   std::vector<std::string> statements;
+  /// Client-minted trace id for end-to-end correlation: statement i of
+  /// the batch runs under `trace_id + i`, so a remote `profile` returns
+  /// the same id the client logged. 0 = let the server mint one.
+  uint64_t trace_id = 0;
 };
 
 /// Outcome of one statement of a batch.

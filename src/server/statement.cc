@@ -280,6 +280,34 @@ Result<Statement> ParseStatement(std::string_view text) {
     return st;
   }
 
+  if (c.MatchIdent("metrics")) {
+    if (!c.MatchIdent("history")) {
+      return Status::ParseError("expected 'history' after 'metrics'");
+    }
+    st.kind = StatementKind::kMetricsHistory;
+    st.count = 0;  // whole ring unless narrowed below
+    // Optional group filter, then optional sample count; validated at
+    // execution like the reorganize policy (group names are not part of
+    // the token language).
+    if (c.Peek().type == TokenType::kIdentifier) {
+      st.class_name = c.Advance().text;
+    }
+    if (c.Peek().type == TokenType::kIntLiteral) {
+      st.count = c.Advance().int_value;
+      if (st.count <= 0) {
+        return Status::ParseError("metrics history count must be positive");
+      }
+    }
+    CACTIS_RETURN_IF_ERROR(c.ExpectEnd());
+    return st;
+  }
+
+  if (c.MatchIdent("alerts")) {
+    st.kind = StatementKind::kAlerts;
+    CACTIS_RETURN_IF_ERROR(c.ExpectEnd());
+    return st;
+  }
+
   if (c.MatchIdent("reorganize") || c.MatchIdent("reorg")) {
     st.kind = StatementKind::kReorganize;
     // Optional clustering-policy name; validated at execution (the parser

@@ -30,6 +30,17 @@
 //                                            lock-free so it answers even
 //                                            while the storage layer is
 //                                            down
+//         | "metrics" "history" [GROUP] [INT]  time-series window JSON:
+//                                            the last INT sampler ticks
+//                                            (default: whole ring),
+//                                            series filtered to GROUP
+//                                            when given. Lock-free
+//                                            (sampler ring only), so it
+//                                            answers in degraded mode
+//         | "alerts"                         watchdog alert log JSON
+//                                            (active rules + bounded
+//                                            raise/clear history);
+//                                            lock-free likewise
 //         | "reorganize" [POLICY]            clustering reorganisation
 //                                            (paper 2.3) under the
 //                                            exclusive lock; optional
@@ -80,6 +91,8 @@ enum class StatementKind {
   kFetch,
   kHealth,
   kReorganize,
+  kMetricsHistory,
+  kAlerts,
 };
 
 /// An instance reference: a session-local binding name or a raw id.
@@ -104,14 +117,15 @@ enum class StatementModifier {
 struct Statement {
   StatementModifier modifier = StatementModifier::kNone;
   StatementKind kind = StatementKind::kBegin;
-  std::string class_name;  // create / select / instances / members
+  std::string class_name;  // create / select / instances / members;
+                           // metrics history: optional group filter
   std::string binding;     // create ... as NAME
   Target a, b;             // b used by connect / disconnect
   std::string attr_a;      // attribute or port on a
   std::string attr_b;      // port on b
   lang::ExprPtr expr;      // set RHS
   std::string predicate;   // select ... where <source>
-  int64_t count = 1;       // fetch N
+  int64_t count = 1;       // fetch N; metrics history N (0 = whole ring)
 };
 
 /// True for statements the executor may run under the *shared* side of

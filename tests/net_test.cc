@@ -168,11 +168,23 @@ TEST(WireFrame, PoisonedReaderStaysSilent) {
 // --- Payload codecs ----------------------------------------------------------
 
 TEST(WireCodec, RequestPayloadRoundTrip) {
-  std::vector<std::string> stmts = {"begin", "set obj(1).v = v + 1", "commit",
-                                    std::string("\0binary;stmt\n", 13), ""};
-  auto decoded = DecodeRequestPayload(EncodeRequestPayload(stmts));
+  RequestPayload req;
+  req.trace_id = 0x8000'1234'5678'9a00ull;
+  req.statements = {"begin", "set obj(1).v = v + 1", "commit",
+                    std::string("\0binary;stmt\n", 13), ""};
+  auto decoded = DecodeRequestPayload(EncodeRequestPayload(req));
   ASSERT_TRUE(decoded.ok()) << decoded.status().message();
-  EXPECT_EQ(*decoded, stmts);
+  EXPECT_EQ(*decoded, req);
+}
+
+TEST(WireCodec, RequestPayloadVectorOverloadMintsNoTraceId) {
+  // The statement-vector convenience overload leaves trace_id = 0,
+  // which tells the executor to mint a server-side id.
+  auto decoded =
+      DecodeRequestPayload(EncodeRequestPayload({std::string("commit")}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->statements, std::vector<std::string>{"commit"});
 }
 
 TEST(WireCodec, RequestPayloadRejectsTruncation) {
@@ -185,8 +197,9 @@ TEST(WireCodec, RequestPayloadRejectsTruncation) {
 
 TEST(WireCodec, RequestPayloadRejectsAbsurdCount) {
   // A count field far beyond what the payload could hold must fail fast,
-  // not attempt a 4-billion-element reserve.
-  std::string bytes(4, '\xff');
+  // not attempt a 4-billion-element reserve. (First 8 bytes: trace id.)
+  std::string bytes(8, '\x00');
+  bytes.append(4, '\xff');
   EXPECT_FALSE(DecodeRequestPayload(bytes).ok());
 }
 

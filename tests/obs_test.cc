@@ -233,9 +233,9 @@ TEST(HistogramTest, PowerOfTwoBuckets) {
   h->Record(100);
   EXPECT_EQ(h->count(), 4u);
   EXPECT_EQ(h->sum(), 106u);
-  EXPECT_EQ(h->buckets()[0], 1u);
-  EXPECT_EQ(h->buckets()[2], 2u);
-  EXPECT_EQ(h->buckets()[7], 1u);  // 100 is in [64, 128)
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(2), 2u);
+  EXPECT_EQ(h->bucket(7), 1u);  // 100 is in [64, 128)
 }
 
 TEST(MetricsRegistryTest, SourcesExportAtSnapshotTime) {

@@ -23,6 +23,11 @@ fails (exit 1) when:
     be 0, and peak_sessions must reach the configured session count
     (hard gates; rejects may be nonzero — admission control is expected
     to fire — but nothing may be silently lost);
+  * telemetry overhead past budget in BENCH_telemetry.json: the E17
+    sampler+watchdog on/off throughput ratios must report
+    e17_overhead_ratio_x100_w{0,1,4} >= 98 — the always-on telemetry
+    pipeline may cost at most 2% throughput at a 100 ms tick, 10x the
+    production sampling rate (hard gates);
   * clustering invariants violated in BENCH_clustering.json: on every
     E16 scenario the default policy must beat unclustered placement
     (e16_<scenario>_ratio_x100 > 100), and it must strictly beat the
@@ -288,6 +293,38 @@ def clustering_gates(base, fresh, threshold, notes):
     return gates
 
 
+def telemetry_hard_gates(fresh, failures):
+    """E17 overhead budget is absolute: telemetry on vs off throughput
+    must stay within 2% on every workload shape, even sampling 10x
+    faster than production. Best-of-trials on both arms makes the ratio
+    a capability measure, so no baseline or threshold is needed."""
+    for w in (0, 1, 4):
+        key = f"e17_overhead_ratio_x100_w{w}"
+        v = counter(fresh, key)
+        if v is None:
+            failures.append(f"fresh telemetry report has no {key} counter")
+        elif v < 98:
+            failures.append(
+                f"{key} = {v} (must be >= 98: the sampler+watchdog "
+                "pipeline may cost at most 2% throughput)"
+            )
+
+
+def telemetry_gates(base, fresh, threshold, notes):
+    """Baseline-relative trend on the same ratios. The ratio is already
+    host-normalized (on/off on the same machine), so it is comparable
+    across CI hosts without a host_cpus check."""
+    gates = []
+    for w in (0, 1, 4):
+        key = f"e17_overhead_ratio_x100_w{w}"
+        b, f = counter(base, key), counter(fresh, key)
+        if b is None or f is None:
+            notes.append(f"{key} missing; skipped")
+            continue
+        gates.append(Gate(key, b, f, threshold))
+    return gates
+
+
 def chaos_hard_gates(fresh, failures):
     """E14 invariants are absolute — no baseline, no threshold."""
     for key in ("e14_lost_acked_commits", "e14_phantom_updates",
@@ -358,6 +395,18 @@ def main():
         else:
             gates += clustering_gates(base_clu, fresh_clu, args.threshold,
                                       notes)
+
+    fresh_tel, fresh_tel_path = load(args.fresh, "BENCH_telemetry.json")
+    base_tel, base_tel_path = load(args.baseline, "BENCH_telemetry.json")
+    if fresh_tel is None:
+        failures.append(f"missing fresh telemetry report: {fresh_tel_path}")
+    else:
+        telemetry_hard_gates(fresh_tel, failures)
+        if base_tel is None:
+            failures.append(f"missing committed baseline: {base_tel_path}")
+        else:
+            gates += telemetry_gates(base_tel, fresh_tel, args.threshold,
+                                     notes)
 
     fresh_chaos, _ = load(args.fresh, "BENCH_chaos.json")
     if fresh_chaos is None:
